@@ -1,0 +1,32 @@
+# Convenience targets for the ICR reproduction. Everything is plain
+# standard-library Go; the module is fully offline.
+
+GO ?= go
+
+.PHONY: all build test vet bench evaluate figures clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test ./...
+
+# The full testing.B harness: one bench per paper figure + micro-benches.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate the paper's evaluation at the default budget (tables + CSV).
+evaluate:
+	$(GO) run ./cmd/icrbench -fig all -out results
+
+# Regenerate tables, CSVs, and SVG figures.
+figures:
+	$(GO) run ./cmd/icrbench -fig all -out results -svg figures
+
+clean:
+	rm -rf results figures test_output.txt bench_output.txt

@@ -1,0 +1,111 @@
+// Command icrbench regenerates the paper's evaluation: one experiment per
+// table/figure of §5, printed as aligned tables (or CSV) on stdout.
+//
+// Examples:
+//
+//	icrbench -list
+//	icrbench -fig fig9
+//	icrbench -fig all -instructions 2000000
+//	icrbench -fig fig14 -csv
+//	icrbench -fig all -out results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "icrbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("icrbench", flag.ContinueOnError)
+	var (
+		fig          = fs.String("fig", "all", `experiment id ("fig1".."fig17", "faultmodels", "sensitivity", "victims") or "all"`)
+		instructions = fs.Uint64("instructions", config.DefaultInstructions, "committed instructions per simulation")
+		seed         = fs.Int64("seed", 1, "workload seed")
+		csv          = fs.Bool("csv", false, "emit CSV instead of text tables")
+		plot         = fs.Bool("plot", false, "render ASCII bar charts instead of tables")
+		seeds        = fs.String("seeds", "", "comma-separated seeds to average over (overrides -seed)")
+		out          = fs.String("out", "", "directory to also write per-experiment CSV files into")
+		svg          = fs.String("svg", "", "directory to also write per-experiment SVG figures into")
+		list         = fs.Bool("list", false, "list experiment ids and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return nil
+	}
+
+	ids := experiments.IDs()
+	if *fig != "all" {
+		ids = strings.Split(*fig, ",")
+	}
+	opts := experiments.Options{Instructions: *instructions, Seed: *seed}
+	var seedList []int64
+	if *seeds != "" {
+		for _, part := range strings.Split(*seeds, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad seed %q: %w", part, err)
+			}
+			seedList = append(seedList, v)
+		}
+	}
+	for _, id := range ids {
+		runner, err := experiments.ByID(strings.TrimSpace(id))
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		res, err := experiments.MultiSeed(runner, opts, seedList)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		switch {
+		case *csv:
+			fmt.Printf("# %s — %s\n%s\n", res.ID, res.Title, res.CSV())
+		case *plot:
+			fmt.Printf("%s\n", res.Chart())
+		default:
+			fmt.Printf("%s  [%.1fs]\n\n", res.Table(), time.Since(start).Seconds())
+		}
+		if *out != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(*out, res.ID+".csv")
+			if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
+				return fmt.Errorf("writing %s: %w", path, err)
+			}
+		}
+		if *svg != "" {
+			if err := os.MkdirAll(*svg, 0o755); err != nil {
+				return err
+			}
+			figure, err := res.SVG()
+			if err != nil {
+				return fmt.Errorf("rendering %s: %w", res.ID, err)
+			}
+			path := filepath.Join(*svg, res.ID+".svg")
+			if err := os.WriteFile(path, []byte(figure), 0o644); err != nil {
+				return fmt.Errorf("writing %s: %w", path, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestListExperiments(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOneFigure(t *testing.T) {
+	if err := run([]string{"-fig", "fig10", "-instructions", "20000"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFigureCSVAndOut(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-fig", "fig5", "-instructions", "15000", "-csv", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "fig5.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) == 0 {
+		t.Fatal("empty CSV written")
+	}
+}
+
+func TestUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "fig99"}); err == nil {
+		t.Error("unknown figure should fail")
+	}
+}
+
+func TestRunFigurePlotMode(t *testing.T) {
+	if err := run([]string{"-fig", "fig10", "-instructions", "15000", "-plot"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFigureSVGOutput(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-fig", "fig10", "-instructions", "15000", "-svg", dir}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "fig10.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) == 0 {
+		t.Fatal("empty SVG written")
+	}
+}
+
+func TestRunMultiSeed(t *testing.T) {
+	if err := run([]string{"-fig", "fig10", "-instructions", "10000", "-seeds", "1,2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-fig", "fig10", "-seeds", "1,x"}); err == nil {
+		t.Error("bad seed list should fail")
+	}
+}

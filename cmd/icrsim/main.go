@@ -1,0 +1,159 @@
+// Command icrsim runs a single benchmark under a single cache-protection
+// scheme on the paper's Table 1 machine and prints the resulting metrics.
+//
+// Examples:
+//
+//	icrsim -bench vpr -scheme "ICR-P-PS(S)"
+//	icrsim -bench mcf -scheme BaseECC -instructions 5000000
+//	icrsim -bench vortex -scheme "ICR-ECC-PS(S)" -window 1000 -victim dead-first
+//	icrsim -bench gzip -scheme BaseP -writethrough
+//	icrsim -bench vortex -scheme "ICR-P-PS(S)" -fault-prob 1e-3 -fault-model random
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "icrsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("icrsim", flag.ContinueOnError)
+	var (
+		bench        = fs.String("bench", "vpr", "benchmark: "+strings.Join(workload.Names(), ", "))
+		schemeName   = fs.String("scheme", "ICR-P-PS(S)", "scheme name, e.g. BaseP, BaseECC, BaseECC-spec, ICR-ECC-PS(S)")
+		instructions = fs.Uint64("instructions", config.DefaultInstructions, "committed-instruction budget")
+		seed         = fs.Int64("seed", 1, "workload seed")
+		window       = fs.Uint64("window", 0, "dead-block decay window in cycles (0 = dead immediately)")
+		victim       = fs.String("victim", "dead-only", "replica victim policy: dead-only, dead-first, replica-first, replica-only")
+		distances    = fs.String("distances", "", "comma-separated replica set offsets (default N/2)")
+		replicas     = fs.Int("replicas", 1, "replicas maintained per block")
+		leave        = fs.Bool("leave", false, "leave replicas resident when the primary is evicted (§5.6)")
+		writeThrough = fs.Bool("writethrough", false, "write-through dL1 with 8-entry coalescing write buffer (§5.8)")
+		faultProb    = fs.Float64("fault-prob", 0, "per-cycle error-injection probability (0 = off)")
+		faultModel   = fs.String("fault-model", "random", "injection model: direct, adjacent, column, random")
+		faultSeed    = fs.Int64("fault-seed", 7, "injection RNG seed")
+		csv          = fs.Bool("csv", false, "emit a CSV row instead of the text report")
+		all          = fs.Bool("all", false, "run every scheme on the benchmark and print a comparison table")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *all {
+		return runAllSchemes(*bench, *instructions, *seed, *window, *victim)
+	}
+
+	scheme, err := core.SchemeByName(*schemeName)
+	if err != nil {
+		return err
+	}
+	r := config.NewRun(*bench, scheme)
+	r.Instructions = *instructions
+	r.Seed = *seed
+	r.WriteThrough = *writeThrough
+	r.Repl.DecayWindow = *window
+	r.Repl.Replicas = *replicas
+	r.Repl.LeaveReplicas = *leave
+	if r.Repl.Victim, err = parseVictim(*victim); err != nil {
+		return err
+	}
+	if *distances != "" {
+		if r.Repl.Distances, err = parseInts(*distances); err != nil {
+			return err
+		}
+	}
+	if *faultProb > 0 {
+		model, err := fault.ParseModel(*faultModel)
+		if err != nil {
+			return err
+		}
+		r.Fault = config.FaultConfig{Model: model, Prob: *faultProb, Seed: *faultSeed}
+	}
+
+	report, err := sim.Simulate(config.Default(), r)
+	if err != nil {
+		return err
+	}
+	if *csv {
+		fmt.Println(metrics.CSVHeader())
+		fmt.Println(report.CSVRow())
+		return nil
+	}
+	fmt.Print(report.String())
+	return nil
+}
+
+// runAllSchemes prints a per-scheme comparison for one benchmark.
+func runAllSchemes(bench string, instructions uint64, seed int64, window uint64, victim string) error {
+	vp, err := parseVictim(victim)
+	if err != nil {
+		return err
+	}
+	var base *metrics.Report
+	fmt.Printf("%-16s %10s %10s %10s %10s %10s %12s\n",
+		"scheme", "cycles", "normCyc", "missRate", "replAbil", "loadsWRep", "energy(uJ)")
+	for _, scheme := range core.AllSchemes() {
+		r := config.NewRun(bench, scheme)
+		r.Instructions = instructions
+		r.Seed = seed
+		r.Repl.DecayWindow = window
+		r.Repl.Victim = vp
+		rep, err := sim.Simulate(config.Default(), r)
+		if err != nil {
+			return err
+		}
+		if base == nil {
+			base = rep
+		}
+		fmt.Printf("%-16s %10d %10.4f %10.4f %10.4f %10.4f %12.1f\n",
+			scheme.Name(), rep.Cycles,
+			float64(rep.Cycles)/float64(base.Cycles),
+			rep.DL1MissRate(), rep.ReplAbility(), rep.LoadsWithReplica(),
+			rep.TotalEnergy()/1000)
+	}
+	return nil
+}
+
+func parseVictim(s string) (core.VictimPolicy, error) {
+	switch s {
+	case "dead-only":
+		return core.DeadOnly, nil
+	case "dead-first":
+		return core.DeadFirst, nil
+	case "replica-first":
+		return core.ReplicaFirst, nil
+	case "replica-only":
+		return core.ReplicaOnly, nil
+	default:
+		return 0, fmt.Errorf("unknown victim policy %q", s)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad distance %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,67 @@
+package main
+
+import "testing"
+
+func TestRunBasic(t *testing.T) {
+	if err := run([]string{"-bench", "gzip", "-scheme", "BaseP", "-instructions", "20000"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunICRWithOptions(t *testing.T) {
+	err := run([]string{
+		"-bench", "vpr", "-scheme", "ICR-ECC-PS(S)", "-instructions", "20000",
+		"-window", "1000", "-victim", "dead-first", "-distances", "32,16",
+		"-replicas", "2", "-leave", "-csv",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFaultInjection(t *testing.T) {
+	err := run([]string{
+		"-bench", "vortex", "-scheme", "BaseECC", "-instructions", "20000",
+		"-fault-prob", "0.001", "-fault-model", "column",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	cases := [][]string{
+		{"-scheme", "NotAScheme"},
+		{"-bench", "swim", "-instructions", "1000"},
+		{"-victim", "bogus"},
+		{"-distances", "1,x"},
+		{"-fault-prob", "0.1", "-fault-model", "bogus"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestParseVictim(t *testing.T) {
+	for _, name := range []string{"dead-only", "dead-first", "replica-first", "replica-only"} {
+		v, err := parseVictim(name)
+		if err != nil || v.String() != name {
+			t.Errorf("parseVictim(%q) = %v, %v", name, v, err)
+		}
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("32, 16,8")
+	if err != nil || len(got) != 3 || got[0] != 32 || got[1] != 16 || got[2] != 8 {
+		t.Errorf("parseInts = %v, %v", got, err)
+	}
+}
+
+func TestRunAllSchemes(t *testing.T) {
+	if err := run([]string{"-all", "-bench", "gzip", "-instructions", "15000", "-window", "1000", "-victim", "dead-first"}); err != nil {
+		t.Fatal(err)
+	}
+}

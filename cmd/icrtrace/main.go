@@ -1,0 +1,142 @@
+// Command icrtrace generates, inspects, and summarizes workload traces.
+//
+// Examples:
+//
+//	icrtrace gen -bench mcf -n 1000000 -o mcf.trace
+//	icrtrace info -i mcf.trace
+//	icrtrace info -bench gzip -n 200000
+//	icrtrace benchmarks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "icrtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: icrtrace <gen|info|benchmarks> [flags]")
+	}
+	switch args[0] {
+	case "gen":
+		return runGen(args[1:])
+	case "info":
+		return runInfo(args[1:])
+	case "benchmarks":
+		fmt.Println(strings.Join(workload.Names(), "\n"))
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q (want gen, info, or benchmarks)", args[0])
+	}
+}
+
+func runGen(args []string) error {
+	fs := flag.NewFlagSet("icrtrace gen", flag.ContinueOnError)
+	var (
+		bench = fs.String("bench", "vpr", "benchmark to generate")
+		n     = fs.Uint64("n", 1_000_000, "instructions to emit")
+		seed  = fs.Int64("seed", 1, "workload seed")
+		out   = fs.String("o", "", "output file (required)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("gen: -o output file is required")
+	}
+	profile, err := workload.ByName(*bench)
+	if err != nil {
+		return err
+	}
+	gen, err := workload.New(profile, *seed)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		return err
+	}
+	stream := isa.Limit(gen, *n)
+	for {
+		in, ok := stream.Next()
+		if !ok {
+			break
+		}
+		if err := w.Write(in); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d instructions to %s\n", w.Count(), *out)
+	return nil
+}
+
+func runInfo(args []string) error {
+	fs := flag.NewFlagSet("icrtrace info", flag.ContinueOnError)
+	var (
+		in    = fs.String("i", "", "trace file to summarize")
+		bench = fs.String("bench", "", "alternatively: summarize a generated benchmark stream")
+		n     = fs.Uint64("n", 500_000, "instructions to summarize when using -bench")
+		seed  = fs.Int64("seed", 1, "workload seed for -bench")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var stream isa.Stream
+	switch {
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r, err := trace.NewReader(f)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if r.Err() != nil {
+				fmt.Fprintln(os.Stderr, "icrtrace: warning:", r.Err())
+			}
+		}()
+		stream = r
+		*n = 0 // whole file
+	case *bench != "":
+		profile, err := workload.ByName(*bench)
+		if err != nil {
+			return err
+		}
+		gen, err := workload.New(profile, *seed)
+		if err != nil {
+			return err
+		}
+		stream = gen
+	default:
+		return fmt.Errorf("info: need -i FILE or -bench NAME")
+	}
+	fmt.Println(trace.Summarize(stream, *n))
+	return nil
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenInfoRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "t.trace")
+	if err := run([]string{"gen", "-bench", "gzip", "-n", "5000", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() == 0 {
+		t.Fatal("empty trace written")
+	}
+	if err := run([]string{"info", "-i", out}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInfoFromBenchmark(t *testing.T) {
+	if err := run([]string{"info", "-bench", "mcf", "-n", "5000"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBenchmarksSubcommand(t *testing.T) {
+	if err := run([]string{"benchmarks"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadUsage(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"frobnicate"},
+		{"gen", "-bench", "gzip"}, // missing -o
+		{"gen", "-bench", "swim", "-o", "/tmp/x.trace"},
+		{"info"}, // neither -i nor -bench
+		{"info", "-i", "/nonexistent/file.trace"},
+		{"info", "-bench", "swim"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

@@ -1,0 +1,320 @@
+// Package branch implements the branch-prediction hardware from the paper's
+// Table 1 configuration: a combined (tournament) predictor built from a
+// bimodal predictor with a 2K-entry table and a two-level predictor with a
+// 1K-entry table and 8 bits of history, a 512-entry 4-way set-associative
+// BTB, and a return-address stack.
+package branch
+
+// counter2 is a 2-bit saturating counter. Values 0..1 predict not-taken,
+// 2..3 predict taken.
+type counter2 uint8
+
+func (c counter2) taken() bool { return c >= 2 }
+
+func (c counter2) update(taken bool) counter2 {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// DirPredictor predicts conditional-branch directions.
+type DirPredictor interface {
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc uint64) bool
+	// Update trains the predictor with the resolved direction.
+	Update(pc uint64, taken bool)
+}
+
+// ---------------------------------------------------------------------------
+// Bimodal
+// ---------------------------------------------------------------------------
+
+// Bimodal is a PC-indexed table of 2-bit saturating counters.
+type Bimodal struct {
+	table []counter2
+	mask  uint64
+}
+
+var _ DirPredictor = (*Bimodal)(nil)
+
+// NewBimodal returns a bimodal predictor with the given number of entries,
+// which must be a power of two. Counters start weakly not-taken, matching
+// SimpleScalar's initialization.
+func NewBimodal(entries int) *Bimodal {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("branch: bimodal entries must be a positive power of two")
+	}
+	t := make([]counter2, entries)
+	for i := range t {
+		t[i] = 1
+	}
+	return &Bimodal{table: t, mask: uint64(entries) - 1}
+}
+
+func (b *Bimodal) index(pc uint64) uint64 { return (pc >> 2) & b.mask }
+
+// Predict implements DirPredictor.
+func (b *Bimodal) Predict(pc uint64) bool { return b.table[b.index(pc)].taken() }
+
+// Update implements DirPredictor.
+func (b *Bimodal) Update(pc uint64, taken bool) {
+	i := b.index(pc)
+	b.table[i] = b.table[i].update(taken)
+}
+
+// ---------------------------------------------------------------------------
+// Two-level (gshare-style global history)
+// ---------------------------------------------------------------------------
+
+// TwoLevel is a global-history two-level adaptive predictor: an 8-bit (by
+// default) global history register is XORed with the PC to index a table of
+// 2-bit counters.
+type TwoLevel struct {
+	table    []counter2
+	mask     uint64
+	history  uint64
+	histMask uint64
+}
+
+var _ DirPredictor = (*TwoLevel)(nil)
+
+// NewTwoLevel returns a two-level predictor with the given table size
+// (power of two) and history length in bits.
+func NewTwoLevel(entries, historyBits int) *TwoLevel {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("branch: two-level entries must be a positive power of two")
+	}
+	if historyBits <= 0 || historyBits > 30 {
+		panic("branch: history bits out of range")
+	}
+	t := make([]counter2, entries)
+	for i := range t {
+		t[i] = 1
+	}
+	return &TwoLevel{
+		table:    t,
+		mask:     uint64(entries) - 1,
+		histMask: (1 << uint(historyBits)) - 1,
+	}
+}
+
+func (g *TwoLevel) index(pc uint64) uint64 { return ((pc >> 2) ^ g.history) & g.mask }
+
+// Predict implements DirPredictor.
+func (g *TwoLevel) Predict(pc uint64) bool { return g.table[g.index(pc)].taken() }
+
+// Update implements DirPredictor. It trains the indexed counter and then
+// shifts the outcome into the global history register.
+func (g *TwoLevel) Update(pc uint64, taken bool) {
+	i := g.index(pc)
+	g.table[i] = g.table[i].update(taken)
+	g.history = (g.history << 1) & g.histMask
+	if taken {
+		g.history |= 1
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Combined (tournament)
+// ---------------------------------------------------------------------------
+
+// Combined is a tournament predictor: a meta table of 2-bit counters picks
+// between a bimodal and a two-level component per branch.
+type Combined struct {
+	bimodal  *Bimodal
+	twoLevel *TwoLevel
+	meta     []counter2
+	metaMask uint64
+}
+
+var _ DirPredictor = (*Combined)(nil)
+
+// Config sizes the components of a Combined predictor.
+type Config struct {
+	BimodalEntries  int // 2-bit counters in the bimodal table
+	TwoLevelEntries int // 2-bit counters in the two-level table
+	HistoryBits     int // global history length
+	MetaEntries     int // 2-bit counters in the chooser table
+}
+
+// DefaultConfig is the paper's Table 1 predictor: bimodal 2KB table
+// (2048 entries), two-level 1KB table (1024 entries) with 8-bit history,
+// and a 1024-entry chooser.
+func DefaultConfig() Config {
+	return Config{
+		BimodalEntries:  2048,
+		TwoLevelEntries: 1024,
+		HistoryBits:     8,
+		MetaEntries:     1024,
+	}
+}
+
+// NewCombined builds a tournament predictor from cfg.
+func NewCombined(cfg Config) *Combined {
+	if cfg.MetaEntries <= 0 || cfg.MetaEntries&(cfg.MetaEntries-1) != 0 {
+		panic("branch: meta entries must be a positive power of two")
+	}
+	meta := make([]counter2, cfg.MetaEntries)
+	for i := range meta {
+		meta[i] = 1 // weakly prefer bimodal
+	}
+	return &Combined{
+		bimodal:  NewBimodal(cfg.BimodalEntries),
+		twoLevel: NewTwoLevel(cfg.TwoLevelEntries, cfg.HistoryBits),
+		meta:     meta,
+		metaMask: uint64(cfg.MetaEntries) - 1,
+	}
+}
+
+func (c *Combined) metaIndex(pc uint64) uint64 { return (pc >> 2) & c.metaMask }
+
+// Predict implements DirPredictor. A meta counter value >= 2 selects the
+// two-level component.
+func (c *Combined) Predict(pc uint64) bool {
+	if c.meta[c.metaIndex(pc)].taken() {
+		return c.twoLevel.Predict(pc)
+	}
+	return c.bimodal.Predict(pc)
+}
+
+// Update implements DirPredictor. The chooser is trained toward whichever
+// component predicted correctly when they disagree; both components are
+// always trained.
+func (c *Combined) Update(pc uint64, taken bool) {
+	bp := c.bimodal.Predict(pc)
+	gp := c.twoLevel.Predict(pc)
+	if bp != gp {
+		i := c.metaIndex(pc)
+		// Train toward the two-level predictor when it was right.
+		c.meta[i] = c.meta[i].update(gp == taken)
+	}
+	c.bimodal.Update(pc, taken)
+	c.twoLevel.Update(pc, taken)
+}
+
+// ---------------------------------------------------------------------------
+// BTB
+// ---------------------------------------------------------------------------
+
+// BTB is a set-associative branch target buffer with LRU replacement.
+type BTB struct {
+	sets  int
+	assoc int
+	// entries[set*assoc+way]
+	entries []btbEntry
+	clock   uint64
+}
+
+type btbEntry struct {
+	valid  bool
+	pc     uint64
+	target uint64
+	lru    uint64
+}
+
+// NewBTB returns a BTB with the given total entries and associativity.
+// Entries must be a multiple of assoc and entries/assoc a power of two.
+func NewBTB(entries, assoc int) *BTB {
+	if entries <= 0 || assoc <= 0 || entries%assoc != 0 {
+		panic("branch: invalid BTB geometry")
+	}
+	sets := entries / assoc
+	if sets&(sets-1) != 0 {
+		panic("branch: BTB set count must be a power of two")
+	}
+	return &BTB{
+		sets:    sets,
+		assoc:   assoc,
+		entries: make([]btbEntry, entries),
+	}
+}
+
+func (b *BTB) set(pc uint64) int { return int((pc >> 2) & uint64(b.sets-1)) }
+
+// Lookup returns the predicted target for pc, if present.
+func (b *BTB) Lookup(pc uint64) (target uint64, ok bool) {
+	base := b.set(pc) * b.assoc
+	for w := 0; w < b.assoc; w++ {
+		e := &b.entries[base+w]
+		if e.valid && e.pc == pc {
+			b.clock++
+			e.lru = b.clock
+			return e.target, true
+		}
+	}
+	return 0, false
+}
+
+// Update installs or refreshes the target for pc, evicting the LRU way on
+// a miss.
+func (b *BTB) Update(pc, target uint64) {
+	base := b.set(pc) * b.assoc
+	b.clock++
+	victim := base
+	for w := 0; w < b.assoc; w++ {
+		e := &b.entries[base+w]
+		if e.valid && e.pc == pc {
+			e.target = target
+			e.lru = b.clock
+			return
+		}
+		if !e.valid {
+			victim = base + w
+			break
+		}
+		if e.lru < b.entries[victim].lru {
+			victim = base + w
+		}
+	}
+	b.entries[victim] = btbEntry{valid: true, pc: pc, target: target, lru: b.clock}
+}
+
+// ---------------------------------------------------------------------------
+// Return-address stack
+// ---------------------------------------------------------------------------
+
+// RAS is a fixed-depth return-address stack. Pushing onto a full stack
+// wraps (overwriting the oldest entry), matching typical hardware.
+type RAS struct {
+	stack []uint64
+	top   int // number of live entries, capped at len(stack)
+	pos   int // next push position
+}
+
+// NewRAS returns a return-address stack with the given depth.
+func NewRAS(depth int) *RAS {
+	if depth <= 0 {
+		panic("branch: RAS depth must be positive")
+	}
+	return &RAS{stack: make([]uint64, depth)}
+}
+
+// Push records a return address.
+func (r *RAS) Push(addr uint64) {
+	r.stack[r.pos] = addr
+	r.pos = (r.pos + 1) % len(r.stack)
+	if r.top < len(r.stack) {
+		r.top++
+	}
+}
+
+// Pop predicts the most recently pushed return address. It returns false
+// when the stack is empty.
+func (r *RAS) Pop() (uint64, bool) {
+	if r.top == 0 {
+		return 0, false
+	}
+	r.pos = (r.pos - 1 + len(r.stack)) % len(r.stack)
+	r.top--
+	return r.stack[r.pos], true
+}
+
+// Depth returns the number of live entries.
+func (r *RAS) Depth() int { return r.top }

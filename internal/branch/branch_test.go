@@ -1,0 +1,239 @@
+package branch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCounter2Saturation(t *testing.T) {
+	c := counter2(0)
+	for i := 0; i < 10; i++ {
+		c = c.update(false)
+	}
+	if c != 0 {
+		t.Errorf("counter should saturate at 0, got %d", c)
+	}
+	for i := 0; i < 10; i++ {
+		c = c.update(true)
+	}
+	if c != 3 {
+		t.Errorf("counter should saturate at 3, got %d", c)
+	}
+	if !c.taken() {
+		t.Error("saturated-taken counter should predict taken")
+	}
+}
+
+func TestBimodalLearnsBias(t *testing.T) {
+	b := NewBimodal(2048)
+	pc := uint64(0x1000)
+	for i := 0; i < 8; i++ {
+		b.Update(pc, true)
+	}
+	if !b.Predict(pc) {
+		t.Error("bimodal should predict taken after taken training")
+	}
+	for i := 0; i < 8; i++ {
+		b.Update(pc, false)
+	}
+	if b.Predict(pc) {
+		t.Error("bimodal should predict not-taken after not-taken training")
+	}
+}
+
+func TestBimodalDistinctPCs(t *testing.T) {
+	b := NewBimodal(2048)
+	// Train two branches that map to distinct entries with opposite biases.
+	pcT, pcN := uint64(0x1000), uint64(0x1004)
+	for i := 0; i < 4; i++ {
+		b.Update(pcT, true)
+		b.Update(pcN, false)
+	}
+	if !b.Predict(pcT) || b.Predict(pcN) {
+		t.Error("distinct PCs should train independently")
+	}
+}
+
+func TestTwoLevelLearnsPattern(t *testing.T) {
+	g := NewTwoLevel(1024, 8)
+	pc := uint64(0x2000)
+	// Alternating pattern T,N,T,N... is unpredictable by bimodal but
+	// perfectly predictable with history.
+	pattern := func(i int) bool { return i%2 == 0 }
+	// Warm up.
+	for i := 0; i < 2000; i++ {
+		g.Update(pc, pattern(i))
+	}
+	correct := 0
+	for i := 2000; i < 2200; i++ {
+		if g.Predict(pc) == pattern(i) {
+			correct++
+		}
+		g.Update(pc, pattern(i))
+	}
+	if correct < 190 {
+		t.Errorf("two-level got %d/200 on alternating pattern, want >=190", correct)
+	}
+}
+
+func TestCombinedBeatsComponentsOnMixedWorkload(t *testing.T) {
+	// A biased branch (bimodal-friendly) plus a patterned branch
+	// (history-friendly): the tournament should be at least as accurate
+	// overall as either component alone.
+	rng := rand.New(rand.NewSource(42))
+	type trainer struct {
+		p DirPredictor
+		n int
+	}
+	run := func(p DirPredictor) float64 {
+		correct, total := 0, 0
+		patternIdx := 0
+		for i := 0; i < 20000; i++ {
+			var pc uint64
+			var taken bool
+			if i%2 == 0 {
+				pc = 0x4000
+				taken = rng.Float64() < 0.95 // strongly biased
+			} else {
+				pc = 0x8000
+				taken = patternIdx%4 < 2 // T,T,N,N pattern
+				patternIdx++
+			}
+			if i > 5000 {
+				if p.Predict(pc) == taken {
+					correct++
+				}
+				total++
+			}
+			p.Update(pc, taken)
+		}
+		return float64(correct) / float64(total)
+	}
+	_ = trainer{}
+	rng = rand.New(rand.NewSource(42))
+	accComb := run(NewCombined(DefaultConfig()))
+	if accComb < 0.85 {
+		t.Errorf("combined accuracy %.3f too low on mixed workload", accComb)
+	}
+}
+
+func TestCombinedPredictsAfterTraining(t *testing.T) {
+	c := NewCombined(DefaultConfig())
+	pc := uint64(0x3000)
+	for i := 0; i < 100; i++ {
+		c.Update(pc, true)
+	}
+	if !c.Predict(pc) {
+		t.Error("combined should predict taken for an always-taken branch")
+	}
+}
+
+func TestBTBBasic(t *testing.T) {
+	b := NewBTB(512, 4)
+	if _, ok := b.Lookup(0x100); ok {
+		t.Error("empty BTB should miss")
+	}
+	b.Update(0x100, 0x200)
+	if tgt, ok := b.Lookup(0x100); !ok || tgt != 0x200 {
+		t.Errorf("Lookup = (%#x,%v), want (0x200,true)", tgt, ok)
+	}
+	b.Update(0x100, 0x300) // retarget
+	if tgt, _ := b.Lookup(0x100); tgt != 0x300 {
+		t.Errorf("retarget failed: got %#x", tgt)
+	}
+}
+
+func TestBTBConflictEviction(t *testing.T) {
+	b := NewBTB(512, 4)
+	sets := 512 / 4
+	// Five PCs mapping to the same set: one must be evicted (LRU).
+	pcs := make([]uint64, 5)
+	for i := range pcs {
+		pcs[i] = uint64(0x1000 + i*sets*4) // same set index
+		b.Update(pcs[i], uint64(0x9000+i))
+	}
+	// The first-inserted (LRU) entry should be gone.
+	if _, ok := b.Lookup(pcs[0]); ok {
+		t.Error("LRU entry should have been evicted")
+	}
+	for i := 1; i < 5; i++ {
+		if tgt, ok := b.Lookup(pcs[i]); !ok || tgt != uint64(0x9000+i) {
+			t.Errorf("entry %d lost: (%#x,%v)", i, tgt, ok)
+		}
+	}
+}
+
+func TestBTBLRUTouchOnLookup(t *testing.T) {
+	b := NewBTB(8, 4) // 2 sets
+	sets := 2
+	pcs := make([]uint64, 5)
+	for i := range pcs {
+		pcs[i] = uint64(0x1000 + i*sets*4)
+	}
+	for i := 0; i < 4; i++ {
+		b.Update(pcs[i], 0x42)
+	}
+	b.Lookup(pcs[0]) // refresh 0 so 1 becomes LRU
+	b.Update(pcs[4], 0x42)
+	if _, ok := b.Lookup(pcs[0]); !ok {
+		t.Error("recently looked-up entry should survive")
+	}
+	if _, ok := b.Lookup(pcs[1]); ok {
+		t.Error("LRU entry 1 should have been evicted")
+	}
+}
+
+func TestRASLIFO(t *testing.T) {
+	r := NewRAS(8)
+	if _, ok := r.Pop(); ok {
+		t.Error("empty RAS should fail to pop")
+	}
+	r.Push(1)
+	r.Push(2)
+	r.Push(3)
+	if r.Depth() != 3 {
+		t.Errorf("Depth = %d, want 3", r.Depth())
+	}
+	for want := uint64(3); want >= 1; want-- {
+		got, ok := r.Pop()
+		if !ok || got != want {
+			t.Errorf("Pop = (%d,%v), want (%d,true)", got, ok, want)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("drained RAS should fail to pop")
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	r := NewRAS(4)
+	for i := uint64(1); i <= 6; i++ {
+		r.Push(i)
+	}
+	// Depth capped at 4; the most recent 4 entries (3..6) survive.
+	if r.Depth() != 4 {
+		t.Errorf("Depth = %d, want 4", r.Depth())
+	}
+	for want := uint64(6); want >= 3; want-- {
+		got, ok := r.Pop()
+		if !ok || got != want {
+			t.Errorf("Pop = (%d,%v), want (%d,true)", got, ok, want)
+		}
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("bimodal non-pow2", func() { NewBimodal(1000) })
+	mustPanic("twolevel zero", func() { NewTwoLevel(0, 8) })
+	mustPanic("twolevel history", func() { NewTwoLevel(1024, 0) })
+	mustPanic("btb geometry", func() { NewBTB(10, 4) })
+	mustPanic("ras depth", func() { NewRAS(0) })
+}

@@ -1,0 +1,306 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// fixedLevel is a test double for the next level with a constant latency.
+type fixedLevel struct {
+	latency  uint64
+	accesses []Kind
+	addrs    []uint64
+}
+
+func (f *fixedLevel) Access(_ uint64, addr uint64, kind Kind) uint64 {
+	f.accesses = append(f.accesses, kind)
+	f.addrs = append(f.addrs, addr)
+	return f.latency
+}
+
+func newTestCache(size, assoc, block int, next Level) *Cache {
+	return New(Config{
+		Name: "t", Size: size, Assoc: assoc, BlockSize: block,
+		HitLatency: 1, Policy: WriteBack, Next: next,
+	})
+}
+
+func TestHitAndMissLatency(t *testing.T) {
+	next := &fixedLevel{latency: 6}
+	c := newTestCache(1024, 2, 64, next)
+	if lat := c.Access(0, 0x100, Read); lat != 7 {
+		t.Errorf("cold miss latency = %d, want 7 (1 + 6)", lat)
+	}
+	if lat := c.Access(1, 0x100, Read); lat != 1 {
+		t.Errorf("hit latency = %d, want 1", lat)
+	}
+	if lat := c.Access(2, 0x13f, Read); lat != 1 {
+		t.Errorf("same-block hit latency = %d, want 1", lat)
+	}
+	s := c.Stats()
+	if s.Reads != 3 || s.ReadMisses != 1 {
+		t.Errorf("stats = %+v, want 3 reads / 1 miss", s)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	next := &fixedLevel{latency: 6}
+	// 2-way, 64B blocks, 2 sets: set = blockAddr % 2.
+	c := newTestCache(256, 2, 64, next)
+	// Three blocks in set 0: 0x000, 0x100, 0x200.
+	c.Access(0, 0x000, Read)
+	c.Access(1, 0x100, Read)
+	c.Access(2, 0x000, Read) // refresh 0x000; 0x100 becomes LRU
+	c.Access(3, 0x200, Read) // evicts 0x100
+	if !c.Contains(0x000) {
+		t.Error("0x000 should survive (recently used)")
+	}
+	if c.Contains(0x100) {
+		t.Error("0x100 should have been evicted (LRU)")
+	}
+	if !c.Contains(0x200) {
+		t.Error("0x200 should be resident")
+	}
+}
+
+func TestWriteBackDirtyEviction(t *testing.T) {
+	next := &fixedLevel{latency: 6}
+	c := newTestCache(128, 1, 64, next) // direct-mapped, 2 sets
+	c.Access(0, 0x000, Write)           // miss, allocate dirty
+	next.accesses = nil
+	c.Access(1, 0x100, Read) // same set, evicts dirty 0x000
+	s := c.Stats()
+	if s.Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", s.Writebacks)
+	}
+	// Next level saw the demand fill (Read) and the writeback (Write).
+	var reads, writes int
+	for _, k := range next.accesses {
+		switch k {
+		case Read:
+			reads++
+		case Write:
+			writes++
+		}
+	}
+	if reads != 1 || writes != 1 {
+		t.Errorf("next-level traffic reads=%d writes=%d, want 1/1", reads, writes)
+	}
+}
+
+func TestCleanEvictionNoWriteback(t *testing.T) {
+	next := &fixedLevel{latency: 6}
+	c := newTestCache(128, 1, 64, next)
+	c.Access(0, 0x000, Read)
+	c.Access(1, 0x100, Read) // evicts clean line
+	if s := c.Stats(); s.Writebacks != 0 {
+		t.Errorf("writebacks = %d, want 0", s.Writebacks)
+	}
+}
+
+func TestWriteThroughForwardsWrites(t *testing.T) {
+	next := &fixedLevel{latency: 6}
+	c := New(Config{
+		Name: "wt", Size: 256, Assoc: 2, BlockSize: 64,
+		HitLatency: 1, Policy: WriteThrough, Next: next,
+	})
+	c.Access(0, 0x000, Read) // fill
+	next.accesses = nil
+	// Write hit: forwarded, line not dirtied.
+	if lat := c.Access(1, 0x000, Write); lat != 7 {
+		t.Errorf("write-through write latency = %d, want 7", lat)
+	}
+	if len(next.accesses) != 1 || next.accesses[0] != Write {
+		t.Errorf("next-level should see exactly the forwarded write, got %v", next.accesses)
+	}
+	// Write miss: no allocate.
+	c.Access(2, 0x400, Write)
+	if c.Contains(0x400) {
+		t.Error("write-through should not allocate on write miss")
+	}
+	// Evictions never write back (nothing is dirty).
+	s := c.Stats()
+	if s.Writebacks != 0 {
+		t.Errorf("write-through writebacks = %d, want 0", s.Writebacks)
+	}
+	if s.WriteThroughs != 2 {
+		t.Errorf("writeThroughs = %d, want 2", s.WriteThroughs)
+	}
+}
+
+func TestWriteThroughWithBufferNoStallWhenEmpty(t *testing.T) {
+	next := &fixedLevel{latency: 6}
+	wb := NewWriteBuffer(8, 6, next)
+	c := New(Config{
+		Name: "wt", Size: 256, Assoc: 2, BlockSize: 64,
+		HitLatency: 1, Policy: WriteThrough, Next: next, WriteBuf: wb,
+	})
+	if lat := c.Access(0, 0x000, Write); lat != 1 {
+		t.Errorf("buffered write latency = %d, want 1", lat)
+	}
+}
+
+func TestWriteBufferCoalescing(t *testing.T) {
+	next := &fixedLevel{latency: 6}
+	wb := NewWriteBuffer(8, 6, next)
+	wb.Add(0, 42)
+	wb.Add(0, 42) // same block: coalesces
+	s := wb.Stats()
+	if s.Adds != 1 || s.Coalesced != 1 {
+		t.Errorf("stats = %+v, want 1 add / 1 coalesced", s)
+	}
+	if wb.Pending(0) != 1 {
+		t.Errorf("pending = %d, want 1", wb.Pending(0))
+	}
+}
+
+func TestWriteBufferDrains(t *testing.T) {
+	next := &fixedLevel{latency: 6}
+	wb := NewWriteBuffer(8, 10, next)
+	wb.Add(0, 1)
+	wb.Add(0, 2)
+	if wb.Pending(5) != 2 {
+		t.Errorf("pending@5 = %d, want 2", wb.Pending(5))
+	}
+	if wb.Pending(10) != 1 {
+		t.Errorf("pending@10 = %d, want 1", wb.Pending(10))
+	}
+	if wb.Pending(20) != 0 {
+		t.Errorf("pending@20 = %d, want 0", wb.Pending(20))
+	}
+	if got := wb.Stats().Retired; got != 2 {
+		t.Errorf("retired = %d, want 2", got)
+	}
+	if len(next.accesses) != 2 {
+		t.Errorf("next level saw %d writes, want 2", len(next.accesses))
+	}
+}
+
+func TestWriteBufferFullStalls(t *testing.T) {
+	next := &fixedLevel{latency: 6}
+	wb := NewWriteBuffer(2, 10, next)
+	wb.Add(0, 1) // front retires at 10
+	wb.Add(0, 2)
+	stall := wb.Add(0, 3) // full: waits for front
+	if stall != 10 {
+		t.Errorf("stall = %d, want 10", stall)
+	}
+	s := wb.Stats()
+	if s.Stalls != 1 || s.StallCycles != 10 {
+		t.Errorf("stats = %+v, want 1 stall / 10 cycles", s)
+	}
+}
+
+func TestMemoryDeterministicContent(t *testing.T) {
+	m := NewMemory(100, 64)
+	a := m.FetchBlock(7)
+	b := m.FetchBlock(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("FetchBlock should be deterministic")
+		}
+	}
+	c := m.FetchBlock(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different blocks should have different synthesized content")
+	}
+}
+
+func TestMemoryWriteReadBack(t *testing.T) {
+	m := NewMemory(100, 64)
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(i * 3)
+	}
+	m.WriteBlock(5, data)
+	data[0] = 0xff // caller mutation must not leak in
+	got := m.FetchBlock(5)
+	if got[0] != 0 || got[1] != 3 {
+		t.Errorf("read back = %v...", got[:2])
+	}
+	got[1] = 0xee // returned slice mutation must not leak back
+	again := m.FetchBlock(5)
+	if again[1] != 3 {
+		t.Error("FetchBlock must return a copy")
+	}
+}
+
+func TestMemoryAccessLatency(t *testing.T) {
+	m := NewMemory(100, 64)
+	if lat := m.Access(0, 0, Read); lat != 100 {
+		t.Errorf("latency = %d, want 100", lat)
+	}
+	if m.Accesses() != 1 {
+		t.Errorf("accesses = %d, want 1", m.Accesses())
+	}
+}
+
+// Property: a cache never reports more misses than accesses, and residency
+// after an access always holds for the accessed block (write-back policy).
+func TestCacheInvariantsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		next := &fixedLevel{latency: 6}
+		c := newTestCache(1024, 4, 64, next)
+		for i := 0; i < 500; i++ {
+			addr := uint64(rng.Intn(1 << 14))
+			kind := Read
+			if rng.Intn(3) == 0 {
+				kind = Write
+			}
+			c.Access(uint64(i), addr, kind)
+			if !c.Contains(addr) {
+				return false
+			}
+		}
+		s := c.Stats()
+		return s.Misses() <= s.Accesses() && s.MissRate() >= 0 && s.MissRate() <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	next := &fixedLevel{}
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero size", func() {
+		New(Config{Size: 0, Assoc: 1, BlockSize: 64, Next: next})
+	})
+	mustPanic("non-pow2 block", func() {
+		New(Config{Size: 1024, Assoc: 1, BlockSize: 48, Next: next})
+	})
+	mustPanic("nil next", func() {
+		New(Config{Size: 1024, Assoc: 1, BlockSize: 64})
+	})
+	mustPanic("non-pow2 sets", func() {
+		New(Config{Size: 3 * 64, Assoc: 1, BlockSize: 64, Next: next})
+	})
+	mustPanic("membloc", func() { NewMemory(1, 0) })
+	mustPanic("wb entries", func() { NewWriteBuffer(0, 1, next) })
+	mustPanic("wb next", func() { NewWriteBuffer(1, 1, nil) })
+}
+
+func TestKindString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" || Fetch.String() != "fetch" {
+		t.Error("kind names wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind should stringify")
+	}
+}

@@ -1,0 +1,134 @@
+// Package config centralizes the paper's Table 1 machine configuration and
+// the per-run experiment parameters shared by the simulator, the benchmark
+// harness, and the CLI tools.
+package config
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/energy"
+	"repro/internal/fault"
+)
+
+// Machine describes the simulated processor and memory hierarchy.
+type Machine struct {
+	CPU cpu.Config
+
+	// Instruction L1: 16KB, direct-mapped, 32-byte blocks, 1 cycle.
+	IL1Size, IL1Assoc, IL1Block int
+	IL1Latency                  uint64
+
+	// Data L1: 16KB, 4-way, 64-byte blocks, 1 cycle.
+	DL1Size, DL1Assoc, DL1Block int
+	DL1Latency                  uint64
+
+	// L2: 256KB unified, 4-way, 64-byte blocks, 6 cycles.
+	L2Size, L2Assoc, L2Block int
+	L2Latency                uint64
+
+	// Memory: 100 cycles.
+	MemLatency uint64
+}
+
+// Default returns the paper's Table 1 configuration.
+func Default() Machine {
+	return Machine{
+		CPU:     cpu.DefaultConfig(),
+		IL1Size: 16 << 10, IL1Assoc: 1, IL1Block: 32, IL1Latency: 1,
+		DL1Size: 16 << 10, DL1Assoc: 4, DL1Block: 64, DL1Latency: 1,
+		L2Size: 256 << 10, L2Assoc: 4, L2Block: 64, L2Latency: 6,
+		MemLatency: 100,
+	}
+}
+
+// Validate reports obviously broken machine parameters.
+func (m *Machine) Validate() error {
+	if m.DL1Size <= 0 || m.DL1Assoc <= 0 || m.DL1Block <= 0 {
+		return fmt.Errorf("config: bad dL1 geometry")
+	}
+	if m.L2Size <= 0 || m.IL1Size <= 0 {
+		return fmt.Errorf("config: bad cache sizes")
+	}
+	return nil
+}
+
+// DL1Sets returns the number of data-L1 sets.
+func (m *Machine) DL1Sets() int { return m.DL1Size / (m.DL1Assoc * m.DL1Block) }
+
+// FaultConfig enables transient-error injection for a run.
+type FaultConfig struct {
+	Model fault.Model
+	// Prob is the per-cycle injection probability (0 disables).
+	Prob float64
+	Seed int64
+}
+
+// Run describes one simulation: a benchmark under a scheme with replication
+// parameters, an instruction budget, and optional fault injection.
+type Run struct {
+	Benchmark string
+	Scheme    core.Scheme
+	Repl      core.ReplConfig
+
+	// Instructions is the commit budget (the paper runs 500M; the
+	// default harness uses a smaller budget that reaches steady state).
+	Instructions uint64
+	Seed         int64
+
+	// WriteThrough switches the dL1 to write-through with a coalescing
+	// write buffer (the §5.8 comparison).
+	WriteThrough       bool
+	WriteBufferEntries int
+
+	Fault  FaultConfig
+	Energy energy.Params
+
+	// Hints, if non-nil, is the software replication-direction policy
+	// (core.HintPolicy; the paper's §6 future work).
+	Hints core.HintPolicy
+
+	// DupCacheKB, when > 0, attaches a separate Kim & Somani-style
+	// duplication cache of this many KB to the dL1 (the baseline the
+	// paper positions ICR against; internal/rcache).
+	DupCacheKB int
+
+	// ScrubInterval, when > 0, runs a background scrubber that verifies
+	// ScrubLines dL1 lines every ScrubInterval cycles (Saleh-style
+	// scrubbing; the paper's reference [21]).
+	ScrubInterval uint64
+	// ScrubLines is the number of lines verified per scrub step
+	// (default 1).
+	ScrubLines int
+
+	// Prefetch enables next-block prefetching into dead lines (the
+	// competing use of dead real estate from the prefetching literature
+	// the paper builds on).
+	Prefetch bool
+}
+
+// DefaultInstructions is the default per-run commit budget used by the
+// harness: large enough for every benchmark's steady-state cache and
+// predictor behaviour at a laptop-scale runtime. (The paper runs 500M
+// instructions per configuration on SimpleScalar; pass a larger budget to
+// reproduce that scale.)
+const DefaultInstructions = 1_000_000
+
+// NewRun returns a Run for the benchmark × scheme with harness defaults:
+// the default instruction budget, seed 1, a single vertical replica with a
+// dead-only victim policy and the aggressive (window 0) decay the paper
+// uses for §5.1-5.2, and CACTI-class energy parameters.
+func NewRun(benchmark string, scheme core.Scheme) Run {
+	return Run{
+		Benchmark:          benchmark,
+		Scheme:             scheme,
+		Instructions:       DefaultInstructions,
+		Seed:               1,
+		WriteBufferEntries: 8,
+		Energy:             energy.DefaultParams(),
+	}
+}
+
+// Name returns a stable label for the run ("benchmark/scheme").
+func (r *Run) Name() string { return r.Benchmark + "/" + r.Scheme.Name() }

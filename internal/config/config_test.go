@@ -1,0 +1,74 @@
+package config
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestDefaultMatchesTable1(t *testing.T) {
+	m := Default()
+	if m.IL1Size != 16<<10 || m.IL1Assoc != 1 || m.IL1Block != 32 {
+		t.Errorf("iL1 geometry wrong: %+v", m)
+	}
+	if m.DL1Size != 16<<10 || m.DL1Assoc != 4 || m.DL1Block != 64 {
+		t.Errorf("dL1 geometry wrong: %+v", m)
+	}
+	if m.L2Size != 256<<10 || m.L2Assoc != 4 || m.L2Block != 64 || m.L2Latency != 6 {
+		t.Errorf("L2 geometry wrong: %+v", m)
+	}
+	if m.MemLatency != 100 {
+		t.Errorf("memory latency = %d, want 100", m.MemLatency)
+	}
+	if m.CPU.IssueWidth != 4 || m.CPU.RUUSize != 16 || m.CPU.LSQSize != 8 {
+		t.Errorf("core parameters wrong: %+v", m.CPU)
+	}
+	if m.CPU.IntALUs != 4 || m.CPU.IntMulDiv != 1 || m.CPU.FPALUs != 4 || m.CPU.FPMulDiv != 1 {
+		t.Errorf("FU mix wrong: %+v", m.CPU)
+	}
+	if m.CPU.BranchPenalty != 3 {
+		t.Errorf("misprediction penalty = %d, want 3", m.CPU.BranchPenalty)
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("default machine invalid: %v", err)
+	}
+}
+
+func TestDL1Sets(t *testing.T) {
+	m := Default()
+	if got := m.DL1Sets(); got != 64 {
+		t.Errorf("DL1Sets = %d, want 64 (16KB / (4 * 64B))", got)
+	}
+}
+
+func TestValidateRejectsBadGeometry(t *testing.T) {
+	m := Default()
+	m.DL1Size = 0
+	if err := m.Validate(); err == nil {
+		t.Error("zero dL1 size should be invalid")
+	}
+	m = Default()
+	m.L2Size = -1
+	if err := m.Validate(); err == nil {
+		t.Error("negative L2 size should be invalid")
+	}
+}
+
+func TestNewRunDefaults(t *testing.T) {
+	r := NewRun("vpr", core.BaseP())
+	if r.Benchmark != "vpr" || r.Scheme.Name() != "BaseP" {
+		t.Errorf("run = %+v", r)
+	}
+	if r.Instructions != DefaultInstructions || r.Seed != 1 {
+		t.Errorf("defaults wrong: %+v", r)
+	}
+	if r.WriteBufferEntries != 8 {
+		t.Errorf("write buffer entries = %d, want 8 (§5.8)", r.WriteBufferEntries)
+	}
+	if r.Energy.L1Read == 0 {
+		t.Error("energy params not defaulted")
+	}
+	if got := r.Name(); got != "vpr/BaseP" {
+		t.Errorf("Name = %q", got)
+	}
+}

@@ -1,0 +1,542 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/ecc"
+	"repro/internal/fault"
+)
+
+// line is one physical cache line. In addition to the usual tag state, a
+// line carries the paper's extra metadata: a replica bit (1 bit per line,
+// §5.1) and a decay counter (2 bits per line, §2), plus real data bytes and
+// real check bits.
+type line struct {
+	valid   bool
+	replica bool
+	dirty   bool
+	// blockAddr is the full block address (addr >> offsetBits). Replicas
+	// store the address of the block they mirror; because a replica may
+	// live in a set the address does not map to, lookups must match the
+	// full block address plus the replica bit.
+	blockAddr uint64
+	// lastTick is the decay tick of the most recent access (the lazy
+	// equivalent of a 2-bit saturating counter reset on access and
+	// incremented every tick; the line is dead when now's tick is at
+	// least 4 beyond lastTick).
+	lastTick uint64
+	lru      uint64
+
+	data   []byte // BlockSize bytes of real payload
+	parity []byte // 1 bit per data byte, packed
+	eccb   []byte // 1 SEC-DED byte per 64-bit word (ECC schemes only)
+
+	// Vulnerability tracking: a line is vulnerable while it holds dirty
+	// data whose only protection is parity (no SEC-DED, no replica).
+	vuln      bool
+	vulnSince uint64
+
+	// Adaptive dead-block prediction (timekeeping-style): EWMA of the
+	// line's inter-access gap and the cycle of its last access.
+	lastAccess uint64
+	avgGap     uint64
+
+	// prefetched marks a line brought in by the next-block prefetcher and
+	// not yet demanded.
+	prefetched bool
+}
+
+// Cache is the ICR L1 data cache.
+type Cache struct {
+	cfg        Config
+	sets       int
+	offsetBits uint
+	indexMask  uint64
+	lines      []line
+	clock      uint64 // LRU clock
+	tickPeriod uint64 // decay tick length in cycles (0 => window 0)
+	stats      Stats
+	storeSeq   uint64 // deterministic store-value generator state
+	lastWord   int    // word index of the most recent access (fault targeting)
+
+	wordsPerLine int
+
+	scrubPos int
+	scrub    ScrubStats
+}
+
+// New builds an ICR cache. It panics on invalid geometry (programming
+// error).
+func New(cfg Config) *Cache {
+	cfg = cfg.withDefaults()
+	if cfg.Size <= 0 || cfg.Assoc <= 0 || cfg.BlockSize <= 0 {
+		panic("core: size, assoc, and block size must be positive")
+	}
+	if cfg.BlockSize&(cfg.BlockSize-1) != 0 || cfg.BlockSize%8 != 0 {
+		panic("core: block size must be a power of two and a multiple of 8")
+	}
+	if cfg.Size%(cfg.Assoc*cfg.BlockSize) != 0 {
+		panic("core: size must be a multiple of assoc*blockSize")
+	}
+	sets := cfg.Size / (cfg.Assoc * cfg.BlockSize)
+	if sets&(sets-1) != 0 {
+		panic("core: set count must be a power of two")
+	}
+	if cfg.Next == nil || cfg.Mem == nil {
+		panic("core: Next level and Mem are required")
+	}
+	if cfg.WritePolicy == cache.WriteThrough && cfg.Scheme.HasReplication() {
+		// The paper's write-through point (§5.8) is a *baseline*: ICR's
+		// replicas are maintained on the write-back path, and combining
+		// the two would silently skip store-time replication.
+		panic("core: replication requires a write-back dL1")
+	}
+	offsetBits := uint(0)
+	for 1<<offsetBits < cfg.BlockSize {
+		offsetBits++
+	}
+	tickPeriod := uint64(0)
+	if cfg.Repl.DecayWindow > 0 {
+		tickPeriod = cfg.Repl.DecayWindow / 4
+		if tickPeriod == 0 {
+			tickPeriod = 1
+		}
+	}
+	c := &Cache{
+		cfg:          cfg,
+		sets:         sets,
+		offsetBits:   offsetBits,
+		indexMask:    uint64(sets) - 1,
+		lines:        make([]line, sets*cfg.Assoc),
+		tickPeriod:   tickPeriod,
+		lastWord:     -1,
+		wordsPerLine: cfg.BlockSize / 8,
+	}
+	parityLen := ecc.ParityBytesPerLine(cfg.BlockSize)
+	eccLen := 0
+	if cfg.Scheme.Protection == ECCProt {
+		eccLen = ecc.SECDEDBytesPerLine(cfg.BlockSize)
+	}
+	for i := range c.lines {
+		c.lines[i].data = make([]byte, cfg.BlockSize)
+		c.lines[i].parity = make([]byte, parityLen)
+		if eccLen > 0 {
+			c.lines[i].eccb = make([]byte, eccLen)
+		}
+	}
+	return c
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Scheme returns the configured scheme.
+func (c *Cache) Scheme() Scheme { return c.cfg.Scheme }
+
+// Stats returns a snapshot of the cache's counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+func (c *Cache) blockAddr(addr uint64) uint64 { return addr >> c.offsetBits }
+func (c *Cache) homeSet(blockAddr uint64) int { return int(blockAddr & c.indexMask) }
+
+// tick converts a cycle count into a decay tick index.
+func (c *Cache) tick(now uint64) uint64 {
+	if c.tickPeriod == 0 {
+		return 0
+	}
+	return now / c.tickPeriod
+}
+
+// dead reports whether the line is predicted dead at cycle now.
+//
+// FixedWindow: the decay counter has saturated (with a zero window every
+// line is dead the moment its access completes — §5: "the block is
+// immediately pronounced dead, as soon as the access for that block is
+// complete"). Adaptive: the line has been idle for four times its observed
+// inter-access gap.
+func (c *Cache) dead(ln *line, now uint64) bool {
+	if !c.cfg.Scheme.HasReplication() && !c.cfg.PrefetchIntoDead {
+		return false
+	}
+	if c.cfg.Repl.Decay == Adaptive {
+		gap := ln.avgGap
+		if gap < 32 {
+			gap = 32 // floor: back-to-back accesses are not a 0-cycle habit
+		}
+		return now-ln.lastAccess > 4*gap
+	}
+	if c.tickPeriod == 0 {
+		return true
+	}
+	return c.tick(now)-ln.lastTick >= 4
+}
+
+// setVuln opens or closes a line's vulnerability interval.
+func (c *Cache) setVuln(ln *line, now uint64, vuln bool) {
+	if ln.vuln == vuln {
+		return
+	}
+	if ln.vuln {
+		c.stats.VulnerableLineCycles += now - ln.vulnSince
+	} else {
+		ln.vulnSince = now
+	}
+	ln.vuln = vuln
+}
+
+// revalVuln recomputes a primary line's vulnerability state: dirty data
+// protected only by parity, with no replica standing behind it. (The
+// separate r-cache is deliberately not counted: its duplicates can vanish
+// silently, so they do not constitute a guarantee.)
+func (c *Cache) revalVuln(ln *line, now uint64) {
+	if ln == nil || !ln.valid || ln.replica {
+		return
+	}
+	vuln := ln.dirty &&
+		c.cfg.Scheme.Protection != ECCProt &&
+		len(c.findReplicas(ln.blockAddr)) == 0
+	c.setVuln(ln, now, vuln)
+}
+
+// FinishVulnerability closes all open vulnerability intervals at the end
+// of a run; call once before reading Stats.
+func (c *Cache) FinishVulnerability(now uint64) {
+	for i := range c.lines {
+		ln := &c.lines[i]
+		if ln.valid && !ln.replica {
+			c.setVuln(ln, now, false)
+		}
+	}
+}
+
+// touch refreshes LRU and decay state for an accessed line.
+func (c *Cache) touch(ln *line, now uint64) {
+	c.clock++
+	ln.lru = c.clock
+	ln.lastTick = c.tick(now)
+	if c.cfg.Repl.Decay == Adaptive {
+		if gap := now - ln.lastAccess; gap > 0 && ln.lastAccess > 0 {
+			// EWMA with 1/4 weight on the newest observation.
+			ln.avgGap = (3*ln.avgGap + gap) / 4
+		}
+	}
+	ln.lastAccess = now
+}
+
+// lookupPrimary finds the primary copy of a block in its home set.
+func (c *Cache) lookupPrimary(blockAddr uint64) *line {
+	base := c.homeSet(blockAddr) * c.cfg.Assoc
+	for w := 0; w < c.cfg.Assoc; w++ {
+		ln := &c.lines[base+w]
+		if ln.valid && !ln.replica && ln.blockAddr == blockAddr {
+			return ln
+		}
+	}
+	return nil
+}
+
+// candidateSets returns the deduplicated sets where replicas of a block may
+// live, in attempt order.
+func (c *Cache) candidateSets(blockAddr uint64) []int {
+	home := c.homeSet(blockAddr)
+	out := make([]int, 0, len(c.cfg.Repl.Distances))
+	for _, d := range c.cfg.Repl.Distances {
+		s := (home + d) % c.sets
+		if s < 0 {
+			s += c.sets
+		}
+		dup := false
+		for _, prev := range out {
+			if prev == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// findReplicas returns every resident replica of a block, searching the
+// candidate sets the placement policy could have used (this mirrors the
+// bounded parallel lookup real hardware would perform).
+func (c *Cache) findReplicas(blockAddr uint64) []*line {
+	if !c.cfg.Scheme.HasReplication() {
+		return nil
+	}
+	var out []*line
+	for _, s := range c.candidateSets(blockAddr) {
+		base := s * c.cfg.Assoc
+		for w := 0; w < c.cfg.Assoc; w++ {
+			ln := &c.lines[base+w]
+			if ln.valid && ln.replica && ln.blockAddr == blockAddr {
+				out = append(out, ln)
+			}
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Content helpers
+// ---------------------------------------------------------------------------
+
+// recode rewrites all check bits of a line from its current data.
+func (c *Cache) recode(ln *line) {
+	ecc.EncodeParityLine(ln.data, ln.parity)
+	if ln.eccb != nil {
+		ecc.EncodeSECDEDLine(ln.data, ln.eccb)
+	}
+}
+
+// recodeWord rewrites the check bits covering the aligned 64-bit word at
+// byte offset off.
+func (c *Cache) recodeWord(ln *line, off int) {
+	w := off &^ 7
+	// Parity bits for the word's 8 bytes live in parity[w/8].
+	var p byte
+	for j := 0; j < 8; j++ {
+		p |= ecc.ParityByte(ln.data[w+j]) << uint(j)
+	}
+	ln.parity[w/8] = p
+	if ln.eccb != nil {
+		ln.eccb[w/8] = ecc.EncodeSECDED(ecc.Word64(ln.data, off))
+	}
+}
+
+// fill installs block content into a line from architectural memory.
+func (c *Cache) fill(ln *line, blockAddr uint64, asReplica bool, now uint64) {
+	ln.valid = true
+	ln.replica = asReplica
+	ln.dirty = false
+	ln.prefetched = false
+	ln.blockAddr = blockAddr
+	copy(ln.data, c.cfg.Mem.FetchBlock(blockAddr))
+	c.recode(ln)
+	c.touch(ln, now)
+	if c.cfg.Meter != nil {
+		c.cfg.Meter.AddL1Write(1)
+	}
+}
+
+// storeValue produces the deterministic value written by the n-th store.
+func storeValue(addr, seq uint64) uint64 {
+	x := addr ^ (seq * 0x9e3779b97f4a7c15)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+// writeWord writes an 8-byte value into a line at the word containing addr
+// and refreshes that word's check bits.
+func (c *Cache) writeWord(ln *line, addr uint64, value uint64) {
+	off := int(addr) & (c.cfg.BlockSize - 1)
+	ecc.PutWord64(ln.data, off, value)
+	c.recodeWord(ln, off)
+	if c.cfg.Meter != nil {
+		c.cfg.Meter.AddL1WordWrite(1)
+		c.cfg.Meter.AddParity(1)
+		if ln.eccb != nil {
+			c.cfg.Meter.AddECC(1)
+		}
+	}
+}
+
+// writeback flushes a dirty line's content to the architectural memory and
+// charges the next-level write. Corruption that the line's own codes could
+// have caught is counted as a silent writeback (it propagates to L2
+// undetected, the hazard §3.1 describes for parity-protected dirty data).
+func (c *Cache) writeback(ln *line, now uint64) {
+	c.setVuln(ln, now, false)
+	c.stats.Writebacks++
+	if ecc.CheckParityLineRange(ln.data, ln.parity, 0, c.cfg.BlockSize) != ecc.OK {
+		c.stats.SilentWritebacks++
+	}
+	c.cfg.Mem.WriteBlock(ln.blockAddr, ln.data)
+	c.cfg.Next.Access(now, ln.blockAddr<<c.offsetBits, cache.Write)
+}
+
+// invalidateReplicas drops every replica of a block (used when the primary
+// is evicted and LeaveReplicas is off).
+func (c *Cache) invalidateReplicas(blockAddr uint64) {
+	for _, rep := range c.findReplicas(blockAddr) {
+		rep.valid = false
+		c.stats.ReplicaEvictions++
+	}
+}
+
+// evictFor frees the LRU way of a set for a new primary copy. Placement of
+// primaries uses normal LRU "regardless of whether it is a dead, replica or
+// another primary block" (§3.1).
+func (c *Cache) evictFor(set int, now uint64) *line {
+	base := set * c.cfg.Assoc
+	victim := base
+	for w := 0; w < c.cfg.Assoc; w++ {
+		ln := &c.lines[base+w]
+		if !ln.valid {
+			victim = base + w
+			break
+		}
+		if ln.lru < c.lines[victim].lru {
+			victim = base + w
+		}
+	}
+	v := &c.lines[victim]
+	if v.valid {
+		if v.replica {
+			c.stats.ReplicaEvictions++
+			// The mirrored primary may have just lost its protection.
+			defer c.revalVuln(c.lookupPrimary(v.blockAddr), now)
+		} else {
+			if v.prefetched {
+				c.stats.PrefetchUnused++
+			}
+			if v.dirty {
+				c.writeback(v, now)
+			}
+			c.setVuln(v, now, false)
+			if c.cfg.Scheme.HasReplication() && !c.cfg.Repl.LeaveReplicas {
+				c.invalidateReplicas(v.blockAddr)
+			}
+		}
+		v.valid = false
+	}
+	return v
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+// WordCount returns the total number of 64-bit words in the data array
+// (valid or not); the injector draws word indices from this space.
+func (c *Cache) WordCount() int { return len(c.lines) * c.wordsPerLine }
+
+// LastAccessedWord returns the array word index of the most recent access,
+// or -1.
+func (c *Cache) LastAccessedWord() int { return c.lastWord }
+
+// Inject applies one injection event from the given injector. Flips landing
+// in invalid lines are counted but have no architectural effect (there is
+// no data there to corrupt), matching injection into a physical array.
+func (c *Cache) Inject(in *fault.Injector) {
+	flips := in.Flips(c.WordCount(), c.lastWord)
+	for _, f := range flips {
+		li := f.Word / c.wordsPerLine
+		ln := &c.lines[li]
+		if !ln.valid {
+			c.stats.InjectedIntoInvalid++
+			continue
+		}
+		off := (f.Word % c.wordsPerLine) * 8
+		ln.data[off+f.Bit/8] ^= 1 << uint(f.Bit%8)
+		c.stats.InjectedFlips++
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Debug / test introspection
+// ---------------------------------------------------------------------------
+
+// CorruptPrimary flips the given bit (0..7 within each byte) of the byte at
+// addr in the block's resident primary copy. It returns false if the block
+// has no primary copy. Intended for tests and demonstrations that need a
+// deterministic error rather than a randomly injected one.
+func (c *Cache) CorruptPrimary(addr uint64, bit uint) bool {
+	ln := c.lookupPrimary(c.blockAddr(addr))
+	if ln == nil {
+		return false
+	}
+	ln.data[int(addr)&(c.cfg.BlockSize-1)] ^= 1 << (bit % 8)
+	return true
+}
+
+// CorruptReplica flips the given bit of the byte at addr in the block's
+// i-th resident replica. It returns false if no such replica exists.
+func (c *Cache) CorruptReplica(addr uint64, i int, bit uint) bool {
+	reps := c.findReplicas(c.blockAddr(addr))
+	if i < 0 || i >= len(reps) {
+		return false
+	}
+	reps[i].data[int(addr)&(c.cfg.BlockSize-1)] ^= 1 << (bit % 8)
+	return true
+}
+
+// PrimaryDirty reports whether the block containing addr has a dirty
+// resident primary copy.
+func (c *Cache) PrimaryDirty(addr uint64) bool {
+	ln := c.lookupPrimary(c.blockAddr(addr))
+	return ln != nil && ln.dirty
+}
+
+// ReadWord returns the stored (possibly corrupted) 64-bit word containing
+// addr from the primary copy, without updating any cache state.
+func (c *Cache) ReadWord(addr uint64) (uint64, bool) {
+	ln := c.lookupPrimary(c.blockAddr(addr))
+	if ln == nil {
+		return 0, false
+	}
+	return ecc.Word64(ln.data, int(addr)&(c.cfg.BlockSize-1)), true
+}
+
+// HasPrimary reports whether the block containing addr has a resident
+// primary copy.
+func (c *Cache) HasPrimary(addr uint64) bool {
+	return c.lookupPrimary(c.blockAddr(addr)) != nil
+}
+
+// WouldHit reports whether a load of addr would be served without a miss:
+// a resident primary, or (in §5.6 performance mode) a leftover replica.
+// It changes no state; the core uses it to gate loads on MSHR capacity.
+func (c *Cache) WouldHit(addr uint64) bool {
+	ba := c.blockAddr(addr)
+	if c.lookupPrimary(ba) != nil {
+		return true
+	}
+	return c.cfg.Repl.LeaveReplicas && len(c.findReplicas(ba)) > 0
+}
+
+// ReplicaCount returns the number of resident replicas for the block
+// containing addr.
+func (c *Cache) ReplicaCount(addr uint64) int {
+	return len(c.findReplicas(c.blockAddr(addr)))
+}
+
+// CheckInvariants validates internal consistency and returns an error
+// describing the first violation found. It is exercised by tests and
+// property checks:
+//
+//  1. at most one primary copy of any block, and it lives in its home set;
+//  2. every replica belongs to a scheme with replication enabled;
+//  3. check bits lengths match the geometry.
+func (c *Cache) CheckInvariants() error {
+	primaries := make(map[uint64]int)
+	for i := range c.lines {
+		ln := &c.lines[i]
+		if !ln.valid {
+			continue
+		}
+		set := i / c.cfg.Assoc
+		if ln.replica {
+			if !c.cfg.Scheme.HasReplication() {
+				return fmt.Errorf("replica present in non-replicating scheme (line %d)", i)
+			}
+		} else {
+			if got := c.homeSet(ln.blockAddr); got != set {
+				return fmt.Errorf("primary of block %#x in set %d, home is %d", ln.blockAddr, set, got)
+			}
+			primaries[ln.blockAddr]++
+			if primaries[ln.blockAddr] > 1 {
+				return fmt.Errorf("duplicate primary for block %#x", ln.blockAddr)
+			}
+		}
+		if len(ln.data) != c.cfg.BlockSize || len(ln.parity) != ecc.ParityBytesPerLine(c.cfg.BlockSize) {
+			return fmt.Errorf("line %d: bad payload geometry", i)
+		}
+	}
+	return nil
+}

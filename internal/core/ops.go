@@ -1,0 +1,463 @@
+package core
+
+import (
+	"repro/internal/cache"
+	"repro/internal/ecc"
+)
+
+// Load performs a data-cache read of the aligned 64-bit word containing
+// addr and returns its latency in cycles, including any error-recovery
+// cost. Scheme-dependent hit latencies follow §3.2:
+//
+//	BaseP                        1
+//	BaseECC                      1 + ECCCheckLatency (1 if speculative)
+//	ICR-P-PS                     1
+//	ICR-P-PP    replicated       2 (parallel compare), else 1
+//	ICR-ECC-PS  replicated       1 (parity), else 1 + ECCCheckLatency
+//	ICR-ECC-PP                   2
+func (c *Cache) Load(now uint64, addr uint64) uint64 {
+	ba := c.blockAddr(addr)
+	c.stats.Reads++
+	c.noteAccess(ba, addr)
+	if c.cfg.Meter != nil {
+		c.cfg.Meter.AddL1Read(1)
+	}
+
+	if ln := c.lookupPrimary(ba); ln != nil {
+		c.stats.ReadHits++
+		if ln.prefetched {
+			ln.prefetched = false
+			c.stats.PrefetchHits++
+		}
+		replicas := c.findReplicas(ba)
+		if len(replicas) > 0 {
+			c.stats.ReadHitsWithReplica++
+		}
+		// The Kim & Somani r-cache is probed alongside every dL1 load;
+		// that per-access lookup is exactly the energy ICR avoids.
+		var dup []byte
+		if c.cfg.Duplicates != nil {
+			if d, ok := c.cfg.Duplicates.Get(ba); ok {
+				dup = d
+				c.stats.ReadHitsWithDuplicate++
+			}
+			if c.cfg.Meter != nil {
+				c.cfg.Meter.AddRCacheRead(1)
+			}
+		}
+		lat := c.loadHitLatency(len(replicas) > 0)
+		lat += c.verifyLoad(now, ln, replicas, dup, addr)
+		c.touch(ln, now)
+		for _, rep := range replicas {
+			if c.cfg.Scheme.Lookup == LookupParallel {
+				// The parallel scheme reads the replica array too.
+				if c.cfg.Meter != nil {
+					c.cfg.Meter.AddL1Read(1)
+				}
+				c.touch(rep, now)
+			}
+		}
+		return lat
+	}
+
+	// Primary miss.
+	c.stats.ReadMisses++
+
+	// §5.6 performance mode: a leftover replica can serve the miss with
+	// one extra cycle instead of the L2 round trip — after its parity
+	// verifies (a corrupted leftover must not silently serve).
+	if c.cfg.Repl.LeaveReplicas {
+		if rep := c.intactReplica(ba); rep != nil {
+			c.stats.ReplicaServedMisses++
+			v := c.evictFor(c.homeSet(ba), now)
+			v.valid = true
+			v.replica = false
+			v.dirty = false
+			v.blockAddr = ba
+			copy(v.data, rep.data)
+			copy(v.parity, rep.parity)
+			if v.eccb != nil {
+				ecc.EncodeSECDEDLine(v.data, v.eccb)
+			}
+			c.touch(v, now)
+			if c.cfg.Meter != nil {
+				c.cfg.Meter.AddL1Read(1)  // replica array read
+				c.cfg.Meter.AddL1Write(1) // primary install
+			}
+			return c.cfg.HitLatency + 1
+		}
+	}
+
+	// Full miss: fetch from L2/memory.
+	lat := c.cfg.HitLatency + c.cfg.Next.Access(now+c.cfg.HitLatency, addr, cache.Read)
+	v := c.evictFor(c.homeSet(ba), now)
+	c.fill(v, ba, false, now)
+	c.depositDuplicate(v)
+	c.prefetchNext(ba, now)
+
+	// LS schemes also replicate at fill time (§3.1 mechanism (i)).
+	if c.cfg.Scheme.Trigger == ReplLoadsStores {
+		c.stats.ReplAttempts++
+		created := c.replicate(v, now)
+		if created >= 1 {
+			c.stats.ReplSuccesses++
+		}
+		if created >= 2 {
+			c.stats.ReplDoubles++
+		}
+	}
+	return lat
+}
+
+// Store performs a data-cache write of the aligned 64-bit word containing
+// addr. Stores are buffered and always complete in one cycle for the
+// pipeline (§3.2); miss handling proceeds in the background and is
+// reflected in statistics and energy only.
+func (c *Cache) Store(now uint64, addr uint64) uint64 {
+	ba := c.blockAddr(addr)
+	c.stats.Writes++
+	c.noteAccess(ba, addr)
+	c.storeSeq++
+	value := storeValue(addr, c.storeSeq)
+
+	if c.cfg.WritePolicy == cache.WriteThrough {
+		return c.storeWriteThrough(now, addr, ba, value)
+	}
+
+	ln := c.lookupPrimary(ba)
+	if ln != nil {
+		c.stats.WriteHits++
+		if ln.prefetched {
+			ln.prefetched = false
+			c.stats.PrefetchHits++
+		}
+	} else {
+		c.stats.WriteMisses++
+		// Write-allocate: fetch, then write.
+		c.cfg.Next.Access(now+c.cfg.HitLatency, addr, cache.Read)
+		ln = c.evictFor(c.homeSet(ba), now)
+		c.fill(ln, ba, false, now)
+	}
+	c.writeWord(ln, addr, value)
+	ln.dirty = true
+	c.touch(ln, now)
+	c.depositDuplicate(ln)
+
+	if c.cfg.Scheme.HasReplication() {
+		// Both S and LS replicate at writes (§3.1 mechanism (ii)); any
+		// existing replicas are updated in place. Every write counts as a
+		// replication attempt; the attempt succeeds only if it *creates*
+		// a new replica. Stores to already-replicated hot blocks are thus
+		// attempts that create nothing, which is what keeps the measured
+		// replication ability "relatively low" even while loads-with-
+		// replica stays high (§5.1): the hot data is already duplicated.
+		replicas := c.findReplicas(ba)
+		for _, rep := range replicas {
+			c.writeWord(rep, addr, value)
+			c.touch(rep, now)
+		}
+		c.stats.ReplAttempts++
+		created := 0
+		if len(replicas) < c.replicaQuota(ba) {
+			created = c.replicate(ln, now)
+		}
+		if created >= 1 {
+			c.stats.ReplSuccesses++
+			// A "double" is an attempt that achieved the full two-replica
+			// state (Fig 3: "three copies of a block exist").
+			if len(replicas)+created >= 2 {
+				c.stats.ReplDoubles++
+			}
+		}
+	}
+	c.revalVuln(ln, now)
+	return c.cfg.HitLatency
+}
+
+// storeWriteThrough implements the §5.8 comparison point: every store is
+// forwarded to the next level (through the coalescing write buffer when
+// configured), lines never become dirty, and write misses do not allocate.
+func (c *Cache) storeWriteThrough(now uint64, addr, ba, value uint64) uint64 {
+	if ln := c.lookupPrimary(ba); ln != nil {
+		c.stats.WriteHits++
+		c.writeWord(ln, addr, value)
+		c.touch(ln, now)
+	} else {
+		c.stats.WriteMisses++
+	}
+	// Architectural memory is updated immediately: read-modify-write of
+	// the block.
+	blk := c.cfg.Mem.FetchBlock(ba)
+	off := int(addr) & (c.cfg.BlockSize - 1)
+	ecc.PutWord64(blk, off, value)
+	c.cfg.Mem.WriteBlock(ba, blk)
+
+	if c.cfg.WriteBuf != nil {
+		stall := c.cfg.WriteBuf.Add(now, ba)
+		return c.cfg.HitLatency + stall
+	}
+	return c.cfg.HitLatency + c.cfg.Next.Access(now+c.cfg.HitLatency, addr, cache.Write)
+}
+
+// prefetchNext brings block ba+1 into a dead or invalid way of its home
+// set (never displacing live primaries or replicas): the next-line
+// prefetcher of the dead-block literature (refs [14], [7]), competing with
+// replication for the same recycled space.
+func (c *Cache) prefetchNext(ba uint64, now uint64) {
+	if !c.cfg.PrefetchIntoDead {
+		return
+	}
+	nb := ba + 1
+	if c.lookupPrimary(nb) != nil {
+		return
+	}
+	set := c.homeSet(nb)
+	base := set * c.cfg.Assoc
+	var victim *line
+	for w := 0; w < c.cfg.Assoc; w++ {
+		ln := &c.lines[base+w]
+		if !ln.valid {
+			victim = ln
+			break
+		}
+		if ln.replica || !c.dead(ln, now) {
+			continue
+		}
+		if victim == nil || ln.lru < victim.lru {
+			victim = ln
+		}
+	}
+	if victim == nil {
+		return
+	}
+	if victim.valid {
+		if victim.prefetched {
+			c.stats.PrefetchUnused++
+		}
+		if victim.dirty {
+			c.writeback(victim, now)
+		}
+		c.setVuln(victim, now, false)
+		if c.cfg.Scheme.HasReplication() && !c.cfg.Repl.LeaveReplicas {
+			c.invalidateReplicas(victim.blockAddr)
+		}
+		victim.valid = false
+	}
+	c.cfg.Next.Access(now, nb<<c.offsetBits, cache.Read)
+	c.fill(victim, nb, false, now)
+	victim.prefetched = true
+	c.stats.PrefetchFills++
+}
+
+// intactReplica returns a resident replica of the block whose full-line
+// parity verifies, or nil.
+func (c *Cache) intactReplica(ba uint64) *line {
+	for _, rep := range c.findReplicas(ba) {
+		if ecc.CheckParityLineRange(rep.data, rep.parity, 0, c.cfg.BlockSize) == ecc.OK {
+			return rep
+		}
+		c.stats.ErrorsDetected++
+	}
+	return nil
+}
+
+// depositDuplicate copies a line into the attached duplication cache.
+func (c *Cache) depositDuplicate(ln *line) {
+	if c.cfg.Duplicates == nil {
+		return
+	}
+	c.cfg.Duplicates.Put(ln.blockAddr, ln.data)
+	if c.cfg.Meter != nil {
+		c.cfg.Meter.AddRCacheWrite(1)
+	}
+}
+
+// noteAccess records the most recently touched word for the Direct fault
+// model.
+func (c *Cache) noteAccess(ba, addr uint64) {
+	if ln := c.lookupPrimary(ba); ln != nil {
+		c.lastWord = c.lineIndexFast(ln)*c.wordsPerLine + (int(addr)&(c.cfg.BlockSize-1))/8
+	}
+}
+
+// lineIndexFast computes the index of ln in c.lines from slice layout.
+func (c *Cache) lineIndexFast(ln *line) int {
+	// All line structs live contiguously in c.lines; index by identity
+	// comparison over the set the line must belong to would require the
+	// set, so derive it from the stored block address instead.
+	if ln.replica {
+		for _, s := range c.candidateSets(ln.blockAddr) {
+			base := s * c.cfg.Assoc
+			for w := 0; w < c.cfg.Assoc; w++ {
+				if &c.lines[base+w] == ln {
+					return base + w
+				}
+			}
+		}
+	}
+	base := c.homeSet(ln.blockAddr) * c.cfg.Assoc
+	for w := 0; w < c.cfg.Assoc; w++ {
+		if &c.lines[base+w] == ln {
+			return base + w
+		}
+	}
+	return 0
+}
+
+// loadHitLatency returns the scheme latency for an error-free load hit.
+func (c *Cache) loadHitLatency(replicated bool) uint64 {
+	s := c.cfg.Scheme
+	switch {
+	case !s.HasReplication():
+		if s.Protection == ECCProt && !s.SpeculativeECC {
+			return c.cfg.HitLatency + c.cfg.ECCCheckLatency
+		}
+		return c.cfg.HitLatency
+	case s.Lookup == LookupParallel:
+		if replicated || s.Protection == ECCProt {
+			return c.cfg.HitLatency + 1
+		}
+		return c.cfg.HitLatency
+	default: // LookupSerial
+		if !replicated && s.Protection == ECCProt {
+			return c.cfg.HitLatency + c.cfg.ECCCheckLatency
+		}
+		return c.cfg.HitLatency
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Replication engine
+// ---------------------------------------------------------------------------
+
+// replicate tries to create replicas for a primary line up to the
+// configured count, walking the distance list in order (§3.1 "Where do we
+// replicate?" / "How aggressively should we replicate?"). It returns the
+// number of replicas created.
+func (c *Cache) replicate(primary *line, now uint64) int {
+	ba := primary.blockAddr
+	existing := c.findReplicas(ba)
+	want := c.replicaQuota(ba) - len(existing)
+	if want <= 0 {
+		return 0
+	}
+	// Sets already holding a replica of this block are skipped.
+	used := make(map[int]bool, len(existing)+1)
+	for _, rep := range existing {
+		used[c.lineIndexFast(rep)/c.cfg.Assoc] = true
+	}
+	created := 0
+	for _, set := range c.candidateSets(ba) {
+		if created >= want {
+			break
+		}
+		if used[set] {
+			continue
+		}
+		v := c.replicaVictim(set, primary, now)
+		if v == nil {
+			continue
+		}
+		c.installReplica(v, primary, now)
+		used[set] = true
+		created++
+	}
+	return created
+}
+
+// replicaVictim picks a victim way in the given set for a new replica, or
+// nil if the policy finds no eligible line. No policy ever evicts a live
+// (non-dead) primary copy, and the block's own primary is never a victim.
+func (c *Cache) replicaVictim(set int, primary *line, now uint64) *line {
+	base := set * c.cfg.Assoc
+	var invalid, deadLine, replicaLine *line
+	for w := 0; w < c.cfg.Assoc; w++ {
+		ln := &c.lines[base+w]
+		if ln == primary {
+			continue
+		}
+		if !ln.valid {
+			if invalid == nil {
+				invalid = ln
+			}
+			continue
+		}
+		if ln.replica && ln.blockAddr == primary.blockAddr {
+			continue // never displace our own replica
+		}
+		// "Dead blocks" as victim candidates are dead *primaries*: the
+		// dead-only policy never displaces a replica (that is what makes
+		// it reliability-biased, §3.1), which is also why replication
+		// ability drops once sets fill with replicas (§5.1).
+		if !ln.replica && c.dead(ln, now) && (deadLine == nil || ln.lru < deadLine.lru) {
+			deadLine = ln
+		}
+		if ln.replica && (replicaLine == nil || ln.lru < replicaLine.lru) {
+			replicaLine = ln
+		}
+	}
+	if invalid != nil {
+		return invalid
+	}
+	switch c.cfg.Repl.Victim {
+	case DeadOnly:
+		return c.evictReplicaSite(deadLine, now)
+	case DeadFirst:
+		if deadLine != nil {
+			return c.evictReplicaSite(deadLine, now)
+		}
+		return c.evictReplicaSite(replicaLine, now)
+	case ReplicaFirst:
+		if replicaLine != nil {
+			return c.evictReplicaSite(replicaLine, now)
+		}
+		return c.evictReplicaSite(deadLine, now)
+	case ReplicaOnly:
+		return c.evictReplicaSite(replicaLine, now)
+	default:
+		return nil
+	}
+}
+
+// evictReplicaSite frees a chosen victim (nil-safe) and accounts for the
+// eviction.
+func (c *Cache) evictReplicaSite(v *line, now uint64) *line {
+	if v == nil {
+		return nil
+	}
+	if v.replica {
+		c.stats.ReplicaEvictions++
+		// The mirrored primary may have just lost its protection.
+		defer c.revalVuln(c.lookupPrimary(v.blockAddr), now)
+	} else {
+		// A dead primary: write back if dirty, drop its replicas.
+		c.stats.DeadEvictions++
+		if v.dirty {
+			c.writeback(v, now)
+		}
+		c.setVuln(v, now, false)
+		if !c.cfg.Repl.LeaveReplicas {
+			c.invalidateReplicas(v.blockAddr)
+		}
+	}
+	v.valid = false
+	return v
+}
+
+// installReplica copies a primary into a victim way as a replica.
+func (c *Cache) installReplica(v *line, primary *line, now uint64) {
+	v.valid = true
+	v.replica = true
+	v.dirty = false
+	v.blockAddr = primary.blockAddr
+	copy(v.data, primary.data)
+	copy(v.parity, primary.parity)
+	if v.eccb != nil && primary.eccb != nil {
+		copy(v.eccb, primary.eccb)
+	}
+	c.touch(v, now)
+	if c.cfg.Meter != nil {
+		c.cfg.Meter.AddL1Write(1) // the duplicate write (§5.8 energy cost)
+		c.cfg.Meter.AddParity(1)
+	}
+}

@@ -1,0 +1,223 @@
+// Package core implements the paper's contribution: ICR, in-cache
+// replication for the L1 data cache. Blocks predicted dead by a decay
+// mechanism are recycled to hold replicas of blocks in active use; a
+// parity-detected error in a replicated block is then repaired from its
+// replica instead of requiring SEC-DED on every line or a trip to L2.
+//
+// The cache stores real data bits with real parity/SEC-DED check bits
+// (internal/ecc), so the reliability results are computed, not assumed:
+// fault injection (internal/fault) flips stored bits and every protected
+// access runs the actual codecs.
+package core
+
+import "fmt"
+
+// Protection selects how unreplicated lines are protected.
+type Protection uint8
+
+// Protection options (§3.1 "How do we protect unreplicated cache blocks?").
+const (
+	// ParityProt maintains one parity bit per data byte. Detection only:
+	// a detected error in a dirty unreplicated block is unrecoverable.
+	ParityProt Protection = iota + 1
+	// ECCProt maintains an 8-bit SEC-DED code per 64-bit word in addition
+	// to byte parity, allowing single-bit correction on unreplicated lines.
+	ECCProt
+)
+
+// String returns "P" or "ECC".
+func (p Protection) String() string {
+	switch p {
+	case ParityProt:
+		return "P"
+	case ECCProt:
+		return "ECC"
+	default:
+		return fmt.Sprintf("prot(%d)", uint8(p))
+	}
+}
+
+// ReplTrigger selects when replicas are created (§3.1 "When do we
+// replicate?").
+type ReplTrigger uint8
+
+// Replication triggers.
+const (
+	// ReplNone disables replication (the Base schemes).
+	ReplNone ReplTrigger = iota + 1
+	// ReplStores replicates only when a block is written in L1 ("S").
+	ReplStores
+	// ReplLoadsStores replicates both when a block is filled on a miss
+	// and when it is written ("LS").
+	ReplLoadsStores
+)
+
+// String returns "", "S", or "LS".
+func (t ReplTrigger) String() string {
+	switch t {
+	case ReplNone:
+		return ""
+	case ReplStores:
+		return "S"
+	case ReplLoadsStores:
+		return "LS"
+	default:
+		return fmt.Sprintf("trigger(%d)", uint8(t))
+	}
+}
+
+// LookupMode selects how replicas participate in loads (§3.2).
+type LookupMode uint8
+
+// Lookup modes.
+const (
+	// LookupSerial ("PS": primary, then secondary) reads only the primary
+	// copy on a load; the replica is consulted only if the primary's
+	// parity check fails. Loads to replicated lines cost 1 cycle.
+	LookupSerial LookupMode = iota + 1
+	// LookupParallel ("PP") reads primary and replica in parallel and
+	// compares before the load returns; loads to replicated lines cost
+	// 2 cycles.
+	LookupParallel
+)
+
+// String returns "PS" or "PP".
+func (m LookupMode) String() string {
+	switch m {
+	case LookupSerial:
+		return "PS"
+	case LookupParallel:
+		return "PP"
+	default:
+		return fmt.Sprintf("lookup(%d)", uint8(m))
+	}
+}
+
+// VictimPolicy selects how a victim line is chosen at a replication site
+// (§3.1 "How do we place a replica in a set?"). All policies share one
+// rule: live (non-dead) primary copies are never evicted for a replica.
+type VictimPolicy uint8
+
+// Victim policies.
+const (
+	// DeadOnly picks the LRU line among dead lines only
+	// (reliability-biased: replicas are not displaced).
+	DeadOnly VictimPolicy = iota + 1
+	// DeadFirst considers dead lines first, then replicas.
+	DeadFirst
+	// ReplicaFirst considers replicas first, then dead lines.
+	ReplicaFirst
+	// ReplicaOnly picks the LRU line among replicas only.
+	ReplicaOnly
+)
+
+// String returns the policy name.
+func (v VictimPolicy) String() string {
+	switch v {
+	case DeadOnly:
+		return "dead-only"
+	case DeadFirst:
+		return "dead-first"
+	case ReplicaFirst:
+		return "replica-first"
+	case ReplicaOnly:
+		return "replica-only"
+	default:
+		return fmt.Sprintf("victim(%d)", uint8(v))
+	}
+}
+
+// Scheme identifies one of the paper's cache-protection schemes (§3.2).
+type Scheme struct {
+	// Trigger is ReplNone for the Base schemes.
+	Trigger ReplTrigger
+	// Protection covers unreplicated lines (and everything in the Base
+	// schemes). Replicated lines are always verified by parity.
+	Protection Protection
+	// Lookup is how replicas are consulted on loads (ignored for Base).
+	Lookup LookupMode
+	// SpeculativeECC models BaseECC with speculative loads (§5.9): ECC
+	// checks complete in the background so loads take 1 cycle, but each
+	// load still pays the ECC verification energy.
+	SpeculativeECC bool
+}
+
+// HasReplication reports whether the scheme creates replicas.
+func (s Scheme) HasReplication() bool {
+	return s.Trigger == ReplStores || s.Trigger == ReplLoadsStores
+}
+
+// Name returns the paper's name for the scheme, e.g. "BaseP",
+// "ICR-ECC-PS(S)", "BaseECC-spec".
+func (s Scheme) Name() string {
+	if !s.HasReplication() {
+		switch {
+		case s.Protection == ECCProt && s.SpeculativeECC:
+			return "BaseECC-spec"
+		case s.Protection == ECCProt:
+			return "BaseECC"
+		default:
+			return "BaseP"
+		}
+	}
+	return fmt.Sprintf("ICR-%s-%s(%s)", s.Protection, s.Lookup, s.Trigger)
+}
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string { return s.Name() }
+
+// BaseP returns the parity-only baseline: 1-cycle loads and stores, no
+// replication, detected errors in dirty blocks are unrecoverable.
+func BaseP() Scheme {
+	return Scheme{Trigger: ReplNone, Protection: ParityProt, Lookup: LookupSerial}
+}
+
+// BaseECC returns the SEC-DED baseline: 2-cycle loads (1-cycle if
+// speculative), 1-cycle stores, single-bit errors always corrected.
+func BaseECC(speculative bool) Scheme {
+	return Scheme{
+		Trigger:        ReplNone,
+		Protection:     ECCProt,
+		Lookup:         LookupSerial,
+		SpeculativeECC: speculative,
+	}
+}
+
+// ICR returns an in-cache-replication scheme with the given protection for
+// unreplicated lines, replica lookup mode, and replication trigger.
+func ICR(prot Protection, lookup LookupMode, trigger ReplTrigger) Scheme {
+	if trigger == ReplNone {
+		panic("core: ICR scheme requires a replication trigger")
+	}
+	return Scheme{Trigger: trigger, Protection: prot, Lookup: lookup}
+}
+
+// AllSchemes returns the ten schemes of §3.2 in the paper's order:
+// BaseP, BaseECC, then the eight ICR variants.
+func AllSchemes() []Scheme {
+	return []Scheme{
+		BaseP(),
+		BaseECC(false),
+		ICR(ParityProt, LookupSerial, ReplLoadsStores),   // ICR-P-PS(LS)
+		ICR(ParityProt, LookupSerial, ReplStores),        // ICR-P-PS(S)
+		ICR(ParityProt, LookupParallel, ReplLoadsStores), // ICR-P-PP(LS)
+		ICR(ParityProt, LookupParallel, ReplStores),      // ICR-P-PP(S)
+		ICR(ECCProt, LookupSerial, ReplLoadsStores),      // ICR-ECC-PS(LS)
+		ICR(ECCProt, LookupSerial, ReplStores),           // ICR-ECC-PS(S)
+		ICR(ECCProt, LookupParallel, ReplLoadsStores),    // ICR-ECC-PP(LS)
+		ICR(ECCProt, LookupParallel, ReplStores),         // ICR-ECC-PP(S)
+	}
+}
+
+// SchemeByName resolves a paper scheme name (as produced by Scheme.Name).
+func SchemeByName(name string) (Scheme, error) {
+	if name == "BaseECC-spec" {
+		return BaseECC(true), nil
+	}
+	for _, s := range AllSchemes() {
+		if s.Name() == name {
+			return s, nil
+		}
+	}
+	return Scheme{}, fmt.Errorf("core: unknown scheme %q", name)
+}

@@ -1,0 +1,124 @@
+package core
+
+import "testing"
+
+func TestSchemeNames(t *testing.T) {
+	cases := []struct {
+		s    Scheme
+		want string
+	}{
+		{BaseP(), "BaseP"},
+		{BaseECC(false), "BaseECC"},
+		{BaseECC(true), "BaseECC-spec"},
+		{ICR(ParityProt, LookupSerial, ReplStores), "ICR-P-PS(S)"},
+		{ICR(ParityProt, LookupSerial, ReplLoadsStores), "ICR-P-PS(LS)"},
+		{ICR(ParityProt, LookupParallel, ReplStores), "ICR-P-PP(S)"},
+		{ICR(ECCProt, LookupSerial, ReplStores), "ICR-ECC-PS(S)"},
+		{ICR(ECCProt, LookupParallel, ReplLoadsStores), "ICR-ECC-PP(LS)"},
+	}
+	for _, c := range cases {
+		if got := c.s.Name(); got != c.want {
+			t.Errorf("Name() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestAllSchemesCount(t *testing.T) {
+	all := AllSchemes()
+	if len(all) != 10 {
+		t.Fatalf("AllSchemes returned %d schemes, want 10 (§3.2)", len(all))
+	}
+	seen := map[string]bool{}
+	for _, s := range all {
+		name := s.Name()
+		if seen[name] {
+			t.Errorf("duplicate scheme %q", name)
+		}
+		seen[name] = true
+	}
+	if !seen["BaseP"] || !seen["BaseECC"] || !seen["ICR-P-PS(S)"] || !seen["ICR-ECC-PP(LS)"] {
+		t.Errorf("missing expected schemes: %v", seen)
+	}
+}
+
+func TestSchemeByName(t *testing.T) {
+	for _, s := range AllSchemes() {
+		got, err := SchemeByName(s.Name())
+		if err != nil {
+			t.Errorf("SchemeByName(%q): %v", s.Name(), err)
+			continue
+		}
+		if got != s {
+			t.Errorf("SchemeByName(%q) = %+v, want %+v", s.Name(), got, s)
+		}
+	}
+	if s, err := SchemeByName("BaseECC-spec"); err != nil || !s.SpeculativeECC {
+		t.Errorf("BaseECC-spec lookup failed: %+v, %v", s, err)
+	}
+	if _, err := SchemeByName("nope"); err == nil {
+		t.Error("unknown scheme should error")
+	}
+}
+
+func TestHasReplication(t *testing.T) {
+	if BaseP().HasReplication() || BaseECC(false).HasReplication() {
+		t.Error("base schemes must not replicate")
+	}
+	if !ICR(ParityProt, LookupSerial, ReplStores).HasReplication() {
+		t.Error("ICR schemes must replicate")
+	}
+}
+
+func TestICRRequiresTrigger(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ICR with ReplNone should panic")
+		}
+	}()
+	ICR(ParityProt, LookupSerial, ReplNone)
+}
+
+func TestDistanceHelpers(t *testing.T) {
+	if got := VerticalDistances(64); len(got) != 1 || got[0] != 32 {
+		t.Errorf("VerticalDistances(64) = %v", got)
+	}
+	if got := HorizontalDistances(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("HorizontalDistances() = %v", got)
+	}
+	got := Power2Distances(64, 4)
+	want := []int{32, 16, 48, 8}
+	if len(got) != len(want) {
+		t.Fatalf("Power2Distances(64,4) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Power2Distances[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if got := Power2Distances(64, 2); len(got) != 2 || got[0] != 32 || got[1] != 16 {
+		t.Errorf("Power2Distances(64,2) = %v, want [32 16]", got)
+	}
+	if got := Power2Distances(64, 0); got != nil {
+		t.Errorf("Power2Distances(64,0) = %v, want nil", got)
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if ParityProt.String() != "P" || ECCProt.String() != "ECC" {
+		t.Error("Protection strings wrong")
+	}
+	if ReplStores.String() != "S" || ReplLoadsStores.String() != "LS" || ReplNone.String() != "" {
+		t.Error("ReplTrigger strings wrong")
+	}
+	if LookupSerial.String() != "PS" || LookupParallel.String() != "PP" {
+		t.Error("LookupMode strings wrong")
+	}
+	for v, want := range map[VictimPolicy]string{
+		DeadOnly: "dead-only", DeadFirst: "dead-first",
+		ReplicaFirst: "replica-first", ReplicaOnly: "replica-only",
+	} {
+		if v.String() != want {
+			t.Errorf("VictimPolicy %d = %q, want %q", v, v.String(), want)
+		}
+	}
+}

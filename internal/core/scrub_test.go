@@ -1,0 +1,150 @@
+package core
+
+import "testing"
+
+func TestScrubRepairsCleanLine(t *testing.T) {
+	c, _ := testCache(t, func(cfg *Config) { cfg.Scheme = BaseP() })
+	a := addrOfBlock(1)
+	c.Load(0, a) // clean fill
+	c.CorruptPrimary(a, 2)
+	// One full sweep (16 lines).
+	c.Scrub(10, 16)
+	s := c.ScrubStats()
+	if s.Errors != 1 || s.Repaired != 1 || s.Lost != 0 {
+		t.Errorf("scrub stats = %+v", s)
+	}
+	// The subsequent load must be clean.
+	c.Load(11, a)
+	if got := c.Stats().ErrorsDetected; got != 0 {
+		t.Errorf("load after scrub still detected an error (%d)", got)
+	}
+}
+
+func TestScrubRepairsFromReplica(t *testing.T) {
+	c, _ := testCache(t, nil) // ICR-P-PS(S)
+	a := addrOfBlock(1)
+	c.Store(0, a) // dirty + replica
+	want, _ := c.ReadWord(a)
+	c.CorruptPrimary(a, 5)
+	c.Scrub(10, 16)
+	s := c.ScrubStats()
+	if s.Errors != 1 || s.Repaired != 1 {
+		t.Errorf("scrub stats = %+v", s)
+	}
+	got, _ := c.ReadWord(a)
+	if got != want {
+		t.Errorf("scrub restored %#x, want %#x", got, want)
+	}
+}
+
+func TestScrubFindsDirtyLossEarly(t *testing.T) {
+	c, _ := testCache(t, func(cfg *Config) { cfg.Scheme = BaseP() })
+	a := addrOfBlock(1)
+	c.Store(0, a) // dirty, parity only
+	c.CorruptPrimary(a, 5)
+	c.Scrub(10, 16)
+	s := c.ScrubStats()
+	if s.Lost != 1 {
+		t.Errorf("scrub should report the dirty loss: %+v", s)
+	}
+	// The array was restored from memory, so execution can continue.
+	c.Load(11, a)
+	if got := c.Stats().UnrecoverableLoads; got != 0 {
+		t.Errorf("line should have been reset after scrub loss (unrecoverable=%d)", got)
+	}
+}
+
+func TestScrubRepairsCorruptedReplicaFromPrimary(t *testing.T) {
+	c, _ := testCache(t, nil)
+	a := addrOfBlock(1)
+	c.Store(0, a)
+	c.CorruptReplica(a, 0, 3)
+	c.Scrub(10, 16)
+	if s := c.ScrubStats(); s.Repaired != 1 {
+		t.Errorf("replica should heal from its primary: %+v", s)
+	}
+	// Now corrupt the primary: recovery through the healed replica works.
+	c.CorruptPrimary(a, 6)
+	c.Load(11, a)
+	st := c.Stats()
+	if st.RecoveredByReplica != 1 || st.UnrecoverableLoads != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestScrubRoundRobinCoversArray(t *testing.T) {
+	c, _ := testCache(t, func(cfg *Config) { cfg.Scheme = BaseP() })
+	for i := 0; i < 16; i++ {
+		c.Load(uint64(i), addrOfBlock(i))
+	}
+	c.Scrub(100, 8)
+	c.Scrub(101, 8)
+	if got := c.ScrubStats().Checks; got != 16 {
+		t.Errorf("two half sweeps should check 16 lines, got %d", got)
+	}
+}
+
+func TestVulnerabilityAccounting(t *testing.T) {
+	// BaseP: a dirty line is vulnerable from the store until writeback or
+	// the end of the run.
+	c, _ := testCache(t, func(cfg *Config) { cfg.Scheme = BaseP() })
+	a := addrOfBlock(1)
+	c.Store(100, a)
+	c.FinishVulnerability(600)
+	if got := c.Stats().VulnerableLineCycles; got != 500 {
+		t.Errorf("BaseP vulnerable cycles = %d, want 500", got)
+	}
+}
+
+func TestVulnerabilityClosedByReplica(t *testing.T) {
+	// ICR: the store creates a replica immediately, so no vulnerable time
+	// accrues.
+	c, _ := testCache(t, nil)
+	c.Store(100, addrOfBlock(1))
+	c.FinishVulnerability(600)
+	if got := c.Stats().VulnerableLineCycles; got != 0 {
+		t.Errorf("replicated dirty line should not be vulnerable, got %d", got)
+	}
+}
+
+func TestVulnerabilityReopensWhenReplicaEvicted(t *testing.T) {
+	c, _ := testCache(t, nil)
+	a := addrOfBlock(1)
+	c.Store(100, a) // replica in set 5
+	// Displace the replica with primaries at cycle 200.
+	c.Load(200, addrOfBlock(5))
+	c.Load(200, addrOfBlock(13))
+	if c.ReplicaCount(a) != 0 {
+		t.Fatal("setup: replica should be gone")
+	}
+	c.FinishVulnerability(700)
+	got := c.Stats().VulnerableLineCycles
+	if got != 500 {
+		t.Errorf("vulnerable cycles = %d, want 500 (from replica eviction at 200 to 700)", got)
+	}
+}
+
+func TestVulnerabilityZeroForECC(t *testing.T) {
+	c, _ := testCache(t, func(cfg *Config) { cfg.Scheme = BaseECC(false) })
+	c.Store(100, addrOfBlock(1))
+	c.FinishVulnerability(600)
+	if got := c.Stats().VulnerableLineCycles; got != 0 {
+		t.Errorf("ECC-protected dirty data is not parity-vulnerable, got %d", got)
+	}
+}
+
+func TestVulnerabilityClosedByWriteback(t *testing.T) {
+	c, _ := testCache(t, func(cfg *Config) { cfg.Scheme = BaseP() })
+	a := addrOfBlock(1)
+	c.Store(100, a)
+	// Evict the dirty line (write back) at cycle 300.
+	c.Load(300, addrOfBlock(9))
+	c.Load(300, addrOfBlock(17))
+	if c.HasPrimary(a) {
+		t.Fatal("setup: line should be evicted")
+	}
+	c.FinishVulnerability(900)
+	if got := c.Stats().VulnerableLineCycles; got != 200 {
+		t.Errorf("vulnerable cycles = %d, want 200 (store@100 .. writeback@300)", got)
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"repro/internal/cache"
+	"repro/internal/ecc"
+)
+
+// verifyLoad runs the scheme's integrity check over the accessed word of a
+// hitting load and performs recovery when an error is found. It returns
+// the extra latency incurred beyond the error-free hit latency.
+//
+// Recovery ladder (§3.2):
+//
+//   - replicated line, parity fails  -> check the replica's parity; if it
+//     is intact, repair from the replica (+1 cycle). If the replica is
+//     also corrupted, fall through to the unreplicated handling.
+//   - unreplicated, ECC protection   -> SEC-DED corrects single-bit
+//     errors in place; double-bit errors detect and fall back to L2 for
+//     clean lines, and are unrecoverable for dirty lines.
+//   - unreplicated, parity only      -> clean lines are refetched from
+//     L2/memory; dirty lines are unrecoverable (the data is lost).
+//
+// After an unrecoverable error the line is re-filled from architectural
+// memory so the simulation can proceed deterministically; the lost dirty
+// data is exactly what the counter records.
+func (c *Cache) verifyLoad(now uint64, ln *line, replicas []*line, dup []byte, addr uint64) (extra uint64) {
+	off := int(addr) & (c.cfg.BlockSize - 1)
+	word := off &^ 7
+
+	useECC := c.cfg.Scheme.Protection == ECCProt && len(replicas) == 0
+	if c.cfg.Meter != nil {
+		if useECC {
+			c.cfg.Meter.AddECC(1)
+		} else {
+			c.cfg.Meter.AddParity(1)
+			if c.cfg.Scheme.Lookup == LookupParallel && len(replicas) > 0 {
+				// Parallel compare verifies the replica copy too.
+				c.cfg.Meter.AddParity(1)
+			}
+		}
+	}
+
+	if useECC {
+		return c.verifyECC(now, ln, off)
+	}
+
+	// Parity path (Base-P, and every replicated line in ICR schemes).
+	if ecc.CheckParityLineRange(ln.data, ln.parity, word, 8) == ecc.OK {
+		// With a parallel lookup an error confined to the *replica* is
+		// also caught (and discarded) now; serial lookups never see it.
+		if c.cfg.Scheme.Lookup == LookupParallel {
+			for _, rep := range replicas {
+				if ecc.CheckParityLineRange(rep.data, rep.parity, word, 8) != ecc.OK {
+					c.stats.ErrorsDetected++
+					c.repairFrom(rep, ln, word)
+					c.stats.RecoveredByReplica++
+				}
+			}
+		}
+		return 0
+	}
+
+	// Primary word is corrupted.
+	c.stats.ErrorsDetected++
+	for _, rep := range replicas {
+		if c.cfg.Meter != nil && c.cfg.Scheme.Lookup == LookupSerial {
+			c.cfg.Meter.AddL1Read(1) // serial schemes read the replica only now
+			c.cfg.Meter.AddParity(1)
+		}
+		if ecc.CheckParityLineRange(rep.data, rep.parity, word, 8) == ecc.OK {
+			c.repairFrom(ln, rep, word)
+			c.stats.RecoveredByReplica++
+			return 1 // one extra cycle to read the replica (§3.2)
+		}
+		// This replica is corrupted too (much rarer); try the next, if any.
+	}
+
+	// A duplicate in the separate r-cache (Kim & Somani baseline) repairs
+	// the word before falling back to L2 or declaring loss.
+	if dup != nil {
+		off2 := off &^ 7
+		copy(ln.data[off2:off2+8], dup[off2:off2+8])
+		c.recodeWord(ln, off2)
+		c.stats.RecoveredByDuplicate++
+		if c.cfg.Meter != nil {
+			c.cfg.Meter.AddL1Write(1)
+		}
+		return 1
+	}
+
+	// No intact replica: default to the unreplicated actions (§3.2).
+	if c.cfg.Scheme.Protection == ECCProt {
+		// Replicated line in an ICR-ECC scheme whose replicas all failed:
+		// the ECC bits are still maintained, so try correction.
+		if c.cfg.Meter != nil {
+			c.cfg.Meter.AddECC(1)
+		}
+		return 1 + c.verifyECC(now, ln, off)
+	}
+	return 1 + c.recoverFromBelow(now, ln, addr)
+}
+
+// verifyECC checks and, where possible, corrects the accessed word using
+// the line's SEC-DED bits.
+func (c *Cache) verifyECC(now uint64, ln *line, off int) (extra uint64) {
+	switch ecc.CheckSECDEDLineWord(ln.data, ln.eccb, off) {
+	case ecc.OK:
+		return 0
+	case ecc.CorrectedSingle:
+		c.stats.ErrorsDetected++
+		c.stats.RecoveredByECC++
+		// Correction restored the original word, so the parity bits
+		// (computed over the original data) are consistent again.
+		return 0
+	case ecc.DetectedCheckBit:
+		c.stats.ErrorsDetected++
+		c.stats.RecoveredByECC++
+		c.recodeWord(ln, off)
+		return 0
+	default: // DetectedDouble
+		c.stats.ErrorsDetected++
+		return c.recoverFromBelow(now, ln, ln.blockAddr<<c.offsetBits|uint64(off))
+	}
+}
+
+// recoverFromBelow handles a detected-but-uncorrectable error: clean lines
+// are refetched from the next level (recoverable, at miss cost); dirty
+// lines have lost data (unrecoverable). Either way the line is restored
+// from architectural memory so execution can continue.
+func (c *Cache) recoverFromBelow(now uint64, ln *line, addr uint64) (extra uint64) {
+	if ln.dirty {
+		c.stats.UnrecoverableLoads++
+	} else {
+		c.stats.RecoveredByL2++
+	}
+	extra = c.cfg.Next.Access(now, addr, cache.Read)
+	copy(ln.data, c.cfg.Mem.FetchBlock(ln.blockAddr))
+	ln.dirty = false
+	c.setVuln(ln, now, false)
+	c.recode(ln)
+	if c.cfg.Meter != nil {
+		c.cfg.Meter.AddL1Write(1)
+	}
+	return extra
+}
+
+// repairFrom copies the aligned word at byte offset `word` from src into
+// dst, refreshing dst's check bits for that word.
+func (c *Cache) repairFrom(dst, src *line, word int) {
+	copy(dst.data[word:word+8], src.data[word:word+8])
+	dst.parity[word/8] = src.parity[word/8]
+	if dst.eccb != nil {
+		dst.eccb[word/8] = ecc.EncodeSECDED(ecc.Word64(dst.data, word))
+	}
+	if c.cfg.Meter != nil {
+		c.cfg.Meter.AddL1WordWrite(1)
+	}
+}

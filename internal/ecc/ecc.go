@@ -1,0 +1,272 @@
+// Package ecc implements the two error-protection codes the paper's cache
+// schemes rely on: even parity at byte granularity ("byte-parity": one check
+// bit per 8 data bits, the 12.5% overhead scheme) and an 8-bit SEC-DED code
+// per 64-bit word (an extended Hamming (72,64) code: Single Error
+// Correction, Double Error Detection).
+//
+// Both codes operate on real bits: the simulator stores genuine check bits
+// alongside cache-line payloads and runs these codecs on every protected
+// access, so detection and correction outcomes are computed rather than
+// assumed.
+package ecc
+
+import "math/bits"
+
+// Result classifies the outcome of a code check.
+type Result uint8
+
+// Check outcomes.
+const (
+	// OK means the data matched its check bits.
+	OK Result = iota + 1
+	// CorrectedSingle means a single-bit error was found and corrected
+	// (SEC-DED only; parity cannot correct).
+	CorrectedSingle
+	// DetectedSingle means a single-bit error was detected but cannot be
+	// corrected by the code alone (byte parity).
+	DetectedSingle
+	// DetectedDouble means a double-bit error was detected (SEC-DED).
+	DetectedDouble
+	// DetectedCheckBit means the error is confined to the check bits; the
+	// data itself is intact.
+	DetectedCheckBit
+)
+
+var resultNames = map[Result]string{
+	OK:               "ok",
+	CorrectedSingle:  "corrected-single",
+	DetectedSingle:   "detected-single",
+	DetectedDouble:   "detected-double",
+	DetectedCheckBit: "detected-checkbit",
+}
+
+// String returns a short name for the result.
+func (r Result) String() string {
+	if s, ok := resultNames[r]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// Detected reports whether the check found any error at all.
+func (r Result) Detected() bool { return r != OK }
+
+// DataIntact reports whether, after any correction the code performed, the
+// data value is known to be correct.
+func (r Result) DataIntact() bool {
+	return r == OK || r == CorrectedSingle || r == DetectedCheckBit
+}
+
+// ---------------------------------------------------------------------------
+// Byte parity
+// ---------------------------------------------------------------------------
+
+// ParityByte returns the even-parity bit for one data byte: 1 if the byte
+// has an odd number of set bits, so that (popcount(b) + parity) is even.
+func ParityByte(b byte) byte {
+	return byte(bits.OnesCount8(b) & 1)
+}
+
+// EncodeParity64 returns the 8 parity bits for a 64-bit word (one per byte,
+// bit i of the result covering byte i, little-endian byte order).
+func EncodeParity64(word uint64) uint8 {
+	var p uint8
+	for i := 0; i < 8; i++ {
+		p |= ParityByte(byte(word>>(8*i))) << i
+	}
+	return p
+}
+
+// CheckParity64 verifies a 64-bit word against its stored parity bits.
+// It returns OK when every byte checks, and DetectedSingle otherwise.
+// Byte parity detects any odd number of flipped bits within a byte but
+// cannot locate or correct them.
+func CheckParity64(word uint64, parity uint8) Result {
+	if EncodeParity64(word) == parity {
+		return OK
+	}
+	return DetectedSingle
+}
+
+// ---------------------------------------------------------------------------
+// SEC-DED (72,64): extended Hamming code
+// ---------------------------------------------------------------------------
+//
+// Layout: the 64 data bits are placed in codeword positions 1..72, skipping
+// the power-of-two positions (1,2,4,8,16,32,64) that hold the seven Hamming
+// check bits. An eighth, overall-parity bit covers all 71 other bits and
+// upgrades the code from SEC to SEC-DED.
+//
+// The check byte is packed as: bits 0..6 = Hamming check bits for positions
+// 1,2,4,8,16,32,64; bit 7 = overall parity.
+
+// dataPos[i] is the codeword position (1-based) of data bit i.
+var dataPos = buildDataPositions()
+
+// posData[p] is the data-bit index stored at codeword position p, or -1 for
+// check-bit positions.
+var posData = buildPosData()
+
+func buildDataPositions() [64]uint8 {
+	var out [64]uint8
+	pos := uint8(1)
+	for i := 0; i < 64; i++ {
+		for pos&(pos-1) == 0 { // skip powers of two (check-bit slots)
+			pos++
+		}
+		out[i] = pos
+		pos++
+	}
+	return out
+}
+
+func buildPosData() [73]int8 {
+	var out [73]int8
+	for p := range out {
+		out[p] = -1
+	}
+	for i, p := range dataPos {
+		out[p] = int8(i)
+	}
+	return out
+}
+
+// EncodeSECDED returns the 8 check bits protecting a 64-bit data word.
+func EncodeSECDED(word uint64) uint8 {
+	var check uint8
+	// Hamming bits: check bit c (at position 2^c) is the XOR of all data
+	// bits whose position has bit c set.
+	for c := 0; c < 7; c++ {
+		mask := uint8(1) << c
+		var x uint8
+		for i := 0; i < 64; i++ {
+			if dataPos[i]&mask != 0 {
+				x ^= uint8(word>>i) & 1
+			}
+		}
+		check |= x << c
+	}
+	// Overall parity covers data bits and the seven Hamming bits.
+	total := uint(bits.OnesCount64(word)) + uint(bits.OnesCount8(check&0x7f))
+	check |= uint8(total&1) << 7
+	return check
+}
+
+// CheckSECDED verifies (and when possible corrects) a 64-bit word against
+// its stored check byte. It returns the corrected word (identical to the
+// input unless Result is CorrectedSingle) and the check outcome.
+func CheckSECDED(word uint64, check uint8) (corrected uint64, r Result) {
+	expect := EncodeSECDED(word)
+	syndrome := (expect ^ check) & 0x7f
+	// The overall-parity check is evaluated over the received codeword:
+	// the data bits plus all eight stored check bits must have even weight.
+	parityErr := (bits.OnesCount64(word)+bits.OnesCount8(check))&1 != 0
+
+	switch {
+	case syndrome == 0 && !parityErr:
+		return word, OK
+	case syndrome == 0 && parityErr:
+		// Only the overall parity bit flipped; data is intact.
+		return word, DetectedCheckBit
+	case parityErr:
+		// Odd number of flipped bits with a nonzero syndrome: a single-bit
+		// error at codeword position `syndrome`.
+		if int(syndrome) < len(posData) {
+			if d := posData[syndrome]; d >= 0 {
+				return word ^ (1 << uint(d)), CorrectedSingle
+			}
+			// The flipped bit is one of the stored Hamming check bits.
+			return word, DetectedCheckBit
+		}
+		// Syndrome points outside the codeword: treat as uncorrectable.
+		return word, DetectedDouble
+	default:
+		// Nonzero syndrome with even overall parity: double-bit error.
+		return word, DetectedDouble
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Line-granularity helpers
+// ---------------------------------------------------------------------------
+
+// ParityBytesPerLine returns the number of bytes needed to store one parity
+// bit per data byte for a line of the given size.
+func ParityBytesPerLine(lineSize int) int { return (lineSize + 7) / 8 }
+
+// SECDEDBytesPerLine returns the number of check bytes needed to protect a
+// line at 64-bit granularity (one check byte per 8 data bytes).
+func SECDEDBytesPerLine(lineSize int) int { return (lineSize + 7) / 8 }
+
+// EncodeParityLine fills dst with per-byte parity bits for data. Bit j of
+// dst[i] is the parity of data[8*i+j]. dst must have length
+// ParityBytesPerLine(len(data)).
+func EncodeParityLine(data, dst []byte) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i, b := range data {
+		dst[i/8] |= ParityByte(b) << uint(i%8)
+	}
+}
+
+// CheckParityLineByte verifies a single data byte of a line against the
+// line's packed parity bits.
+func CheckParityLineByte(data, parity []byte, i int) Result {
+	stored := (parity[i/8] >> uint(i%8)) & 1
+	if ParityByte(data[i]) == stored {
+		return OK
+	}
+	return DetectedSingle
+}
+
+// CheckParityLineRange verifies bytes [off, off+n) of a line. It returns OK
+// only if every byte in the range checks.
+func CheckParityLineRange(data, parity []byte, off, n int) Result {
+	for i := off; i < off+n && i < len(data); i++ {
+		if CheckParityLineByte(data, parity, i) != OK {
+			return DetectedSingle
+		}
+	}
+	return OK
+}
+
+// Word64 extracts the aligned 64-bit word containing byte offset off from a
+// line, little-endian.
+func Word64(data []byte, off int) uint64 {
+	w := off &^ 7
+	var v uint64
+	for i := 0; i < 8 && w+i < len(data); i++ {
+		v |= uint64(data[w+i]) << (8 * i)
+	}
+	return v
+}
+
+// PutWord64 stores an aligned 64-bit word back into a line at the word
+// containing byte offset off.
+func PutWord64(data []byte, off int, v uint64) {
+	w := off &^ 7
+	for i := 0; i < 8 && w+i < len(data); i++ {
+		data[w+i] = byte(v >> (8 * i))
+	}
+}
+
+// EncodeSECDEDLine fills dst with one SEC-DED check byte per aligned 64-bit
+// word of data. dst must have length SECDEDBytesPerLine(len(data)).
+func EncodeSECDEDLine(data, dst []byte) {
+	for i := range dst {
+		dst[i] = EncodeSECDED(Word64(data, i*8))
+	}
+}
+
+// CheckSECDEDLineWord verifies (and corrects, in place) the aligned 64-bit
+// word containing byte offset off.
+func CheckSECDEDLineWord(data, check []byte, off int) Result {
+	wi := off / 8
+	word := Word64(data, off)
+	corrected, r := CheckSECDED(word, check[wi])
+	if r == CorrectedSingle {
+		PutWord64(data, off, corrected)
+	}
+	return r
+}

@@ -1,0 +1,47 @@
+package ecc
+
+import "testing"
+
+// FuzzSECDEDRoundTrip asserts the SEC-DED invariants over arbitrary words
+// and error patterns: clean words check OK, single flips always correct
+// back to the original, and correction never invents a third value.
+func FuzzSECDEDRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint8(0))
+	f.Add(uint64(0xdeadbeefcafebabe), uint8(17))
+	f.Add(^uint64(0), uint8(63))
+	f.Fuzz(func(t *testing.T, word uint64, bit uint8) {
+		check := EncodeSECDED(word)
+		if got, r := CheckSECDED(word, check); r != OK || got != word {
+			t.Fatalf("clean word flagged: %v", r)
+		}
+		flipped := word ^ (1 << (bit % 64))
+		got, r := CheckSECDED(flipped, check)
+		if r != CorrectedSingle {
+			t.Fatalf("single flip at bit %d: %v", bit%64, r)
+		}
+		if got != word {
+			t.Fatalf("corrected to %#x, want %#x", got, word)
+		}
+	})
+}
+
+// FuzzParityLine asserts per-byte parity detects any single-bit flip in
+// any byte of a line.
+func FuzzParityLine(f *testing.F) {
+	f.Add([]byte("0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"), uint16(0))
+	f.Fuzz(func(t *testing.T, data []byte, pos uint16) {
+		if len(data) == 0 || len(data) > 4096 {
+			t.Skip()
+		}
+		parity := make([]byte, ParityBytesPerLine(len(data)))
+		EncodeParityLine(data, parity)
+		if r := CheckParityLineRange(data, parity, 0, len(data)); r != OK {
+			t.Fatalf("clean line flagged: %v", r)
+		}
+		i := int(pos) % len(data)
+		data[i] ^= 1 << (pos % 8)
+		if r := CheckParityLineByte(data, parity, i); r != DetectedSingle {
+			t.Fatalf("flip in byte %d undetected", i)
+		}
+	})
+}

@@ -1,0 +1,166 @@
+// Package energy models the dynamic energy of the L1/L2 data hierarchy the
+// way the paper does (§4.1, §5.8, §5.9): a per-access energy for each cache
+// level — the paper obtains these from CACTI 3.0 — plus the cost of parity
+// and SEC-DED computations expressed as a fraction of an L1 access (the
+// paper evaluates parity:ECC ratios of 15%:30% and 10%:30%).
+//
+// All values are parameters: the defaults are CACTI-3-class figures for the
+// Table 1 geometry (16KB 4-way L1, 256KB 4-way L2, 0.18um-era technology),
+// and every experiment reports *relative* energy, which is what the paper
+// plots.
+package energy
+
+// Params holds per-event energies in nanojoules, plus the check-computation
+// cost fractions.
+type Params struct {
+	// L1Read and L1Write are the dynamic energy of one full-line L1
+	// access (a fill, an install, a line read).
+	L1Read, L1Write float64
+	// L1WordWrite is the energy of writing a single 64-bit word into a
+	// known way (a store, or a replica word update): far fewer bitlines
+	// switch than on a line operation.
+	L1WordWrite float64
+	// L2Read and L2Write are the dynamic energy of one L2 access.
+	L2Read, L2Write float64
+	// ParityFrac is the cost of one parity computation/verification as a
+	// fraction of L1Read.
+	ParityFrac float64
+	// ECCFrac is the cost of one SEC-DED computation/verification as a
+	// fraction of L1Read.
+	ECCFrac float64
+
+	// RCacheRead and RCacheWrite price accesses to the separate
+	// duplication cache (the Kim & Somani r-cache baseline), a small
+	// (~2KB) array.
+	RCacheRead, RCacheWrite float64
+}
+
+// DefaultParams returns CACTI-3-class energies for the paper's cache
+// geometry with the paper's baseline check-cost ratios (parity 15%, ECC 30%
+// of an L1 access; Figure 17(b)).
+func DefaultParams() Params {
+	return Params{
+		L1Read:      0.45, // nJ, 16KB 4-way 64B-line SRAM read (0.18um class)
+		L1Write:     0.48,
+		L2Read:      3.40, // nJ, 256KB 4-way (CACTI-3 class, 0.18um)
+		L2Write:     3.70,
+		ParityFrac:  0.15,
+		ECCFrac:     0.30,
+		RCacheRead:  0.12, // nJ, ~2KB side array
+		RCacheWrite: 0.13,
+	}
+}
+
+// WithCheckCosts returns a copy of p with the parity and ECC computation
+// fractions replaced. Used for the Figure 17(b)/(c) sensitivity points.
+func (p Params) WithCheckCosts(parityFrac, eccFrac float64) Params {
+	p.ParityFrac = parityFrac
+	p.ECCFrac = eccFrac
+	return p
+}
+
+// Counts tallies energy-relevant events.
+type Counts struct {
+	L1Reads      uint64
+	L1Writes     uint64
+	L1WordWrites uint64
+	L2Reads      uint64
+	L2Writes     uint64
+	// ParityOps counts parity computations (on writes) and verifications
+	// (on reads).
+	ParityOps uint64
+	// ECCOps counts SEC-DED computations and verifications.
+	ECCOps uint64
+	// RCacheReads and RCacheWrites count duplication-cache probes and
+	// deposits.
+	RCacheReads, RCacheWrites uint64
+}
+
+// Add accumulates another Counts into c.
+func (c *Counts) Add(o Counts) {
+	c.L1Reads += o.L1Reads
+	c.L1Writes += o.L1Writes
+	c.L1WordWrites += o.L1WordWrites
+	c.L2Reads += o.L2Reads
+	c.L2Writes += o.L2Writes
+	c.ParityOps += o.ParityOps
+	c.ECCOps += o.ECCOps
+	c.RCacheReads += o.RCacheReads
+	c.RCacheWrites += o.RCacheWrites
+}
+
+// Meter accumulates events and evaluates them against a Params table.
+// The zero value is not useful; construct with NewMeter.
+type Meter struct {
+	params Params
+	counts Counts
+}
+
+// NewMeter returns a Meter using the given parameters.
+func NewMeter(p Params) *Meter {
+	return &Meter{params: p}
+}
+
+// Params returns the meter's energy parameters.
+func (m *Meter) Params() Params { return m.params }
+
+// Counts returns a snapshot of the accumulated event counts.
+func (m *Meter) Counts() Counts { return m.counts }
+
+// AddL1Read records n L1 read accesses.
+func (m *Meter) AddL1Read(n uint64) { m.counts.L1Reads += n }
+
+// AddL1Write records n full-line L1 write accesses.
+func (m *Meter) AddL1Write(n uint64) { m.counts.L1Writes += n }
+
+// AddL1WordWrite records n single-word L1 writes.
+func (m *Meter) AddL1WordWrite(n uint64) { m.counts.L1WordWrites += n }
+
+// AddL2Read records n L2 read accesses.
+func (m *Meter) AddL2Read(n uint64) { m.counts.L2Reads += n }
+
+// AddL2Write records n L2 write accesses.
+func (m *Meter) AddL2Write(n uint64) { m.counts.L2Writes += n }
+
+// AddParity records n parity computations/verifications.
+func (m *Meter) AddParity(n uint64) { m.counts.ParityOps += n }
+
+// AddECC records n SEC-DED computations/verifications.
+func (m *Meter) AddECC(n uint64) { m.counts.ECCOps += n }
+
+// AddRCacheRead records n duplication-cache probes.
+func (m *Meter) AddRCacheRead(n uint64) { m.counts.RCacheReads += n }
+
+// AddRCacheWrite records n duplication-cache deposits.
+func (m *Meter) AddRCacheWrite(n uint64) { m.counts.RCacheWrites += n }
+
+// RCacheEnergy returns the duplication-cache energy in nJ.
+func (m *Meter) RCacheEnergy() float64 {
+	return float64(m.counts.RCacheReads)*m.params.RCacheRead +
+		float64(m.counts.RCacheWrites)*m.params.RCacheWrite
+}
+
+// L1Energy returns the L1 array energy in nJ.
+func (m *Meter) L1Energy() float64 {
+	return float64(m.counts.L1Reads)*m.params.L1Read +
+		float64(m.counts.L1Writes)*m.params.L1Write +
+		float64(m.counts.L1WordWrites)*m.params.L1WordWrite
+}
+
+// L2Energy returns the L2 array energy in nJ.
+func (m *Meter) L2Energy() float64 {
+	return float64(m.counts.L2Reads)*m.params.L2Read + float64(m.counts.L2Writes)*m.params.L2Write
+}
+
+// CheckEnergy returns the parity/ECC computation energy in nJ.
+func (m *Meter) CheckEnergy() float64 {
+	unit := m.params.L1Read
+	return float64(m.counts.ParityOps)*m.params.ParityFrac*unit +
+		float64(m.counts.ECCOps)*m.params.ECCFrac*unit
+}
+
+// Total returns the total dynamic energy (L1 + L2 + checks + r-cache)
+// in nJ.
+func (m *Meter) Total() float64 {
+	return m.L1Energy() + m.L2Energy() + m.CheckEnergy() + m.RCacheEnergy()
+}

@@ -1,0 +1,259 @@
+// Package experiments contains one driver per table/figure of the paper's
+// evaluation (§5). Each driver sweeps the relevant parameters, runs the
+// full simulator, and returns the same rows/series the paper plots, so the
+// whole evaluation can be regenerated with `icrbench` or the benchmark
+// harness.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/metrics"
+	"repro/internal/viz"
+)
+
+// Options control an experiment run.
+type Options struct {
+	// Instructions per simulation (0 = config.DefaultInstructions).
+	Instructions uint64
+	// Seed for workload generation.
+	Seed int64
+	// Machine overrides the Table 1 machine when non-nil.
+	Machine *config.Machine
+}
+
+func (o *Options) machine() config.Machine {
+	if o.Machine != nil {
+		return *o.Machine
+	}
+	return config.Default()
+}
+
+func (o *Options) apply(r *config.Run) {
+	if o.Instructions > 0 {
+		r.Instructions = o.Instructions
+	}
+	if o.Seed != 0 {
+		r.Seed = o.Seed
+	}
+}
+
+// Series is one plotted line/bar group: a label and one value per x-point.
+type Series struct {
+	Label  string
+	Values []float64
+}
+
+// Result is a regenerated table/figure.
+type Result struct {
+	ID      string
+	Title   string
+	XLabel  string
+	XTicks  []string
+	Series  []Series
+	Notes   string
+	Sweep   bool              // true when the x axis is a parameter sweep (rendered as lines)
+	Reports []*metrics.Report // raw per-run data, in execution order
+}
+
+// Table renders the result as an aligned text table.
+func (r *Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", r.ID, r.Title)
+	if r.Notes != "" {
+		fmt.Fprintf(&b, "  (%s)\n", r.Notes)
+	}
+	w := 12
+	for _, s := range r.Series {
+		if len(s.Label) > w {
+			w = len(s.Label)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", w+2, r.XLabel)
+	for _, x := range r.XTicks {
+		fmt.Fprintf(&b, "%10s", x)
+	}
+	b.WriteByte('\n')
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "%-*s", w+2, s.Label)
+		for _, v := range s.Values {
+			fmt.Fprintf(&b, "%10.4f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the result as comma-separated rows (header: xlabel + ticks).
+func (r *Result) CSV() string {
+	var b strings.Builder
+	b.WriteString(r.XLabel)
+	for _, x := range r.XTicks {
+		b.WriteByte(',')
+		b.WriteString(x)
+	}
+	b.WriteByte('\n')
+	for _, s := range r.Series {
+		b.WriteString(s.Label)
+		for _, v := range s.Values {
+			b.WriteByte(',')
+			b.WriteString(strconv.FormatFloat(v, 'g', 8, 64))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Chart renders the result as grouped horizontal ASCII bars, one group
+// per x-tick, scaled to the largest value in the result.
+func (r *Result) Chart() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", r.ID, r.Title)
+	maxVal := 0.0
+	labelW := 0
+	for _, s := range r.Series {
+		if len(s.Label) > labelW {
+			labelW = len(s.Label)
+		}
+		for _, v := range s.Values {
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+	const barW = 40
+	for xi, tick := range r.XTicks {
+		fmt.Fprintf(&b, "%s\n", tick)
+		for _, s := range r.Series {
+			if xi >= len(s.Values) {
+				continue
+			}
+			v := s.Values[xi]
+			n := int(v / maxVal * barW)
+			if n < 0 {
+				n = 0
+			}
+			fmt.Fprintf(&b, "  %-*s |%s %.4f\n", labelW, s.Label, strings.Repeat("#", n), v)
+		}
+	}
+	return b.String()
+}
+
+// SVG renders the result as a standalone figure: grouped bars for
+// per-benchmark results, lines for parameter sweeps.
+func (r *Result) SVG() (string, error) {
+	spec := viz.Spec{
+		Title:  fmt.Sprintf("%s — %s", r.ID, r.Title),
+		XLabel: r.XLabel,
+		XTicks: r.XTicks,
+	}
+	for _, s := range r.Series {
+		spec.Series = append(spec.Series, viz.Series{Label: s.Label, Values: s.Values})
+	}
+	if r.Sweep {
+		return viz.LineSVG(spec)
+	}
+	return viz.GroupedBarSVG(spec)
+}
+
+// Runner is an experiment entry point.
+type Runner func(Options) (*Result, error)
+
+// MultiSeed runs an experiment once per seed and returns a Result whose
+// series values are the element-wise means — the cheap way to damp
+// workload-generation noise. The per-run raw reports are concatenated.
+func MultiSeed(runner Runner, opts Options, seeds []int64) (*Result, error) {
+	if len(seeds) == 0 {
+		return runner(opts)
+	}
+	var agg *Result
+	for i, seed := range seeds {
+		o := opts
+		o.Seed = seed
+		res, err := runner(o)
+		if err != nil {
+			return nil, fmt.Errorf("seed %d: %w", seed, err)
+		}
+		if i == 0 {
+			agg = res
+			continue
+		}
+		if len(res.Series) != len(agg.Series) {
+			return nil, fmt.Errorf("seed %d: series shape changed", seed)
+		}
+		for si := range res.Series {
+			if len(res.Series[si].Values) != len(agg.Series[si].Values) {
+				return nil, fmt.Errorf("seed %d: value shape changed", seed)
+			}
+			for vi, v := range res.Series[si].Values {
+				agg.Series[si].Values[vi] += v
+			}
+		}
+		agg.Reports = append(agg.Reports, res.Reports...)
+	}
+	n := float64(len(seeds))
+	for si := range agg.Series {
+		for vi := range agg.Series[si].Values {
+			agg.Series[si].Values[vi] /= n
+		}
+	}
+	agg.Notes = fmt.Sprintf("%s [mean of %d seeds]", agg.Notes, len(seeds))
+	return agg, nil
+}
+
+// registry maps experiment ids to runners.
+var registry = map[string]Runner{
+	"fig1":          Fig1,
+	"fig2":          Fig2,
+	"fig3":          Fig3,
+	"fig4":          Fig4,
+	"fig5":          Fig5,
+	"fig6":          Fig6,
+	"fig7":          Fig7,
+	"fig8":          Fig8,
+	"fig9":          Fig9,
+	"fig10":         Fig10,
+	"fig11":         Fig11,
+	"fig12":         Fig12,
+	"fig13":         Fig13,
+	"fig14":         Fig14,
+	"fig15":         Fig15,
+	"fig16":         Fig16,
+	"fig17":         Fig17,
+	"faultmodels":   FaultModels,
+	"sensitivity":   Sensitivity,
+	"victims":       VictimPolicies,
+	"swhints":       SoftwareHints,
+	"rcache":        RCache,
+	"scrub":         Scrub,
+	"vulnerability": Vulnerability,
+	"mttf":          MTTF,
+	"decaypred":     DecayPredictors,
+	"prefetch":      Prefetch,
+}
+
+// IDs returns the registered experiment ids in sorted order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByID resolves an experiment by id ("fig1" ... "fig17", "sensitivity").
+func ByID(id string) (Runner, error) {
+	if r, ok := registry[id]; ok {
+		return r, nil
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)",
+		id, strings.Join(IDs(), ", "))
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// DecayPredictors — ablation of the dead-block prediction mechanism: the
+// paper's fixed-window decay counters (ref [10]) at two windows vs the
+// timekeeping-style adaptive predictor (ref [7]), under ICR-P-PS(S).
+func DecayPredictors(o Options) (*Result, error) {
+	m := o.machine()
+	sets := m.DL1Sets()
+	type variant struct {
+		label string
+		mut   func(*config.Run)
+	}
+	variants := []variant{
+		{"window 0", func(r *config.Run) {
+			r.Repl = aggressiveRepl(sets)
+		}},
+		{"window 1000", func(r *config.Run) {
+			r.Repl = relaxedRepl(sets)
+		}},
+		{"adaptive", func(r *config.Run) {
+			r.Repl = relaxedRepl(sets)
+			r.Repl.Decay = core.Adaptive
+		}},
+	}
+	result := &Result{
+		ID:     "decaypred",
+		Title:  "Dead-block predictor ablation: fixed decay windows vs adaptive timekeeping",
+		XLabel: "benchmark",
+		XTicks: workload.Names(),
+		Notes:  "adaptive needs no window parameter; compare coverage and miss cost",
+	}
+	for _, v := range variants {
+		reports, err := runAll(o, icrPS(core.ReplStores), v.mut)
+		if err != nil {
+			return nil, err
+		}
+		result.Series = append(result.Series,
+			Series{Label: v.label + " lwr", Values: values(reports, func(r *metrics.Report) float64 { return r.LoadsWithReplica() })},
+			Series{Label: v.label + " miss", Values: values(reports, func(r *metrics.Report) float64 { return r.DL1MissRate() })},
+		)
+		result.Reports = append(result.Reports, reports...)
+	}
+	return result, nil
+}
+
+// Prefetch — the other use of dead lines (refs [14], [7]): next-block
+// prefetching into dead ways, alone and composed with ICR. Dead real
+// estate can buy performance (prefetch) or reliability (replicas); this
+// table shows both sides and the combination.
+func Prefetch(o Options) (*Result, error) {
+	m := o.machine()
+	sets := m.DL1Sets()
+	type variant struct {
+		label    string
+		scheme   core.Scheme
+		prefetch bool
+	}
+	variants := []variant{
+		{"BaseP", core.BaseP(), false},
+		{"BaseP+prefetch", core.BaseP(), true},
+		{"ICR-P-PS(S)", icrPS(core.ReplStores), false},
+		{"ICR+prefetch", icrPS(core.ReplStores), true},
+	}
+	var base []*metrics.Report
+	result := &Result{
+		ID:     "prefetch",
+		Title:  "Dead-line real estate: prefetch vs replicate vs both (normalized cycles)",
+		XLabel: "benchmark",
+		XTicks: benchTicks(),
+		Notes:  "prefetch buys performance from dead lines; replication buys reliability; they compose",
+	}
+	for _, v := range variants {
+		v := v
+		reports, err := runAll(o, v.scheme, func(r *config.Run) {
+			if v.scheme.HasReplication() {
+				r.Repl = relaxedRepl(sets)
+			}
+			r.Prefetch = v.prefetch
+		})
+		if err != nil {
+			return nil, err
+		}
+		if base == nil {
+			base = reports
+		}
+		result.Series = append(result.Series, Series{
+			Label:  v.label,
+			Values: withGeoMean(ratios(reports, base, cycles)),
+		})
+		result.Reports = append(result.Reports, reports...)
+	}
+	return result, nil
+}

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Fig9 — normalized execution cycles for all ten schemes under aggressive
+// (window 0, dead-only) dead-block prediction. Every bar is normalized to
+// BaseP per benchmark; a geometric-mean column is appended.
+func Fig9(o Options) (*Result, error) {
+	return normalizedCycles(o, "fig9",
+		"Normalized execution cycles, all schemes (aggressive dead-block prediction)",
+		"paper: BaseECC ~+30%, ICR-P-PS(S) +3.6%, ICR-ECC-PS(S) +21%, ICR-*-PP ~ BaseECC",
+		aggressiveRepl, false)
+}
+
+// Fig12 — normalized execution cycles with the relaxed (1000-cycle window,
+// dead-first) prediction.
+func Fig12(o Options) (*Result, error) {
+	return normalizedCycles(o, "fig12",
+		"Normalized execution cycles, 1000-cycle decay window (dead-first)",
+		"paper: BaseECC +30.9%, ICR-P-PS(S) +2.4%, ICR-ECC-PS(S) +10.2%",
+		relaxedRepl, false)
+}
+
+// Fig15 — normalized execution cycles when replicas are left in the cache
+// on primary eviction and may serve later misses (§5.6 performance mode).
+func Fig15(o Options) (*Result, error) {
+	return normalizedCycles(o, "fig15",
+		"Normalized execution cycles with replicas left on primary eviction",
+		"paper: ICR-*-PS(S) match or beat BaseP (up to 24% better on mcf/vpr)",
+		relaxedRepl, true)
+}
+
+// normalizedCycles is the shared driver for Figures 9, 12, and 15.
+func normalizedCycles(o Options, id, title, notes string, repl func(int) core.ReplConfig, leave bool) (*Result, error) {
+	m := o.machine()
+	sets := m.DL1Sets()
+	base, err := runAll(o, core.BaseP(), nil)
+	if err != nil {
+		return nil, err
+	}
+	schemes := []core.Scheme{core.BaseECC(false)}
+	if id == "fig15" {
+		// §5.6 focuses on the two recommended schemes vs the bases.
+		schemes = append(schemes,
+			core.ICR(core.ParityProt, core.LookupSerial, core.ReplStores),
+			core.ICR(core.ECCProt, core.LookupSerial, core.ReplStores),
+		)
+	} else {
+		schemes = append(schemes, core.AllSchemes()[2:]...)
+	}
+	result := &Result{
+		ID:     id,
+		Title:  title,
+		XLabel: "benchmark",
+		XTicks: benchTicks(),
+		Notes:  notes,
+		Series: []Series{{Label: "BaseP", Values: withGeoMean(ratios(base, base, cycles))}},
+	}
+	result.Reports = append(result.Reports, base...)
+	for _, s := range schemes {
+		reports, err := runAll(o, s, func(r *config.Run) {
+			if s.HasReplication() {
+				r.Repl = repl(sets)
+				r.Repl.LeaveReplicas = leave
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		result.Series = append(result.Series, Series{
+			Label:  s.Name(),
+			Values: withGeoMean(ratios(reports, base, cycles)),
+		})
+		result.Reports = append(result.Reports, reports...)
+	}
+	return result, nil
+}
+
+// decayWindows is the §5.3 sweep.
+var decayWindows = []uint64{0, 500, 1000, 5000, 10000}
+
+// Fig10 — replication ability and loads-with-replica vs decay window for
+// vpr, ICR-P-PS(S).
+func Fig10(o Options) (*Result, error) {
+	m := o.machine()
+	sets := m.DL1Sets()
+	var ability, lwr []float64
+	var all []*metrics.Report
+	ticks := make([]string, 0, len(decayWindows))
+	for _, w := range decayWindows {
+		w := w
+		rep, err := runOne(o, "vpr", icrPS(core.ReplStores), func(r *config.Run) {
+			r.Repl = aggressiveRepl(sets)
+			r.Repl.DecayWindow = w
+		})
+		if err != nil {
+			return nil, err
+		}
+		ability = append(ability, rep.ReplAbility())
+		lwr = append(lwr, rep.LoadsWithReplica())
+		all = append(all, rep)
+		ticks = append(ticks, fmt.Sprintf("%d", w))
+	}
+	return &Result{
+		ID:     "fig10",
+		Sweep:  true,
+		Title:  "Replication ability and loads-with-replica vs decay window (vpr, ICR-P-PS(S))",
+		XLabel: "window (cycles)",
+		XTicks: ticks,
+		Series: []Series{
+			{Label: "replication ability", Values: ability},
+			{Label: "loads with replica", Values: lwr},
+		},
+		Notes:   "paper: ability falls with window size, loads-with-replica barely moves",
+		Reports: all,
+	}, nil
+}
+
+// Fig11 — normalized execution cycles vs decay window for vpr,
+// ICR-P-PS(S) and ICR-ECC-PS(S), normalized to BaseP.
+func Fig11(o Options) (*Result, error) {
+	m := o.machine()
+	sets := m.DL1Sets()
+	base, err := runOne(o, "vpr", core.BaseP(), nil)
+	if err != nil {
+		return nil, err
+	}
+	schemes := []core.Scheme{
+		core.ICR(core.ParityProt, core.LookupSerial, core.ReplStores),
+		core.ICR(core.ECCProt, core.LookupSerial, core.ReplStores),
+	}
+	result := &Result{
+		ID:      "fig11",
+		Sweep:   true,
+		Title:   "Normalized execution cycles vs decay window (vpr)",
+		XLabel:  "window (cycles)",
+		Notes:   "paper: ICR-P-PS(S) <4% over BaseP at window 1000, ~1.7% at 10000",
+		Reports: []*metrics.Report{base},
+	}
+	for _, w := range decayWindows {
+		result.XTicks = append(result.XTicks, fmt.Sprintf("%d", w))
+	}
+	for _, s := range schemes {
+		var vals []float64
+		for _, w := range decayWindows {
+			w := w
+			rep, err := runOne(o, "vpr", s, func(r *config.Run) {
+				r.Repl = aggressiveRepl(sets)
+				r.Repl.DecayWindow = w
+			})
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, float64(rep.Cycles)/float64(base.Cycles))
+			result.Reports = append(result.Reports, rep)
+		}
+		result.Series = append(result.Series, Series{Label: s.Name(), Values: vals})
+	}
+	return result, nil
+}
+
+// Fig13 — replication ability and loads-with-replica at decay windows 1000
+// and 0 across all benchmarks, ICR-P-PS(S).
+func Fig13(o Options) (*Result, error) {
+	m := o.machine()
+	sets := m.DL1Sets()
+	mkRepl := func(w uint64) func(*config.Run) {
+		return func(r *config.Run) {
+			r.Repl = relaxedRepl(sets)
+			r.Repl.DecayWindow = w
+		}
+	}
+	w0, err := runAll(o, icrPS(core.ReplStores), mkRepl(0))
+	if err != nil {
+		return nil, err
+	}
+	w1000, err := runAll(o, icrPS(core.ReplStores), mkRepl(1000))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		ID:     "fig13",
+		Title:  "Replication ability / loads-with-replica at decay windows 0 and 1000",
+		XLabel: "benchmark",
+		XTicks: workload.Names(),
+		Series: []Series{
+			{Label: "ability w=0", Values: values(w0, func(r *metrics.Report) float64 { return r.ReplAbility() })},
+			{Label: "ability w=1000", Values: values(w1000, func(r *metrics.Report) float64 { return r.ReplAbility() })},
+			{Label: "loads w/repl w=0", Values: values(w0, func(r *metrics.Report) float64 { return r.LoadsWithReplica() })},
+			{Label: "loads w/repl w=1000", Values: values(w1000, func(r *metrics.Report) float64 { return r.LoadsWithReplica() })},
+		},
+		Notes:   "paper: loads-with-replica is insensitive to the window",
+		Reports: append(w0, w1000...),
+	}, nil
+}

@@ -1,0 +1,274 @@
+package experiments
+
+import (
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Fig1 — replication ability for single-attempt (distance N/2) vs
+// multi-attempt (N/2 then N/4) placement, ICR-P-PS(S), aggressive decay.
+func Fig1(o Options) (*Result, error) {
+	m := o.machine()
+	sets := m.DL1Sets()
+	single, err := runAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+		r.Repl = aggressiveRepl(sets)
+	})
+	if err != nil {
+		return nil, err
+	}
+	multi, err := runAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+		r.Repl = aggressiveRepl(sets)
+		r.Repl.Distances = []int{sets / 2, sets / 4}
+	})
+	if err != nil {
+		return nil, err
+	}
+	ability := func(r *metrics.Report) float64 { return r.ReplAbility() }
+	return &Result{
+		ID:     "fig1",
+		Title:  "Replication ability: single vs multiple placement attempts, ICR-P-PS(S)",
+		XLabel: "benchmark",
+		XTicks: workload.Names(),
+		Series: []Series{
+			{Label: "single (N/2)", Values: values(single, ability)},
+			{Label: "multi (N/2,N/4)", Values: values(multi, ability)},
+		},
+		Notes:   "paper: multiple attempts raise replication ability",
+		Reports: append(single, multi...),
+	}, nil
+}
+
+// Fig2 — loads with replica for the same two configurations as Fig1.
+func Fig2(o Options) (*Result, error) {
+	m := o.machine()
+	sets := m.DL1Sets()
+	single, err := runAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+		r.Repl = aggressiveRepl(sets)
+	})
+	if err != nil {
+		return nil, err
+	}
+	multi, err := runAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+		r.Repl = aggressiveRepl(sets)
+		r.Repl.Distances = []int{sets / 2, sets / 4}
+	})
+	if err != nil {
+		return nil, err
+	}
+	lwr := func(r *metrics.Report) float64 { return r.LoadsWithReplica() }
+	return &Result{
+		ID:     "fig2",
+		Title:  "Loads with replica: single vs multiple placement attempts, ICR-P-PS(S)",
+		XLabel: "benchmark",
+		XTicks: workload.Names(),
+		Series: []Series{
+			{Label: "single (N/2)", Values: values(single, lwr)},
+			{Label: "multi (N/2,N/4)", Values: values(multi, lwr)},
+		},
+		Notes:   "paper: negligible improvement from multiple attempts",
+		Reports: append(single, multi...),
+	}, nil
+}
+
+// Fig3 — replication ability when maintaining one replica vs two replicas
+// (first at N/2, second at N/4), ICR-P-PS(S).
+func Fig3(o Options) (*Result, error) {
+	m := o.machine()
+	sets := m.DL1Sets()
+	one, err := runAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+		r.Repl = aggressiveRepl(sets)
+	})
+	if err != nil {
+		return nil, err
+	}
+	two, err := runAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+		r.Repl = aggressiveRepl(sets)
+		r.Repl.Distances = []int{sets / 2, sets / 4}
+		r.Repl.Replicas = 2
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		ID:     "fig3",
+		Title:  "Replication ability: one replica vs two replicas, ICR-P-PS(S)",
+		XLabel: "benchmark",
+		XTicks: workload.Names(),
+		Series: []Series{
+			{Label: "1 replica (N/2)", Values: values(one, func(r *metrics.Report) float64 { return r.ReplAbility() })},
+			{Label: ">=1 of 2 replicas", Values: values(two, func(r *metrics.Report) float64 { return r.ReplAbility() })},
+			{Label: "2 replicas achieved", Values: values(two, func(r *metrics.Report) float64 { return r.ReplDoubleAbility() })},
+		},
+		Notes:   "paper: two replicas achievable ~12% of the time on average",
+		Reports: append(one, two...),
+	}, nil
+}
+
+// Fig4 — dL1 miss rates when maintaining one vs two replicas.
+func Fig4(o Options) (*Result, error) {
+	m := o.machine()
+	sets := m.DL1Sets()
+	base, err := runAll(o, core.BaseP(), nil)
+	if err != nil {
+		return nil, err
+	}
+	one, err := runAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+		r.Repl = aggressiveRepl(sets)
+	})
+	if err != nil {
+		return nil, err
+	}
+	two, err := runAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+		r.Repl = aggressiveRepl(sets)
+		r.Repl.Distances = []int{sets / 2, sets / 4}
+		r.Repl.Replicas = 2
+	})
+	if err != nil {
+		return nil, err
+	}
+	miss := func(r *metrics.Report) float64 { return r.DL1MissRate() }
+	return &Result{
+		ID:     "fig4",
+		Title:  "dL1 miss rate: single vs two replicas, ICR-P-PS(S)",
+		XLabel: "benchmark",
+		XTicks: workload.Names(),
+		Series: []Series{
+			{Label: "BaseP", Values: values(base, miss)},
+			{Label: "1 replica", Values: values(one, miss)},
+			{Label: "2 replicas", Values: values(two, miss)},
+		},
+		Notes:   "paper: extra copies evict useful blocks and worsen miss rates",
+		Reports: append(append(base, one...), two...),
+	}, nil
+}
+
+// Fig5 — loads with replica under vertical (distance N/2) vs horizontal
+// (distance 0) replication, ICR-P-PS(S).
+func Fig5(o Options) (*Result, error) {
+	m := o.machine()
+	sets := m.DL1Sets()
+	vertical, err := runAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+		r.Repl = aggressiveRepl(sets)
+	})
+	if err != nil {
+		return nil, err
+	}
+	horizontal, err := runAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+		r.Repl = aggressiveRepl(sets)
+		r.Repl.Distances = core.HorizontalDistances()
+	})
+	if err != nil {
+		return nil, err
+	}
+	lwr := func(r *metrics.Report) float64 { return r.LoadsWithReplica() }
+	return &Result{
+		ID:     "fig5",
+		Title:  "Loads with replica: vertical (N/2) vs horizontal (0) replication, ICR-P-PS(S)",
+		XLabel: "benchmark",
+		XTicks: workload.Names(),
+		Series: []Series{
+			{Label: "vertical (N/2)", Values: values(vertical, lwr)},
+			{Label: "horizontal (0)", Values: values(horizontal, lwr)},
+		},
+		Notes:   "paper: little difference between the two placements",
+		Reports: append(vertical, horizontal...),
+	}, nil
+}
+
+// Fig6 — replication ability for the LS vs S triggers.
+func Fig6(o Options) (*Result, error) {
+	m := o.machine()
+	sets := m.DL1Sets()
+	var series []Series
+	var all []*metrics.Report
+	for _, trigger := range []core.ReplTrigger{core.ReplLoadsStores, core.ReplStores} {
+		reports, err := runAll(o, icrPS(trigger), func(r *config.Run) {
+			r.Repl = aggressiveRepl(sets)
+		})
+		if err != nil {
+			return nil, err
+		}
+		series = append(series, Series{
+			Label:  "ICR-*(" + trigger.String() + ")",
+			Values: values(reports, func(r *metrics.Report) float64 { return r.ReplAbility() }),
+		})
+		all = append(all, reports...)
+	}
+	return &Result{
+		ID:      "fig6",
+		Title:   "Replication ability: ICR-*(LS) vs ICR-*(S)",
+		XLabel:  "benchmark",
+		XTicks:  workload.Names(),
+		Series:  series,
+		Notes:   "paper: LS replicates more data than S",
+		Reports: all,
+	}, nil
+}
+
+// Fig7 — loads with replica for the LS vs S triggers.
+func Fig7(o Options) (*Result, error) {
+	m := o.machine()
+	sets := m.DL1Sets()
+	var series []Series
+	var all []*metrics.Report
+	for _, trigger := range []core.ReplTrigger{core.ReplLoadsStores, core.ReplStores} {
+		reports, err := runAll(o, icrPS(trigger), func(r *config.Run) {
+			r.Repl = aggressiveRepl(sets)
+		})
+		if err != nil {
+			return nil, err
+		}
+		series = append(series, Series{
+			Label:  "ICR-*(" + trigger.String() + ")",
+			Values: values(reports, func(r *metrics.Report) float64 { return r.LoadsWithReplica() }),
+		})
+		all = append(all, reports...)
+	}
+	return &Result{
+		ID:      "fig7",
+		Title:   "Loads with replica: ICR-*(LS) vs ICR-*(S)",
+		XLabel:  "benchmark",
+		XTicks:  workload.Names(),
+		Series:  series,
+		Notes:   "paper: >65% for S, >90% for LS; near-total duplication in mcf",
+		Reports: all,
+	}, nil
+}
+
+// Fig8 — dL1 miss rates for the Base schemes vs ICR with LS and S triggers.
+func Fig8(o Options) (*Result, error) {
+	m := o.machine()
+	sets := m.DL1Sets()
+	base, err := runAll(o, core.BaseP(), nil)
+	if err != nil {
+		return nil, err
+	}
+	ls, err := runAll(o, icrPS(core.ReplLoadsStores), func(r *config.Run) {
+		r.Repl = aggressiveRepl(sets)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s, err := runAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+		r.Repl = aggressiveRepl(sets)
+	})
+	if err != nil {
+		return nil, err
+	}
+	miss := func(r *metrics.Report) float64 { return r.DL1MissRate() }
+	return &Result{
+		ID:     "fig8",
+		Title:  "dL1 miss rates: Base vs ICR-*(LS) vs ICR-*(S)",
+		XLabel: "benchmark",
+		XTicks: workload.Names(),
+		Series: []Series{
+			{Label: "Base*", Values: values(base, miss)},
+			{Label: "ICR-*(LS)", Values: values(ls, miss)},
+			{Label: "ICR-*(S)", Values: values(s, miss)},
+		},
+		Notes:   "paper: both triggers raise misses, LS more than S",
+		Reports: append(append(base, ls...), s...),
+	}, nil
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// icrPS returns the workhorse ICR-P-PS scheme with the given trigger.
+func icrPS(trigger core.ReplTrigger) core.Scheme {
+	return core.ICR(core.ParityProt, core.LookupSerial, trigger)
+}
+
+// aggressiveRepl is the §5.1-5.2 replication setup: decay window 0 (a block
+// is dead as soon as its access completes) with the dead-only victim
+// policy and a single vertical (distance N/2) attempt.
+func aggressiveRepl(sets int) core.ReplConfig {
+	return core.ReplConfig{
+		Distances:   core.VerticalDistances(sets),
+		Replicas:    1,
+		Victim:      core.DeadOnly,
+		DecayWindow: 0,
+	}
+}
+
+// relaxedRepl is the §5.4+ setup: 1000-cycle decay window with the
+// dead-first victim policy.
+func relaxedRepl(sets int) core.ReplConfig {
+	return core.ReplConfig{
+		Distances:   core.VerticalDistances(sets),
+		Replicas:    1,
+		Victim:      core.DeadFirst,
+		DecayWindow: 1000,
+	}
+}
+
+// runAll simulates one scheme configuration across the eight benchmarks.
+func runAll(o Options, scheme core.Scheme, mutate func(*config.Run)) ([]*metrics.Report, error) {
+	return sim.SimulateAll(o.machine(), scheme, func(r *config.Run) {
+		o.apply(r)
+		if mutate != nil {
+			mutate(r)
+		}
+	})
+}
+
+// runOne simulates one benchmark under one configuration.
+func runOne(o Options, bench string, scheme core.Scheme, mutate func(*config.Run)) (*metrics.Report, error) {
+	r := config.NewRun(bench, scheme)
+	o.apply(&r)
+	if mutate != nil {
+		mutate(&r)
+	}
+	return sim.Simulate(o.machine(), r)
+}
+
+// values extracts one metric per report.
+func values(reports []*metrics.Report, f func(*metrics.Report) float64) []float64 {
+	out := make([]float64, len(reports))
+	for i, r := range reports {
+		out[i] = f(r)
+	}
+	return out
+}
+
+// ratios divides each report's metric by the matching baseline report's.
+func ratios(reports, base []*metrics.Report, f func(*metrics.Report) float64) []float64 {
+	out := make([]float64, len(reports))
+	for i := range reports {
+		b := f(base[i])
+		if b != 0 {
+			out[i] = f(reports[i]) / b
+		}
+	}
+	return out
+}
+
+// benchTicks returns the benchmark names plus a trailing geometric-mean
+// column label.
+func benchTicks() []string {
+	return append(workload.Names(), "geomean")
+}
+
+// withGeoMean appends the geometric mean to a per-benchmark value slice.
+func withGeoMean(vals []float64) []float64 {
+	return append(vals, sim.GeoMean(vals))
+}
+
+func cycles(r *metrics.Report) float64 { return float64(r.Cycles) }

@@ -1,0 +1,163 @@
+// Package fault implements the transient-error injection machinery of the
+// paper's §5.5: errors are injected into the L1 data-cache array "at each
+// clock cycle based on a constant probability", under the four spatial
+// models of Kim & Somani (direct, adjacent, column, random).
+//
+// The per-cycle Bernoulli process is sampled with geometric skipping so a
+// simulation does not pay a random draw per cycle: the gap to the next
+// injection event is drawn directly from the geometric distribution.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Model selects the spatial pattern of an injected error.
+type Model uint8
+
+// Injection models (after Kim & Somani). All flip bits in the data array;
+// where the flipped bits land differs:
+const (
+	// Direct flips one random bit of the most recently accessed word.
+	Direct Model = iota + 1
+	// Adjacent flips two horizontally adjacent bits in one random word
+	// (a multi-bit upset within a word).
+	Adjacent
+	// Column flips the same bit position in two vertically adjacent words
+	// of the array (a column upset spanning rows).
+	Column
+	// Random flips one random bit of one random word. This is the model
+	// the paper reports results for (the others behave similarly, §5.5).
+	Random
+)
+
+var modelNames = map[Model]string{
+	Direct:   "direct",
+	Adjacent: "adjacent",
+	Column:   "column",
+	Random:   "random",
+}
+
+// String returns the model's name.
+func (m Model) String() string {
+	if s, ok := modelNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("model(%d)", uint8(m))
+}
+
+// ParseModel converts a name ("direct", "adjacent", "column", "random")
+// into a Model.
+func ParseModel(s string) (Model, error) {
+	for m, name := range modelNames {
+		if name == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("fault: unknown model %q", s)
+}
+
+// Flip identifies one bit to invert: word index within the target array and
+// bit index within that 64-bit word.
+type Flip struct {
+	Word int
+	Bit  int
+}
+
+// Injector produces injection events for a cache data array.
+type Injector struct {
+	model Model
+	prob  float64 // per-cycle injection probability
+	// wordsPerRow is the number of 64-bit words in one physical array row
+	// (used by the Column model to find the vertical neighbour).
+	wordsPerRow int
+	rng         *rand.Rand
+	injected    uint64
+}
+
+// NewInjector returns an injector with the given model, per-cycle
+// probability (0 disables injection), physical row width in 64-bit words,
+// and RNG seed.
+func NewInjector(model Model, prob float64, wordsPerRow int, seed int64) *Injector {
+	if prob < 0 || prob > 1 {
+		panic("fault: probability must be in [0,1]")
+	}
+	if wordsPerRow <= 0 {
+		wordsPerRow = 1
+	}
+	return &Injector{
+		model:       model,
+		prob:        prob,
+		wordsPerRow: wordsPerRow,
+		rng:         rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Enabled reports whether the injector can ever fire.
+func (in *Injector) Enabled() bool { return in.prob > 0 }
+
+// Injected returns how many injection events have been generated.
+func (in *Injector) Injected() uint64 { return in.injected }
+
+// NextAfter returns the cycle of the next injection event strictly after
+// now, drawn from the geometric inter-arrival distribution of a per-cycle
+// Bernoulli(prob) process. If injection is disabled it returns the maximum
+// uint64 (never).
+func (in *Injector) NextAfter(now uint64) uint64 {
+	if in.prob <= 0 {
+		return math.MaxUint64
+	}
+	if in.prob >= 1 {
+		return now + 1
+	}
+	// Geometric: P(gap = k) = (1-p)^(k-1) p, k >= 1.
+	u := in.rng.Float64()
+	for u == 0 {
+		u = in.rng.Float64()
+	}
+	gap := uint64(math.Ceil(math.Log(u) / math.Log(1-in.prob)))
+	if gap < 1 {
+		gap = 1
+	}
+	return now + gap
+}
+
+// Flips generates the bit flips for one injection event against an array of
+// wordCount valid 64-bit words. lastAccessed is the word index of the most
+// recent access (-1 if none; the Direct model then falls back to a random
+// word). It returns nil if the array is empty.
+func (in *Injector) Flips(wordCount, lastAccessed int) []Flip {
+	if wordCount <= 0 {
+		return nil
+	}
+	in.injected++
+	bit := in.rng.Intn(64)
+	switch in.model {
+	case Direct:
+		w := lastAccessed
+		if w < 0 || w >= wordCount {
+			w = in.rng.Intn(wordCount)
+		}
+		return []Flip{{Word: w, Bit: bit}}
+	case Adjacent:
+		w := in.rng.Intn(wordCount)
+		b2 := bit + 1
+		if b2 > 63 {
+			b2 = bit - 1
+		}
+		return []Flip{{Word: w, Bit: bit}, {Word: w, Bit: b2}}
+	case Column:
+		w := in.rng.Intn(wordCount)
+		w2 := (w + in.wordsPerRow) % wordCount
+		if w2 == w {
+			return []Flip{{Word: w, Bit: bit}}
+		}
+		return []Flip{{Word: w, Bit: bit}, {Word: w2, Bit: bit}}
+	case Random:
+		return []Flip{{Word: in.rng.Intn(wordCount), Bit: bit}}
+	default:
+		panic(fmt.Sprintf("fault: invalid model %d", in.model))
+	}
+}

@@ -1,0 +1,186 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+func TestModelString(t *testing.T) {
+	for m, want := range map[Model]string{
+		Direct: "direct", Adjacent: "adjacent", Column: "column", Random: "random",
+	} {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q, want %q", m, m.String(), want)
+		}
+	}
+	if Model(9).String() == "" {
+		t.Error("unknown model should stringify")
+	}
+}
+
+func TestParseModel(t *testing.T) {
+	for _, name := range []string{"direct", "adjacent", "column", "random"} {
+		m, err := ParseModel(name)
+		if err != nil {
+			t.Errorf("ParseModel(%q) error: %v", name, err)
+		}
+		if m.String() != name {
+			t.Errorf("round trip failed for %q", name)
+		}
+	}
+	if _, err := ParseModel("bogus"); err == nil {
+		t.Error("ParseModel should reject unknown names")
+	}
+}
+
+func TestDisabledInjectorNeverFires(t *testing.T) {
+	in := NewInjector(Random, 0, 8, 1)
+	if in.Enabled() {
+		t.Error("prob=0 injector should be disabled")
+	}
+	if got := in.NextAfter(100); got != math.MaxUint64 {
+		t.Errorf("NextAfter = %d, want MaxUint64", got)
+	}
+}
+
+func TestNextAfterGeometricMean(t *testing.T) {
+	// Mean inter-arrival of a Bernoulli(p) process is 1/p; check the
+	// sampled mean is within 10% for p = 1/100.
+	p := 0.01
+	in := NewInjector(Random, p, 8, 7)
+	var sum float64
+	const n = 20000
+	now := uint64(0)
+	for i := 0; i < n; i++ {
+		next := in.NextAfter(now)
+		sum += float64(next - now)
+		now = next
+	}
+	mean := sum / n
+	if mean < 90 || mean > 110 {
+		t.Errorf("geometric mean gap = %.1f, want ~100", mean)
+	}
+}
+
+func TestNextAfterAlwaysAdvances(t *testing.T) {
+	in := NewInjector(Random, 0.9, 8, 3)
+	now := uint64(5)
+	for i := 0; i < 1000; i++ {
+		next := in.NextAfter(now)
+		if next <= now {
+			t.Fatalf("NextAfter(%d) = %d did not advance", now, next)
+		}
+		now = next
+	}
+	// Certain injection advances exactly one cycle.
+	in2 := NewInjector(Random, 1, 8, 3)
+	if got := in2.NextAfter(10); got != 11 {
+		t.Errorf("prob=1 NextAfter(10) = %d, want 11", got)
+	}
+}
+
+func TestFlipsEmptyArray(t *testing.T) {
+	in := NewInjector(Random, 0.5, 8, 1)
+	if got := in.Flips(0, -1); got != nil {
+		t.Errorf("Flips on empty array = %v, want nil", got)
+	}
+}
+
+func TestFlipsPerModel(t *testing.T) {
+	const words = 64
+	cases := []struct {
+		model     Model
+		wantFlips int
+	}{
+		{Direct, 1}, {Adjacent, 2}, {Column, 2}, {Random, 1},
+	}
+	for _, c := range cases {
+		in := NewInjector(c.model, 0.5, 8, 11)
+		for trial := 0; trial < 200; trial++ {
+			flips := in.Flips(words, 5)
+			if len(flips) != c.wantFlips {
+				t.Fatalf("%v: got %d flips, want %d", c.model, len(flips), c.wantFlips)
+			}
+			for _, f := range flips {
+				if f.Word < 0 || f.Word >= words || f.Bit < 0 || f.Bit > 63 {
+					t.Fatalf("%v: flip out of range: %+v", c.model, f)
+				}
+			}
+		}
+	}
+}
+
+func TestDirectTargetsLastAccessed(t *testing.T) {
+	in := NewInjector(Direct, 0.5, 8, 2)
+	for trial := 0; trial < 100; trial++ {
+		flips := in.Flips(100, 42)
+		if flips[0].Word != 42 {
+			t.Fatalf("direct model hit word %d, want 42", flips[0].Word)
+		}
+	}
+	// Without a last access it must still produce a valid word.
+	flips := in.Flips(100, -1)
+	if flips[0].Word < 0 || flips[0].Word >= 100 {
+		t.Errorf("fallback word out of range: %d", flips[0].Word)
+	}
+}
+
+func TestAdjacentBitsAreAdjacent(t *testing.T) {
+	in := NewInjector(Adjacent, 0.5, 8, 4)
+	for trial := 0; trial < 200; trial++ {
+		flips := in.Flips(16, -1)
+		if flips[0].Word != flips[1].Word {
+			t.Fatal("adjacent model must stay within one word")
+		}
+		d := flips[0].Bit - flips[1].Bit
+		if d != 1 && d != -1 {
+			t.Fatalf("bits %d and %d are not adjacent", flips[0].Bit, flips[1].Bit)
+		}
+	}
+}
+
+func TestColumnSameBitDifferentWord(t *testing.T) {
+	in := NewInjector(Column, 0.5, 8, 5)
+	for trial := 0; trial < 200; trial++ {
+		flips := in.Flips(64, -1)
+		if len(flips) != 2 {
+			t.Fatal("column model should produce two flips")
+		}
+		if flips[0].Bit != flips[1].Bit {
+			t.Fatal("column flips must share the bit position")
+		}
+		if flips[0].Word == flips[1].Word {
+			t.Fatal("column flips must hit different words")
+		}
+		if (flips[0].Word+8)%64 != flips[1].Word {
+			t.Fatalf("column neighbour wrong: %d -> %d", flips[0].Word, flips[1].Word)
+		}
+	}
+}
+
+func TestColumnDegeneratesWithOneWord(t *testing.T) {
+	in := NewInjector(Column, 0.5, 8, 6)
+	flips := in.Flips(1, -1)
+	if len(flips) != 1 {
+		t.Errorf("single-word column injection should degrade to 1 flip, got %d", len(flips))
+	}
+}
+
+func TestInjectedCounter(t *testing.T) {
+	in := NewInjector(Random, 0.5, 8, 9)
+	for i := 0; i < 5; i++ {
+		in.Flips(10, -1)
+	}
+	if in.Injected() != 5 {
+		t.Errorf("Injected = %d, want 5", in.Injected())
+	}
+}
+
+func TestInvalidProbPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative probability should panic")
+		}
+	}()
+	NewInjector(Random, -0.1, 8, 1)
+}

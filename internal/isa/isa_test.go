@@ -1,0 +1,120 @@
+package isa
+
+import "testing"
+
+func TestOpString(t *testing.T) {
+	if OpLoad.String() != "load" {
+		t.Errorf("OpLoad.String() = %q", OpLoad.String())
+	}
+	if Op(200).String() == "" {
+		t.Error("unknown op should have a non-empty string")
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	for _, o := range []Op{OpLoad, OpStore} {
+		if !o.IsMem() {
+			t.Errorf("%v should be memory op", o)
+		}
+		if o.IsCtrl() {
+			t.Errorf("%v should not be control op", o)
+		}
+	}
+	for _, o := range []Op{OpBranch, OpJump, OpCall, OpReturn} {
+		if !o.IsCtrl() {
+			t.Errorf("%v should be control op", o)
+		}
+		if o.IsMem() {
+			t.Errorf("%v should not be memory op", o)
+		}
+	}
+	if OpInvalid.Valid() {
+		t.Error("OpInvalid should not be Valid")
+	}
+	if !OpIntALU.Valid() || !OpReturn.Valid() {
+		t.Error("defined ops should be Valid")
+	}
+	if Op(100).Valid() {
+		t.Error("out-of-range op should not be Valid")
+	}
+}
+
+func TestNextPC(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want uint64
+	}{
+		{Inst{PC: 100, Op: OpIntALU}, 104},
+		{Inst{PC: 100, Op: OpBranch, Taken: false, Target: 200}, 104},
+		{Inst{PC: 100, Op: OpBranch, Taken: true, Target: 200}, 200},
+		{Inst{PC: 100, Op: OpJump, Taken: true, Target: 48}, 48},
+		{Inst{PC: 100, Op: OpLoad, Taken: true, Target: 200}, 104}, // non-ctrl ignores Taken
+	}
+	for _, c := range cases {
+		if got := c.in.NextPC(); got != c.want {
+			t.Errorf("NextPC(%+v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSliceStream(t *testing.T) {
+	insts := []Inst{
+		{PC: 0, Op: OpIntALU},
+		{PC: 4, Op: OpLoad, Addr: 64},
+		{PC: 8, Op: OpBranch, Taken: true, Target: 0},
+	}
+	s := NewSliceStream(insts)
+	for i := range insts {
+		got, ok := s.Next()
+		if !ok {
+			t.Fatalf("Next %d: stream ended early", i)
+		}
+		if got != insts[i] {
+			t.Fatalf("Next %d: got %+v, want %+v", i, got, insts[i])
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Error("stream should be exhausted")
+	}
+	s.Reset()
+	if got, ok := s.Next(); !ok || got.PC != 0 {
+		t.Error("Reset should rewind the stream")
+	}
+}
+
+func TestLimitStream(t *testing.T) {
+	base := make([]Inst, 10)
+	for i := range base {
+		base[i] = Inst{PC: uint64(4 * i), Op: OpIntALU}
+	}
+	s := Limit(NewSliceStream(base), 3)
+	var n int
+	for {
+		_, ok := s.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 3 {
+		t.Errorf("limited stream yielded %d instructions, want 3", n)
+	}
+	// A second Next after exhaustion stays exhausted.
+	if _, ok := s.Next(); ok {
+		t.Error("exhausted limit stream should stay exhausted")
+	}
+
+	// Limit larger than the underlying stream.
+	s2 := Limit(NewSliceStream(base[:2]), 100)
+	n = 0
+	for {
+		_, ok := s2.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 2 {
+		t.Errorf("limit beyond underlying length yielded %d, want 2", n)
+	}
+}

@@ -1,0 +1,232 @@
+// Package metrics defines the per-run report structure shared by the
+// simulator, the experiment drivers, and the CLI tools. The derived ratios
+// match the paper's evaluation metrics (§4.1): execution cycles, replication
+// ability, loads with replica, miss rate, energy, and (for §5.5) the
+// fraction of unrecoverable loads.
+package metrics
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Report holds every counter a single simulation run produces.
+type Report struct {
+	Benchmark string
+	Scheme    string
+
+	Instructions uint64
+	Cycles       uint64
+
+	// Data-L1 activity.
+	DL1Reads       uint64 // load accesses
+	DL1ReadHits    uint64
+	DL1ReadMisses  uint64
+	DL1Writes      uint64 // store accesses
+	DL1WriteHits   uint64
+	DL1WriteMisses uint64
+	DL1Writebacks  uint64
+
+	// L2 / memory activity.
+	L2Accesses  uint64
+	L2Misses    uint64
+	MemAccesses uint64
+
+	// Instruction-L1 activity.
+	IL1Fetches uint64
+	IL1Misses  uint64
+
+	// Branch prediction.
+	Branches    uint64
+	Mispredicts uint64
+
+	// ICR replication.
+	ReplAttempts        uint64 // operations at which replication was attempted
+	ReplSuccesses       uint64 // attempts that left >= 1 replica in place
+	ReplDoubles         uint64 // attempts that left >= 2 replicas in place
+	ReadHitsWithReplica uint64 // read hits that found a replica resident
+	ReplicaServedMisses uint64 // primary misses satisfied by a leftover replica
+	ReplicaEvictions    uint64 // replicas displaced (by fills or other replicas)
+	DeadEvictions       uint64 // dead blocks displaced to make room for replicas
+
+	// Error behaviour.
+	ErrorsInjected       uint64
+	ErrorsDetected       uint64 // checks that flagged an access
+	RecoveredByECC       uint64
+	RecoveredByReplica   uint64
+	RecoveredByDuplicate uint64 // repaired from a separate duplication cache
+	RecoveredByL2        uint64 // clean block refetched from below
+	UnrecoverableLoads   uint64 // dirty data lost (detected, no intact copy)
+	SilentWritebacks     uint64 // corrupted dirty lines written back undetected
+
+	// ReadHitsWithDuplicate counts read hits whose block also had a copy
+	// in the attached duplication cache (the Kim & Somani baseline).
+	ReadHitsWithDuplicate uint64
+
+	// VulnerableLineCycles accumulates line-cycles of dirty data whose
+	// only protection was parity (no ECC, no replica): an injection-free
+	// architectural-vulnerability measure.
+	VulnerableLineCycles uint64
+
+	// Scrubber activity (when enabled).
+	ScrubChecks   uint64
+	ScrubErrors   uint64
+	ScrubRepaired uint64
+	ScrubLost     uint64
+
+	// Energy (nJ).
+	EnergyL1     float64
+	EnergyL2     float64
+	EnergyChecks float64
+	EnergyRCache float64
+}
+
+// IPC returns instructions per cycle.
+func (r *Report) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// DL1Accesses returns total data-cache accesses.
+func (r *Report) DL1Accesses() uint64 { return r.DL1Reads + r.DL1Writes }
+
+// DL1MissRate returns the paper's dL1 miss rate: (read+write misses) over
+// all dL1 accesses.
+func (r *Report) DL1MissRate() float64 {
+	a := r.DL1Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(r.DL1ReadMisses+r.DL1WriteMisses) / float64(a)
+}
+
+// ReplAbility returns the fraction of replication attempts that succeeded
+// (§4.1 "Replication Ability").
+func (r *Report) ReplAbility() float64 {
+	if r.ReplAttempts == 0 {
+		return 0
+	}
+	return float64(r.ReplSuccesses) / float64(r.ReplAttempts)
+}
+
+// ReplDoubleAbility returns the fraction of attempts that created at least
+// two replicas (Figure 3).
+func (r *Report) ReplDoubleAbility() float64 {
+	if r.ReplAttempts == 0 {
+		return 0
+	}
+	return float64(r.ReplDoubles) / float64(r.ReplAttempts)
+}
+
+// LoadsWithReplica returns the fraction of read hits that found a replica
+// resident (§4.1 "Loads with Replica").
+func (r *Report) LoadsWithReplica() float64 {
+	if r.DL1ReadHits == 0 {
+		return 0
+	}
+	return float64(r.ReadHitsWithReplica) / float64(r.DL1ReadHits)
+}
+
+// UnrecoverableFrac returns unrecoverable loads as a fraction of all loads
+// (Figure 14).
+func (r *Report) UnrecoverableFrac() float64 {
+	if r.DL1Reads == 0 {
+		return 0
+	}
+	return float64(r.UnrecoverableLoads) / float64(r.DL1Reads)
+}
+
+// MispredictRate returns branch mispredictions per branch.
+func (r *Report) MispredictRate() float64 {
+	if r.Branches == 0 {
+		return 0
+	}
+	return float64(r.Mispredicts) / float64(r.Branches)
+}
+
+// TotalEnergy returns the L1+L2+check+r-cache dynamic energy in nJ.
+func (r *Report) TotalEnergy() float64 {
+	return r.EnergyL1 + r.EnergyL2 + r.EnergyChecks + r.EnergyRCache
+}
+
+// VulnerabilityPerLine returns the average fraction of time a cache line
+// spent vulnerable (dirty, parity-only, unreplicated), normalized by the
+// run length and a 256-line dL1.
+func (r *Report) VulnerabilityPerLine(lines int) float64 {
+	if r.Cycles == 0 || lines <= 0 {
+		return 0
+	}
+	return float64(r.VulnerableLineCycles) / (float64(r.Cycles) * float64(lines))
+}
+
+// LoadsWithDuplicate returns the fraction of read hits that had a copy in
+// the attached duplication cache.
+func (r *Report) LoadsWithDuplicate() float64 {
+	if r.DL1ReadHits == 0 {
+		return 0
+	}
+	return float64(r.ReadHitsWithDuplicate) / float64(r.DL1ReadHits)
+}
+
+// String renders a human-readable report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "benchmark=%s scheme=%s\n", r.Benchmark, r.Scheme)
+	fmt.Fprintf(&b, "  instructions      %12d\n", r.Instructions)
+	fmt.Fprintf(&b, "  cycles            %12d  (IPC %.3f)\n", r.Cycles, r.IPC())
+	fmt.Fprintf(&b, "  dL1 reads         %12d  (hits %d, misses %d)\n", r.DL1Reads, r.DL1ReadHits, r.DL1ReadMisses)
+	fmt.Fprintf(&b, "  dL1 writes        %12d  (hits %d, misses %d)\n", r.DL1Writes, r.DL1WriteHits, r.DL1WriteMisses)
+	fmt.Fprintf(&b, "  dL1 miss rate     %12.4f\n", r.DL1MissRate())
+	fmt.Fprintf(&b, "  dL1 writebacks    %12d\n", r.DL1Writebacks)
+	fmt.Fprintf(&b, "  L2 accesses       %12d  (misses %d)\n", r.L2Accesses, r.L2Misses)
+	fmt.Fprintf(&b, "  iL1 fetches       %12d  (misses %d)\n", r.IL1Fetches, r.IL1Misses)
+	fmt.Fprintf(&b, "  branches          %12d  (mispredict rate %.4f)\n", r.Branches, r.MispredictRate())
+	fmt.Fprintf(&b, "  repl ability      %12.4f  (%d/%d, doubles %d)\n", r.ReplAbility(), r.ReplSuccesses, r.ReplAttempts, r.ReplDoubles)
+	fmt.Fprintf(&b, "  loads w/ replica  %12.4f  (%d/%d read hits)\n", r.LoadsWithReplica(), r.ReadHitsWithReplica, r.DL1ReadHits)
+	fmt.Fprintf(&b, "  replica-served misses %8d\n", r.ReplicaServedMisses)
+	if r.ErrorsInjected > 0 {
+		fmt.Fprintf(&b, "  errors injected   %12d  (detected %d)\n", r.ErrorsInjected, r.ErrorsDetected)
+		fmt.Fprintf(&b, "  recovered         ecc=%d replica=%d dup=%d l2=%d\n", r.RecoveredByECC, r.RecoveredByReplica, r.RecoveredByDuplicate, r.RecoveredByL2)
+		fmt.Fprintf(&b, "  unrecoverable     %12d  (%.6f of loads)\n", r.UnrecoverableLoads, r.UnrecoverableFrac())
+	}
+	fmt.Fprintf(&b, "  energy (nJ)       L1=%.1f L2=%.1f checks=%.1f total=%.1f\n",
+		r.EnergyL1, r.EnergyL2, r.EnergyChecks, r.TotalEnergy())
+	return b.String()
+}
+
+// csvColumns defines the CSV schema shared by CSVHeader and CSVRow.
+var csvColumns = []string{
+	"benchmark", "scheme", "instructions", "cycles", "ipc",
+	"dl1_reads", "dl1_read_hits", "dl1_read_misses",
+	"dl1_writes", "dl1_write_hits", "dl1_write_misses",
+	"dl1_miss_rate", "dl1_writebacks", "l2_accesses", "l2_misses",
+	"branches", "mispredicts",
+	"repl_attempts", "repl_successes", "repl_doubles", "repl_ability",
+	"read_hits_with_replica", "loads_with_replica", "replica_served_misses",
+	"errors_injected", "errors_detected", "unrecoverable_loads", "unrecoverable_frac",
+	"energy_l1", "energy_l2", "energy_checks", "energy_total",
+}
+
+// CSVHeader returns the CSV header line for Report rows.
+func CSVHeader() string { return strings.Join(csvColumns, ",") }
+
+// CSVRow renders the report as one CSV line matching CSVHeader.
+func (r *Report) CSVRow() string {
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	fields := []string{
+		r.Benchmark, r.Scheme, u(r.Instructions), u(r.Cycles), f(r.IPC()),
+		u(r.DL1Reads), u(r.DL1ReadHits), u(r.DL1ReadMisses),
+		u(r.DL1Writes), u(r.DL1WriteHits), u(r.DL1WriteMisses),
+		f(r.DL1MissRate()), u(r.DL1Writebacks), u(r.L2Accesses), u(r.L2Misses),
+		u(r.Branches), u(r.Mispredicts),
+		u(r.ReplAttempts), u(r.ReplSuccesses), u(r.ReplDoubles), f(r.ReplAbility()),
+		u(r.ReadHitsWithReplica), f(r.LoadsWithReplica()), u(r.ReplicaServedMisses),
+		u(r.ErrorsInjected), u(r.ErrorsDetected), u(r.UnrecoverableLoads), f(r.UnrecoverableFrac()),
+		f(r.EnergyL1), f(r.EnergyL2), f(r.EnergyChecks), f(r.TotalEnergy()),
+	}
+	return strings.Join(fields, ",")
+}

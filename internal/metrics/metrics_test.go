@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		Benchmark:    "vpr",
+		Scheme:       "ICR-P-PS(S)",
+		Instructions: 1000,
+		Cycles:       2000,
+		DL1Reads:     250, DL1ReadHits: 240, DL1ReadMisses: 10,
+		DL1Writes: 100, DL1WriteHits: 95, DL1WriteMisses: 5,
+		Branches: 150, Mispredicts: 15,
+		ReplAttempts: 100, ReplSuccesses: 60, ReplDoubles: 12,
+		ReadHitsWithReplica: 120,
+		ErrorsInjected:      4, ErrorsDetected: 3,
+		UnrecoverableLoads: 1,
+		EnergyL1:           10, EnergyL2: 20, EnergyChecks: 5,
+	}
+}
+
+func TestDerivedRatios(t *testing.T) {
+	r := sampleReport()
+	if got := r.IPC(); got != 0.5 {
+		t.Errorf("IPC = %g, want 0.5", got)
+	}
+	if got := r.DL1MissRate(); got != 15.0/350.0 {
+		t.Errorf("DL1MissRate = %g", got)
+	}
+	if got := r.ReplAbility(); got != 0.6 {
+		t.Errorf("ReplAbility = %g, want 0.6", got)
+	}
+	if got := r.ReplDoubleAbility(); got != 0.12 {
+		t.Errorf("ReplDoubleAbility = %g, want 0.12", got)
+	}
+	if got := r.LoadsWithReplica(); got != 0.5 {
+		t.Errorf("LoadsWithReplica = %g, want 0.5", got)
+	}
+	if got := r.UnrecoverableFrac(); got != 1.0/250.0 {
+		t.Errorf("UnrecoverableFrac = %g", got)
+	}
+	if got := r.MispredictRate(); got != 0.1 {
+		t.Errorf("MispredictRate = %g, want 0.1", got)
+	}
+	if got := r.TotalEnergy(); got != 35 {
+		t.Errorf("TotalEnergy = %g, want 35", got)
+	}
+}
+
+func TestZeroDivisionSafety(t *testing.T) {
+	r := &Report{}
+	checks := map[string]float64{
+		"IPC":               r.IPC(),
+		"DL1MissRate":       r.DL1MissRate(),
+		"ReplAbility":       r.ReplAbility(),
+		"ReplDoubleAbility": r.ReplDoubleAbility(),
+		"LoadsWithReplica":  r.LoadsWithReplica(),
+		"UnrecoverableFrac": r.UnrecoverableFrac(),
+		"MispredictRate":    r.MispredictRate(),
+	}
+	for name, v := range checks {
+		if v != 0 {
+			t.Errorf("%s on empty report = %g, want 0", name, v)
+		}
+	}
+}
+
+func TestStringContainsKeyFields(t *testing.T) {
+	s := sampleReport().String()
+	for _, want := range []string{"vpr", "ICR-P-PS(S)", "repl ability", "loads w/ replica", "unrecoverable"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCSVShapeMatchesHeader(t *testing.T) {
+	header := CSVHeader()
+	row := sampleReport().CSVRow()
+	nh := len(strings.Split(header, ","))
+	nr := len(strings.Split(row, ","))
+	if nh != nr {
+		t.Errorf("header has %d columns, row has %d", nh, nr)
+	}
+	if !strings.HasPrefix(row, "vpr,ICR-P-PS(S),1000,2000,") {
+		t.Errorf("unexpected row prefix: %s", row)
+	}
+}
+
+func TestStringWithErrorSection(t *testing.T) {
+	r := sampleReport()
+	s := r.String()
+	if !strings.Contains(s, "errors injected") || !strings.Contains(s, "recovered") {
+		t.Errorf("error section missing:\n%s", s)
+	}
+	r.ErrorsInjected = 0
+	if strings.Contains(r.String(), "errors injected") {
+		t.Error("error section should be omitted without injection")
+	}
+}
+
+func TestDuplicateAndVulnerabilityDerived(t *testing.T) {
+	r := &Report{DL1ReadHits: 200, ReadHitsWithDuplicate: 50}
+	if got := r.LoadsWithDuplicate(); got != 0.25 {
+		t.Errorf("LoadsWithDuplicate = %g, want 0.25", got)
+	}
+	r2 := &Report{Cycles: 1000, VulnerableLineCycles: 128_000}
+	if got := r2.VulnerabilityPerLine(256); got != 0.5 {
+		t.Errorf("VulnerabilityPerLine = %g, want 0.5", got)
+	}
+	var zero Report
+	if zero.LoadsWithDuplicate() != 0 || zero.VulnerabilityPerLine(256) != 0 {
+		t.Error("zero reports must not divide by zero")
+	}
+	if zero.VulnerabilityPerLine(0) != 0 {
+		t.Error("zero lines must not divide by zero")
+	}
+}
+
+func TestTotalEnergyIncludesRCache(t *testing.T) {
+	r := &Report{EnergyL1: 1, EnergyL2: 2, EnergyChecks: 3, EnergyRCache: 4}
+	if got := r.TotalEnergy(); got != 10 {
+		t.Errorf("TotalEnergy = %g, want 10", got)
+	}
+}

@@ -1,0 +1,148 @@
+// Package rcache implements the comparison point the paper positions ICR
+// against (Kim & Somani, ISCA 1999 — reference [11]): a small *separate*
+// replication cache next to the dL1 that holds duplicates of recently used
+// lines. A parity error in the dL1 is repaired from the r-cache on a hit.
+//
+// The paper's argument is that ICR gets the same "hot data is duplicated"
+// effect without a separate array: "we do not need a separate cache for
+// achieving this compared to that needed by [11]" (§5.2). This package
+// exists so that claim can be measured rather than asserted: the simulator
+// can attach an r-cache to a Base scheme and compare duplicate coverage,
+// recovery, area, and energy against in-cache replication.
+package rcache
+
+import "fmt"
+
+// Stats counts r-cache events.
+type Stats struct {
+	Puts      uint64
+	PutHits   uint64 // puts that refreshed an existing duplicate
+	Probes    uint64
+	ProbeHits uint64
+	Evictions uint64
+}
+
+// HitRate returns ProbeHits/Probes.
+func (s *Stats) HitRate() float64 {
+	if s.Probes == 0 {
+		return 0
+	}
+	return float64(s.ProbeHits) / float64(s.Probes)
+}
+
+type line struct {
+	valid     bool
+	blockAddr uint64
+	lru       uint64
+	data      []byte
+}
+
+// Cache is a small set-associative duplication cache. Lines hold full
+// copies of dL1 blocks; the array is assumed internally protected (it is
+// small enough that ECC on it is cheap, per Kim & Somani).
+type Cache struct {
+	sets      int
+	assoc     int
+	blockSize int
+	lines     []line
+	clock     uint64
+	stats     Stats
+}
+
+// New builds an r-cache of the given total size. Geometry rules match the
+// main caches: power-of-two sets.
+func New(size, assoc, blockSize int) *Cache {
+	if size <= 0 || assoc <= 0 || blockSize <= 0 {
+		panic("rcache: size, assoc, and block size must be positive")
+	}
+	if size%(assoc*blockSize) != 0 {
+		panic("rcache: size must be a multiple of assoc*blockSize")
+	}
+	sets := size / (assoc * blockSize)
+	if sets&(sets-1) != 0 {
+		panic("rcache: set count must be a power of two")
+	}
+	c := &Cache{
+		sets:      sets,
+		assoc:     assoc,
+		blockSize: blockSize,
+		lines:     make([]line, sets*assoc),
+	}
+	for i := range c.lines {
+		c.lines[i].data = make([]byte, blockSize)
+	}
+	return c
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Size returns the total data capacity in bytes.
+func (c *Cache) Size() int { return c.sets * c.assoc * c.blockSize }
+
+func (c *Cache) set(blockAddr uint64) int { return int(blockAddr & uint64(c.sets-1)) }
+
+func (c *Cache) lookup(blockAddr uint64) *line {
+	base := c.set(blockAddr) * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		ln := &c.lines[base+w]
+		if ln.valid && ln.blockAddr == blockAddr {
+			return ln
+		}
+	}
+	return nil
+}
+
+// Put stores a duplicate of a block (called on dL1 fills and stores). The
+// data is copied.
+func (c *Cache) Put(blockAddr uint64, data []byte) {
+	if len(data) != c.blockSize {
+		panic(fmt.Sprintf("rcache: block size mismatch: %d != %d", len(data), c.blockSize))
+	}
+	c.clock++
+	c.stats.Puts++
+	if ln := c.lookup(blockAddr); ln != nil {
+		c.stats.PutHits++
+		copy(ln.data, data)
+		ln.lru = c.clock
+		return
+	}
+	base := c.set(blockAddr) * c.assoc
+	victim := base
+	for w := 0; w < c.assoc; w++ {
+		ln := &c.lines[base+w]
+		if !ln.valid {
+			victim = base + w
+			break
+		}
+		if ln.lru < c.lines[victim].lru {
+			victim = base + w
+		}
+	}
+	v := &c.lines[victim]
+	if v.valid {
+		c.stats.Evictions++
+	}
+	v.valid = true
+	v.blockAddr = blockAddr
+	v.lru = c.clock
+	copy(v.data, data)
+}
+
+// Get probes for a duplicate of a block and returns a copy of its data.
+func (c *Cache) Get(blockAddr uint64) ([]byte, bool) {
+	c.stats.Probes++
+	ln := c.lookup(blockAddr)
+	if ln == nil {
+		return nil, false
+	}
+	c.stats.ProbeHits++
+	c.clock++
+	ln.lru = c.clock
+	out := make([]byte, c.blockSize)
+	copy(out, ln.data)
+	return out, true
+}
+
+// Contains reports residency without touching LRU or stats.
+func (c *Cache) Contains(blockAddr uint64) bool { return c.lookup(blockAddr) != nil }

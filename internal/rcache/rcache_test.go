@@ -1,0 +1,148 @@
+package rcache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mkData(seed byte) []byte {
+	d := make([]byte, 64)
+	for i := range d {
+		d[i] = seed + byte(i)
+	}
+	return d
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c := New(2<<10, 4, 64)
+	d := mkData(7)
+	c.Put(42, d)
+	got, ok := c.Get(42)
+	if !ok {
+		t.Fatal("duplicate missing")
+	}
+	for i := range d {
+		if got[i] != d[i] {
+			t.Fatalf("byte %d: %d != %d", i, got[i], d[i])
+		}
+	}
+	// Returned slice is a copy.
+	got[0] = 0xff
+	again, _ := c.Get(42)
+	if again[0] == 0xff {
+		t.Error("Get must return a copy")
+	}
+	// Put copies too.
+	d[1] = 0xee
+	again, _ = c.Get(42)
+	if again[1] == 0xee {
+		t.Error("Put must copy")
+	}
+}
+
+func TestMissingBlock(t *testing.T) {
+	c := New(2<<10, 4, 64)
+	if _, ok := c.Get(99); ok {
+		t.Error("empty cache should miss")
+	}
+	if c.Contains(99) {
+		t.Error("Contains should be false")
+	}
+	s := c.Stats()
+	if s.Probes != 1 || s.ProbeHits != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestPutRefreshesExisting(t *testing.T) {
+	c := New(2<<10, 4, 64)
+	c.Put(1, mkData(1))
+	c.Put(1, mkData(2))
+	got, _ := c.Get(1)
+	if got[0] != 2 {
+		t.Errorf("refresh failed: %d", got[0])
+	}
+	s := c.Stats()
+	if s.Puts != 2 || s.PutHits != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2KB, 4-way, 64B blocks: 8 sets. Five blocks in one set.
+	c := New(2<<10, 4, 64)
+	for i := 0; i < 5; i++ {
+		c.Put(uint64(i*8), mkData(byte(i))) // all map to set 0
+	}
+	if c.Contains(0) {
+		t.Error("LRU duplicate should have been evicted")
+	}
+	for i := 1; i < 5; i++ {
+		if !c.Contains(uint64(i * 8)) {
+			t.Errorf("block %d lost", i)
+		}
+	}
+	if c.Stats().Evictions != 1 {
+		t.Errorf("evictions = %d", c.Stats().Evictions)
+	}
+}
+
+func TestSizeAndHitRate(t *testing.T) {
+	c := New(2<<10, 4, 64)
+	if c.Size() != 2<<10 {
+		t.Errorf("Size = %d", c.Size())
+	}
+	c.Put(1, mkData(0))
+	c.Get(1)
+	c.Get(2)
+	s := c.Stats()
+	if hr := s.HitRate(); hr != 0.5 {
+		t.Errorf("HitRate = %g, want 0.5", hr)
+	}
+	var zero Stats
+	if zero.HitRate() != 0 {
+		t.Error("zero stats HitRate should be 0")
+	}
+}
+
+func TestRandomizedConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := New(4<<10, 4, 64)
+	shadow := map[uint64][]byte{}
+	for i := 0; i < 2000; i++ {
+		ba := uint64(rng.Intn(128))
+		if rng.Intn(2) == 0 {
+			d := mkData(byte(rng.Intn(256)))
+			c.Put(ba, d)
+			shadow[ba] = d
+		} else if got, ok := c.Get(ba); ok {
+			want := shadow[ba]
+			if want == nil {
+				t.Fatalf("cache holds block %d never put", ba)
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("block %d stale at byte %d", ba, j)
+				}
+			}
+		}
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero size", func() { New(0, 4, 64) })
+	mustPanic("non-multiple", func() { New(1000, 4, 64) })
+	mustPanic("non-pow2 sets", func() { New(3*4*64, 4, 64) })
+	mustPanic("block mismatch on put", func() {
+		c := New(2<<10, 4, 64)
+		c.Put(1, make([]byte, 32))
+	})
+}

@@ -1,0 +1,119 @@
+// Package reliability converts the simulator's architectural-vulnerability
+// measurements into the failure-rate estimates hardware designers quote:
+// FIT (failures in 10^9 device-hours) and MTTF.
+//
+// The paper's §5.5 points out that realistic transient-error rates are far
+// too low to measure by injection ("for 1/100000, the error rates even for
+// BaseP tend to become zero"), so injected campaigns must use unrealistic
+// rates. The complementary analytic route taken here: the simulator
+// measures the fraction of line-cycles that are *vulnerable* (dirty data
+// protected only by parity, internal/core), and this package multiplies
+// that exposure by a technology soft-error rate to estimate real-world
+// loss rates per scheme.
+package reliability
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params describes the technology and deployment point.
+type Params struct {
+	// FITPerMbit is the raw single-bit soft-error rate of the SRAM in
+	// FIT per megabit (failures per 10^9 hours per 2^20 bits).
+	// Early-2000s planar SRAM is commonly quoted around 10^3 FIT/Mbit.
+	FITPerMbit float64
+	// ClockHz is the core clock (Table 1: 1ns cycle = 1 GHz).
+	ClockHz float64
+}
+
+// DefaultParams returns a 2003-class technology point: 1000 FIT/Mbit at
+// the paper's 1 GHz clock.
+func DefaultParams() Params {
+	return Params{FITPerMbit: 1000, ClockHz: 1e9}
+}
+
+// Validate reports nonsensical parameters.
+func (p Params) Validate() error {
+	if p.FITPerMbit <= 0 || p.ClockHz <= 0 {
+		return fmt.Errorf("reliability: FITPerMbit and ClockHz must be positive")
+	}
+	return nil
+}
+
+const (
+	hoursPerFITWindow = 1e9
+	bitsPerMbit       = 1 << 20
+)
+
+// RawFlipRatePerHour returns the expected raw bit flips per hour across a
+// structure of the given size: total FIT divided by the 10^9-hour window.
+func (p Params) RawFlipRatePerHour(bits int) float64 {
+	return p.FITPerMbit * float64(bits) / bitsPerMbit / hoursPerFITWindow
+}
+
+// lossFIT is the core conversion: a flip only causes an unrecoverable loss
+// when it lands in a vulnerable bit, so the loss FIT is the structure's
+// total raw FIT scaled by the time-averaged vulnerable fraction.
+func lossFIT(vulnFrac float64, bits int, p Params) float64 {
+	return p.FITPerMbit * float64(bits) / bitsPerMbit * vulnFrac
+}
+
+// Estimate is the reliability projection for one scheme.
+type Estimate struct {
+	Scheme string
+	// VulnFrac is the measured time-averaged fraction of the data array
+	// holding dirty, parity-only, unreplicated data.
+	VulnFrac float64
+	// LossFIT is the estimated unrecoverable-data-loss rate in FIT.
+	LossFIT float64
+	// MTTFHours is the mean time to an unrecoverable loss, in hours
+	// (+Inf when the scheme is never vulnerable).
+	MTTFHours float64
+}
+
+// Project computes the loss estimate for a scheme from its measured
+// vulnerability fraction over a data array of the given size in bytes.
+func Project(scheme string, vulnFrac float64, arrayBytes int, p Params) (Estimate, error) {
+	if err := p.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	if vulnFrac < 0 || vulnFrac > 1 {
+		return Estimate{}, fmt.Errorf("reliability: vulnerability fraction %g out of [0,1]", vulnFrac)
+	}
+	bits := arrayBytes * 8
+	fit := lossFIT(vulnFrac, bits, p)
+	mttf := math.Inf(1)
+	if fit > 0 {
+		mttf = hoursPerFITWindow / fit
+	}
+	return Estimate{
+		Scheme:    scheme,
+		VulnFrac:  vulnFrac,
+		LossFIT:   fit,
+		MTTFHours: mttf,
+	}, nil
+}
+
+// MTTFYears converts the estimate's MTTF to years.
+func (e Estimate) MTTFYears() float64 { return e.MTTFHours / (24 * 365) }
+
+// String renders the estimate.
+func (e Estimate) String() string {
+	if math.IsInf(e.MTTFHours, 1) {
+		return fmt.Sprintf("%-14s vuln=%.4f  loss=0 FIT  MTTF=inf", e.Scheme, e.VulnFrac)
+	}
+	return fmt.Sprintf("%-14s vuln=%.4f  loss=%.3g FIT  MTTF=%.3g years",
+		e.Scheme, e.VulnFrac, e.LossFIT, e.MTTFYears())
+}
+
+// Improvement returns how many times longer b's MTTF is than a's.
+func Improvement(a, b Estimate) float64 {
+	if a.LossFIT == 0 {
+		return 1
+	}
+	if b.LossFIT == 0 {
+		return math.Inf(1)
+	}
+	return a.LossFIT / b.LossFIT
+}

@@ -1,0 +1,106 @@
+package reliability
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRawFlipRate(t *testing.T) {
+	p := Params{FITPerMbit: 1000, ClockHz: 1e9}
+	// One Mbit at 1000 FIT/Mbit: 1000 failures per 1e9 hours = 1e-6/hour.
+	got := p.RawFlipRatePerHour(1 << 20)
+	if math.Abs(got-1e-6) > 1e-12 {
+		t.Errorf("RawFlipRatePerHour = %g, want 1e-6", got)
+	}
+	// Double the bits, double the rate.
+	if g2 := p.RawFlipRatePerHour(2 << 20); math.Abs(g2-2e-6) > 1e-12 {
+		t.Errorf("rate not linear in bits: %g", g2)
+	}
+}
+
+func TestProjectBasics(t *testing.T) {
+	p := DefaultParams()
+	const dl1Bytes = 16 << 10
+	full, err := Project("BaseP", 1.0, dl1Bytes, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := Project("ICR", 0.5, dl1Bytes, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.LossFIT <= 0 {
+		t.Fatal("fully vulnerable array must have positive loss FIT")
+	}
+	if math.Abs(half.LossFIT-full.LossFIT/2) > 1e-12 {
+		t.Errorf("loss FIT not linear in vulnerability: %g vs %g", half.LossFIT, full.LossFIT)
+	}
+	if half.MTTFHours <= full.MTTFHours {
+		t.Error("lower vulnerability must raise MTTF")
+	}
+	// A 16KB array at 1000 FIT/Mbit fully vulnerable: 125 FIT => MTTF 8e6
+	// hours (~913 years).
+	wantFIT := 1000.0 * (16 * 8) / 1024
+	if math.Abs(full.LossFIT-wantFIT) > 1e-9 {
+		t.Errorf("full-array FIT = %g, want %g", full.LossFIT, wantFIT)
+	}
+}
+
+func TestProjectZeroVulnerability(t *testing.T) {
+	e, err := Project("BaseECC", 0, 16<<10, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.LossFIT != 0 || !math.IsInf(e.MTTFHours, 1) {
+		t.Errorf("zero vulnerability should mean zero FIT / infinite MTTF: %+v", e)
+	}
+	if !strings.Contains(e.String(), "inf") {
+		t.Errorf("String() = %q", e.String())
+	}
+}
+
+func TestProjectValidation(t *testing.T) {
+	if _, err := Project("x", -0.1, 16<<10, DefaultParams()); err == nil {
+		t.Error("negative vulnerability should error")
+	}
+	if _, err := Project("x", 1.1, 16<<10, DefaultParams()); err == nil {
+		t.Error("vulnerability > 1 should error")
+	}
+	if _, err := Project("x", 0.5, 16<<10, Params{}); err == nil {
+		t.Error("zero params should error")
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	p := DefaultParams()
+	basep, _ := Project("BaseP", 0.8, 16<<10, p)
+	icr, _ := Project("ICR", 0.08, 16<<10, p)
+	ecc, _ := Project("BaseECC", 0, 16<<10, p)
+	if got := Improvement(basep, icr); math.Abs(got-10) > 1e-9 {
+		t.Errorf("Improvement = %g, want 10", got)
+	}
+	if !math.IsInf(Improvement(basep, ecc), 1) {
+		t.Error("improvement over zero-FIT should be infinite")
+	}
+	if Improvement(ecc, basep) != 1 {
+		t.Error("improvement from zero-FIT baseline defined as 1")
+	}
+}
+
+func TestMTTFYears(t *testing.T) {
+	e := Estimate{MTTFHours: 24 * 365 * 10}
+	if got := e.MTTFYears(); math.Abs(got-10) > 1e-9 {
+		t.Errorf("MTTFYears = %g, want 10", got)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := Estimate{Scheme: "BaseP", VulnFrac: 0.5, LossFIT: 62.5, MTTFHours: 1.6e7}
+	s := e.String()
+	for _, want := range []string{"BaseP", "0.5", "FIT", "years"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+// Package sim assembles a complete simulated machine — workload generator,
+// out-of-order core, branch predictors, instruction L1, ICR data L1,
+// unified L2, memory, energy meter, and fault injector — runs it, and
+// produces a metrics.Report. This is the programmatic entry point every
+// experiment, example, and CLI tool uses.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/energy"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/rcache"
+	"repro/internal/workload"
+)
+
+// Simulate runs one benchmark × scheme configuration on the given machine
+// and returns the full report.
+func Simulate(m config.Machine, r config.Run) (*metrics.Report, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	profile, err := workload.ByName(r.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := workload.New(profile, r.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if r.Instructions == 0 {
+		r.Instructions = config.DefaultInstructions
+	}
+	if r.Energy == (energy.Params{}) {
+		r.Energy = energy.DefaultParams()
+	}
+
+	// Memory hierarchy, bottom up. The L2 is unified: both L1s miss into
+	// it, as in Table 1.
+	mem := cache.NewMemory(m.MemLatency, m.DL1Block)
+	l2 := cache.New(cache.Config{
+		Name: "l2", Size: m.L2Size, Assoc: m.L2Assoc, BlockSize: m.L2Block,
+		HitLatency: m.L2Latency, Policy: cache.WriteBack, Next: mem,
+		// The L2 is single-banked: each access (demand fill, write-back,
+		// or write-buffer drain) occupies it for a few cycles, so heavy
+		// write-through traffic delays demand misses (§5.8).
+		PortOccupancy: 4,
+	})
+	il1 := cache.New(cache.Config{
+		Name: "il1", Size: m.IL1Size, Assoc: m.IL1Assoc, BlockSize: m.IL1Block,
+		HitLatency: m.IL1Latency, Policy: cache.WriteBack, Next: l2,
+	})
+
+	meter := energy.NewMeter(r.Energy)
+	var dups *rcache.Cache
+	if r.DupCacheKB > 0 {
+		dups = rcache.New(r.DupCacheKB<<10, 4, m.DL1Block)
+	}
+	dl1cfg := core.Config{
+		Size: m.DL1Size, Assoc: m.DL1Assoc, BlockSize: m.DL1Block,
+		HitLatency: m.DL1Latency,
+		Scheme:     r.Scheme,
+		Repl:       r.Repl,
+		Next:       l2,
+		Mem:        mem,
+		Meter:      meter,
+		Hints:      r.Hints,
+	}
+	dl1cfg.PrefetchIntoDead = r.Prefetch
+	if dups != nil {
+		dl1cfg.Duplicates = dups
+	}
+	if r.WriteThrough {
+		dl1cfg.WritePolicy = cache.WriteThrough
+		entries := r.WriteBufferEntries
+		if entries <= 0 {
+			entries = 8
+		}
+		dl1cfg.WriteBuf = cache.NewWriteBuffer(entries, m.L2Latency, l2)
+	}
+	dl1 := core.New(dl1cfg)
+
+	cpucfg := m.CPU
+	var hooks []func(uint64)
+	var injector *fault.Injector
+	if r.Fault.Prob > 0 {
+		wordsPerRow := m.DL1Assoc * m.DL1Block / 8
+		injector = fault.NewInjector(r.Fault.Model, r.Fault.Prob, wordsPerRow, r.Fault.Seed)
+		next := injector.NextAfter(0)
+		hooks = append(hooks, func(now uint64) {
+			for now >= next {
+				dl1.Inject(injector)
+				next = injector.NextAfter(now)
+			}
+		})
+	}
+	if r.ScrubInterval > 0 {
+		lines := r.ScrubLines
+		if lines <= 0 {
+			lines = 1
+		}
+		nextScrub := r.ScrubInterval
+		hooks = append(hooks, func(now uint64) {
+			for now >= nextScrub {
+				dl1.Scrub(now, lines)
+				nextScrub += r.ScrubInterval
+			}
+		})
+	}
+	switch len(hooks) {
+	case 0:
+	case 1:
+		cpucfg.EachCycle = hooks[0]
+	default:
+		cpucfg.EachCycle = func(now uint64) {
+			for _, h := range hooks {
+				h(now)
+			}
+		}
+	}
+
+	c := cpu.New(cpucfg, gen, il1, dl1)
+	cstats := c.Run(r.Instructions)
+	if cstats.Instructions < r.Instructions {
+		return nil, fmt.Errorf("sim: stream ended after %d instructions", cstats.Instructions)
+	}
+	dl1.FinishVulnerability(cstats.Cycles)
+
+	rep := assemble(r, cstats, dl1.Stats(), il1.Stats(), l2.Stats(), mem, meter, injector)
+	scrub := dl1.ScrubStats()
+	rep.ScrubChecks = scrub.Checks
+	rep.ScrubErrors = scrub.Errors
+	rep.ScrubRepaired = scrub.Repaired
+	rep.ScrubLost = scrub.Lost
+	return rep, nil
+}
+
+// assemble folds every component's counters into one report.
+func assemble(
+	r config.Run,
+	cs cpu.Stats,
+	ds core.Stats,
+	is cache.Stats,
+	ls cache.Stats,
+	mem *cache.Memory,
+	meter *energy.Meter,
+	injector *fault.Injector,
+) *metrics.Report {
+	// Price the L2 traffic now that the run is complete.
+	meter.AddL2Read(ls.Reads + ls.Fetches)
+	meter.AddL2Write(ls.Writes)
+
+	rep := &metrics.Report{
+		Benchmark:    r.Benchmark,
+		Scheme:       r.Scheme.Name(),
+		Instructions: cs.Instructions,
+		Cycles:       cs.Cycles,
+
+		DL1Reads: ds.Reads, DL1ReadHits: ds.ReadHits, DL1ReadMisses: ds.ReadMisses,
+		DL1Writes: ds.Writes, DL1WriteHits: ds.WriteHits, DL1WriteMisses: ds.WriteMisses,
+		DL1Writebacks: ds.Writebacks,
+
+		L2Accesses:  ls.Accesses(),
+		L2Misses:    ls.Misses(),
+		MemAccesses: mem.Accesses(),
+
+		IL1Fetches: is.Fetches,
+		IL1Misses:  is.FetchMisses,
+
+		Branches:    cs.Branches,
+		Mispredicts: cs.Mispredicts,
+
+		ReplAttempts:        ds.ReplAttempts,
+		ReplSuccesses:       ds.ReplSuccesses,
+		ReplDoubles:         ds.ReplDoubles,
+		ReadHitsWithReplica: ds.ReadHitsWithReplica,
+		ReplicaServedMisses: ds.ReplicaServedMisses,
+		ReplicaEvictions:    ds.ReplicaEvictions,
+		DeadEvictions:       ds.DeadEvictions,
+
+		ErrorsDetected:        ds.ErrorsDetected,
+		RecoveredByECC:        ds.RecoveredByECC,
+		RecoveredByReplica:    ds.RecoveredByReplica,
+		RecoveredByDuplicate:  ds.RecoveredByDuplicate,
+		RecoveredByL2:         ds.RecoveredByL2,
+		ReadHitsWithDuplicate: ds.ReadHitsWithDuplicate,
+		UnrecoverableLoads:    ds.UnrecoverableLoads,
+		SilentWritebacks:      ds.SilentWritebacks,
+		VulnerableLineCycles:  ds.VulnerableLineCycles,
+
+		EnergyL1:     meter.L1Energy(),
+		EnergyL2:     meter.L2Energy(),
+		EnergyChecks: meter.CheckEnergy(),
+		EnergyRCache: meter.RCacheEnergy(),
+	}
+	if injector != nil {
+		rep.ErrorsInjected = injector.Injected()
+	}
+	return rep
+}
+
+// SimulateAll runs one scheme configuration across every benchmark and
+// returns the reports in workload.Names() order. The mutate callback (may
+// be nil) customizes each run before it executes.
+func SimulateAll(m config.Machine, scheme core.Scheme, mutate func(*config.Run)) ([]*metrics.Report, error) {
+	names := workload.Names()
+	out := make([]*metrics.Report, 0, len(names))
+	for _, name := range names {
+		r := config.NewRun(name, scheme)
+		if mutate != nil {
+			mutate(&r)
+		}
+		rep, err := Simulate(m, r)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s: %w", r.Name(), err)
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// GeoMean returns the geometric mean of a slice of positive ratios — the
+// aggregation the paper uses for "average across applications".
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}

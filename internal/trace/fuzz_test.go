@@ -1,0 +1,38 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReader asserts the trace decoder never panics on arbitrary input and
+// either yields valid instructions or stops with an error.
+func FuzzReader(f *testing.F) {
+	// Seed with a valid one-record trace.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	g := sample(3)
+	for _, in := range g {
+		_ = w.Write(in)
+	}
+	_ = w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte("ICRT"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return // malformed header rejected: fine
+		}
+		for i := 0; i < 10000; i++ {
+			in, ok := r.Next()
+			if !ok {
+				break
+			}
+			if !in.Op.Valid() {
+				t.Fatalf("decoder emitted invalid op %d", in.Op)
+			}
+		}
+	})
+}

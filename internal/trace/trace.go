@@ -1,0 +1,213 @@
+// Package trace provides a compact binary on-disk format for instruction
+// streams, so workloads can be captured once and replayed across
+// experiments (or exchanged with other tools). A trace file is a fixed
+// header followed by fixed-width little-endian records; readers implement
+// isa.Stream.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+)
+
+// Magic identifies a trace file; Version is the format revision.
+const (
+	Magic   = "ICRT"
+	Version = uint16(1)
+)
+
+// headerLen is magic + version + reserved count field.
+const headerLen = 4 + 2 + 8
+
+// recordLen is the fixed encoded size of one instruction.
+const recordLen = 8 + 8 + 8 + 1 + 1 + 1 + 2 + 2 // PC, Addr, Target, Op, Size, Flags, SrcDist1, SrcDist2
+
+const flagTaken = 1 << 0
+
+// Writer encodes instructions to an output stream.
+type Writer struct {
+	w     *bufio.Writer
+	count uint64
+	buf   [recordLen]byte
+}
+
+// NewWriter writes a trace header to w and returns a Writer. Call Flush
+// when done.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return nil, fmt.Errorf("trace: writing magic: %w", err)
+	}
+	var hdr [2 + 8]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], Version)
+	// The count field is reserved (zero): streams are typically written
+	// incrementally and readers stop at EOF.
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one instruction record.
+func (w *Writer) Write(in isa.Inst) error {
+	b := w.buf[:]
+	binary.LittleEndian.PutUint64(b[0:8], in.PC)
+	binary.LittleEndian.PutUint64(b[8:16], in.Addr)
+	binary.LittleEndian.PutUint64(b[16:24], in.Target)
+	b[24] = byte(in.Op)
+	b[25] = in.Size
+	b[26] = 0
+	if in.Taken {
+		b[26] |= flagTaken
+	}
+	binary.LittleEndian.PutUint16(b[27:29], in.SrcDist1)
+	binary.LittleEndian.PutUint16(b[29:31], in.SrcDist2)
+	if _, err := w.w.Write(b); err != nil {
+		return fmt.Errorf("trace: writing record: %w", err)
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the number of records written.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Flush drains buffered records to the underlying writer.
+func (w *Writer) Flush() error {
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}
+
+// Reader decodes a trace and implements isa.Stream.
+type Reader struct {
+	r    *bufio.Reader
+	err  error
+	buf  [recordLen]byte
+	read uint64
+}
+
+var _ isa.Stream = (*Reader)(nil)
+
+// ErrBadHeader reports a malformed or mismatched trace header.
+var ErrBadHeader = errors.New("trace: bad header")
+
+// NewReader validates the header of r and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadHeader, err)
+	}
+	if string(hdr[0:4]) != Magic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadHeader, hdr[0:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != Version {
+		return nil, fmt.Errorf("%w: version %d (want %d)", ErrBadHeader, v, Version)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next implements isa.Stream. It returns false at EOF or on a decode
+// error (inspect Err).
+func (r *Reader) Next() (isa.Inst, bool) {
+	if r.err != nil {
+		return isa.Inst{}, false
+	}
+	if _, err := io.ReadFull(r.r, r.buf[:]); err != nil {
+		if err != io.EOF {
+			r.err = fmt.Errorf("trace: reading record %d: %w", r.read, err)
+		}
+		return isa.Inst{}, false
+	}
+	b := r.buf[:]
+	in := isa.Inst{
+		PC:       binary.LittleEndian.Uint64(b[0:8]),
+		Addr:     binary.LittleEndian.Uint64(b[8:16]),
+		Target:   binary.LittleEndian.Uint64(b[16:24]),
+		Op:       isa.Op(b[24]),
+		Size:     b[25],
+		Taken:    b[26]&flagTaken != 0,
+		SrcDist1: binary.LittleEndian.Uint16(b[27:29]),
+		SrcDist2: binary.LittleEndian.Uint16(b[29:31]),
+	}
+	if !in.Op.Valid() {
+		r.err = fmt.Errorf("trace: record %d: invalid op %d", r.read, b[24])
+		return isa.Inst{}, false
+	}
+	r.read++
+	return in, true
+}
+
+// Err returns the first decode error, if any (EOF is not an error).
+func (r *Reader) Err() error { return r.err }
+
+// Read returns the number of records decoded so far.
+func (r *Reader) Read() uint64 { return r.read }
+
+// Summary aggregates instruction-mix statistics over a stream.
+type Summary struct {
+	Total    uint64
+	PerOp    [isa.NumOps + 1]uint64
+	Loads    uint64
+	Stores   uint64
+	Branches uint64
+	Taken    uint64
+	// DistinctBlocks is the number of distinct 64-byte data blocks touched.
+	DistinctBlocks int
+}
+
+// Summarize consumes up to max instructions from a stream (0 = all) and
+// returns mix statistics.
+func Summarize(s isa.Stream, max uint64) Summary {
+	var sum Summary
+	blocks := make(map[uint64]struct{})
+	for max == 0 || sum.Total < max {
+		in, ok := s.Next()
+		if !ok {
+			break
+		}
+		sum.Total++
+		sum.PerOp[in.Op]++
+		switch {
+		case in.Op == isa.OpLoad:
+			sum.Loads++
+		case in.Op == isa.OpStore:
+			sum.Stores++
+		case in.Op.IsCtrl():
+			sum.Branches++
+			if in.Taken {
+				sum.Taken++
+			}
+		}
+		if in.Op.IsMem() {
+			blocks[in.Addr/64] = struct{}{}
+		}
+	}
+	sum.DistinctBlocks = len(blocks)
+	return sum
+}
+
+// String renders the summary.
+func (s Summary) String() string {
+	if s.Total == 0 {
+		return "empty trace"
+	}
+	f := func(n uint64) float64 { return float64(n) / float64(s.Total) }
+	return fmt.Sprintf(
+		"instructions %d\n loads %.3f stores %.3f ctrl %.3f (taken %.3f)\n distinct 64B blocks %d",
+		s.Total, f(s.Loads), f(s.Stores), f(s.Branches),
+		func() float64 {
+			if s.Branches == 0 {
+				return 0
+			}
+			return float64(s.Taken) / float64(s.Branches)
+		}(),
+		s.DistinctBlocks)
+}

@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+func sample(n int) []isa.Inst {
+	g := workload.MustNew(workload.Vpr(), 3)
+	out := make([]isa.Inst, 0, n)
+	for i := 0; i < n; i++ {
+		in, _ := g.Next()
+		out = append(out, in)
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	insts := sample(5000)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range insts {
+		if err := w.Write(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != uint64(len(insts)) {
+		t.Errorf("Count = %d, want %d", w.Count(), len(insts))
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range insts {
+		got, ok := r.Next()
+		if !ok {
+			t.Fatalf("record %d: stream ended early (err %v)", i, r.Err())
+		}
+		if got != want {
+			t.Fatalf("record %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Error("stream should be exhausted")
+	}
+	if r.Err() != nil {
+		t.Errorf("clean EOF should not set Err: %v", r.Err())
+	}
+	if r.Read() != uint64(len(insts)) {
+		t.Errorf("Read = %d, want %d", r.Read(), len(insts))
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("NOPE..........")); err == nil {
+		t.Error("bad magic should be rejected")
+	}
+}
+
+func TestTruncatedHeader(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("IC")); err == nil {
+		t.Error("truncated header should be rejected")
+	}
+}
+
+func TestWrongVersion(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Flush()
+	b := buf.Bytes()
+	b[4] = 0xff // corrupt version
+	if _, err := NewReader(bytes.NewReader(b)); err == nil {
+		t.Error("wrong version should be rejected")
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(isa.Inst{PC: 4, Op: isa.OpIntALU})
+	w.Flush()
+	b := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(b[:len(b)-3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Next(); ok {
+		t.Error("truncated record should fail")
+	}
+	if r.Err() == nil {
+		t.Error("truncation should set Err")
+	}
+}
+
+func TestInvalidOpRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(isa.Inst{PC: 4, Op: isa.OpIntALU})
+	w.Flush()
+	b := buf.Bytes()
+	b[headerLen+24] = 0xee // corrupt the op byte
+	r, err := NewReader(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Next(); ok {
+		t.Error("invalid op should fail")
+	}
+	if r.Err() == nil {
+		t.Error("invalid op should set Err")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	insts := sample(20000)
+	sum := Summarize(isa.NewSliceStream(insts), 0)
+	if sum.Total != 20000 {
+		t.Errorf("Total = %d", sum.Total)
+	}
+	if sum.Loads == 0 || sum.Stores == 0 || sum.Branches == 0 {
+		t.Errorf("summary missing classes: %+v", sum)
+	}
+	if sum.DistinctBlocks == 0 {
+		t.Error("no distinct blocks")
+	}
+	s := sum.String()
+	if !strings.Contains(s, "instructions 20000") {
+		t.Errorf("String() = %q", s)
+	}
+	// Bounded summarize.
+	sum2 := Summarize(isa.NewSliceStream(insts), 100)
+	if sum2.Total != 100 {
+		t.Errorf("bounded Total = %d, want 100", sum2.Total)
+	}
+	var empty Summary
+	if empty.String() != "empty trace" {
+		t.Error("empty summary string wrong")
+	}
+}

@@ -1,0 +1,274 @@
+// Package viz renders experiment results as standalone SVG figures using
+// only the standard library, so `icrbench -svg` can regenerate the paper's
+// figures as images. Grouped vertical bars (the paper's dominant figure
+// style) and polyline charts (for parameter sweeps) are supported.
+package viz
+
+import (
+	"fmt"
+	"html"
+	"math"
+	"strings"
+)
+
+// Series is one legend entry: a label and one value per x-tick.
+type Series struct {
+	Label  string
+	Values []float64
+}
+
+// Spec describes a figure.
+type Spec struct {
+	Title  string
+	XLabel string
+	YLabel string
+	XTicks []string
+	Series []Series
+	// Width and Height are the SVG canvas size in pixels (defaults
+	// 960x420).
+	Width, Height int
+}
+
+// palette holds distinguishable series colors (10 entries, matching the
+// paper's 10 schemes).
+var palette = []string{
+	"#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+	"#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+}
+
+func (s *Spec) validate() error {
+	if len(s.Series) == 0 {
+		return fmt.Errorf("viz: no series")
+	}
+	if len(s.XTicks) == 0 {
+		return fmt.Errorf("viz: no x ticks")
+	}
+	for _, sr := range s.Series {
+		if len(sr.Values) != len(s.XTicks) {
+			return fmt.Errorf("viz: series %q has %d values for %d ticks",
+				sr.Label, len(sr.Values), len(s.XTicks))
+		}
+		for _, v := range sr.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("viz: series %q contains a non-finite value", sr.Label)
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Spec) defaults() {
+	if s.Width <= 0 {
+		s.Width = 960
+	}
+	if s.Height <= 0 {
+		s.Height = 420
+	}
+}
+
+// maxValue returns the largest value across all series (at least a small
+// epsilon so an all-zero chart still renders).
+func (s *Spec) maxValue() float64 {
+	m := 0.0
+	for _, sr := range s.Series {
+		for _, v := range sr.Values {
+			if v > m {
+				m = v
+			}
+		}
+	}
+	if m == 0 {
+		m = 1
+	}
+	return m
+}
+
+// niceCeiling rounds up to a pleasant axis maximum (1/2/5 x 10^k).
+func niceCeiling(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	exp := math.Floor(math.Log10(v))
+	base := math.Pow(10, exp)
+	frac := v / base
+	switch {
+	case frac <= 1:
+		return base
+	case frac <= 2:
+		return 2 * base
+	case frac <= 5:
+		return 5 * base
+	default:
+		return 10 * base
+	}
+}
+
+const (
+	marginLeft   = 70.0
+	marginRight  = 20.0
+	marginTop    = 56.0
+	marginBottom = 64.0
+)
+
+type canvas struct {
+	b    strings.Builder
+	spec *Spec
+	w, h float64 // plot area
+	yMax float64
+}
+
+func newCanvas(s *Spec) *canvas {
+	c := &canvas{
+		spec: s,
+		w:    float64(s.Width) - marginLeft - marginRight,
+		h:    float64(s.Height) - marginTop - marginBottom,
+		yMax: niceCeiling(s.maxValue()),
+	}
+	fmt.Fprintf(&c.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		s.Width, s.Height, s.Width, s.Height)
+	fmt.Fprintf(&c.b, `<rect width="%d" height="%d" fill="white"/>`+"\n", s.Width, s.Height)
+	fmt.Fprintf(&c.b, `<text x="%g" y="24" font-family="sans-serif" font-size="15" font-weight="bold">%s</text>`+"\n",
+		marginLeft, html.EscapeString(s.Title))
+	return c
+}
+
+// y maps a data value to pixel space.
+func (c *canvas) y(v float64) float64 {
+	return marginTop + c.h - v/c.yMax*c.h
+}
+
+func (c *canvas) axes() {
+	// Y grid lines and labels: 5 divisions.
+	for i := 0; i <= 5; i++ {
+		v := c.yMax * float64(i) / 5
+		y := c.y(v)
+		fmt.Fprintf(&c.b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ddd"/>`+"\n",
+			marginLeft, y, marginLeft+c.w, y)
+		fmt.Fprintf(&c.b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginLeft-6, y+4, formatTick(v))
+	}
+	// Axis lines.
+	fmt.Fprintf(&c.b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#333"/>`+"\n",
+		marginLeft, marginTop, marginLeft, marginTop+c.h)
+	fmt.Fprintf(&c.b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#333"/>`+"\n",
+		marginLeft, marginTop+c.h, marginLeft+c.w, marginTop+c.h)
+	// Labels.
+	if c.spec.YLabel != "" {
+		fmt.Fprintf(&c.b, `<text x="16" y="%g" font-family="sans-serif" font-size="12" transform="rotate(-90 16 %g)" text-anchor="middle">%s</text>`+"\n",
+			marginTop+c.h/2, marginTop+c.h/2, html.EscapeString(c.spec.YLabel))
+	}
+	if c.spec.XLabel != "" {
+		fmt.Fprintf(&c.b, `<text x="%g" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+			marginLeft+c.w/2, float64(c.spec.Height)-8, html.EscapeString(c.spec.XLabel))
+	}
+}
+
+func (c *canvas) xTickLabels() {
+	n := len(c.spec.XTicks)
+	for i, tick := range c.spec.XTicks {
+		x := marginLeft + (float64(i)+0.5)/float64(n)*c.w
+		fmt.Fprintf(&c.b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			x, marginTop+c.h+16, html.EscapeString(tick))
+	}
+}
+
+func (c *canvas) legend() {
+	x := marginLeft
+	y := 40.0
+	for i, sr := range c.spec.Series {
+		color := palette[i%len(palette)]
+		fmt.Fprintf(&c.b, `<rect x="%g" y="%g" width="10" height="10" fill="%s"/>`+"\n", x, y-9, color)
+		label := html.EscapeString(sr.Label)
+		fmt.Fprintf(&c.b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11">%s</text>`+"\n", x+14, y, label)
+		x += 14 + float64(7*len(sr.Label)) + 18
+		if x > float64(c.spec.Width)-120 {
+			x = marginLeft
+			y += 14
+		}
+	}
+}
+
+func (c *canvas) finish() string {
+	c.b.WriteString("</svg>\n")
+	return c.b.String()
+}
+
+func formatTick(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000 || v < 0.01:
+		return fmt.Sprintf("%.2g", v)
+	default:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.3f", v), "0"), ".")
+	}
+}
+
+// GroupedBarSVG renders a grouped vertical bar chart.
+func GroupedBarSVG(s Spec) (string, error) {
+	if err := s.validate(); err != nil {
+		return "", err
+	}
+	s.defaults()
+	c := newCanvas(&s)
+	c.axes()
+	c.xTickLabels()
+	c.legend()
+
+	nTicks := len(s.XTicks)
+	nSeries := len(s.Series)
+	groupW := c.w / float64(nTicks)
+	barW := groupW * 0.8 / float64(nSeries)
+	for si, sr := range s.Series {
+		color := palette[si%len(palette)]
+		for xi, v := range sr.Values {
+			if v < 0 {
+				v = 0
+			}
+			x := marginLeft + float64(xi)*groupW + groupW*0.1 + float64(si)*barW
+			y := c.y(v)
+			h := marginTop + c.h - y
+			fmt.Fprintf(&c.b, `<rect x="%g" y="%g" width="%g" height="%g" fill="%s"><title>%s %s: %g</title></rect>`+"\n",
+				x, y, barW, h, color,
+				html.EscapeString(sr.Label), html.EscapeString(s.XTicks[xi]), v)
+		}
+	}
+	return c.finish(), nil
+}
+
+// LineSVG renders each series as a polyline over the ticks.
+func LineSVG(s Spec) (string, error) {
+	if err := s.validate(); err != nil {
+		return "", err
+	}
+	s.defaults()
+	c := newCanvas(&s)
+	c.axes()
+	c.xTickLabels()
+	c.legend()
+
+	n := len(s.XTicks)
+	for si, sr := range s.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for xi, v := range sr.Values {
+			if v < 0 {
+				v = 0
+			}
+			x := marginLeft + (float64(xi)+0.5)/float64(n)*c.w
+			pts = append(pts, fmt.Sprintf("%g,%g", x, c.y(v)))
+		}
+		fmt.Fprintf(&c.b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for xi, v := range sr.Values {
+			if v < 0 {
+				v = 0
+			}
+			x := marginLeft + (float64(xi)+0.5)/float64(n)*c.w
+			fmt.Fprintf(&c.b, `<circle cx="%g" cy="%g" r="3" fill="%s"><title>%s %s: %g</title></circle>`+"\n",
+				x, c.y(v), color,
+				html.EscapeString(sr.Label), html.EscapeString(s.XTicks[xi]), sr.Values[xi])
+		}
+	}
+	return c.finish(), nil
+}

@@ -1,0 +1,127 @@
+package viz
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleSpec() Spec {
+	return Spec{
+		Title:  "demo <figure>",
+		XLabel: "benchmark",
+		YLabel: "normalized cycles",
+		XTicks: []string{"gzip", "vpr & co"},
+		Series: []Series{
+			{Label: "BaseP", Values: []float64{1.0, 1.0}},
+			{Label: "BaseECC", Values: []float64{1.2, 1.15}},
+		},
+	}
+}
+
+// wellFormed checks the SVG parses as XML.
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG is not well-formed XML: %v\n%s", err, svg)
+		}
+	}
+}
+
+func TestGroupedBarSVG(t *testing.T) {
+	svg, err := GroupedBarSVG(sampleSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, svg)
+	// 2 series x 2 ticks = 4 data rects (plus background + 2 legend
+	// swatches = 7 <rect total).
+	if got := strings.Count(svg, "<rect"); got != 7 {
+		t.Errorf("rect count = %d, want 7", got)
+	}
+	for _, want := range []string{"BaseP", "BaseECC", "gzip", "demo &lt;figure&gt;", "vpr &amp; co"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestLineSVG(t *testing.T) {
+	svg, err := LineSVG(sampleSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, svg)
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("polyline count = %d, want 2", got)
+	}
+	if got := strings.Count(svg, "<circle"); got != 4 {
+		t.Errorf("circle count = %d, want 4", got)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := GroupedBarSVG(Spec{}); err == nil {
+		t.Error("empty spec should fail")
+	}
+	s := sampleSpec()
+	s.Series[0].Values = []float64{1} // wrong length
+	if _, err := GroupedBarSVG(s); err == nil {
+		t.Error("ragged series should fail")
+	}
+	s2 := sampleSpec()
+	s2.Series[0].Values[0] = math.NaN()
+	if _, err := LineSVG(s2); err == nil {
+		t.Error("NaN should fail")
+	}
+}
+
+func TestAllZeroChartRenders(t *testing.T) {
+	s := sampleSpec()
+	for i := range s.Series {
+		for j := range s.Series[i].Values {
+			s.Series[i].Values[j] = 0
+		}
+	}
+	svg, err := GroupedBarSVG(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, svg)
+}
+
+func TestNiceCeiling(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0.7, 1}, {1.0, 1}, {1.3, 2}, {3.7, 5}, {7, 10}, {12, 20}, {130, 200}, {0.013, 0.02},
+	}
+	for _, c := range cases {
+		if got := niceCeiling(c.in); math.Abs(got-c.want) > c.want*1e-9 {
+			t.Errorf("niceCeiling(%g) = %g, want %g", c.in, got, c.want)
+		}
+	}
+	if niceCeiling(0) != 1 {
+		t.Error("niceCeiling(0) should be 1")
+	}
+}
+
+func TestManySeriesUsePaletteModulo(t *testing.T) {
+	s := Spec{
+		Title:  "wide",
+		XTicks: []string{"x"},
+	}
+	for i := 0; i < 12; i++ {
+		s.Series = append(s.Series, Series{Label: "s", Values: []float64{float64(i)}})
+	}
+	svg, err := GroupedBarSVG(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, svg)
+}

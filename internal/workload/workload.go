@@ -1,0 +1,513 @@
+// Package workload synthesizes deterministic instruction streams whose
+// locality characteristics model the eight Spec2000 applications the paper
+// evaluates (§4). The paper's results are driven by reference locality —
+// hot blocks attract replicas, dead blocks make room for them — so each
+// profile reproduces an application's locality class (working-set sizes,
+// pointer-chasing vs. streaming, branch predictability, code footprint)
+// rather than its computation.
+//
+// A generated program is a static set of functions made of basic blocks;
+// every static instruction has a fixed op class, and every static memory
+// slot is bound to a data region. The dynamic walk re-executes this static
+// code with per-visit branch outcomes, loop trip counts, and region
+// addresses, all drawn from a seeded RNG, so a given (profile, seed) pair
+// always produces the identical stream.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/isa"
+)
+
+// Profile parameterizes one synthetic benchmark.
+type Profile struct {
+	Name string
+
+	// Instruction mix (fractions of non-terminator instructions; the
+	// remainder is integer ALU work).
+	LoadFrac  float64
+	StoreFrac float64
+	FPFrac    float64 // fraction of ALU work that is floating point
+	MulFrac   float64 // fraction of ALU work that is multiply
+	DivFrac   float64 // fraction of ALU work that is divide
+
+	// Static code shape.
+	CodeBlocks   int       // total basic blocks across all functions
+	MeanBlockLen int       // mean instructions per block (excl. terminator)
+	Funcs        int       // number of callable functions (>= 2)
+	LoopFrac     float64   // fraction of blocks that are loop heads
+	LoopMean     int       // mean dynamic trip count of a loop
+	CondBias     []float64 // per-block taken-bias choices for if-branches
+
+	// Data regions.
+	Regions []RegionSpec
+
+	// DepGeomP is the parameter of the geometric dependence-distance
+	// distribution (larger = tighter dependences = less ILP).
+	DepGeomP float64
+
+	// LoadUseProb is the probability that the instruction following a
+	// load consumes the load's result (distance-1 dependence). Real code
+	// uses most load results within an instruction or two, which is what
+	// exposes load-hit latency — the effect behind the paper's
+	// BaseP-vs-BaseECC gap. Defaults to 0.55 when zero.
+	LoadUseProb float64
+}
+
+// Validate reports configuration errors.
+func (p *Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("workload: profile needs a name")
+	case p.LoadFrac < 0 || p.StoreFrac < 0 || p.LoadFrac+p.StoreFrac > 0.9:
+		return fmt.Errorf("workload %s: bad load/store mix", p.Name)
+	case p.CodeBlocks < 4 || p.MeanBlockLen < 2:
+		return fmt.Errorf("workload %s: code too small", p.Name)
+	case len(p.Regions) == 0:
+		return fmt.Errorf("workload %s: no data regions", p.Name)
+	case p.DepGeomP <= 0 || p.DepGeomP >= 1:
+		return fmt.Errorf("workload %s: DepGeomP out of range", p.Name)
+	}
+	return nil
+}
+
+// staticInst is one slot of static code.
+type staticInst struct {
+	op     isa.Op
+	region int // memory region index for loads/stores
+}
+
+// block is a static basic block. Its final instruction is a terminator
+// decided by kind.
+type block struct {
+	insts   []staticInst
+	startPC uint64
+	kind    blockKind
+	bias    float64 // taken bias for condKind
+	callee  int     // function index for callKind
+	isLast  bool    // last block of its function
+}
+
+type blockKind uint8
+
+const (
+	plainKind blockKind = iota + 1 // falls through (no terminator emitted)
+	condKind                       // conditional branch, may skip next block
+	loopKind                       // loop back-edge branch
+	callKind                       // calls callee, then falls through
+)
+
+type fn struct {
+	blocks []int // indices into Generator.blocks
+}
+
+// Generator produces the dynamic instruction stream. It implements
+// isa.Stream and never ends; wrap with isa.Limit.
+type Generator struct {
+	profile Profile
+	rng     *rand.Rand
+	blocks  []block
+	funcs   []fn
+	regions []*region
+
+	// Dynamic state.
+	stack      []frameState
+	count      uint64 // dynamic instructions emitted
+	loopLeft   map[int]int
+	sinceLoad  int    // body instructions since the last load (0 = load itself)
+	lastLoadAt uint64 // dynamic index of the most recent load
+}
+
+type frameState struct {
+	fn    int
+	block int // position within fn.blocks
+	inst  int // next instruction within the block (len == terminator)
+}
+
+var _ isa.Stream = (*Generator)(nil)
+
+// codeBase is where generated code begins; dataBase is where regions are
+// laid out (far apart so code and data never alias).
+const (
+	codeBase = 0x0040_0000
+	dataBase = 0x1000_0000
+)
+
+// New builds a generator for the profile with the given seed. The same
+// (profile, seed) pair always yields the same stream.
+func New(p Profile, seed int64) (*Generator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{
+		profile:  p,
+		rng:      rand.New(rand.NewSource(seed ^ 0x5eed)),
+		loopLeft: make(map[int]int),
+	}
+	g.layoutRegions()
+	g.buildCode()
+	return g, nil
+}
+
+// MustNew is New for static profiles known to be valid.
+func MustNew(p Profile, seed int64) *Generator {
+	g, err := New(p, seed)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func (g *Generator) layoutRegions() {
+	for i, rr := range Layout(g.profile) {
+		g.regions = append(g.regions, newRegion(g.profile.Regions[i], rr.Start, g.rng))
+	}
+}
+
+// RegionRange is the placed byte-address extent of one data region.
+type RegionRange struct {
+	Kind       RegionKind
+	Start, End uint64
+}
+
+// Layout returns the deterministic address range of each region in a
+// profile, in declaration order. Region placement does not depend on the
+// seed, so callers (e.g. software replication-hint policies) can compute
+// it without building a generator.
+func Layout(p Profile) []RegionRange {
+	out := make([]RegionRange, 0, len(p.Regions))
+	base := uint64(dataBase)
+	for _, spec := range p.Regions {
+		span := spec.Size
+		if spec.Kind == Hot && spec.SetSpread > 0 {
+			// Set-concentrated hot regions stretch across layers that are
+			// a full 64-set span apart (see region.next).
+			nblk := spec.Size / blockBytes
+			s := uint64(spec.SetSpread)
+			layers := (nblk + s - 1) / s
+			span = layers * 64 * blockBytes
+		}
+		out = append(out, RegionRange{Kind: spec.Kind, Start: base, End: base + span})
+		// Pad between regions to avoid accidental adjacency.
+		base += span + 1<<20
+	}
+	return out
+}
+
+// pickRegion selects a region index by weight.
+func (g *Generator) pickRegion() int {
+	var total float64
+	for _, r := range g.regions {
+		total += r.spec.Weight
+	}
+	x := g.rng.Float64() * total
+	for i, r := range g.regions {
+		x -= r.spec.Weight
+		if x <= 0 {
+			return i
+		}
+	}
+	return len(g.regions) - 1
+}
+
+// pickALU draws an ALU op class from the profile mix.
+func (g *Generator) pickALU() isa.Op {
+	p := &g.profile
+	y := g.rng.Float64()
+	fp := g.rng.Float64() < p.FPFrac
+	switch {
+	case y < p.DivFrac:
+		if fp {
+			return isa.OpFPDiv
+		}
+		return isa.OpIntDiv
+	case y < p.DivFrac+p.MulFrac:
+		if fp {
+			return isa.OpFPMul
+		}
+		return isa.OpIntMul
+	default:
+		if fp {
+			return isa.OpFPALU
+		}
+		return isa.OpIntALU
+	}
+}
+
+// stochRound rounds x to an integer, rounding the fractional part up with
+// probability equal to its value, so quotas are unbiased for short blocks.
+func (g *Generator) stochRound(x float64) int {
+	n := int(x)
+	if g.rng.Float64() < x-float64(n) {
+		n++
+	}
+	return n
+}
+
+// blockOps assigns op classes to a block's body using per-block quotas for
+// loads and stores (stochastically rounded, then shuffled), which keeps the
+// dynamic instruction mix close to the profile even for small code
+// footprints.
+func (g *Generator) blockOps(length int) []isa.Op {
+	p := &g.profile
+	nLoad := g.stochRound(float64(length) * p.LoadFrac)
+	nStore := g.stochRound(float64(length) * p.StoreFrac)
+	if nLoad+nStore > length {
+		nStore = length - nLoad
+		if nStore < 0 {
+			nStore, nLoad = 0, length
+		}
+	}
+	ops := make([]isa.Op, 0, length)
+	for i := 0; i < nLoad; i++ {
+		ops = append(ops, isa.OpLoad)
+	}
+	for i := 0; i < nStore; i++ {
+		ops = append(ops, isa.OpStore)
+	}
+	for len(ops) < length {
+		ops = append(ops, g.pickALU())
+	}
+	g.rng.Shuffle(len(ops), func(i, j int) { ops[i], ops[j] = ops[j], ops[i] })
+	return ops
+}
+
+func (g *Generator) buildCode() {
+	p := &g.profile
+	nf := p.Funcs
+	if nf < 2 {
+		nf = 2
+	}
+	perFn := p.CodeBlocks / nf
+	if perFn < 2 {
+		perFn = 2
+	}
+	pc := uint64(codeBase)
+	for f := 0; f < nf; f++ {
+		var fb fn
+		for b := 0; b < perFn; b++ {
+			length := 1 + g.rng.Intn(2*p.MeanBlockLen-1) // mean ~= MeanBlockLen
+			blk := block{startPC: pc, kind: plainKind}
+			for _, op := range g.blockOps(length) {
+				si := staticInst{op: op}
+				if op.IsMem() {
+					si.region = g.pickRegion()
+				}
+				blk.insts = append(blk.insts, si)
+			}
+			// Decide the terminator kind. The last block of a function
+			// always returns (main loops instead).
+			last := b == perFn-1
+			blk.isLast = last
+			if !last {
+				switch r := g.rng.Float64(); {
+				case r < p.LoopFrac:
+					blk.kind = loopKind
+				case f == 0 && b%2 == 0 && nf > 1:
+					// Main alternates calls to the other functions.
+					blk.kind = callKind
+					blk.callee = 1 + g.rng.Intn(nf-1)
+				case len(p.CondBias) > 0 && b+2 < perFn:
+					blk.kind = condKind
+					blk.bias = p.CondBias[g.rng.Intn(len(p.CondBias))]
+				}
+			}
+			// Plain interior blocks fall through without a terminator
+			// instruction; every other kind ends with one.
+			termSlots := 0
+			if blk.isLast || blk.kind != plainKind {
+				termSlots = 1
+			}
+			pc += uint64(4 * (len(blk.insts) + termSlots))
+			fb.blocks = append(fb.blocks, len(g.blocks))
+			g.blocks = append(g.blocks, blk)
+		}
+		g.funcs = append(g.funcs, fb)
+	}
+}
+
+// depDistance draws a dependence distance (0 = none).
+func (g *Generator) depDistance() uint16 {
+	if g.rng.Float64() < 0.15 {
+		return 0
+	}
+	d := 1
+	for g.rng.Float64() > g.profile.DepGeomP && d < 15 {
+		d++
+	}
+	return uint16(d)
+}
+
+// Next implements isa.Stream. The stream is infinite.
+func (g *Generator) Next() (isa.Inst, bool) {
+	if len(g.stack) == 0 {
+		g.stack = append(g.stack, frameState{fn: 0})
+	}
+	for {
+		top := &g.stack[len(g.stack)-1]
+		f := &g.funcs[top.fn]
+		bi := f.blocks[top.block]
+		blk := &g.blocks[bi]
+
+		if top.inst < len(blk.insts) {
+			in := g.emitBody(blk, top.inst)
+			top.inst++
+			g.count++
+			return in, true
+		}
+		// Terminator.
+		in, advanced := g.emitTerminator(top, blk, bi)
+		if advanced {
+			g.count++
+			return in, true
+		}
+		// plainKind emits no terminator instruction: fall through.
+	}
+}
+
+// emitBody materializes a body instruction from its static slot.
+func (g *Generator) emitBody(blk *block, idx int) isa.Inst {
+	si := blk.insts[idx]
+	in := isa.Inst{
+		PC:       blk.startPC + uint64(4*idx),
+		Op:       si.op,
+		SrcDist1: g.depDistance(),
+		SrcDist2: 0,
+	}
+	if g.rng.Float64() < 0.4 {
+		in.SrcDist2 = g.depDistance()
+	}
+	// Loop-carried dependence: the first slot of a loop body models the
+	// induction variable, depending on itself one iteration back. This
+	// keeps successive iterations from being fully independent, as in
+	// real loops.
+	if blk.kind == loopKind && idx == 0 {
+		iterLen := len(blk.insts) + 1 // body + back-edge branch
+		if iterLen < 1<<16 {
+			in.SrcDist1 = uint16(iterLen)
+		}
+	}
+	// Load-use chains: consume a recent load's result directly. Most real
+	// load results are used within one or two instructions, which is what
+	// exposes load-hit latency.
+	if g.sinceLoad == 1 {
+		lup := g.profile.LoadUseProb
+		if lup == 0 {
+			lup = 0.55
+		}
+		if g.rng.Float64() < lup {
+			in.SrcDist1 = 1
+		}
+	} else if g.sinceLoad == 2 && g.rng.Float64() < 0.35 {
+		in.SrcDist2 = 2
+	}
+	if si.op == isa.OpLoad {
+		g.sinceLoad = 0
+	} else if g.sinceLoad < 1<<30 {
+		g.sinceLoad++
+	}
+	if si.op.IsMem() {
+		r := g.regions[si.region]
+		in.Addr = r.next(g.rng, si.op == isa.OpStore)
+		in.Size = 8
+		if si.op == isa.OpLoad {
+			// Pointer chases serialize: each chase load depends on the
+			// previous load of the same region.
+			if r.spec.Kind == Chase && r.lastLoadAt > 0 {
+				gap := g.count - r.lastLoadAt
+				if gap >= 1 && gap < 512 {
+					in.SrcDist1 = uint16(gap)
+				}
+			} else if g.lastLoadAt > 0 && g.rng.Float64() < 0.55 {
+				// Address chains: many loads compute their address from
+				// an earlier load (field access through a pointer, array
+				// index loaded from memory), making load latency
+				// cumulative rather than overlappable.
+				gap := g.count - g.lastLoadAt
+				if gap >= 1 && gap < 256 {
+					in.SrcDist1 = uint16(gap)
+				}
+			}
+			r.lastLoadAt = g.count
+			g.lastLoadAt = g.count
+		}
+	}
+	return in
+}
+
+// emitTerminator handles the end of a block, updating the frame. It
+// returns (inst, true) when a control instruction is emitted, or
+// (zero, false) for a plain fall-through.
+func (g *Generator) emitTerminator(top *frameState, blk *block, bi int) (isa.Inst, bool) {
+	termPC := blk.startPC + uint64(4*len(blk.insts))
+	f := &g.funcs[top.fn]
+
+	switch {
+	case blk.isLast:
+		if top.fn == 0 {
+			// Main loops forever: jump back to its first block.
+			first := &g.blocks[f.blocks[0]]
+			top.block, top.inst = 0, 0
+			return isa.Inst{PC: termPC, Op: isa.OpJump, Taken: true, Target: first.startPC}, true
+		}
+		// Return to caller.
+		g.stack = g.stack[:len(g.stack)-1]
+		caller := &g.stack[len(g.stack)-1]
+		cf := &g.funcs[caller.fn]
+		cblk := &g.blocks[cf.blocks[caller.block]]
+		retPC := cblk.startPC + uint64(4*len(cblk.insts)) + 4
+		caller.block++ // resume at the next block
+		caller.inst = 0
+		return isa.Inst{PC: termPC, Op: isa.OpReturn, Taken: true, Target: retPC}, true
+
+	case blk.kind == loopKind:
+		left, ok := g.loopLeft[bi]
+		if !ok {
+			// Trip count drawn per loop entry: 1 + geometric around mean.
+			mean := g.profile.LoopMean
+			if mean < 1 {
+				mean = 4
+			}
+			left = 1 + g.rng.Intn(2*mean-1)
+		}
+		left--
+		if left > 0 {
+			g.loopLeft[bi] = left
+			top.inst = 0 // re-run this block
+			return isa.Inst{PC: termPC, Op: isa.OpBranch, Taken: true, Target: blk.startPC}, true
+		}
+		delete(g.loopLeft, bi)
+		top.block++
+		top.inst = 0
+		return isa.Inst{PC: termPC, Op: isa.OpBranch, Taken: false, Target: blk.startPC}, true
+
+	case blk.kind == condKind:
+		taken := g.rng.Float64() < blk.bias
+		if taken && top.block+2 < len(f.blocks) {
+			skip := &g.blocks[f.blocks[top.block+2]]
+			top.block += 2
+			top.inst = 0
+			return isa.Inst{PC: termPC, Op: isa.OpBranch, Taken: true, Target: skip.startPC}, true
+		}
+		top.block++
+		top.inst = 0
+		return isa.Inst{PC: termPC, Op: isa.OpBranch, Taken: false}, true
+
+	case blk.kind == callKind:
+		callee := &g.funcs[blk.callee]
+		first := &g.blocks[callee.blocks[0]]
+		top.inst = len(blk.insts) + 1 // mark terminator consumed (cosmetic)
+		g.stack = append(g.stack, frameState{fn: blk.callee})
+		return isa.Inst{PC: termPC, Op: isa.OpCall, Taken: true, Target: first.startPC}, true
+
+	default: // plainKind: fall through, no instruction
+		top.block++
+		top.inst = 0
+		return isa.Inst{}, false
+	}
+}
+
+// Count returns the number of instructions emitted so far.
+func (g *Generator) Count() uint64 { return g.count }
