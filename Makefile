@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench evaluate figures clean
+.PHONY: all build test vet race fuzz bench evaluate figures clean
 
 all: build test
 
@@ -15,6 +15,15 @@ vet:
 
 test: vet
 	$(GO) test ./...
+
+# Race-detector pass over the concurrency-bearing packages: the parallel
+# runner, the experiment drivers that fan out through it, and the CLIs.
+race:
+	$(GO) test -race ./internal/runner ./internal/experiments ./internal/sim ./cmd/...
+
+# Short fuzz pass over the memoization content-address hash.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzKeyFor -fuzztime=30s ./internal/runner
 
 # The full testing.B harness: one bench per paper figure + micro-benches.
 bench:

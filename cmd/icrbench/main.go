@@ -1,36 +1,47 @@
 // Command icrbench regenerates the paper's evaluation: one experiment per
 // table/figure of §5, printed as aligned tables (or CSV) on stdout.
 //
+// Simulations fan out across a worker pool (-parallel) with memoization of
+// repeated sweep points; emitted rows are byte-identical at any worker
+// count. Ctrl-C cancels in-flight simulations promptly.
+//
 // Examples:
 //
 //	icrbench -list
 //	icrbench -fig fig9
-//	icrbench -fig all -instructions 2000000
+//	icrbench -fig all -instructions 2000000 -parallel 8 -progress
 //	icrbench -fig fig14 -csv
 //	icrbench -fig all -out results/
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/config"
 	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/runner"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "icrbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("icrbench", flag.ContinueOnError)
 	var (
 		fig          = fs.String("fig", "all", `experiment id ("fig1".."fig17", "faultmodels", "sensitivity", "victims") or "all"`)
@@ -42,6 +53,10 @@ func run(args []string) error {
 		out          = fs.String("out", "", "directory to also write per-experiment CSV files into")
 		svg          = fs.String("svg", "", "directory to also write per-experiment SVG figures into")
 		list         = fs.Bool("list", false, "list experiment ids and exit")
+		parallel     = fs.Int("parallel", runtime.NumCPU(), "concurrent simulations (1 = serial; results identical either way)")
+		nocache      = fs.Bool("nocache", false, "disable memoization of repeated sweep points")
+		timeout      = fs.Duration("timeout", 0, "per-simulation timeout (0 = none)")
+		progress     = fs.Bool("progress", false, "print a live progress line to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,7 +70,23 @@ func run(args []string) error {
 	if *fig != "all" {
 		ids = strings.Split(*fig, ",")
 	}
-	opts := experiments.Options{Instructions: *instructions, Seed: *seed}
+	prog := metrics.NewProgress()
+	cacheSize := 0
+	if *nocache {
+		cacheSize = -1
+	}
+	eng := runner.New(runner.Options{
+		Workers:   *parallel,
+		CacheSize: cacheSize,
+		Timeout:   *timeout,
+		Progress:  prog,
+	})
+	opts := experiments.Options{
+		Instructions: *instructions,
+		Seed:         *seed,
+		Runner:       eng,
+		Context:      ctx,
+	}
 	var seedList []int64
 	if *seeds != "" {
 		for _, part := range strings.Split(*seeds, ",") {
@@ -66,23 +97,31 @@ func run(args []string) error {
 			seedList = append(seedList, v)
 		}
 	}
+	if *progress {
+		stopProgress := startProgressLine(prog)
+		defer stopProgress()
+	}
 	for _, id := range ids {
-		runner, err := experiments.ByID(strings.TrimSpace(id))
+		expRunner, err := experiments.ByID(strings.TrimSpace(id))
 		if err != nil {
 			return err
 		}
 		start := time.Now()
-		res, err := experiments.MultiSeed(runner, opts, seedList)
+		before := prog.Snapshot()
+		res, err := experiments.MultiSeed(expRunner, opts, seedList)
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
+		after := prog.Snapshot()
 		switch {
 		case *csv:
 			fmt.Printf("# %s — %s\n%s\n", res.ID, res.Title, res.CSV())
 		case *plot:
 			fmt.Printf("%s\n", res.Chart())
 		default:
-			fmt.Printf("%s  [%.1fs]\n\n", res.Table(), time.Since(start).Seconds())
+			fmt.Printf("%s  [%.1fs, %d sims, %d memoized]\n\n",
+				res.Table(), time.Since(start).Seconds(),
+				after.Completed-before.Completed, after.MemoHits-before.MemoHits)
 		}
 		if *out != "" {
 			if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -108,4 +147,30 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// startProgressLine spawns a goroutine refreshing a one-line status on
+// stderr twice a second; the returned func stops it and prints a final
+// snapshot.
+func startProgressLine(prog *metrics.Progress) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		ticker := time.NewTicker(500 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				fmt.Fprintf(os.Stderr, "\r%s\n", prog.Snapshot())
+				return
+			case <-ticker.C:
+				fmt.Fprintf(os.Stderr, "\r%s", prog.Snapshot())
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
 }

@@ -1,26 +1,28 @@
 package main
 
 import (
+	"context"
+
 	"os"
 	"path/filepath"
 	"testing"
 )
 
 func TestListExperiments(t *testing.T) {
-	if err := run([]string{"-list"}); err != nil {
+	if err := run(context.Background(), []string{"-list"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunOneFigure(t *testing.T) {
-	if err := run([]string{"-fig", "fig10", "-instructions", "20000"}); err != nil {
+	if err := run(context.Background(), []string{"-fig", "fig10", "-instructions", "20000"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunFigureCSVAndOut(t *testing.T) {
 	dir := t.TempDir()
-	if err := run([]string{"-fig", "fig5", "-instructions", "15000", "-csv", "-out", dir}); err != nil {
+	if err := run(context.Background(), []string{"-fig", "fig5", "-instructions", "15000", "-csv", "-out", dir}); err != nil {
 		t.Fatal(err)
 	}
 	b, err := os.ReadFile(filepath.Join(dir, "fig5.csv"))
@@ -33,20 +35,20 @@ func TestRunFigureCSVAndOut(t *testing.T) {
 }
 
 func TestUnknownFigure(t *testing.T) {
-	if err := run([]string{"-fig", "fig99"}); err == nil {
+	if err := run(context.Background(), []string{"-fig", "fig99"}); err == nil {
 		t.Error("unknown figure should fail")
 	}
 }
 
 func TestRunFigurePlotMode(t *testing.T) {
-	if err := run([]string{"-fig", "fig10", "-instructions", "15000", "-plot"}); err != nil {
+	if err := run(context.Background(), []string{"-fig", "fig10", "-instructions", "15000", "-plot"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunFigureSVGOutput(t *testing.T) {
 	dir := t.TempDir()
-	if err := run([]string{"-fig", "fig10", "-instructions", "15000", "-svg", dir}); err != nil {
+	if err := run(context.Background(), []string{"-fig", "fig10", "-instructions", "15000", "-svg", dir}); err != nil {
 		t.Fatal(err)
 	}
 	b, err := os.ReadFile(filepath.Join(dir, "fig10.svg"))
@@ -59,10 +61,10 @@ func TestRunFigureSVGOutput(t *testing.T) {
 }
 
 func TestRunMultiSeed(t *testing.T) {
-	if err := run([]string{"-fig", "fig10", "-instructions", "10000", "-seeds", "1,2"}); err != nil {
+	if err := run(context.Background(), []string{"-fig", "fig10", "-instructions", "10000", "-seeds", "1,2"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-fig", "fig10", "-seeds", "1,x"}); err == nil {
+	if err := run(context.Background(), []string{"-fig", "fig10", "-seeds", "1,x"}); err == nil {
 		t.Error("bad seed list should fail")
 	}
 }

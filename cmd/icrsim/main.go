@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -21,18 +24,21 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/metrics"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "icrsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("icrsim", flag.ContinueOnError)
 	var (
 		bench        = fs.String("bench", "vpr", "benchmark: "+strings.Join(workload.Names(), ", "))
@@ -50,13 +56,14 @@ func run(args []string) error {
 		faultSeed    = fs.Int64("fault-seed", 7, "injection RNG seed")
 		csv          = fs.Bool("csv", false, "emit a CSV row instead of the text report")
 		all          = fs.Bool("all", false, "run every scheme on the benchmark and print a comparison table")
+		parallel     = fs.Int("parallel", runtime.NumCPU(), "concurrent simulations in -all mode (1 = serial; results identical)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *all {
-		return runAllSchemes(*bench, *instructions, *seed, *window, *victim)
+		return runAllSchemes(ctx, *bench, *instructions, *seed, *window, *victim, *parallel)
 	}
 
 	scheme, err := core.SchemeByName(*schemeName)
@@ -86,7 +93,7 @@ func run(args []string) error {
 		r.Fault = config.FaultConfig{Model: model, Prob: *faultProb, Seed: *faultSeed}
 	}
 
-	report, err := sim.Simulate(config.Default(), r)
+	report, err := sim.SimulateContext(ctx, config.Default(), r)
 	if err != nil {
 		return err
 	}
@@ -99,28 +106,34 @@ func run(args []string) error {
 	return nil
 }
 
-// runAllSchemes prints a per-scheme comparison for one benchmark.
-func runAllSchemes(bench string, instructions uint64, seed int64, window uint64, victim string) error {
+// runAllSchemes prints a per-scheme comparison for one benchmark. The
+// schemes are independent simulations, so they fan out across the runner's
+// worker pool; rows print in scheme order regardless of completion order.
+func runAllSchemes(ctx context.Context, bench string, instructions uint64, seed int64, window uint64, victim string, parallel int) error {
 	vp, err := parseVictim(victim)
 	if err != nil {
 		return err
 	}
-	var base *metrics.Report
-	fmt.Printf("%-16s %10s %10s %10s %10s %10s %12s\n",
-		"scheme", "cycles", "normCyc", "missRate", "replAbil", "loadsWRep", "energy(uJ)")
-	for _, scheme := range core.AllSchemes() {
+	eng := runner.New(runner.Options{Workers: parallel})
+	schemes := core.AllSchemes()
+	runs := make([]config.Run, len(schemes))
+	for i, scheme := range schemes {
 		r := config.NewRun(bench, scheme)
 		r.Instructions = instructions
 		r.Seed = seed
 		r.Repl.DecayWindow = window
 		r.Repl.Victim = vp
-		rep, err := sim.Simulate(config.Default(), r)
-		if err != nil {
-			return err
-		}
-		if base == nil {
-			base = rep
-		}
+		runs[i] = r
+	}
+	reports, err := eng.RunBatch(ctx, config.Default(), runs)
+	if err != nil {
+		return err
+	}
+	base := reports[0]
+	fmt.Printf("%-16s %10s %10s %10s %10s %10s %12s\n",
+		"scheme", "cycles", "normCyc", "missRate", "replAbil", "loadsWRep", "energy(uJ)")
+	for i, scheme := range schemes {
+		rep := reports[i]
 		fmt.Printf("%-16s %10d %10.4f %10.4f %10.4f %10.4f %12.1f\n",
 			scheme.Name(), rep.Cycles,
 			float64(rep.Cycles)/float64(base.Cycles),

@@ -1,15 +1,18 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestRunBasic(t *testing.T) {
-	if err := run([]string{"-bench", "gzip", "-scheme", "BaseP", "-instructions", "20000"}); err != nil {
+	if err := run(context.Background(), []string{"-bench", "gzip", "-scheme", "BaseP", "-instructions", "20000"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunICRWithOptions(t *testing.T) {
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-bench", "vpr", "-scheme", "ICR-ECC-PS(S)", "-instructions", "20000",
 		"-window", "1000", "-victim", "dead-first", "-distances", "32,16",
 		"-replicas", "2", "-leave", "-csv",
@@ -20,7 +23,7 @@ func TestRunICRWithOptions(t *testing.T) {
 }
 
 func TestRunFaultInjection(t *testing.T) {
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-bench", "vortex", "-scheme", "BaseECC", "-instructions", "20000",
 		"-fault-prob", "0.001", "-fault-model", "column",
 	})
@@ -38,7 +41,7 @@ func TestRunRejectsBadInput(t *testing.T) {
 		{"-fault-prob", "0.1", "-fault-model", "bogus"},
 	}
 	for _, args := range cases {
-		if err := run(args); err == nil {
+		if err := run(context.Background(), args); err == nil {
 			t.Errorf("run(%v) should fail", args)
 		}
 	}
@@ -61,7 +64,7 @@ func TestParseInts(t *testing.T) {
 }
 
 func TestRunAllSchemes(t *testing.T) {
-	if err := run([]string{"-all", "-bench", "gzip", "-instructions", "15000", "-window", "1000", "-victim", "dead-first"}); err != nil {
+	if err := run(context.Background(), []string{"-all", "-bench", "gzip", "-instructions", "15000", "-window", "1000", "-victim", "dead-first"}); err != nil {
 		t.Fatal(err)
 	}
 }

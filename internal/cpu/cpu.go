@@ -67,6 +67,12 @@ type Config struct {
 	// EachCycle, if non-nil, is invoked once per simulated cycle (used by
 	// the fault-injection scheduler).
 	EachCycle func(now uint64)
+
+	// Halt, if non-nil, is polled once per cycle; when it reports true the
+	// run stops early with whatever has committed so far. The cancellable
+	// simulator entry point (sim.SimulateContext) installs an atomic-flag
+	// check here; the flag is set when the run's context is cancelled.
+	Halt func() bool
 }
 
 // DefaultConfig returns the Table 1 core: 4-wide, RUU 16, LSQ 8, 4 integer
@@ -217,6 +223,9 @@ func (c *Core) Run(maxInstructions uint64) Stats {
 	c.maxInstrs = maxInstructions
 	for c.stats.Instructions < maxInstructions {
 		if c.streamDone && c.ruuCount == 0 && len(c.fetchQ) == 0 && c.pendingInst == nil {
+			break
+		}
+		if c.cfg.Halt != nil && c.cfg.Halt() {
 			break
 		}
 		c.commit()

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -13,6 +14,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/metrics"
+	"repro/internal/runner"
 	"repro/internal/viz"
 )
 
@@ -24,6 +26,31 @@ type Options struct {
 	Seed int64
 	// Machine overrides the Table 1 machine when non-nil.
 	Machine *config.Machine
+	// Runner executes the simulations. Nil uses a process-wide shared
+	// runner with GOMAXPROCS workers and memoization, so independent
+	// sweep points run concurrently and repeated ones simulate once.
+	Runner *runner.Runner
+	// Context cancels in-flight simulations. Nil means background.
+	Context context.Context
+}
+
+// defaultRunner is the process-wide engine used when Options.Runner is
+// nil: every driver fans out across GOMAXPROCS workers and shares one
+// memo cache, so baselines reused between figures simulate once.
+var defaultRunner = runner.New(runner.Options{})
+
+func (o *Options) runner() *runner.Runner {
+	if o.Runner != nil {
+		return o.Runner
+	}
+	return defaultRunner
+}
+
+func (o *Options) context() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 func (o *Options) machine() config.Machine {

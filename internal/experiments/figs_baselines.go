@@ -8,6 +8,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/reliability"
+	"repro/internal/runner"
 	"repro/internal/workload"
 )
 
@@ -20,17 +21,19 @@ func RCache(o Options) (*Result, error) {
 	sets := m.DL1Sets()
 	const prob = 1e-3
 
-	icr, err := runAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+	icrP := submitAll(o, icrPS(core.ReplStores), func(r *config.Run) {
 		r.Repl = relaxedRepl(sets)
 		r.Fault = config.FaultConfig{Model: fault.Random, Prob: prob, Seed: 7}
 	})
-	if err != nil {
-		return nil, err
-	}
-	dup, err := runAll(o, core.BaseP(), func(r *config.Run) {
+	dupP := submitAll(o, core.BaseP(), func(r *config.Run) {
 		r.DupCacheKB = 2
 		r.Fault = config.FaultConfig{Model: fault.Random, Prob: prob, Seed: 7}
 	})
+	icr, err := collect(icrP)
+	if err != nil {
+		return nil, err
+	}
+	dup, err := collect(dupP)
 	if err != nil {
 		return nil, err
 	}
@@ -73,21 +76,28 @@ func Scrub(o Options) (*Result, error) {
 			result.XTicks = append(result.XTicks, fmt.Sprintf("%d", iv))
 		}
 	}
-	for _, s := range schemes {
-		var vals []float64
+	pendings := make([][]*runner.Pending, len(schemes))
+	for i, s := range schemes {
+		s := s
 		for _, iv := range intervals {
 			iv := iv
-			rep, err := runOne(o, "vortex", s, func(r *config.Run) {
+			pendings[i] = append(pendings[i], submitOne(o, "vortex", s, func(r *config.Run) {
 				if s.HasReplication() {
 					r.Repl = relaxedRepl(sets)
 				}
 				r.Fault = config.FaultConfig{Model: fault.Random, Prob: 1e-3, Seed: 7}
 				r.ScrubInterval = iv
 				r.ScrubLines = 4
-			})
-			if err != nil {
-				return nil, err
-			}
+			}))
+		}
+	}
+	for i, s := range schemes {
+		reports, err := collect(pendings[i])
+		if err != nil {
+			return nil, err
+		}
+		var vals []float64
+		for _, rep := range reports {
 			vals = append(vals, rep.UnrecoverableFrac())
 			result.Reports = append(result.Reports, rep)
 		}
@@ -152,12 +162,17 @@ func Vulnerability(o Options) (*Result, error) {
 		XTicks: workload.Names(),
 		Notes:  "lower is safer; BaseECC is 0 by construction, ICR approaches it at parity cost",
 	}
-	for _, s := range schemes {
-		reports, err := runAll(o, s, func(r *config.Run) {
+	pendings := make([][]*runner.Pending, len(schemes))
+	for i, s := range schemes {
+		s := s
+		pendings[i] = submitAll(o, s, func(r *config.Run) {
 			if s.HasReplication() {
 				r.Repl = relaxedRepl(sets)
 			}
 		})
+	}
+	for i, s := range schemes {
+		reports, err := collect(pendings[i])
 		if err != nil {
 			return nil, err
 		}

@@ -4,6 +4,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/runner"
 	"repro/internal/workload"
 )
 
@@ -36,8 +37,12 @@ func DecayPredictors(o Options) (*Result, error) {
 		XTicks: workload.Names(),
 		Notes:  "adaptive needs no window parameter; compare coverage and miss cost",
 	}
-	for _, v := range variants {
-		reports, err := runAll(o, icrPS(core.ReplStores), v.mut)
+	pendings := make([][]*runner.Pending, len(variants))
+	for i, v := range variants {
+		pendings[i] = submitAll(o, icrPS(core.ReplStores), v.mut)
+	}
+	for i, v := range variants {
+		reports, err := collect(pendings[i])
 		if err != nil {
 			return nil, err
 		}
@@ -76,14 +81,18 @@ func Prefetch(o Options) (*Result, error) {
 		XTicks: benchTicks(),
 		Notes:  "prefetch buys performance from dead lines; replication buys reliability; they compose",
 	}
-	for _, v := range variants {
+	pendings := make([][]*runner.Pending, len(variants))
+	for i, v := range variants {
 		v := v
-		reports, err := runAll(o, v.scheme, func(r *config.Run) {
+		pendings[i] = submitAll(o, v.scheme, func(r *config.Run) {
 			if v.scheme.HasReplication() {
 				r.Repl = relaxedRepl(sets)
 			}
 			r.Prefetch = v.prefetch
 		})
+	}
+	for i, v := range variants {
+		reports, err := collect(pendings[i])
 		if err != nil {
 			return nil, err
 		}

@@ -14,13 +14,10 @@ import (
 func SoftwareHints(o Options) (*Result, error) {
 	m := o.machine()
 	sets := m.DL1Sets()
-	blanket, err := runAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+	blanketP := submitAll(o, icrPS(core.ReplStores), func(r *config.Run) {
 		r.Repl = relaxedRepl(sets)
 	})
-	if err != nil {
-		return nil, err
-	}
-	hinted, err := runAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+	hintedP := submitAll(o, icrPS(core.ReplStores), func(r *config.Run) {
 		r.Repl = relaxedRepl(sets)
 		profile, err := workload.ByName(r.Benchmark)
 		if err != nil {
@@ -37,6 +34,11 @@ func SoftwareHints(o Options) (*Result, error) {
 		}
 		r.Hints = core.NewRangePolicy(ranges...)
 	})
+	blanket, err := collect(blanketP)
+	if err != nil {
+		return nil, err
+	}
+	hinted, err := collect(hintedP)
 	if err != nil {
 		return nil, err
 	}

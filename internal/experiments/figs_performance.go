@@ -6,6 +6,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/runner"
 	"repro/internal/workload"
 )
 
@@ -41,10 +42,6 @@ func Fig15(o Options) (*Result, error) {
 func normalizedCycles(o Options, id, title, notes string, repl func(int) core.ReplConfig, leave bool) (*Result, error) {
 	m := o.machine()
 	sets := m.DL1Sets()
-	base, err := runAll(o, core.BaseP(), nil)
-	if err != nil {
-		return nil, err
-	}
 	schemes := []core.Scheme{core.BaseECC(false)}
 	if id == "fig15" {
 		// §5.6 focuses on the two recommended schemes vs the bases.
@@ -55,6 +52,21 @@ func normalizedCycles(o Options, id, title, notes string, repl func(int) core.Re
 	} else {
 		schemes = append(schemes, core.AllSchemes()[2:]...)
 	}
+	baseP := submitAll(o, core.BaseP(), nil)
+	pendings := make([][]*runner.Pending, len(schemes))
+	for i, s := range schemes {
+		s := s
+		pendings[i] = submitAll(o, s, func(r *config.Run) {
+			if s.HasReplication() {
+				r.Repl = repl(sets)
+				r.Repl.LeaveReplicas = leave
+			}
+		})
+	}
+	base, err := collect(baseP)
+	if err != nil {
+		return nil, err
+	}
 	result := &Result{
 		ID:     id,
 		Title:  title,
@@ -64,13 +76,8 @@ func normalizedCycles(o Options, id, title, notes string, repl func(int) core.Re
 		Series: []Series{{Label: "BaseP", Values: withGeoMean(ratios(base, base, cycles))}},
 	}
 	result.Reports = append(result.Reports, base...)
-	for _, s := range schemes {
-		reports, err := runAll(o, s, func(r *config.Run) {
-			if s.HasReplication() {
-				r.Repl = repl(sets)
-				r.Repl.LeaveReplicas = leave
-			}
-		})
+	for i, s := range schemes {
+		reports, err := collect(pendings[i])
 		if err != nil {
 			return nil, err
 		}
@@ -91,22 +98,24 @@ var decayWindows = []uint64{0, 500, 1000, 5000, 10000}
 func Fig10(o Options) (*Result, error) {
 	m := o.machine()
 	sets := m.DL1Sets()
-	var ability, lwr []float64
-	var all []*metrics.Report
+	pendings := make([]*runner.Pending, 0, len(decayWindows))
 	ticks := make([]string, 0, len(decayWindows))
 	for _, w := range decayWindows {
 		w := w
-		rep, err := runOne(o, "vpr", icrPS(core.ReplStores), func(r *config.Run) {
+		pendings = append(pendings, submitOne(o, "vpr", icrPS(core.ReplStores), func(r *config.Run) {
 			r.Repl = aggressiveRepl(sets)
 			r.Repl.DecayWindow = w
-		})
-		if err != nil {
-			return nil, err
-		}
+		}))
+		ticks = append(ticks, fmt.Sprintf("%d", w))
+	}
+	all, err := collect(pendings)
+	if err != nil {
+		return nil, err
+	}
+	var ability, lwr []float64
+	for _, rep := range all {
 		ability = append(ability, rep.ReplAbility())
 		lwr = append(lwr, rep.LoadsWithReplica())
-		all = append(all, rep)
-		ticks = append(ticks, fmt.Sprintf("%d", w))
 	}
 	return &Result{
 		ID:     "fig10",
@@ -128,13 +137,24 @@ func Fig10(o Options) (*Result, error) {
 func Fig11(o Options) (*Result, error) {
 	m := o.machine()
 	sets := m.DL1Sets()
-	base, err := runOne(o, "vpr", core.BaseP(), nil)
-	if err != nil {
-		return nil, err
-	}
+	basePending := submitOne(o, "vpr", core.BaseP(), nil)
 	schemes := []core.Scheme{
 		core.ICR(core.ParityProt, core.LookupSerial, core.ReplStores),
 		core.ICR(core.ECCProt, core.LookupSerial, core.ReplStores),
+	}
+	pendings := make([][]*runner.Pending, len(schemes))
+	for i, s := range schemes {
+		for _, w := range decayWindows {
+			w := w
+			pendings[i] = append(pendings[i], submitOne(o, "vpr", s, func(r *config.Run) {
+				r.Repl = aggressiveRepl(sets)
+				r.Repl.DecayWindow = w
+			}))
+		}
+	}
+	base, err := basePending.Wait()
+	if err != nil {
+		return nil, err
 	}
 	result := &Result{
 		ID:      "fig11",
@@ -147,17 +167,13 @@ func Fig11(o Options) (*Result, error) {
 	for _, w := range decayWindows {
 		result.XTicks = append(result.XTicks, fmt.Sprintf("%d", w))
 	}
-	for _, s := range schemes {
+	for i, s := range schemes {
+		reports, err := collect(pendings[i])
+		if err != nil {
+			return nil, err
+		}
 		var vals []float64
-		for _, w := range decayWindows {
-			w := w
-			rep, err := runOne(o, "vpr", s, func(r *config.Run) {
-				r.Repl = aggressiveRepl(sets)
-				r.Repl.DecayWindow = w
-			})
-			if err != nil {
-				return nil, err
-			}
+		for _, rep := range reports {
 			vals = append(vals, float64(rep.Cycles)/float64(base.Cycles))
 			result.Reports = append(result.Reports, rep)
 		}
@@ -177,11 +193,13 @@ func Fig13(o Options) (*Result, error) {
 			r.Repl.DecayWindow = w
 		}
 	}
-	w0, err := runAll(o, icrPS(core.ReplStores), mkRepl(0))
+	w0P := submitAll(o, icrPS(core.ReplStores), mkRepl(0))
+	w1000P := submitAll(o, icrPS(core.ReplStores), mkRepl(1000))
+	w0, err := collect(w0P)
 	if err != nil {
 		return nil, err
 	}
-	w1000, err := runAll(o, icrPS(core.ReplStores), mkRepl(1000))
+	w1000, err := collect(w1000P)
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/metrics"
+	"repro/internal/runner"
 	"repro/internal/workload"
 )
 
@@ -38,19 +39,26 @@ func Fig14(o Options) (*Result, error) {
 	for _, p := range errorProbs {
 		result.XTicks = append(result.XTicks, fmt.Sprintf("%g", p))
 	}
-	for _, s := range schemes {
-		var vals []float64
+	pendings := make([][]*runner.Pending, len(schemes))
+	for i, s := range schemes {
+		s := s
 		for _, p := range errorProbs {
 			p := p
-			rep, err := runOne(o, "vortex", s, func(r *config.Run) {
+			pendings[i] = append(pendings[i], submitOne(o, "vortex", s, func(r *config.Run) {
 				if s.HasReplication() {
 					r.Repl = relaxedRepl(sets)
 				}
 				r.Fault = config.FaultConfig{Model: fault.Random, Prob: p, Seed: 7}
-			})
-			if err != nil {
-				return nil, err
-			}
+			}))
+		}
+	}
+	for i, s := range schemes {
+		reports, err := collect(pendings[i])
+		if err != nil {
+			return nil, err
+		}
+		var vals []float64
+		for _, rep := range reports {
 			vals = append(vals, rep.UnrecoverableFrac())
 			result.Reports = append(result.Reports, rep)
 		}
@@ -79,19 +87,26 @@ func FaultModels(o Options) (*Result, error) {
 	for _, md := range models {
 		result.XTicks = append(result.XTicks, md.String())
 	}
-	for _, s := range schemes {
-		var vals []float64
+	pendings := make([][]*runner.Pending, len(schemes))
+	for i, s := range schemes {
+		s := s
 		for _, md := range models {
 			md := md
-			rep, err := runOne(o, "vortex", s, func(r *config.Run) {
+			pendings[i] = append(pendings[i], submitOne(o, "vortex", s, func(r *config.Run) {
 				if s.HasReplication() {
 					r.Repl = relaxedRepl(sets)
 				}
 				r.Fault = config.FaultConfig{Model: md, Prob: 1e-3, Seed: 7}
-			})
-			if err != nil {
-				return nil, err
-			}
+			}))
+		}
+	}
+	for i, s := range schemes {
+		reports, err := collect(pendings[i])
+		if err != nil {
+			return nil, err
+		}
+		var vals []float64
+		for _, rep := range reports {
 			vals = append(vals, rep.UnrecoverableFrac())
 			result.Reports = append(result.Reports, rep)
 		}
@@ -106,16 +121,18 @@ func FaultModels(o Options) (*Result, error) {
 func Fig16(o Options) (*Result, error) {
 	m := o.machine()
 	sets := m.DL1Sets()
-	icr, err := runAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+	icrP := submitAll(o, icrPS(core.ReplStores), func(r *config.Run) {
 		r.Repl = relaxedRepl(sets)
 	})
-	if err != nil {
-		return nil, err
-	}
-	wt, err := runAll(o, core.BaseP(), func(r *config.Run) {
+	wtP := submitAll(o, core.BaseP(), func(r *config.Run) {
 		r.WriteThrough = true
 		r.WriteBufferEntries = 8
 	})
+	icr, err := collect(icrP)
+	if err != nil {
+		return nil, err
+	}
+	wt, err := collect(wtP)
 	if err != nil {
 		return nil, err
 	}
@@ -141,8 +158,8 @@ func Fig16(o Options) (*Result, error) {
 func Fig17(o Options) (*Result, error) {
 	m := o.machine()
 	sets := m.DL1Sets()
-	run := func(s core.Scheme, parityFrac, eccFrac float64, leave bool) ([]*metrics.Report, error) {
-		return runAll(o, s, func(r *config.Run) {
+	submit := func(s core.Scheme, parityFrac, eccFrac float64, leave bool) []*runner.Pending {
+		return submitAll(o, s, func(r *config.Run) {
 			if s.HasReplication() {
 				r.Repl = relaxedRepl(sets)
 				r.Repl.LeaveReplicas = leave
@@ -150,19 +167,23 @@ func Fig17(o Options) (*Result, error) {
 			r.Energy = r.Energy.WithCheckCosts(parityFrac, eccFrac)
 		})
 	}
-	icrB, err := run(icrPS(core.ReplStores), 0.15, 0.30, true)
+	icrBP := submit(icrPS(core.ReplStores), 0.15, 0.30, true)
+	specBP := submit(core.BaseECC(true), 0.15, 0.30, false)
+	icrCP := submit(icrPS(core.ReplStores), 0.10, 0.30, true)
+	specCP := submit(core.BaseECC(true), 0.10, 0.30, false)
+	icrB, err := collect(icrBP)
 	if err != nil {
 		return nil, err
 	}
-	specB, err := run(core.BaseECC(true), 0.15, 0.30, false)
+	specB, err := collect(specBP)
 	if err != nil {
 		return nil, err
 	}
-	icrC, err := run(icrPS(core.ReplStores), 0.10, 0.30, true)
+	icrC, err := collect(icrCP)
 	if err != nil {
 		return nil, err
 	}
-	specC, err := run(core.BaseECC(true), 0.10, 0.30, false)
+	specC, err := collect(specCP)
 	if err != nil {
 		return nil, err
 	}
@@ -205,22 +226,28 @@ func Sensitivity(o Options) (*Result, error) {
 		XLabel: "geometry",
 		Notes:  "paper §5.7: ability grows with cache size; loads-with-replica barely moves",
 	}
-	var ability, lwr, miss []float64
-	for _, pt := range points {
+	pendings := make([][]*runner.Pending, len(points))
+	for i, pt := range points {
 		m := o.machine()
 		m.DL1Size = pt.size
 		m.DL1Assoc = pt.assoc
 		sets := m.DL1Sets()
 		opts := o
 		opts.Machine = &m
-		var a, l, ms float64
 		for _, bench := range []string{"gzip", "vpr"} {
-			rep, err := runOne(opts, bench, icrPS(core.ReplStores), func(r *config.Run) {
+			pendings[i] = append(pendings[i], submitOne(opts, bench, icrPS(core.ReplStores), func(r *config.Run) {
 				r.Repl = aggressiveRepl(sets)
-			})
-			if err != nil {
-				return nil, err
-			}
+			}))
+		}
+	}
+	var ability, lwr, miss []float64
+	for i, pt := range points {
+		reports, err := collect(pendings[i])
+		if err != nil {
+			return nil, err
+		}
+		var a, l, ms float64
+		for _, rep := range reports {
 			a += rep.ReplAbility() / 2
 			l += rep.LoadsWithReplica() / 2
 			ms += rep.DL1MissRate() / 2
@@ -252,12 +279,16 @@ func VictimPolicies(o Options) (*Result, error) {
 		XTicks: workload.Names(),
 		Notes:  "dead-only is reliability-biased; replica-first preserves miss rate",
 	}
-	for _, pol := range policies {
+	pendings := make([][]*runner.Pending, len(policies))
+	for i, pol := range policies {
 		pol := pol
-		reports, err := runAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+		pendings[i] = submitAll(o, icrPS(core.ReplStores), func(r *config.Run) {
 			r.Repl = relaxedRepl(sets)
 			r.Repl.Victim = pol
 		})
+	}
+	for i, pol := range policies {
+		reports, err := collect(pendings[i])
 		if err != nil {
 			return nil, err
 		}

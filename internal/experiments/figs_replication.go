@@ -4,6 +4,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/runner"
 	"repro/internal/workload"
 )
 
@@ -12,16 +13,18 @@ import (
 func Fig1(o Options) (*Result, error) {
 	m := o.machine()
 	sets := m.DL1Sets()
-	single, err := runAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+	singleP := submitAll(o, icrPS(core.ReplStores), func(r *config.Run) {
 		r.Repl = aggressiveRepl(sets)
 	})
-	if err != nil {
-		return nil, err
-	}
-	multi, err := runAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+	multiP := submitAll(o, icrPS(core.ReplStores), func(r *config.Run) {
 		r.Repl = aggressiveRepl(sets)
 		r.Repl.Distances = []int{sets / 2, sets / 4}
 	})
+	single, err := collect(singleP)
+	if err != nil {
+		return nil, err
+	}
+	multi, err := collect(multiP)
 	if err != nil {
 		return nil, err
 	}
@@ -44,16 +47,18 @@ func Fig1(o Options) (*Result, error) {
 func Fig2(o Options) (*Result, error) {
 	m := o.machine()
 	sets := m.DL1Sets()
-	single, err := runAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+	singleP := submitAll(o, icrPS(core.ReplStores), func(r *config.Run) {
 		r.Repl = aggressiveRepl(sets)
 	})
-	if err != nil {
-		return nil, err
-	}
-	multi, err := runAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+	multiP := submitAll(o, icrPS(core.ReplStores), func(r *config.Run) {
 		r.Repl = aggressiveRepl(sets)
 		r.Repl.Distances = []int{sets / 2, sets / 4}
 	})
+	single, err := collect(singleP)
+	if err != nil {
+		return nil, err
+	}
+	multi, err := collect(multiP)
 	if err != nil {
 		return nil, err
 	}
@@ -77,17 +82,19 @@ func Fig2(o Options) (*Result, error) {
 func Fig3(o Options) (*Result, error) {
 	m := o.machine()
 	sets := m.DL1Sets()
-	one, err := runAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+	oneP := submitAll(o, icrPS(core.ReplStores), func(r *config.Run) {
 		r.Repl = aggressiveRepl(sets)
 	})
-	if err != nil {
-		return nil, err
-	}
-	two, err := runAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+	twoP := submitAll(o, icrPS(core.ReplStores), func(r *config.Run) {
 		r.Repl = aggressiveRepl(sets)
 		r.Repl.Distances = []int{sets / 2, sets / 4}
 		r.Repl.Replicas = 2
 	})
+	one, err := collect(oneP)
+	if err != nil {
+		return nil, err
+	}
+	two, err := collect(twoP)
 	if err != nil {
 		return nil, err
 	}
@@ -110,21 +117,24 @@ func Fig3(o Options) (*Result, error) {
 func Fig4(o Options) (*Result, error) {
 	m := o.machine()
 	sets := m.DL1Sets()
-	base, err := runAll(o, core.BaseP(), nil)
-	if err != nil {
-		return nil, err
-	}
-	one, err := runAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+	baseP := submitAll(o, core.BaseP(), nil)
+	oneP := submitAll(o, icrPS(core.ReplStores), func(r *config.Run) {
 		r.Repl = aggressiveRepl(sets)
 	})
-	if err != nil {
-		return nil, err
-	}
-	two, err := runAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+	twoP := submitAll(o, icrPS(core.ReplStores), func(r *config.Run) {
 		r.Repl = aggressiveRepl(sets)
 		r.Repl.Distances = []int{sets / 2, sets / 4}
 		r.Repl.Replicas = 2
 	})
+	base, err := collect(baseP)
+	if err != nil {
+		return nil, err
+	}
+	one, err := collect(oneP)
+	if err != nil {
+		return nil, err
+	}
+	two, err := collect(twoP)
 	if err != nil {
 		return nil, err
 	}
@@ -149,16 +159,18 @@ func Fig4(o Options) (*Result, error) {
 func Fig5(o Options) (*Result, error) {
 	m := o.machine()
 	sets := m.DL1Sets()
-	vertical, err := runAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+	verticalP := submitAll(o, icrPS(core.ReplStores), func(r *config.Run) {
 		r.Repl = aggressiveRepl(sets)
 	})
-	if err != nil {
-		return nil, err
-	}
-	horizontal, err := runAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+	horizontalP := submitAll(o, icrPS(core.ReplStores), func(r *config.Run) {
 		r.Repl = aggressiveRepl(sets)
 		r.Repl.Distances = core.HorizontalDistances()
 	})
+	vertical, err := collect(verticalP)
+	if err != nil {
+		return nil, err
+	}
+	horizontal, err := collect(horizontalP)
 	if err != nil {
 		return nil, err
 	}
@@ -181,12 +193,17 @@ func Fig5(o Options) (*Result, error) {
 func Fig6(o Options) (*Result, error) {
 	m := o.machine()
 	sets := m.DL1Sets()
-	var series []Series
-	var all []*metrics.Report
-	for _, trigger := range []core.ReplTrigger{core.ReplLoadsStores, core.ReplStores} {
-		reports, err := runAll(o, icrPS(trigger), func(r *config.Run) {
+	triggers := []core.ReplTrigger{core.ReplLoadsStores, core.ReplStores}
+	pendings := make([][]*runner.Pending, len(triggers))
+	for i, trigger := range triggers {
+		pendings[i] = submitAll(o, icrPS(trigger), func(r *config.Run) {
 			r.Repl = aggressiveRepl(sets)
 		})
+	}
+	var series []Series
+	var all []*metrics.Report
+	for i, trigger := range triggers {
+		reports, err := collect(pendings[i])
 		if err != nil {
 			return nil, err
 		}
@@ -211,12 +228,17 @@ func Fig6(o Options) (*Result, error) {
 func Fig7(o Options) (*Result, error) {
 	m := o.machine()
 	sets := m.DL1Sets()
-	var series []Series
-	var all []*metrics.Report
-	for _, trigger := range []core.ReplTrigger{core.ReplLoadsStores, core.ReplStores} {
-		reports, err := runAll(o, icrPS(trigger), func(r *config.Run) {
+	triggers := []core.ReplTrigger{core.ReplLoadsStores, core.ReplStores}
+	pendings := make([][]*runner.Pending, len(triggers))
+	for i, trigger := range triggers {
+		pendings[i] = submitAll(o, icrPS(trigger), func(r *config.Run) {
 			r.Repl = aggressiveRepl(sets)
 		})
+	}
+	var series []Series
+	var all []*metrics.Report
+	for i, trigger := range triggers {
+		reports, err := collect(pendings[i])
 		if err != nil {
 			return nil, err
 		}
@@ -241,19 +263,22 @@ func Fig7(o Options) (*Result, error) {
 func Fig8(o Options) (*Result, error) {
 	m := o.machine()
 	sets := m.DL1Sets()
-	base, err := runAll(o, core.BaseP(), nil)
+	baseP := submitAll(o, core.BaseP(), nil)
+	lsP := submitAll(o, icrPS(core.ReplLoadsStores), func(r *config.Run) {
+		r.Repl = aggressiveRepl(sets)
+	})
+	sP := submitAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+		r.Repl = aggressiveRepl(sets)
+	})
+	base, err := collect(baseP)
 	if err != nil {
 		return nil, err
 	}
-	ls, err := runAll(o, icrPS(core.ReplLoadsStores), func(r *config.Run) {
-		r.Repl = aggressiveRepl(sets)
-	})
+	ls, err := collect(lsP)
 	if err != nil {
 		return nil, err
 	}
-	s, err := runAll(o, icrPS(core.ReplStores), func(r *config.Run) {
-		r.Repl = aggressiveRepl(sets)
-	})
+	s, err := collect(sP)
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -36,24 +37,47 @@ func relaxedRepl(sets int) core.ReplConfig {
 	}
 }
 
-// runAll simulates one scheme configuration across the eight benchmarks.
-func runAll(o Options, scheme core.Scheme, mutate func(*config.Run)) ([]*metrics.Report, error) {
-	return sim.SimulateAll(o.machine(), scheme, func(r *config.Run) {
-		o.apply(r)
-		if mutate != nil {
-			mutate(r)
-		}
-	})
-}
-
-// runOne simulates one benchmark under one configuration.
-func runOne(o Options, bench string, scheme core.Scheme, mutate func(*config.Run)) (*metrics.Report, error) {
+// submitOne enqueues one benchmark × configuration on the experiment's
+// runner and returns its pending handle. The run is fully materialized
+// (mutate applied) before submission, so driver closures never execute on
+// worker goroutines.
+func submitOne(o Options, bench string, scheme core.Scheme, mutate func(*config.Run)) *runner.Pending {
 	r := config.NewRun(bench, scheme)
 	o.apply(&r)
 	if mutate != nil {
 		mutate(&r)
 	}
-	return sim.Simulate(o.machine(), r)
+	return o.runner().Submit(o.context(), o.machine(), r)
+}
+
+// submitAll enqueues one run per benchmark (workload.Names() order) and
+// returns the pendings in that order.
+func submitAll(o Options, scheme core.Scheme, mutate func(*config.Run)) []*runner.Pending {
+	names := workload.Names()
+	out := make([]*runner.Pending, len(names))
+	for i, name := range names {
+		out[i] = submitOne(o, name, scheme, mutate)
+	}
+	return out
+}
+
+// collect waits for submitted runs and returns their reports in
+// submission order (runner.Collect's determinism guarantee).
+func collect(pendings []*runner.Pending) ([]*metrics.Report, error) {
+	return runner.Collect(pendings)
+}
+
+// runAll simulates one scheme configuration across the eight benchmarks.
+// Drivers that sweep several configurations should prefer submitAll for
+// each configuration first and collect afterwards, so the whole sweep
+// shares the worker pool.
+func runAll(o Options, scheme core.Scheme, mutate func(*config.Run)) ([]*metrics.Report, error) {
+	return collect(submitAll(o, scheme, mutate))
+}
+
+// runOne simulates one benchmark under one configuration.
+func runOne(o Options, bench string, scheme core.Scheme, mutate func(*config.Run)) (*metrics.Report, error) {
+	return submitOne(o, bench, scheme, mutate).Wait()
 }
 
 // values extracts one metric per report.

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Progress tracks the throughput of a batch of simulations. All counters
+// are atomic: one Progress may be shared by many worker goroutines and
+// read concurrently by a reporter (the CLI progress line). The zero value
+// is ready to use; NewProgress additionally stamps the start time so
+// rates can be derived.
+type Progress struct {
+	submitted    atomic.Uint64
+	started      atomic.Uint64
+	completed    atomic.Uint64
+	failed       atomic.Uint64
+	memoHits     atomic.Uint64
+	instructions atomic.Uint64
+	startNanos   atomic.Int64
+}
+
+// NewProgress returns a Progress with the clock started.
+func NewProgress() *Progress {
+	p := &Progress{}
+	p.startNanos.Store(time.Now().UnixNano())
+	return p
+}
+
+// AddSubmitted records n simulations entering the queue.
+func (p *Progress) AddSubmitted(n uint64) { p.submitted.Add(n) }
+
+// AddStarted records n simulations beginning execution.
+func (p *Progress) AddStarted(n uint64) { p.started.Add(n) }
+
+// AddCompleted records a finished simulation and the instructions it
+// committed (for instruction-throughput rates).
+func (p *Progress) AddCompleted(instructions uint64) {
+	p.completed.Add(1)
+	p.instructions.Add(instructions)
+}
+
+// AddFailed records a simulation that returned an error (including
+// cancellation).
+func (p *Progress) AddFailed(n uint64) { p.failed.Add(n) }
+
+// AddMemoHit records a simulation served from the memoization cache
+// instead of being executed.
+func (p *Progress) AddMemoHit(n uint64) { p.memoHits.Add(n) }
+
+// ProgressSnapshot is a consistent-enough point-in-time view of the
+// counters (each field is individually atomic).
+type ProgressSnapshot struct {
+	Submitted    uint64
+	Started      uint64
+	Completed    uint64
+	Failed       uint64
+	MemoHits     uint64
+	Instructions uint64
+	Elapsed      time.Duration
+}
+
+// Snapshot returns the current counter values and elapsed time.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	var elapsed time.Duration
+	if ns := p.startNanos.Load(); ns != 0 {
+		elapsed = time.Duration(time.Now().UnixNano() - ns)
+	}
+	return ProgressSnapshot{
+		Submitted:    p.submitted.Load(),
+		Started:      p.started.Load(),
+		Completed:    p.completed.Load(),
+		Failed:       p.failed.Load(),
+		MemoHits:     p.memoHits.Load(),
+		Instructions: p.instructions.Load(),
+		Elapsed:      elapsed,
+	}
+}
+
+// Settled returns completed + failed + memo hits: the number of submitted
+// simulations that have reached a final state.
+func (s ProgressSnapshot) Settled() uint64 { return s.Completed + s.Failed + s.MemoHits }
+
+// SimsPerSec returns the executed-simulation rate over the elapsed time.
+func (s ProgressSnapshot) SimsPerSec() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Completed) / s.Elapsed.Seconds()
+}
+
+// InstructionsPerSec returns the committed-instruction rate.
+func (s ProgressSnapshot) InstructionsPerSec() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Instructions) / s.Elapsed.Seconds()
+}
+
+// String renders a one-line progress summary suitable for a status line.
+func (s ProgressSnapshot) String() string {
+	return fmt.Sprintf("%d/%d sims (%d memoized, %d failed, %.0f sims/s, %.2fM inst/s)",
+		s.Settled(), s.Submitted, s.MemoHits, s.Failed,
+		s.SimsPerSec(), s.InstructionsPerSec()/1e6)
+}

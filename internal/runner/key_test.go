@@ -1,0 +1,223 @@
+package runner
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/cpu"
+)
+
+func baseInputs() (config.Machine, config.Run) {
+	m := config.Default()
+	r := config.NewRun("vpr", core.BaseP())
+	return m, r
+}
+
+func mustKey(t *testing.T, m config.Machine, r config.Run) Key {
+	t.Helper()
+	k, ok := KeyFor(m, r)
+	if !ok {
+		t.Fatal("KeyFor reported inputs non-memoizable")
+	}
+	return k
+}
+
+func TestKeyForDeterministic(t *testing.T) {
+	m, r := baseInputs()
+	r.Repl.Distances = []int{32, 16}
+	r.Hints = core.NewRangePolicy(core.AddrRange{Start: 0, End: 4096})
+
+	k1 := mustKey(t, m, r)
+
+	// Rebuild the run from scratch (fresh slice/policy allocations): the key
+	// must depend on values, never on pointer identity.
+	m2, r2 := baseInputs()
+	r2.Repl.Distances = []int{32, 16}
+	r2.Hints = core.NewRangePolicy(core.AddrRange{Start: 0, End: 4096})
+	if k2 := mustKey(t, m2, r2); k1 != k2 {
+		t.Errorf("identical inputs hashed differently:\n%s\n%s", k1, k2)
+	}
+}
+
+// TestKeyForGolden pins the hash of the default machine × a plain BaseP run.
+// It fails when the serialization changes, which is exactly when it should:
+// the key is a content address and must be stable across processes, so any
+// format change has to be deliberate (update the constant when it is).
+func TestKeyForGolden(t *testing.T) {
+	m, r := baseInputs()
+	const want = "72d67eb60a85d6d8102bbadcf27884fe8b7526f261877d09320fa6ab9b60d088"
+	if got := mustKey(t, m, r).String(); got != want {
+		t.Errorf("golden key changed:\n got %s\nwant %s\n(update the constant only for a deliberate serialization change)", got, want)
+	}
+}
+
+// TestKeyForFieldSensitivity walks every hashable field of config.Machine
+// and config.Run by reflection, bumps each one in isolation, and asserts
+// the key changes — and that no two single-field mutations collide. Because
+// the walk enumerates struct fields dynamically, adding a field to any of
+// the hashed structs without teaching KeyFor about it fails this test.
+func TestKeyForFieldSensitivity(t *testing.T) {
+	baseM, baseR := baseInputs()
+	baseKey := mustKey(t, baseM, baseR)
+	seen := map[Key]string{baseKey: "base"}
+
+	check := func(name string, k Key) {
+		t.Helper()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("mutating %s produced the same key as %s", name, prev)
+			return
+		}
+		seen[k] = name
+	}
+
+	for _, l := range structLeaves(reflect.TypeOf(baseM), "Machine", nil) {
+		m, r := baseInputs()
+		bumpField(reflect.ValueOf(&m).Elem().FieldByIndex(l.path))
+		check(l.name, mustKey(t, m, r))
+	}
+	for _, l := range structLeaves(reflect.TypeOf(baseR), "Run", nil) {
+		m, r := baseInputs()
+		bumpField(reflect.ValueOf(&r).Elem().FieldByIndex(l.path))
+		check(l.name, mustKey(t, m, r))
+	}
+}
+
+type fieldLeaf struct {
+	name string
+	path []int
+}
+
+// structLeaves enumerates the primitive (hashable) fields of a struct type,
+// recursing into nested structs. Func and interface fields are skipped —
+// they are covered by the non-memoizable and hint-policy tests below.
+func structLeaves(t reflect.Type, prefix string, base []int) []fieldLeaf {
+	var out []fieldLeaf
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		path := append(append([]int(nil), base...), i)
+		name := prefix + "." + f.Name
+		switch f.Type.Kind() {
+		case reflect.Struct:
+			out = append(out, structLeaves(f.Type, name, path)...)
+		case reflect.Func, reflect.Interface:
+		default:
+			out = append(out, fieldLeaf{name: name, path: path})
+		}
+	}
+	return out
+}
+
+// bumpField changes a field's value minimally: +1 for numbers, flip for
+// bools, append for strings and slices.
+func bumpField(v reflect.Value) {
+	switch v.Kind() {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(v.Int() + 1)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(v.Uint() + 1)
+	case reflect.Float32, reflect.Float64:
+		v.SetFloat(v.Float() + 0.5)
+	case reflect.Bool:
+		v.SetBool(!v.Bool())
+	case reflect.String:
+		v.SetString(v.String() + "x")
+	case reflect.Slice:
+		v.Set(reflect.Append(v, reflect.Zero(v.Type().Elem())))
+	default:
+		panic("bumpField: unhandled kind " + v.Kind().String())
+	}
+}
+
+func TestKeyForDistancesOrderAndLength(t *testing.T) {
+	m, r := baseInputs()
+	r.Repl.Distances = []int{32, 16}
+	k1 := mustKey(t, m, r)
+	r.Repl.Distances = []int{16, 32}
+	k2 := mustKey(t, m, r)
+	if k1 == k2 {
+		t.Error("distance order must affect the key")
+	}
+	// A length-prefix guard: [32] followed by other fields must not collide
+	// with [32,16] via concatenation ambiguity.
+	r.Repl.Distances = []int{32}
+	if k3 := mustKey(t, m, r); k3 == k1 || k3 == k2 {
+		t.Error("distance length must affect the key")
+	}
+}
+
+func TestKeyForHintPolicies(t *testing.T) {
+	m, r := baseInputs()
+	kNil := mustKey(t, m, r)
+
+	r.Hints = core.ReplicateAll{}
+	kAll := mustKey(t, m, r)
+	if kAll == kNil {
+		t.Error("ReplicateAll must hash differently from nil hints")
+	}
+
+	r.Hints = core.NewRangePolicy(core.AddrRange{Start: 0, End: 64, Hint: core.Hint{Replicate: false}})
+	kRange := mustKey(t, m, r)
+	if kRange == kNil || kRange == kAll {
+		t.Error("RangePolicy must hash differently from nil/ReplicateAll")
+	}
+
+	r.Hints = core.NewRangePolicy(core.AddrRange{Start: 0, End: 128, Hint: core.Hint{Replicate: false}})
+	if k := mustKey(t, m, r); k == kRange {
+		t.Error("range bounds must affect the key")
+	}
+
+	// Same policy content in a fresh allocation: same key.
+	r.Hints = core.NewRangePolicy(core.AddrRange{Start: 0, End: 64, Hint: core.Hint{Replicate: false}})
+	if k := mustKey(t, m, r); k != kRange {
+		t.Error("equal RangePolicy contents must produce equal keys")
+	}
+}
+
+// opaqueHints is a HintPolicy implementation KeyFor has never heard of; its
+// behaviour cannot be fingerprinted, so runs carrying it must not memoize.
+type opaqueHints struct{}
+
+func (opaqueHints) Hint(uint64) core.Hint { return core.Hint{} }
+
+func TestKeyForNonMemoizableInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		prep func(*config.Machine, *config.Run)
+	}{
+		{"EachCycle hook", func(m *config.Machine, r *config.Run) {
+			m.CPU.EachCycle = func(uint64) {}
+		}},
+		{"Halt hook", func(m *config.Machine, r *config.Run) {
+			m.CPU.Halt = func() bool { return false }
+		}},
+		{"unknown hint policy", func(m *config.Machine, r *config.Run) {
+			r.Hints = opaqueHints{}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, r := baseInputs()
+			tc.prep(&m, &r)
+			if _, ok := KeyFor(m, r); ok {
+				t.Error("inputs with opaque behaviour must not be memoizable")
+			}
+		})
+	}
+}
+
+// TestCPUConfigHookFieldsKnown pins the set of func-typed fields on
+// cpu.Config. KeyFor refuses to fingerprint a machine whose hooks are
+// non-nil; if a new hook field appears it must be added both to KeyFor's
+// guard and to this list.
+func TestCPUConfigHookFieldsKnown(t *testing.T) {
+	known := map[string]bool{"EachCycle": true, "Halt": true}
+	ct := reflect.TypeOf(cpu.Config{})
+	for i := 0; i < ct.NumField(); i++ {
+		f := ct.Field(i)
+		if f.Type.Kind() == reflect.Func && !known[f.Name] {
+			t.Errorf("new cpu.Config hook %s: teach KeyFor to reject it when non-nil", f.Name)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package runner
+
+import (
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// DefaultCacheSize is the default number of settled reports the memo
+// cache retains. Reports are small flat structs (~400 bytes), so even the
+// full §5 evaluation fits comfortably.
+const DefaultCacheSize = 4096
+
+// memoEntry is one in-flight or settled simulation. The owner that
+// claimed the key runs the simulation and closes done; everyone else
+// waits on done and reads rep/err afterwards.
+type memoEntry struct {
+	done chan struct{}
+	rep  *metrics.Report
+	err  error
+}
+
+// memoCache is a content-addressed, singleflight memoization cache:
+// claiming a key either makes the caller the owner (it must simulate and
+// settle) or hands back the existing entry to wait on. Identical sweep
+// points therefore simulate exactly once per process, no matter how many
+// figures share them or how many workers race to submit them.
+type memoCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[Key]*memoEntry
+	// order tracks settled keys in insertion order for FIFO eviction.
+	order []Key
+}
+
+func newMemoCache(capacity int) *memoCache {
+	return &memoCache{cap: capacity, entries: make(map[Key]*memoEntry)}
+}
+
+// claim returns the entry for key and whether the caller became its
+// owner. An owner MUST call settle exactly once.
+func (c *memoCache) claim(key Key) (*memoEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		return e, false
+	}
+	e := &memoEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	return e, true
+}
+
+// settle records the owner's result and wakes all waiters. Errors are not
+// cached: the entry is dropped so a later submission retries, which keeps
+// one batch's cancellation from poisoning another batch's identical run.
+func (c *memoCache) settle(key Key, e *memoEntry, rep *metrics.Report, err error) {
+	c.mu.Lock()
+	e.rep, e.err = rep, err
+	if err != nil {
+		delete(c.entries, key)
+	} else {
+		c.order = append(c.order, key)
+		for c.cap > 0 && len(c.order) > c.cap {
+			oldest := c.order[0]
+			c.order = c.order[1:]
+			delete(c.entries, oldest)
+		}
+	}
+	c.mu.Unlock()
+	close(e.done)
+}
+
+// len returns the number of resident entries (in-flight + settled).
+func (c *memoCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// copyReport returns an independent copy of a cached report, so no caller
+// can mutate the cached value another caller sees. metrics.Report is a
+// flat value struct (no pointers, slices, or maps), so a struct copy is a
+// deep copy; the compile-time-adjacent test in memo_test.go guards that
+// assumption against future reference-typed fields.
+func copyReport(r *metrics.Report) *metrics.Report {
+	if r == nil {
+		return nil
+	}
+	cp := *r
+	return &cp
+}

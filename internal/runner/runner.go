@@ -1,0 +1,251 @@
+// Package runner is the parallel experiment engine: it fans independent
+// sim.Simulate calls across a bounded pool of workers while keeping every
+// result observably identical to the serial path.
+//
+// Guarantees:
+//
+//   - Determinism: each simulation is a pure function of its
+//     (config.Machine, config.Run) inputs — every run builds its own RNGs,
+//     caches, and meters — so results do not depend on goroutine
+//     scheduling, and batch results are returned in submission order.
+//     Output derived from a batch is byte-for-byte identical at any worker
+//     count.
+//   - Cancellation: Submit honours context cancellation and per-run
+//     timeouts. In-flight simulations abort promptly (the core polls a
+//     stop flag once per simulated cycle), queued ones never start, and
+//     batch collection reports whatever completed (partial results).
+//   - Memoization: results are content-addressed by a stable hash of the
+//     full input (see KeyFor), so a sweep point shared between figures —
+//     e.g. the BaseP baseline — simulates once per process. Cached reports
+//     are copied on return; callers can never corrupt each other.
+//   - Observability: progress and throughput counters are exposed via
+//     internal/metrics.Progress for CLI progress lines.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// SimulateFunc executes one simulation. The default is
+// sim.SimulateContext; tests substitute stubs.
+type SimulateFunc func(ctx context.Context, m config.Machine, r config.Run) (*metrics.Report, error)
+
+// Options configure a Runner.
+type Options struct {
+	// Workers bounds the number of concurrently executing simulations.
+	// <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+
+	// CacheSize is the memoization capacity in settled reports: 0 means
+	// DefaultCacheSize, negative disables memoization entirely.
+	CacheSize int
+
+	// Timeout, when > 0, bounds each individual simulation.
+	Timeout time.Duration
+
+	// Progress, when non-nil, receives submission/completion/throughput
+	// counts. Nil allocates a private one (readable via Progress()).
+	Progress *metrics.Progress
+
+	// Simulate substitutes the simulation function (tests). Nil means
+	// sim.SimulateContext.
+	Simulate SimulateFunc
+}
+
+// Runner executes simulations on a bounded worker pool with memoization.
+// It is safe for concurrent use and needs no shutdown: workers are
+// goroutines that exist only while work is in flight.
+type Runner struct {
+	slots   chan struct{}
+	memo    *memoCache
+	timeout time.Duration
+	prog    *metrics.Progress
+	simFn   SimulateFunc
+}
+
+// New returns a Runner with the given options.
+func New(o Options) *Runner {
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var memo *memoCache
+	if o.CacheSize >= 0 {
+		size := o.CacheSize
+		if size == 0 {
+			size = DefaultCacheSize
+		}
+		memo = newMemoCache(size)
+	}
+	prog := o.Progress
+	if prog == nil {
+		prog = metrics.NewProgress()
+	}
+	simFn := o.Simulate
+	if simFn == nil {
+		simFn = sim.SimulateContext
+	}
+	return &Runner{
+		slots:   make(chan struct{}, workers),
+		memo:    memo,
+		timeout: o.Timeout,
+		prog:    prog,
+		simFn:   simFn,
+	}
+}
+
+// Workers returns the worker-pool size.
+func (r *Runner) Workers() int { return cap(r.slots) }
+
+// Progress returns the runner's counters.
+func (r *Runner) Progress() *metrics.Progress { return r.prog }
+
+// Pending is a handle to a submitted simulation.
+type Pending struct {
+	done chan struct{}
+	rep  *metrics.Report
+	err  error
+}
+
+// Wait blocks until the simulation settles and returns its result. It is
+// safe to call from multiple goroutines and more than once.
+func (p *Pending) Wait() (*metrics.Report, error) {
+	<-p.done
+	return p.rep, p.err
+}
+
+// Submit enqueues one simulation and returns immediately. The run starts
+// as soon as a worker slot frees up; a context cancelled before then
+// settles the Pending without the simulation ever starting.
+func (r *Runner) Submit(ctx context.Context, m config.Machine, run config.Run) *Pending {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p := &Pending{done: make(chan struct{})}
+	r.prog.AddSubmitted(1)
+	go func() {
+		defer close(p.done)
+		// An explicit pre-check: when the context is already cancelled the
+		// select below could still win the slot branch by chance, and a
+		// cancelled run must never start.
+		if err := ctx.Err(); err != nil {
+			p.err = fmt.Errorf("runner: %s: %w", run.Name(), err)
+			r.prog.AddFailed(1)
+			return
+		}
+		select {
+		case r.slots <- struct{}{}:
+			defer func() { <-r.slots }()
+		case <-ctx.Done():
+			p.err = fmt.Errorf("runner: %s: %w", run.Name(), ctx.Err())
+			r.prog.AddFailed(1)
+			return
+		}
+		rep, err := r.simulate(ctx, m, run)
+		if err != nil {
+			p.err = fmt.Errorf("runner: %s: %w", run.Name(), err)
+			r.prog.AddFailed(1)
+			return
+		}
+		p.rep = rep
+	}()
+	return p
+}
+
+// Run submits one simulation and waits for it.
+func (r *Runner) Run(ctx context.Context, m config.Machine, run config.Run) (*metrics.Report, error) {
+	return r.Submit(ctx, m, run).Wait()
+}
+
+// RunBatch submits every run and waits for all of them. Results are in
+// submission order regardless of completion order. On failure the error
+// of the lowest-index failing run is returned (a deterministic choice)
+// and the result slice still carries every run that did complete —
+// partial results under cancellation. RunBatch returns only after every
+// submitted run has settled, so no work leaks past it.
+func (r *Runner) RunBatch(ctx context.Context, m config.Machine, runs []config.Run) ([]*metrics.Report, error) {
+	pendings := make([]*Pending, len(runs))
+	for i, run := range runs {
+		pendings[i] = r.Submit(ctx, m, run)
+	}
+	return Collect(pendings)
+}
+
+// Collect waits for every pending and returns results in order, with the
+// lowest-index error (if any). Entries that failed are nil.
+func Collect(pendings []*Pending) ([]*metrics.Report, error) {
+	reports := make([]*metrics.Report, len(pendings))
+	var firstErr error
+	for i, p := range pendings {
+		rep, err := p.Wait()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		reports[i] = rep
+	}
+	return reports, firstErr
+}
+
+// simulate executes one run through the memo cache (when eligible).
+func (r *Runner) simulate(ctx context.Context, m config.Machine, run config.Run) (*metrics.Report, error) {
+	if r.memo == nil {
+		return r.exec(ctx, m, run)
+	}
+	key, ok := KeyFor(m, run)
+	if !ok {
+		// Opaque inputs (function hooks, unknown hint policies) cannot be
+		// content-addressed; run uncached.
+		return r.exec(ctx, m, run)
+	}
+	for {
+		e, owner := r.memo.claim(key)
+		if owner {
+			rep, err := r.exec(ctx, m, run)
+			r.memo.settle(key, e, rep, err)
+			if err != nil {
+				return nil, err
+			}
+			// The cache keeps its own copy; hand the caller another so
+			// later hits never observe caller mutations.
+			return copyReport(rep), nil
+		}
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if e.err == nil {
+			r.prog.AddMemoHit(1)
+			return copyReport(e.rep), nil
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// The owner failed — possibly its own caller's cancellation, which
+		// must not poison this caller. The entry was dropped at settle;
+		// loop to claim ownership and retry.
+	}
+}
+
+// exec runs the simulation function with the per-run timeout applied.
+func (r *Runner) exec(ctx context.Context, m config.Machine, run config.Run) (*metrics.Report, error) {
+	if r.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.timeout)
+		defer cancel()
+	}
+	r.prog.AddStarted(1)
+	rep, err := r.simFn(ctx, m, run)
+	if err != nil {
+		return nil, err
+	}
+	r.prog.AddCompleted(rep.Instructions)
+	return rep, nil
+}

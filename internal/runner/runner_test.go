@@ -1,0 +1,296 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// jitterSim is deterministic in its results but deliberately erratic in its
+// timing: completion order scrambles under concurrency, which is exactly
+// what result ordering must be immune to.
+func jitterSim(ctx context.Context, m config.Machine, r config.Run) (*metrics.Report, error) {
+	time.Sleep(time.Duration(r.Seed%5) * time.Millisecond)
+	return &metrics.Report{
+		Benchmark:    r.Benchmark,
+		Scheme:       r.Scheme.Name(),
+		Instructions: r.Instructions,
+		Cycles:       uint64(r.Seed)*7919 + r.Instructions,
+	}, nil
+}
+
+func makeRuns(n int) []config.Run {
+	runs := make([]config.Run, n)
+	for i := range runs {
+		r := config.NewRun("vpr", core.BaseP())
+		r.Seed = int64(n - i) // later submissions tend to finish first
+		runs[i] = r
+	}
+	return runs
+}
+
+// TestRunBatchDeterministicAcrossWorkerCounts is the core guarantee: the
+// result slice is identical at any worker count, in submission order,
+// regardless of completion order.
+func TestRunBatchDeterministicAcrossWorkerCounts(t *testing.T) {
+	m := config.Default()
+	runs := makeRuns(24)
+
+	var golden []*metrics.Report
+	for _, workers := range []int{1, 2, 8} {
+		r := New(Options{Workers: workers, CacheSize: -1, Simulate: jitterSim})
+		reports, err := r.RunBatch(context.Background(), m, runs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, rep := range reports {
+			if want := uint64(runs[i].Seed)*7919 + runs[i].Instructions; rep.Cycles != want {
+				t.Fatalf("workers=%d: slot %d holds the wrong run's report", workers, i)
+			}
+		}
+		if golden == nil {
+			golden = reports
+			continue
+		}
+		for i := range reports {
+			if *reports[i] != *golden[i] {
+				t.Errorf("workers=%d: report %d diverged from workers=1", workers, i)
+			}
+		}
+	}
+}
+
+func TestCollectReportsLowestIndexError(t *testing.T) {
+	fail := map[int64]bool{3: true, 7: true}
+	fn := func(ctx context.Context, m config.Machine, r config.Run) (*metrics.Report, error) {
+		if fail[r.Seed] {
+			return nil, fmt.Errorf("seed %d exploded", r.Seed)
+		}
+		return jitterSim(ctx, m, r)
+	}
+	r := New(Options{Workers: 8, CacheSize: -1, Simulate: fn})
+	m := config.Default()
+	runs := make([]config.Run, 10)
+	for i := range runs {
+		run := config.NewRun("vpr", core.BaseP())
+		run.Seed = int64(i)
+		runs[i] = run
+	}
+	reports, err := r.RunBatch(context.Background(), m, runs)
+	if err == nil || !strings.Contains(err.Error(), "seed 3") {
+		t.Errorf("err = %v, want the lowest failing index (seed 3)", err)
+	}
+	for i, rep := range reports {
+		failed := fail[int64(i)]
+		if failed && rep != nil {
+			t.Errorf("failed run %d has a report", i)
+		}
+		if !failed && rep == nil {
+			t.Errorf("succeeded run %d lost its report (partial results broken)", i)
+		}
+	}
+}
+
+func TestWorkersDefaultsToGOMAXPROCS(t *testing.T) {
+	if got, want := New(Options{}).Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("Workers() = %d, want GOMAXPROCS %d", got, want)
+	}
+	if got := New(Options{Workers: 3}).Workers(); got != 3 {
+		t.Errorf("Workers() = %d, want 3", got)
+	}
+}
+
+func TestPerRunTimeout(t *testing.T) {
+	fn := func(ctx context.Context, m config.Machine, r config.Run) (*metrics.Report, error) {
+		<-ctx.Done() // a well-behaved simulation observes cancellation
+		return nil, ctx.Err()
+	}
+	r := New(Options{Workers: 2, Timeout: 20 * time.Millisecond, Simulate: fn})
+	m, run := baseInputs()
+	start := time.Now()
+	_, err := r.Run(context.Background(), m, run)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("timeout took %v to fire", elapsed)
+	}
+}
+
+func TestSubmitErrorsNameTheRun(t *testing.T) {
+	fn := func(ctx context.Context, m config.Machine, r config.Run) (*metrics.Report, error) {
+		return nil, errors.New("boom")
+	}
+	r := New(Options{Workers: 1, Simulate: fn})
+	m := config.Default()
+	run := config.NewRun("mcf", core.BaseECC(false))
+	_, err := r.Run(context.Background(), m, run)
+	if err == nil || !strings.Contains(err.Error(), "mcf/") {
+		t.Errorf("err = %v, want the run name in the message", err)
+	}
+}
+
+// waitGoroutines polls until the goroutine count drops back to (or below)
+// the baseline, tolerating runtime background goroutines.
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+}
+
+// TestCancellationMidSweep is the satellite requirement in full: cancelling
+// a sweep mid-flight returns promptly (<1s), reports the runs that did
+// complete (partial results), and leaks no goroutines.
+func TestCancellationMidSweep(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	const fastRuns, blockedRuns = 4, 6
+	firstBatch := make(chan struct{}, fastRuns)
+	fn := func(ctx context.Context, m config.Machine, r config.Run) (*metrics.Report, error) {
+		if r.Seed < fastRuns {
+			firstBatch <- struct{}{}
+			return jitterSim(ctx, m, r)
+		}
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	r := New(Options{Workers: 2, CacheSize: -1, Simulate: fn})
+	m := config.Default()
+	runs := make([]config.Run, fastRuns+blockedRuns)
+	for i := range runs {
+		run := config.NewRun("vpr", core.BaseP())
+		run.Seed = int64(i)
+		runs[i] = run
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	pendings := make([]*Pending, len(runs))
+	for i, run := range runs {
+		pendings[i] = r.Submit(ctx, m, run)
+	}
+	// Let the fast half finish, then cancel with the blocked half in flight
+	// (holding worker slots) and the rest still queued.
+	for i := 0; i < fastRuns; i++ {
+		<-firstBatch
+	}
+	for i := 0; i < fastRuns; i++ {
+		if _, err := pendings[i].Wait(); err != nil {
+			t.Fatalf("fast run %d: %v", i, err)
+		}
+	}
+	cancel()
+
+	start := time.Now()
+	reports, err := Collect(pendings)
+	elapsed := time.Since(start)
+	if elapsed >= time.Second {
+		t.Errorf("cancelled sweep took %v to return, want <1s", elapsed)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	for i, rep := range reports {
+		if i < fastRuns && rep == nil {
+			t.Errorf("completed run %d missing from partial results", i)
+		}
+		if i >= fastRuns && rep != nil {
+			t.Errorf("cancelled run %d produced a report", i)
+		}
+	}
+	snap := r.Progress().Snapshot()
+	if snap.Completed != fastRuns || snap.Failed != blockedRuns {
+		t.Errorf("progress: completed=%d failed=%d, want %d/%d",
+			snap.Completed, snap.Failed, fastRuns, blockedRuns)
+	}
+	waitGoroutines(t, baseline)
+}
+
+// TestCancelBeforeStart: a context cancelled before submission settles the
+// pending without the simulation ever starting.
+func TestCancelBeforeStart(t *testing.T) {
+	var calls atomic.Int64
+	fn := func(ctx context.Context, m config.Machine, r config.Run) (*metrics.Report, error) {
+		calls.Add(1)
+		return jitterSim(ctx, m, r)
+	}
+	r := New(Options{Workers: 1, Simulate: fn})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m, run := baseInputs()
+	if _, err := r.Run(ctx, m, run); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if got := calls.Load(); got != 0 {
+		t.Errorf("cancelled submit executed %d times, want 0", got)
+	}
+}
+
+// TestRealSimulationCancellation exercises the production SimulateFunc: an
+// effectively unbounded run must abort within the cancellation latency of
+// the per-cycle halt poll, not run to completion.
+func TestRealSimulationCancellation(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	r := New(Options{Workers: 1}) // default Simulate: sim.SimulateContext
+	m := config.Default()
+	run := config.NewRun("vpr", core.BaseP())
+	run.Instructions = 1 << 62 // would take years
+
+	ctx, cancel := context.WithCancel(context.Background())
+	p := r.Submit(ctx, m, run)
+	time.Sleep(100 * time.Millisecond) // let the simulation get going
+	cancel()
+	start := time.Now()
+	rep, err := p.Wait()
+	if elapsed := time.Since(start); elapsed >= time.Second {
+		t.Errorf("real simulation took %v to abort, want <1s", elapsed)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if rep != nil {
+		t.Error("aborted simulation returned a report")
+	}
+	waitGoroutines(t, baseline)
+}
+
+// TestSerialEquivalence: the runner with the default simulate function
+// produces exactly what a direct sim.Simulate call produces — the pooled
+// path introduces no behavioural difference.
+func TestSerialEquivalence(t *testing.T) {
+	m := config.Default()
+	run := config.NewRun("gzip", core.ICR(core.ParityProt, core.LookupSerial, core.ReplStores))
+	run.Instructions = 20_000
+	run.Repl = core.ReplConfig{
+		Distances: core.VerticalDistances(m.DL1Sets()),
+		Replicas:  1,
+	}
+
+	r := New(Options{Workers: 4})
+	pooled, err := r.Run(context.Background(), m, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := sim.Simulate(m, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *pooled != *direct {
+		t.Errorf("pooled run diverged from direct sim.Simulate:\npooled %+v\ndirect %+v", pooled, direct)
+	}
+}

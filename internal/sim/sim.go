@@ -6,8 +6,10 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/cache"
 	"repro/internal/config"
@@ -23,6 +25,15 @@ import (
 // Simulate runs one benchmark × scheme configuration on the given machine
 // and returns the full report.
 func Simulate(m config.Machine, r config.Run) (*metrics.Report, error) {
+	return SimulateContext(context.Background(), m, r)
+}
+
+// SimulateContext is Simulate with cooperative cancellation: when ctx is
+// cancellable (ctx.Done() != nil), the core polls an atomic stop flag once
+// per simulated cycle and the run aborts promptly with ctx's error. A
+// non-cancellable context (context.Background) adds no per-cycle overhead,
+// so the serial path is unchanged.
+func SimulateContext(ctx context.Context, m config.Machine, r config.Run) (*metrics.Report, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -125,8 +136,21 @@ func Simulate(m config.Machine, r config.Run) (*metrics.Report, error) {
 		}
 	}
 
+	if ctx.Done() != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var stop atomic.Bool
+		cancelWatch := context.AfterFunc(ctx, func() { stop.Store(true) })
+		defer cancelWatch()
+		cpucfg.Halt = stop.Load
+	}
+
 	c := cpu.New(cpucfg, gen, il1, dl1)
 	cstats := c.Run(r.Instructions)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if cstats.Instructions < r.Instructions {
 		return nil, fmt.Errorf("sim: stream ended after %d instructions", cstats.Instructions)
 	}
