@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race fuzz bench evaluate figures clean
+.PHONY: all build test vet lint race fuzz bench evaluate figures ci clean
 
 all: build test
 
@@ -13,7 +13,13 @@ build:
 vet:
 	$(GO) vet ./...
 
-test: vet
+# icrvet: the repo's own static analyzer (internal/lint). Enforces the
+# determinism and concurrency invariants the parallel runner depends on;
+# see DESIGN.md "Invariants".
+lint:
+	$(GO) run ./cmd/icrvet ./...
+
+test: vet lint
 	$(GO) test ./...
 
 # Race-detector pass over the concurrency-bearing packages: the parallel
@@ -36,6 +42,10 @@ evaluate:
 # Regenerate tables, CSVs, and SVG figures.
 figures:
 	$(GO) run ./cmd/icrbench -fig all -out results -svg figures
+
+# Full tier-1 verification in one command: build, vet, icrvet, tests, race.
+ci:
+	./scripts/ci.sh
 
 clean:
 	rm -rf results figures test_output.txt bench_output.txt

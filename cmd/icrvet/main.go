@@ -1,0 +1,129 @@
+// Command icrvet statically enforces the repository's determinism and
+// concurrency invariants. It is built entirely on the standard library
+// (go/ast, go/parser, go/types): the module stays offline and
+// dependency-free.
+//
+// Five passes run over the module containing the given packages:
+//
+//	determinism  wall-clock time, global math/rand, and order-dependent
+//	             map iteration in the simulation hot path
+//	keycoverage  runner.KeyFor covers every exported config field
+//	syncmisuse   copied locks/atomics; misaligned 64-bit atomics
+//	floatorder   float accumulation in map-iteration order
+//	droppederr   discarded errors in cmd/ and internal/runner
+//
+// Findings print as "path:line:col: [pass] message" and make the process
+// exit 1; load or usage errors exit 2. Suppress a finding with a justified
+// directive on the flagged line or the line above:
+//
+//	//icrvet:ignore <pass>[,<pass>...] <reason>
+//
+// Examples:
+//
+//	icrvet ./...
+//	icrvet -passes determinism,droppederr ./...
+//	icrvet internal/sim/...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("icrvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		passes = fs.String("passes", "", "comma-separated pass subset (default: all)")
+		list   = fs.Bool("list", false, "list passes and exit")
+		dir    = fs.String("C", "", "change to this directory before resolving patterns")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, p := range lint.Passes() {
+			fmt.Fprintf(stdout, "%-12s %s\n", p.Name, p.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	base := *dir
+	if base == "" {
+		base = "."
+	}
+	var opts lint.Options
+	if *passes != "" {
+		opts.Passes = strings.Split(*passes, ",")
+	}
+	findings, root, err := analyze(base, patterns, opts)
+	if err != nil {
+		fmt.Fprintln(stderr, "icrvet:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f.Relative(root))
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "icrvet: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// analyze loads the module at or above base, runs the passes, and filters
+// findings to files under the directories named by the patterns.
+func analyze(base string, patterns []string, opts lint.Options) ([]lint.Finding, string, error) {
+	mod, err := lint.Load(base)
+	if err != nil {
+		return nil, "", err
+	}
+	findings, err := lint.Run(mod, opts)
+	if err != nil {
+		return nil, "", err
+	}
+
+	// Resolve each pattern to an absolute directory prefix ("dir/..."
+	// and "dir" both mean the subtree rooted at dir).
+	var prefixes []string
+	for _, p := range patterns {
+		p = strings.TrimSuffix(p, "...")
+		p = strings.TrimSuffix(p, "/")
+		if p == "" || p == "." {
+			prefixes = nil // whole module
+			break
+		}
+		abs, err := filepath.Abs(filepath.Join(base, p))
+		if err != nil {
+			return nil, "", err
+		}
+		prefixes = append(prefixes, abs)
+	}
+	if prefixes == nil {
+		return findings, mod.Root, nil
+	}
+	var kept []lint.Finding
+	for _, f := range findings {
+		for _, pre := range prefixes {
+			if f.Pos.Filename == pre || strings.HasPrefix(f.Pos.Filename, pre+string(filepath.Separator)) {
+				kept = append(kept, f)
+				break
+			}
+		}
+	}
+	return kept, mod.Root, nil
+}

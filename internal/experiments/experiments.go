@@ -235,42 +235,51 @@ func MultiSeed(runner Runner, opts Options, seeds []int64) (*Result, error) {
 	return agg, nil
 }
 
-// registry maps experiment ids to runners.
-var registry = map[string]Runner{
-	"fig1":          Fig1,
-	"fig2":          Fig2,
-	"fig3":          Fig3,
-	"fig4":          Fig4,
-	"fig5":          Fig5,
-	"fig6":          Fig6,
-	"fig7":          Fig7,
-	"fig8":          Fig8,
-	"fig9":          Fig9,
-	"fig10":         Fig10,
-	"fig11":         Fig11,
-	"fig12":         Fig12,
-	"fig13":         Fig13,
-	"fig14":         Fig14,
-	"fig15":         Fig15,
-	"fig16":         Fig16,
-	"fig17":         Fig17,
-	"faultmodels":   FaultModels,
-	"sensitivity":   Sensitivity,
-	"victims":       VictimPolicies,
-	"swhints":       SoftwareHints,
-	"rcache":        RCache,
-	"scrub":         Scrub,
-	"vulnerability": Vulnerability,
-	"mttf":          MTTF,
-	"decaypred":     DecayPredictors,
-	"prefetch":      Prefetch,
+// registration binds an experiment id to its runner. The registry is an
+// ordered slice, not a map: ids must never be enumerated in map-iteration
+// order, or `icrbench -fig all` output would shuffle run to run.
+type registration struct {
+	ID  string
+	Run Runner
+}
+
+// registry lists every experiment. Order here is the registration order;
+// IDs sorts, so appending new experiments anywhere is fine.
+var registry = []registration{
+	{"fig1", Fig1},
+	{"fig2", Fig2},
+	{"fig3", Fig3},
+	{"fig4", Fig4},
+	{"fig5", Fig5},
+	{"fig6", Fig6},
+	{"fig7", Fig7},
+	{"fig8", Fig8},
+	{"fig9", Fig9},
+	{"fig10", Fig10},
+	{"fig11", Fig11},
+	{"fig12", Fig12},
+	{"fig13", Fig13},
+	{"fig14", Fig14},
+	{"fig15", Fig15},
+	{"fig16", Fig16},
+	{"fig17", Fig17},
+	{"faultmodels", FaultModels},
+	{"sensitivity", Sensitivity},
+	{"victims", VictimPolicies},
+	{"swhints", SoftwareHints},
+	{"rcache", RCache},
+	{"scrub", Scrub},
+	{"vulnerability", Vulnerability},
+	{"mttf", MTTF},
+	{"decaypred", DecayPredictors},
+	{"prefetch", Prefetch},
 }
 
 // IDs returns the registered experiment ids in sorted order.
 func IDs() []string {
 	out := make([]string, 0, len(registry))
-	for id := range registry {
-		out = append(out, id)
+	for _, e := range registry {
+		out = append(out, e.ID)
 	}
 	sort.Strings(out)
 	return out
@@ -278,8 +287,10 @@ func IDs() []string {
 
 // ByID resolves an experiment by id ("fig1" ... "fig17", "sensitivity").
 func ByID(id string) (Runner, error) {
-	if r, ok := registry[id]; ok {
-		return r, nil
+	for _, e := range registry {
+		if e.ID == id {
+			return e.Run, nil
+		}
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)",
 		id, strings.Join(IDs(), ", "))

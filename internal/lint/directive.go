@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces a suppression comment:
+//
+//	//icrvet:ignore <pass>[,<pass>...] <reason>
+//
+// The directive suppresses the named passes' findings on its own line (a
+// trailing comment) or on the line directly below (a comment on its own
+// line). The reason is mandatory: a suppression with no justification is
+// exactly the kind of reviewer-vigilance failure the analyzer replaces.
+const directivePrefix = "icrvet:ignore"
+
+// directive is one parsed suppression comment.
+type directive struct {
+	passes []string
+	reason string
+	pos    token.Position
+}
+
+// parseDirective parses the text after "//" of a candidate comment line.
+// ok is false when the comment is not an icrvet directive at all. err is
+// non-nil when it is one but is malformed.
+func parseDirective(text string) (passes []string, reason string, ok bool, err error) {
+	text = strings.TrimSpace(text)
+	rest, isDirective := strings.CutPrefix(text, directivePrefix)
+	if !isDirective {
+		return nil, "", false, nil
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		// e.g. "icrvet:ignoreX" — some other token, not our directive.
+		return nil, "", false, nil
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, "", true, fmt.Errorf("missing pass name and reason (want \"//icrvet:ignore <pass> <reason>\")")
+	}
+	valid := make(map[string]bool)
+	for _, n := range PassNames() {
+		valid[n] = true
+	}
+	for _, p := range strings.Split(fields[0], ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, "", true, fmt.Errorf("empty pass name in %q", fields[0])
+		}
+		if !valid[p] {
+			return nil, "", true, fmt.Errorf("unknown pass %q (have %s)", p, strings.Join(PassNames(), ", "))
+		}
+		passes = append(passes, p)
+	}
+	reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+	if reason == "" {
+		return nil, "", true, fmt.Errorf("missing reason: a suppression must say why the invariant does not apply")
+	}
+	return passes, reason, true, nil
+}
+
+// suppressions indexes every valid directive in a module by file and the
+// line it covers, and records malformed directives as findings.
+type suppressions struct {
+	// byLine maps filename -> covered line -> directives.
+	byLine   map[string]map[int][]*directive
+	problems []Finding
+}
+
+// collectSuppressions scans all comments of all files.
+func collectSuppressions(mod *Module) *suppressions {
+	s := &suppressions{byLine: make(map[string]map[int][]*directive)}
+	for _, pkg := range mod.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					passes, reason, ok, err := parseDirective(text)
+					if !ok {
+						continue
+					}
+					pos := mod.Fset.Position(c.Pos())
+					if err != nil {
+						s.problems = append(s.problems, Finding{
+							Pass: "directive", Pos: pos,
+							Message: fmt.Sprintf("malformed //icrvet:ignore: %v", err),
+						})
+						continue
+					}
+					d := &directive{passes: passes, reason: reason, pos: pos}
+					lines := s.byLine[pos.Filename]
+					if lines == nil {
+						lines = make(map[int][]*directive)
+						s.byLine[pos.Filename] = lines
+					}
+					// A trailing directive covers its own line; a directive
+					// on a line of its own covers the next line. Covering
+					// both is harmless and keeps the rule simple.
+					lines[pos.Line] = append(lines[pos.Line], d)
+					lines[pos.Line+1] = append(lines[pos.Line+1], d)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// suppressed reports whether a finding of the given pass at p is covered by
+// a valid directive.
+func (s *suppressions) suppressed(pass string, p token.Position) bool {
+	for _, d := range s.byLine[p.Filename][p.Line] {
+		for _, dp := range d.passes {
+			if dp == pass {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runFloatOrder flags, module-wide, floating-point accumulation whose
+// operand order follows a map's randomized iteration: `sum += m[k]` inside
+// `for k := range m`. Float addition is not associative, so the same data
+// can produce different totals run to run — exactly the silent
+// result-corruption mode the byte-identical-CSV guarantee exists to
+// prevent. The fix is always the same: collect the keys, sort them, then
+// accumulate in sorted order.
+func runFloatOrder(mod *Module, r *Reporter) {
+	for _, pkg := range mod.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := pkg.Info.Types[rng.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				ast.Inspect(rng.Body, func(b ast.Node) bool {
+					as, ok := b.(*ast.AssignStmt)
+					if !ok {
+						return true
+					}
+					checkFloatAccum(pkg, r, as)
+					return true
+				})
+				return true
+			})
+		}
+	}
+}
+
+// isCompoundAssign reports whether as is an op= assignment.
+func isCompoundAssign(as *ast.AssignStmt) bool {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return true
+	}
+	return false
+}
+
+// checkFloatAccum flags `x += e` / `x -= e` / `x *= e` / `x /= e` and the
+// spelled-out `x = x + e` forms when x is floating-point.
+func checkFloatAccum(pkg *Package, r *Reporter, as *ast.AssignStmt) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	if !isFloat(pkg, as.Lhs[0]) {
+		return
+	}
+	if isCompoundAssign(as) {
+		r.Reportf(as.Pos(),
+			"floating-point accumulation inside range over map: float ops are not associative, so the randomized iteration order changes the total; collect keys, sort, then accumulate")
+		return
+	}
+	if as.Tok == token.ASSIGN && selfReferences(as.Lhs[0], as.Rhs[0]) {
+		r.Reportf(as.Pos(),
+			"floating-point accumulation (x = x op ...) inside range over map: iteration order changes the total; collect keys, sort, then accumulate")
+	}
+}
+
+// isFloat reports whether e has floating-point (or complex) type.
+func isFloat(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// selfReferences reports whether rhs mentions the lvalue lhs (textually,
+// by expression shape), catching `x = x + v` and `s.f = v + s.f`.
+func selfReferences(lhs, rhs ast.Expr) bool {
+	want := exprString(lhs)
+	if want == "" {
+		return false
+	}
+	found := false
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok && exprString(e) == want {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// exprString renders simple lvalue shapes (idents and dotted selectors)
+// for structural comparison; anything else yields "".
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprString(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,213 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// keyFuncName is the content-address serializer the keycoverage pass
+// anchors on: runner.KeyFor in this repository (any module-level function
+// of that name in any package).
+const keyFuncName = "KeyFor"
+
+// runKeyCoverage verifies that every KeyFor function references — directly
+// or through same-package helpers it calls — every exported field of the
+// struct types it takes as parameters, recursing through nested in-module
+// struct fields. A config knob added without a key contribution would make
+// two observably different runs share a memo entry, silently corrupting
+// every figure built from cached results; this pass turns that into a
+// build failure the moment the field is added.
+//
+// Function-typed fields count as covered only if referenced too (KeyFor
+// must at least nil-check them to refuse memoizing an un-fingerprintable
+// run). Interface-typed fields are required to be referenced but are not
+// recursed into: their dynamic contents are the serializer's problem.
+func runKeyCoverage(mod *Module, r *Reporter) {
+	found := false
+	for _, pkg := range mod.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv != nil || fd.Name.Name != keyFuncName || fd.Body == nil {
+					continue
+				}
+				found = true
+				checkKeyCoverage(mod, pkg, r, fd)
+			}
+		}
+	}
+	if !found && moduleWantsKeyFunc(mod) {
+		// The serializer itself disappeared: report at the runner package.
+		if pkg := mod.Lookup("internal/runner"); pkg != nil && len(pkg.Files) > 0 {
+			r.Reportf(pkg.Files[0].Package,
+				"no %s function found in %s: the memo key serializer is gone", keyFuncName, pkg.ImportPath)
+		}
+	}
+}
+
+// moduleWantsKeyFunc reports whether the module is expected to define a
+// key serializer at all (it has an internal/runner package).
+func moduleWantsKeyFunc(mod *Module) bool {
+	return mod.Lookup("internal/runner") != nil
+}
+
+// checkKeyCoverage checks one KeyFor function.
+func checkKeyCoverage(mod *Module, pkg *Package, r *Reporter, fd *ast.FuncDecl) {
+	fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+
+	// Roots: every parameter with a named struct type.
+	var roots []*types.Named
+	for i := 0; i < sig.Params().Len(); i++ {
+		if named := asNamedStruct(sig.Params().At(i).Type()); named != nil {
+			roots = append(roots, named)
+		}
+	}
+	if len(roots) == 0 {
+		r.Reportf(fd.Pos(), "%s takes no struct parameters: nothing to fingerprint", keyFuncName)
+		return
+	}
+
+	covered := coveredFields(pkg, fd)
+
+	seen := make(map[*types.Named]bool)
+	var missing []string
+	var walk func(named *types.Named)
+	walk = func(named *types.Named) {
+		if seen[named] {
+			return
+		}
+		seen[named] = true
+		st := named.Underlying().(*types.Struct)
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			key := fieldKey(named, f.Name())
+			if !covered[key] {
+				missing = append(missing, key)
+				continue
+			}
+			// Recurse into nested in-module struct fields (through
+			// pointers): their knobs must be keyed too.
+			if sub := asNamedStruct(f.Type()); sub != nil && inModule(mod, sub) {
+				walk(sub)
+			}
+		}
+	}
+	for _, root := range roots {
+		walk(root)
+	}
+	sort.Strings(missing)
+	for _, key := range missing {
+		r.Reportf(fd.Pos(),
+			"%s does not reference %s: a config knob without a key contribution makes distinct runs share a memo entry; hash it (or nil-check and refuse memoization)", keyFuncName, key)
+	}
+}
+
+// coveredFields gathers every (struct, field) selection reachable from fd
+// through functions and methods of the same package.
+func coveredFields(pkg *Package, fd *ast.FuncDecl) map[string]bool {
+	// Index the package's function declarations by their types.Func.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+				if obj, ok := pkg.Info.Defs[fn.Name].(*types.Func); ok {
+					decls[obj] = fn
+				}
+			}
+		}
+	}
+
+	covered := make(map[string]bool)
+	visited := make(map[*ast.FuncDecl]bool)
+	var visit func(*ast.FuncDecl)
+	visit = func(fn *ast.FuncDecl) {
+		if visited[fn] {
+			return
+		}
+		visited[fn] = true
+		ast.Inspect(fn, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sel, ok := pkg.Info.Selections[n]; ok && sel.Kind() == types.FieldVal {
+					recordSelection(covered, sel)
+				}
+			case *ast.Ident:
+				// Follow calls (and references) to same-package functions
+				// and methods, e.g. the hasher helpers.
+				if callee, ok := pkg.Info.Uses[n].(*types.Func); ok && callee.Pkg() == pkg.Types {
+					if d, ok := decls[callee]; ok {
+						visit(d)
+					}
+				}
+			}
+			return true
+		})
+	}
+	visit(fd)
+	return covered
+}
+
+// recordSelection records every field step along a (possibly embedded)
+// field selection path.
+func recordSelection(covered map[string]bool, sel *types.Selection) {
+	t := sel.Recv()
+	for _, idx := range sel.Index() {
+		named := asNamedStruct(t)
+		if named == nil {
+			return
+		}
+		st := named.Underlying().(*types.Struct)
+		if idx >= st.NumFields() {
+			return
+		}
+		f := st.Field(idx)
+		covered[fieldKey(named, f.Name())] = true
+		t = f.Type()
+	}
+}
+
+// asNamedStruct unwraps pointers and aliases down to a named type with a
+// struct underlying, or nil.
+func asNamedStruct(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return named
+}
+
+// inModule reports whether the named type is declared inside the analyzed
+// module (recursion stops at the standard library).
+func inModule(mod *Module, named *types.Named) bool {
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == mod.Path || strings.HasPrefix(pkg.Path(), mod.Path+"/")
+}
+
+// fieldKey names a struct field for diagnostics: "cpu.Config.MSHRs".
+func fieldKey(named *types.Named, field string) string {
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return fmt.Sprintf("%s.%s", obj.Name(), field)
+	}
+	return fmt.Sprintf("%s.%s.%s", obj.Pkg().Name(), obj.Name(), field)
+}

@@ -1,0 +1,242 @@
+// Package lint is icrvet's analysis engine: a standard-library-only static
+// analyzer (go/ast, go/parser, go/types) that enforces the repository's
+// determinism and concurrency invariants. Five passes run over the whole
+// module:
+//
+//   - determinism: wall-clock time, global math/rand, and order-dependent
+//     map iteration in the simulation hot path
+//   - keycoverage: runner.KeyFor must reference every exported field of its
+//     input configuration structs (transitively), so a new config knob
+//     cannot silently alias distinct runs in the memo cache
+//   - syncmisuse: by-value copies of lock- or atomic-bearing structs, and
+//     64-bit atomics at 32-bit-unsafe struct offsets
+//   - floatorder: floating-point accumulation fed by map iteration order
+//   - droppederr: discarded error returns in the CLIs and the runner
+//
+// Findings can be suppressed with a justified directive on the flagged
+// line or the line above:
+//
+//	//icrvet:ignore <pass>[,<pass>...] <reason>
+//
+// A malformed directive (unknown pass, missing reason) is itself a finding
+// and cannot be suppressed.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Finding is one diagnostic: a position, the pass that produced it, and
+// a message.
+type Finding struct {
+	Pass    string
+	Pos     token.Position
+	Message string
+}
+
+// String renders the finding as "path:line:col: [pass] message" with the
+// path relative to root (when possible) using forward slashes.
+func (f Finding) String() string {
+	return f.Relative("")
+}
+
+// Relative renders the finding with its file path relative to root.
+func (f Finding) Relative(root string) string {
+	name := f.Pos.Filename
+	if root != "" {
+		if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+	}
+	return fmt.Sprintf("%s:%d:%d: [%s] %s",
+		filepath.ToSlash(name), f.Pos.Line, f.Pos.Column, f.Pass, f.Message)
+}
+
+// A Pass is one analysis over a loaded module.
+type Pass struct {
+	Name string
+	Doc  string
+	Run  func(m *Module, r *Reporter)
+}
+
+// Passes returns the five analyses in their canonical order.
+func Passes() []Pass {
+	return []Pass{
+		{Name: "determinism", Doc: "wall-clock, global rand, and map-order dependence in hot packages", Run: runDeterminism},
+		{Name: "keycoverage", Doc: "KeyFor must cover every exported config field", Run: runKeyCoverage},
+		{Name: "syncmisuse", Doc: "copied locks/atomics and misaligned 64-bit atomics", Run: runSyncMisuse},
+		{Name: "floatorder", Doc: "float accumulation in map-iteration order", Run: runFloatOrder},
+		{Name: "droppederr", Doc: "discarded error returns in cmd/ and internal/runner", Run: runDroppedErr},
+	}
+}
+
+// PassNames returns the valid pass names (canonical order).
+func PassNames() []string {
+	ps := Passes()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// Options configures an analysis.
+type Options struct {
+	// Passes selects a subset of pass names; nil runs all five.
+	Passes []string
+
+	// HotPaths lists the module-relative directory prefixes the
+	// determinism pass polices. Nil means DefaultHotPaths. A single "*"
+	// covers the whole module.
+	HotPaths []string
+
+	// ErrPaths lists the module-relative prefixes the droppederr pass
+	// polices. Nil means DefaultErrPaths. A single "*" covers the whole
+	// module.
+	ErrPaths []string
+}
+
+// DefaultHotPaths is the simulation hot path: packages whose behaviour
+// must be a pure function of (Machine, Run) for results to be reproducible
+// and memoizable.
+func DefaultHotPaths() []string {
+	return []string{
+		"internal/sim", "internal/cpu", "internal/cache",
+		"internal/experiments", "internal/reliability", "internal/energy",
+		"internal/metrics",
+	}
+}
+
+// DefaultErrPaths is where droppederr applies: the CLIs (exit paths must
+// observe failures) and the parallel runner (a swallowed error there turns
+// into a silently wrong figure).
+func DefaultErrPaths() []string {
+	return []string{"cmd", "internal/runner"}
+}
+
+// Analyze loads the module at or above dir and runs the selected passes,
+// returning the surviving (unsuppressed) findings sorted by position.
+// Malformed or unused suppression directives are reported under the
+// "directive" pseudo-pass.
+func Analyze(dir string, opts Options) ([]Finding, error) {
+	mod, err := Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	return Run(mod, opts)
+}
+
+// Run executes the selected passes over an already loaded module.
+func Run(mod *Module, opts Options) ([]Finding, error) {
+	selected, err := selectPasses(opts.Passes)
+	if err != nil {
+		return nil, err
+	}
+	r := newReporter(mod, opts)
+	for _, p := range selected {
+		r.pass = p.Name
+		p.Run(mod, r)
+	}
+	r.finish()
+	sort.Slice(r.findings, func(i, j int) bool {
+		a, b := r.findings[i], r.findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Pass != b.Pass {
+			return a.Pass < b.Pass
+		}
+		return a.Message < b.Message
+	})
+	return r.findings, nil
+}
+
+func selectPasses(names []string) ([]Pass, error) {
+	all := Passes()
+	if len(names) == 0 {
+		return all, nil
+	}
+	byName := make(map[string]Pass, len(all))
+	for _, p := range all {
+		byName[p.Name] = p
+	}
+	var out []Pass
+	for _, n := range names {
+		p, ok := byName[strings.TrimSpace(n)]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown pass %q (have %s)",
+				n, strings.Join(PassNames(), ", "))
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Reporter collects findings and applies suppression directives.
+type Reporter struct {
+	mod      *Module
+	opts     Options
+	pass     string
+	findings []Finding
+	supp     *suppressions
+}
+
+func newReporter(mod *Module, opts Options) *Reporter {
+	return &Reporter{mod: mod, opts: opts, supp: collectSuppressions(mod)}
+}
+
+// Reportf records a finding for the current pass at pos unless a valid
+// directive suppresses it.
+func (r *Reporter) Reportf(pos token.Pos, format string, args ...any) {
+	p := r.mod.Fset.Position(pos)
+	if r.supp.suppressed(r.pass, p) {
+		return
+	}
+	r.findings = append(r.findings, Finding{Pass: r.pass, Pos: p, Message: fmt.Sprintf(format, args...)})
+}
+
+// hotPaths resolves the determinism scope.
+func (r *Reporter) hotPaths() []string {
+	if r.opts.HotPaths != nil {
+		return r.opts.HotPaths
+	}
+	return DefaultHotPaths()
+}
+
+// errPaths resolves the droppederr scope.
+func (r *Reporter) errPaths() []string {
+	if r.opts.ErrPaths != nil {
+		return r.opts.ErrPaths
+	}
+	return DefaultErrPaths()
+}
+
+// inScope reports whether a package's module-relative directory falls under
+// one of the given prefixes ("*" matches everything).
+func inScope(rel string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if p == "*" {
+			return true
+		}
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// finish appends the directive findings (malformed suppressions) collected
+// during the run.
+func (r *Reporter) finish() {
+	r.findings = append(r.findings, r.supp.problems...)
+}

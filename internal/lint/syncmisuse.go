@@ -1,0 +1,236 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// runSyncMisuse flags, module-wide:
+//
+//  1. by-value copies of structs that (transitively) contain sync or
+//     sync/atomic types — a copied mutex deadlocks or silently stops
+//     excluding, a copied atomic counter forks its value;
+//  2. 64-bit sync/atomic operations on struct fields whose offset is not
+//     8-byte aligned under 32-bit layout rules (the runtime only
+//     guarantees 64-bit atomicity at aligned addresses on 32-bit
+//     targets). Fields of type atomic.Int64/Uint64 are exempt: the
+//     runtime aligns them everywhere.
+func runSyncMisuse(mod *Module, r *Reporter) {
+	for _, pkg := range mod.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					checkFuncSig(pkg, r, n)
+				case *ast.AssignStmt:
+					checkLockAssign(pkg, r, n)
+				case *ast.RangeStmt:
+					checkLockRange(pkg, r, n)
+				case *ast.CallExpr:
+					checkAtomicAlign(pkg, r, n)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// containsSyncType reports whether t transitively holds a value of a named
+// type from sync or sync/atomic (through struct fields and arrays, not
+// through pointers, slices, or maps — those share, they don't copy).
+func containsSyncType(t types.Type) bool {
+	return containsSync(t, make(map[types.Type]bool))
+}
+
+func containsSync(t types.Type, seen map[types.Type]bool) bool {
+	t = types.Unalias(t)
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil {
+			if p := pkg.Path(); p == "sync" || p == "sync/atomic" {
+				return true
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsSync(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsSync(u.Elem(), seen)
+	}
+	return false
+}
+
+// checkFuncSig flags by-value lock-bearing parameters, results, and
+// receivers.
+func checkFuncSig(pkg *Package, r *Reporter, fd *ast.FuncDecl) {
+	fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		if _, isPtr := types.Unalias(recv.Type()).(*types.Pointer); !isPtr && containsSyncType(recv.Type()) {
+			r.Reportf(fd.Recv.List[0].Pos(),
+				"method %s has a by-value receiver of type %s, which contains sync/atomic state; use a pointer receiver", fd.Name.Name, types.TypeString(recv.Type(), types.RelativeTo(pkg.Types)))
+		}
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if _, isPtr := types.Unalias(p.Type()).(*types.Pointer); !isPtr && containsSyncType(p.Type()) {
+			r.Reportf(p.Pos(),
+				"parameter %s passes %s by value, copying its sync/atomic state; pass a pointer", p.Name(), types.TypeString(p.Type(), types.RelativeTo(pkg.Types)))
+		}
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		res := sig.Results().At(i)
+		if _, isPtr := types.Unalias(res.Type()).(*types.Pointer); !isPtr && containsSyncType(res.Type()) {
+			pos := res.Pos()
+			if !pos.IsValid() {
+				pos = fd.Pos()
+			}
+			r.Reportf(pos,
+				"%s returns %s by value, copying its sync/atomic state; return a pointer", fd.Name.Name, types.TypeString(res.Type(), types.RelativeTo(pkg.Types)))
+		}
+	}
+}
+
+// checkLockAssign flags assignments that copy an existing lock-bearing
+// value. Composite literals and function-call results are fresh values
+// (moves, not copies) and are allowed.
+func checkLockAssign(pkg *Package, r *Reporter, as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) {
+			break
+		}
+		// `_ = v` evaluates and discards: nothing keeps the copy.
+		if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		if !copiesValue(rhs) {
+			continue
+		}
+		tv, ok := pkg.Info.Types[rhs]
+		if !ok || !containsSyncType(tv.Type) {
+			continue
+		}
+		r.Reportf(as.Pos(),
+			"assignment copies a value of type %s, which contains sync/atomic state; use a pointer", types.TypeString(tv.Type, types.RelativeTo(pkg.Types)))
+	}
+}
+
+// copiesValue reports whether evaluating e yields a copy of an existing
+// addressable value (as opposed to a freshly constructed one).
+func copiesValue(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.ParenExpr:
+		return copiesValue(e.X)
+	}
+	return false
+}
+
+// checkLockRange flags range loops whose value variable copies
+// lock-bearing elements.
+func checkLockRange(pkg *Package, r *Reporter, rng *ast.RangeStmt) {
+	if rng.Value == nil {
+		return
+	}
+	// `for _, v := range ...` defines v: its type lives in Defs, not
+	// Types. `for _, v = range ...` reuses an existing v: Uses.
+	var t types.Type
+	if id, ok := rng.Value.(*ast.Ident); ok {
+		if obj := pkg.Info.Defs[id]; obj != nil {
+			t = obj.Type()
+		} else if obj := pkg.Info.Uses[id]; obj != nil {
+			t = obj.Type()
+		}
+	} else if tv, ok := pkg.Info.Types[rng.Value]; ok {
+		t = tv.Type
+	}
+	if t == nil || !containsSyncType(t) {
+		return
+	}
+	if _, isPtr := types.Unalias(t).(*types.Pointer); isPtr {
+		return
+	}
+	r.Reportf(rng.Value.Pos(),
+		"range value copies elements of type %s, which contain sync/atomic state; range over indices or pointers", types.TypeString(t, types.RelativeTo(pkg.Types)))
+}
+
+// atomic64Funcs are the sync/atomic entry points that require 8-byte
+// alignment of their operand on 32-bit targets.
+var atomic64Funcs = map[string]bool{
+	"AddInt64": true, "AddUint64": true,
+	"LoadInt64": true, "LoadUint64": true,
+	"StoreInt64": true, "StoreUint64": true,
+	"SwapInt64": true, "SwapUint64": true,
+	"CompareAndSwapInt64": true, "CompareAndSwapUint64": true,
+}
+
+// sizes32 models the 32-bit layout the alignment check guards against.
+var sizes32 = types.SizesFor("gc", "386")
+
+// checkAtomicAlign flags atomic.XxxInt64(&s.f, ...) where f's offset in
+// its enclosing struct chain is not 8-byte aligned under 32-bit layout.
+func checkAtomicAlign(pkg *Package, r *Reporter, call *ast.CallExpr) {
+	pkgPath, name, ok := stdFuncCall(pkg, call)
+	if !ok || pkgPath != "sync/atomic" || !atomic64Funcs[name] || len(call.Args) == 0 {
+		return
+	}
+	unary, ok := call.Args[0].(*ast.UnaryExpr)
+	if !ok || unary.Op.String() != "&" {
+		return
+	}
+	sel, ok := unary.X.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection, ok := pkg.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	off, ok := offset32(selection)
+	if !ok {
+		return
+	}
+	if off%8 != 0 {
+		r.Reportf(call.Pos(),
+			"atomic.%s on field %s at 32-bit offset %d (not 8-byte aligned): 64-bit atomics fault or tear on 32-bit targets; move the field first in the struct or use atomic.Int64/Uint64", name, sel.Sel.Name, off)
+	}
+}
+
+// offset32 computes the byte offset of a field selection from the start of
+// its outermost struct under 32-bit sizes.
+func offset32(sel *types.Selection) (int64, bool) {
+	t := sel.Recv()
+	var total int64
+	for _, idx := range sel.Index() {
+		t = types.Unalias(t)
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			// An indirection resets the base: heap allocations of 8+
+			// bytes are 8-aligned even on 32-bit.
+			total = 0
+			t = types.Unalias(ptr.Elem())
+		}
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok || idx >= st.NumFields() {
+			return 0, false
+		}
+		fields := make([]*types.Var, st.NumFields())
+		for i := range fields {
+			fields[i] = st.Field(i)
+		}
+		total += sizes32.Offsetsof(fields)[idx]
+		t = st.Field(idx).Type()
+	}
+	return total, true
+}

@@ -1,0 +1,3 @@
+module fixdet
+
+go 1.22

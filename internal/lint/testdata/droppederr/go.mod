@@ -1,0 +1,3 @@
+module fixerr
+
+go 1.22

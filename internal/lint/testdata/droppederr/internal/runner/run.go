@@ -1,0 +1,26 @@
+// Package runner is the droppederr fixture's runner: a swallowed error
+// here means a failed simulation silently folds into the figures.
+package runner
+
+import "os"
+
+// Args is the fixture's run configuration; KeyFor covers it fully so the
+// keycoverage pass stays quiet on this module.
+type Args struct {
+	Name string
+}
+
+// KeyFor fingerprints a run.
+func KeyFor(a Args) string { return a.Name }
+
+// Flush drops a write error.
+func Flush(path string, data []byte) {
+	os.WriteFile(path, data, 0o644) // want: discarded error
+}
+
+// cleanup is off the droppederr scope's allowlist but handled correctly.
+func cleanup(path string) error {
+	return os.Remove(path)
+}
+
+var _ = cleanup

@@ -1,0 +1,56 @@
+// Package fixfloat is a floatorder-pass fixture: float accumulation fed by
+// map iteration order, in both spellings, plus the sorted-keys fix.
+package fixfloat
+
+import "sort"
+
+// Sum accumulates with += under map iteration.
+func Sum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want: += under map range
+	}
+	return sum
+}
+
+// SumSpelled accumulates with the spelled-out x = x + v form.
+func SumSpelled(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total = total + v // want: x = x + v under map range
+	}
+	return total
+}
+
+// MeanField accumulates into a struct field.
+type acc struct{ total float64 }
+
+// Fold accumulates into a selector lvalue.
+func Fold(m map[int]float64, a *acc) {
+	for _, v := range m {
+		a.total = v + a.total // want: selector accumulation under map range
+	}
+}
+
+// SumInts is fine: integer addition is associative.
+func SumInts(m map[string]int) int {
+	var sum int
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// SumSorted is the fix: accumulate in sorted key order.
+func SumSorted(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}

@@ -1,0 +1,3 @@
+module fixfloat
+
+go 1.22

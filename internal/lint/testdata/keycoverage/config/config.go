@@ -1,0 +1,24 @@
+// Package config holds the fixture's machine and run parameters.
+package config
+
+// Core is a nested parameter block (stands in for cpu.Config).
+type Core struct {
+	Width  int
+	Depth  int
+	Secret int // KeyFor misses this nested field
+}
+
+// Machine is the first KeyFor parameter.
+type Machine struct {
+	Core      Core
+	CacheSize int
+	unkeyed   int // unexported: exempt from coverage
+}
+
+// Run is the second KeyFor parameter.
+type Run struct {
+	Benchmark string
+	Seed      int64
+	Budget    uint64 // KeyFor misses this top-level field
+	Hook      func() // func field: must at least be nil-checked
+}

@@ -1,0 +1,3 @@
+module fixkey
+
+go 1.22

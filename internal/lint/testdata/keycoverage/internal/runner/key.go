@@ -1,0 +1,31 @@
+// Package runner holds the fixture's incomplete key serializer: it skips
+// Run.Budget and the nested Core.Secret, which keycoverage must flag.
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+
+	"fixkey/config"
+)
+
+// KeyFor fingerprints a (machine, run) pair — incompletely.
+func KeyFor(m config.Machine, r config.Run) ([sha256.Size]byte, bool) {
+	if r.Hook != nil {
+		return [sha256.Size]byte{}, false
+	}
+	h := sha256.New()
+	word := func(v uint64) {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:]) //icrvet:ignore droppederr hash.Hash.Write never returns an error
+	}
+	word(uint64(m.Core.Width))
+	word(uint64(m.Core.Depth))
+	word(uint64(m.CacheSize))
+	word(uint64(len(r.Benchmark)))
+	word(uint64(r.Seed))
+	var k [sha256.Size]byte
+	h.Sum(k[:0])
+	return k, true
+}

@@ -1,0 +1,3 @@
+module fixsup
+
+go 1.22

@@ -1,0 +1,44 @@
+// Package fixsup exercises the //icrvet:ignore directive: valid
+// suppressions (trailing and line-above), malformed directives, and an
+// unsuppressed finding that must survive.
+package fixsup
+
+// SumTrailing is suppressed by a trailing directive.
+func SumTrailing(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //icrvet:ignore floatorder fixture demonstrates a justified trailing suppression
+	}
+	return sum
+}
+
+// SumAbove is suppressed by a directive on the line above.
+func SumAbove(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		//icrvet:ignore floatorder fixture demonstrates a line-above suppression
+		sum += v
+	}
+	return sum
+}
+
+// SumWrongPass has a directive naming a different pass: no suppression.
+func SumWrongPass(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //icrvet:ignore droppederr wrong pass, does not cover floatorder
+	}
+	return sum
+}
+
+// SumMalformed carries three malformed directives plus the live finding.
+func SumMalformed(m map[string]float64) float64 {
+	var sum float64
+	//icrvet:ignore
+	//icrvet:ignore nosuchpass the pass name is not one of the five
+	//icrvet:ignore floatorder
+	for _, v := range m {
+		sum += v // want: not suppressed by any of the above
+	}
+	return sum
+}

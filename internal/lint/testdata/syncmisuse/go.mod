@@ -1,0 +1,3 @@
+module fixsync
+
+go 1.22

@@ -1,0 +1,69 @@
+// Package fixsync is a syncmisuse-pass fixture: lock-bearing values copied
+// every way the pass knows, plus a misaligned 64-bit atomic.
+package fixsync
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counter embeds a mutex: any by-value copy forks the lock.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Wrapper embeds Counter a level down: containment is transitive.
+type Wrapper struct {
+	inner Counter
+}
+
+// Inc is correct: pointer receiver.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Get has a by-value receiver: every call copies the mutex.
+func (c Counter) Get() int { // want: by-value receiver
+	return c.n
+}
+
+// Consume passes a lock-bearing struct by value.
+func Consume(c Counter) int { // want: by-value parameter
+	return c.n
+}
+
+// Make returns a lock-bearing struct by value.
+func Make() Counter { // want: by-value result
+	return Counter{}
+}
+
+// Copies copies lock-bearing values through assignment and range.
+func Copies(ws []Wrapper, w *Wrapper) {
+	local := *w // want: assignment copies
+	_ = local
+	for _, v := range ws { // want: range value copies
+		_ = v
+	}
+	for i := range ws { // fine: index-only range
+		_ = i
+	}
+	fresh := Wrapper{} // fine: composite literal is a fresh value
+	_ = fresh
+}
+
+// Stats has a 64-bit counter at offset 4 under 32-bit layout.
+type Stats struct {
+	flags uint32
+	hits  uint64 // misaligned on 32-bit targets
+	safe  atomic.Uint64
+}
+
+// Bump does a 64-bit atomic on the misaligned field.
+func Bump(s *Stats) {
+	atomic.AddUint64(&s.hits, 1) // want: misaligned 64-bit atomic
+	s.safe.Add(1)                // fine: atomic.Uint64 self-aligns
+	_ = s.flags
+}

@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced nanosecond clock, safe for concurrent use
+// as NewProgressClock requires.
+type fakeClock struct {
+	mu sync.Mutex
+	ns int64
+}
+
+func (c *fakeClock) now() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ns
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.ns += int64(d)
+	c.mu.Unlock()
+}
+
+// TestProgressFakeClock pins that every derived rate is computed from the
+// injected clock, so throughput accounting is exact (not wall-time-fuzzy)
+// under test.
+func TestProgressFakeClock(t *testing.T) {
+	clk := &fakeClock{ns: 1_000} // nonzero so the start stamp is stored
+	p := NewProgressClock(clk.now)
+
+	p.AddSubmitted(10)
+	p.AddStarted(6)
+	for i := 0; i < 5; i++ {
+		p.AddCompleted(200_000)
+	}
+	p.AddFailed(1)
+	p.AddMemoHit(2)
+
+	clk.advance(2 * time.Second)
+	s := p.Snapshot()
+
+	if s.Elapsed != 2*time.Second {
+		t.Fatalf("Elapsed = %v, want 2s", s.Elapsed)
+	}
+	if got, want := s.SimsPerSec(), 2.5; got != want {
+		t.Errorf("SimsPerSec = %v, want %v (5 sims / 2s)", got, want)
+	}
+	if got, want := s.InstructionsPerSec(), 500_000.0; got != want {
+		t.Errorf("InstructionsPerSec = %v, want %v (1M inst / 2s)", got, want)
+	}
+	if got := s.Settled(); got != 8 {
+		t.Errorf("Settled = %d, want 8 (5 completed + 1 failed + 2 memo)", got)
+	}
+
+	// The rendered status line is deterministic under a fake clock.
+	line := s.String()
+	for _, want := range []string{"8/10 sims", "2 memoized", "1 failed", "2 sims/s", "0.50M inst/s"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("String() = %q, missing %q", line, want)
+		}
+	}
+
+	// Advancing further moves the rates, proving Snapshot re-reads the
+	// clock rather than caching the first elapsed value.
+	clk.advance(2 * time.Second)
+	if got, want := p.Snapshot().SimsPerSec(), 1.25; got != want {
+		t.Errorf("SimsPerSec after advance = %v, want %v", got, want)
+	}
+}
+
+// TestProgressZeroValue pins that the zero value still works (no clock
+// stamp: elapsed and rates stay zero, counters still count).
+func TestProgressZeroValue(t *testing.T) {
+	var p Progress
+	p.AddSubmitted(3)
+	p.AddCompleted(100)
+	s := p.Snapshot()
+	if s.Elapsed != 0 {
+		t.Errorf("zero-value Elapsed = %v, want 0", s.Elapsed)
+	}
+	if s.SimsPerSec() != 0 || s.InstructionsPerSec() != 0 {
+		t.Errorf("zero-value rates = %v, %v, want 0, 0", s.SimsPerSec(), s.InstructionsPerSec())
+	}
+	if s.Submitted != 3 || s.Completed != 1 || s.Instructions != 100 {
+		t.Errorf("zero-value counters wrong: %+v", s)
+	}
+}

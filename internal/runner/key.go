@@ -101,7 +101,7 @@ func (h *hasher) section(name string) { h.str(name) }
 
 func (h *hasher) u64(v uint64) {
 	binary.LittleEndian.PutUint64(h.buf[:], v)
-	h.h.Write(h.buf[:])
+	h.h.Write(h.buf[:]) //icrvet:ignore droppederr hash.Hash.Write is documented to never return an error
 }
 
 func (h *hasher) u64s(vs ...uint64) {
@@ -136,7 +136,7 @@ func (h *hasher) bool(v bool) {
 
 func (h *hasher) str(s string) {
 	h.u64(uint64(len(s)))
-	h.h.Write([]byte(s))
+	h.h.Write([]byte(s)) //icrvet:ignore droppederr hash.Hash.Write is documented to never return an error
 }
 
 func (h *hasher) intSlice(vs []int) {

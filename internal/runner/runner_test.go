@@ -161,12 +161,12 @@ func TestCancellationMidSweep(t *testing.T) {
 	baseline := runtime.NumGoroutine()
 
 	const fastRuns, blockedRuns = 4, 6
-	firstBatch := make(chan struct{}, fastRuns)
+	blockedStarted := make(chan struct{}, blockedRuns)
 	fn := func(ctx context.Context, m config.Machine, r config.Run) (*metrics.Report, error) {
 		if r.Seed < fastRuns {
-			firstBatch <- struct{}{}
 			return jitterSim(ctx, m, r)
 		}
+		blockedStarted <- struct{}{}
 		<-ctx.Done()
 		return nil, ctx.Err()
 	}
@@ -181,19 +181,26 @@ func TestCancellationMidSweep(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	pendings := make([]*Pending, len(runs))
-	for i, run := range runs {
-		pendings[i] = r.Submit(ctx, m, run)
-	}
-	// Let the fast half finish, then cancel with the blocked half in flight
-	// (holding worker slots) and the rest still queued.
+	// Submit and finish the fast half before the blocked half exists:
+	// goroutine start order is not submission order, so interleaving
+	// them could let blocked runs take both worker slots and starve the
+	// fast half forever (observed as a 600s race-mode timeout on a
+	// single-core machine).
 	for i := 0; i < fastRuns; i++ {
-		<-firstBatch
+		pendings[i] = r.Submit(ctx, m, runs[i])
 	}
 	for i := 0; i < fastRuns; i++ {
 		if _, err := pendings[i].Wait(); err != nil {
 			t.Fatalf("fast run %d: %v", i, err)
 		}
 	}
+	// Now cancel with the blocked half in flight: both worker slots
+	// provably parked on ctx.Done() and the rest still queued.
+	for i := fastRuns; i < len(runs); i++ {
+		pendings[i] = r.Submit(ctx, m, runs[i])
+	}
+	<-blockedStarted
+	<-blockedStarted
 	cancel()
 
 	start := time.Now()

@@ -1,0 +1,33 @@
+#!/bin/sh
+# ci.sh — the full tier-1 verification pipeline in one command:
+#
+#   build -> vet -> icrvet -> test -> race
+#
+# Each stage is announced and the script stops at the first failure, so CI
+# logs read top-to-bottom. Everything is standard-library Go: no network,
+# no external tools beyond the go toolchain.
+set -eu
+
+GO="${GO:-go}"
+cd "$(dirname "$0")/.."
+
+stage() {
+    echo "==> $*"
+}
+
+stage build
+$GO build ./...
+
+stage vet
+$GO vet ./...
+
+stage icrvet
+$GO run ./cmd/icrvet ./...
+
+stage test
+$GO test ./...
+
+stage race
+$GO test -race ./internal/runner ./internal/experiments ./internal/sim ./cmd/...
+
+stage ok
