@@ -23,9 +23,11 @@ test: vet lint
 	$(GO) test ./...
 
 # Race-detector pass over the concurrency-bearing packages: the parallel
-# runner, the experiment drivers that fan out through it, and the CLIs.
+# runner, the experiment drivers that fan out through it, the persistent
+# store, the HTTP serving layer, and the CLIs.
 race:
-	$(GO) test -race ./internal/runner ./internal/experiments ./internal/sim ./cmd/...
+	$(GO) test -race ./internal/runner ./internal/experiments ./internal/sim \
+		./internal/store ./internal/serve ./internal/cliflag ./cmd/...
 
 # Short fuzz pass over the memoization content-address hash.
 fuzz:
@@ -43,7 +45,8 @@ evaluate:
 figures:
 	$(GO) run ./cmd/icrbench -fig all -out results -svg figures
 
-# Full tier-1 verification in one command: build, vet, icrvet, tests, race.
+# Full tier-1 verification in one command: build, vet, icrvet, tests,
+# race, and the end-to-end icrd smoke test.
 ci:
 	./scripts/ci.sh
 

@@ -12,6 +12,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"repro/internal/cache"
@@ -31,14 +32,13 @@ const benchInstructions = 100_000
 
 func runFigure(b *testing.B, id string, metric func(*experiments.Result) float64, unit string) {
 	b.Helper()
-	runner, err := experiments.ByID(id)
-	if err != nil {
-		b.Fatal(err)
+	if !experiments.Valid(id) {
+		b.Fatalf("unknown experiment %q", id)
 	}
 	opts := experiments.Options{Instructions: benchInstructions, Seed: 1}
 	var last float64
 	for i := 0; i < b.N; i++ {
-		res, err := runner(opts)
+		res, err := experiments.Run(context.Background(), id, opts)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -3,7 +3,10 @@
 //
 // Simulations fan out across a worker pool (-parallel) with memoization of
 // repeated sweep points; emitted rows are byte-identical at any worker
-// count. Ctrl-C cancels in-flight simulations promptly.
+// count. With -store the memo cache is layered over a persistent on-disk
+// result store, so a re-run (or the icrd daemon pointed at the same
+// directory) serves finished sweep points without re-simulating. Ctrl-C
+// cancels in-flight simulations promptly.
 //
 // Examples:
 //
@@ -11,7 +14,7 @@
 //	icrbench -fig fig9
 //	icrbench -fig all -instructions 2000000 -parallel 8 -progress
 //	icrbench -fig fig14 -csv
-//	icrbench -fig all -out results/
+//	icrbench -fig all -out results/ -store ~/.cache/icr
 package main
 
 import (
@@ -21,15 +24,12 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
-	"runtime"
-	"strconv"
 	"strings"
 	"time"
 
-	"repro/internal/config"
+	"repro/internal/cliflag"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
-	"repro/internal/runner"
 )
 
 func main() {
@@ -43,20 +43,18 @@ func main() {
 
 func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("icrbench", flag.ContinueOnError)
+	var sim cliflag.Sim
+	sim.Register(fs)
+	sim.RegisterCache(fs)
 	var (
-		fig          = fs.String("fig", "all", `experiment id ("fig1".."fig17", "faultmodels", "sensitivity", "victims") or "all"`)
-		instructions = fs.Uint64("instructions", config.DefaultInstructions, "committed instructions per simulation")
-		seed         = fs.Int64("seed", 1, "workload seed")
-		csv          = fs.Bool("csv", false, "emit CSV instead of text tables")
-		plot         = fs.Bool("plot", false, "render ASCII bar charts instead of tables")
-		seeds        = fs.String("seeds", "", "comma-separated seeds to average over (overrides -seed)")
-		out          = fs.String("out", "", "directory to also write per-experiment CSV files into")
-		svg          = fs.String("svg", "", "directory to also write per-experiment SVG figures into")
-		list         = fs.Bool("list", false, "list experiment ids and exit")
-		parallel     = fs.Int("parallel", runtime.NumCPU(), "concurrent simulations (1 = serial; results identical either way)")
-		nocache      = fs.Bool("nocache", false, "disable memoization of repeated sweep points")
-		timeout      = fs.Duration("timeout", 0, "per-simulation timeout (0 = none)")
-		progress     = fs.Bool("progress", false, "print a live progress line to stderr")
+		fig      = fs.String("fig", "all", `experiment id ("fig1".."fig17", "faultmodels", "sensitivity", "victims") or "all"`)
+		csv      = fs.Bool("csv", false, "emit CSV instead of text tables")
+		plot     = fs.Bool("plot", false, "render ASCII bar charts instead of tables")
+		seeds    = fs.String("seeds", "", "comma-separated seeds to average over (overrides -seed)")
+		out      = fs.String("out", "", "directory to also write per-experiment CSV files into")
+		svg      = fs.String("svg", "", "directory to also write per-experiment SVG figures into")
+		list     = fs.Bool("list", false, "list experiment ids and exit")
+		progress = fs.Bool("progress", false, "print a live progress line to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,46 +67,35 @@ func run(ctx context.Context, args []string) error {
 	ids := experiments.IDs()
 	if *fig != "all" {
 		ids = strings.Split(*fig, ",")
+		for i, id := range ids {
+			ids[i] = strings.TrimSpace(id)
+		}
+	}
+	seedList, err := cliflag.Seeds(*seeds)
+	if err != nil {
+		return err
 	}
 	prog := metrics.NewProgress()
-	cacheSize := 0
-	if *nocache {
-		cacheSize = -1
+	eng, _, err := sim.NewRunner(prog)
+	if err != nil {
+		return err
 	}
-	eng := runner.New(runner.Options{
-		Workers:   *parallel,
-		CacheSize: cacheSize,
-		Timeout:   *timeout,
-		Progress:  prog,
-	})
 	opts := experiments.Options{
-		Instructions: *instructions,
-		Seed:         *seed,
+		Instructions: sim.Instructions,
+		Seed:         sim.Seed,
 		Runner:       eng,
-		Context:      ctx,
-	}
-	var seedList []int64
-	if *seeds != "" {
-		for _, part := range strings.Split(*seeds, ",") {
-			v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
-			if err != nil {
-				return fmt.Errorf("bad seed %q: %w", part, err)
-			}
-			seedList = append(seedList, v)
-		}
 	}
 	if *progress {
 		stopProgress := startProgressLine(prog)
 		defer stopProgress()
 	}
 	for _, id := range ids {
-		expRunner, err := experiments.ByID(strings.TrimSpace(id))
-		if err != nil {
-			return err
+		if !experiments.Valid(id) {
+			return fmt.Errorf("unknown experiment %q (icrbench -list prints the ids)", id)
 		}
 		start := time.Now()
 		before := prog.Snapshot()
-		res, err := experiments.MultiSeed(expRunner, opts, seedList)
+		res, err := experiments.MultiSeed(ctx, id, opts, seedList)
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
@@ -119,9 +106,11 @@ func run(ctx context.Context, args []string) error {
 		case *plot:
 			fmt.Printf("%s\n", res.Chart())
 		default:
-			fmt.Printf("%s  [%.1fs, %d sims, %d memoized]\n\n",
+			fmt.Printf("%s  [%.1fs, %d sims, %d memoized, %d disk]\n\n",
 				res.Table(), time.Since(start).Seconds(),
-				after.Completed-before.Completed, after.MemoHits-before.MemoHits)
+				after.Completed-before.Completed,
+				after.MemoHits-before.MemoHits,
+				after.DiskHits-before.DiskHits)
 		}
 		if *out != "" {
 			if err := os.MkdirAll(*out, 0o755); err != nil {

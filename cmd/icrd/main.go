@@ -1,0 +1,106 @@
+// Command icrd serves the ICR experiment suite over HTTP: POST a run or a
+// figure id, get back the versioned metrics JSON. Results are memoized in
+// memory and — with -store — persisted to disk, so a sweep point simulated
+// once (by this daemon, a previous incarnation of it, or an icrbench run
+// sharing the directory) is never simulated again.
+//
+//	icrd -addr localhost:8080 -store /var/cache/icr -parallel 8
+//
+// Overload is bounded: at most -queue requests are admitted concurrently
+// and the rest get 429 immediately. SIGTERM/SIGINT drains gracefully:
+// executing simulations finish and persist, queued ones are rejected, and
+// the process exits 0 once in-flight responses are written.
+//
+// Observability: GET /debug/vars exposes cache-tier hit counters, queue
+// state, and store stats; GET /debug/pprof serves the standard profilers.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cliflag"
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "icrd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("icrd", flag.ContinueOnError)
+	var sim cliflag.Sim
+	sim.Register(fs)
+	sim.RegisterCache(fs)
+	var (
+		addr       = fs.String("addr", "localhost:8080", "listen address (port 0 picks a free port, printed on stdout)")
+		queue      = fs.Int("queue", 0, "max concurrently admitted requests before 429 (0 = 4x -parallel)")
+		reqTimeout = fs.Duration("request-timeout", 0, "per-request deadline cap (0 = none)")
+		drainWait  = fs.Duration("drain-timeout", time.Minute, "max time to wait for in-flight requests on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	eng, st, err := sim.NewRunner(nil)
+	if err != nil {
+		return err
+	}
+	srv := serve.New(serve.Options{
+		Runner:         eng,
+		Store:          st,
+		QueueDepth:     *queue,
+		RequestTimeout: *reqTimeout,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The actual address on stdout (and nothing else there), so scripts
+	// using -addr localhost:0 can scrape the port.
+	fmt.Printf("listening on %s\n", ln.Addr())
+	if st != nil {
+		fmt.Fprintf(os.Stderr, "icrd: persistent store at %s (%d results warm)\n", sim.StoreDir, st.Len())
+	}
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "icrd: draining (executing simulations will finish and persist)")
+
+	// Reject queued/new simulations, then wait for in-flight handlers.
+	// Shutdown does not cancel request contexts, so running simulations
+	// complete and their results reach the store before exit.
+	srv.Drain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "icrd: drained cleanly")
+	return nil
+}

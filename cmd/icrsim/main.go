@@ -16,10 +16,9 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"runtime"
-	"strconv"
 	"strings"
 
+	"repro/internal/cliflag"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -40,11 +39,11 @@ func main() {
 
 func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("icrsim", flag.ContinueOnError)
+	var sf cliflag.Sim
+	sf.Register(fs)
 	var (
 		bench        = fs.String("bench", "vpr", "benchmark: "+strings.Join(workload.Names(), ", "))
 		schemeName   = fs.String("scheme", "ICR-P-PS(S)", "scheme name, e.g. BaseP, BaseECC, BaseECC-spec, ICR-ECC-PS(S)")
-		instructions = fs.Uint64("instructions", config.DefaultInstructions, "committed-instruction budget")
-		seed         = fs.Int64("seed", 1, "workload seed")
 		window       = fs.Uint64("window", 0, "dead-block decay window in cycles (0 = dead immediately)")
 		victim       = fs.String("victim", "dead-only", "replica victim policy: dead-only, dead-first, replica-first, replica-only")
 		distances    = fs.String("distances", "", "comma-separated replica set offsets (default N/2)")
@@ -56,14 +55,13 @@ func run(ctx context.Context, args []string) error {
 		faultSeed    = fs.Int64("fault-seed", 7, "injection RNG seed")
 		csv          = fs.Bool("csv", false, "emit a CSV row instead of the text report")
 		all          = fs.Bool("all", false, "run every scheme on the benchmark and print a comparison table")
-		parallel     = fs.Int("parallel", runtime.NumCPU(), "concurrent simulations in -all mode (1 = serial; results identical)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *all {
-		return runAllSchemes(ctx, *bench, *instructions, *seed, *window, *victim, *parallel)
+		return runAllSchemes(ctx, sf, *bench, *window, *victim)
 	}
 
 	scheme, err := core.SchemeByName(*schemeName)
@@ -71,17 +69,17 @@ func run(ctx context.Context, args []string) error {
 		return err
 	}
 	r := config.NewRun(*bench, scheme)
-	r.Instructions = *instructions
-	r.Seed = *seed
+	r.Instructions = sf.Instructions
+	r.Seed = sf.Seed
 	r.WriteThrough = *writeThrough
 	r.Repl.DecayWindow = *window
 	r.Repl.Replicas = *replicas
 	r.Repl.LeaveReplicas = *leave
-	if r.Repl.Victim, err = parseVictim(*victim); err != nil {
+	if r.Repl.Victim, err = core.ParseVictimPolicy(*victim); err != nil {
 		return err
 	}
 	if *distances != "" {
-		if r.Repl.Distances, err = parseInts(*distances); err != nil {
+		if r.Repl.Distances, err = cliflag.Ints(*distances); err != nil {
 			return err
 		}
 	}
@@ -93,6 +91,11 @@ func run(ctx context.Context, args []string) error {
 		r.Fault = config.FaultConfig{Model: model, Prob: *faultProb, Seed: *faultSeed}
 	}
 
+	if sf.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, sf.Timeout)
+		defer cancel()
+	}
 	report, err := sim.SimulateContext(ctx, config.Default(), r)
 	if err != nil {
 		return err
@@ -109,18 +112,18 @@ func run(ctx context.Context, args []string) error {
 // runAllSchemes prints a per-scheme comparison for one benchmark. The
 // schemes are independent simulations, so they fan out across the runner's
 // worker pool; rows print in scheme order regardless of completion order.
-func runAllSchemes(ctx context.Context, bench string, instructions uint64, seed int64, window uint64, victim string, parallel int) error {
-	vp, err := parseVictim(victim)
+func runAllSchemes(ctx context.Context, sf cliflag.Sim, bench string, window uint64, victim string) error {
+	vp, err := core.ParseVictimPolicy(victim)
 	if err != nil {
 		return err
 	}
-	eng := runner.New(runner.Options{Workers: parallel})
+	eng := runner.New(runner.Options{Workers: sf.Parallel, Timeout: sf.Timeout})
 	schemes := core.AllSchemes()
 	runs := make([]config.Run, len(schemes))
 	for i, scheme := range schemes {
 		r := config.NewRun(bench, scheme)
-		r.Instructions = instructions
-		r.Seed = seed
+		r.Instructions = sf.Instructions
+		r.Seed = sf.Seed
 		r.Repl.DecayWindow = window
 		r.Repl.Victim = vp
 		runs[i] = r
@@ -141,32 +144,4 @@ func runAllSchemes(ctx context.Context, bench string, instructions uint64, seed 
 			rep.TotalEnergy()/1000)
 	}
 	return nil
-}
-
-func parseVictim(s string) (core.VictimPolicy, error) {
-	switch s {
-	case "dead-only":
-		return core.DeadOnly, nil
-	case "dead-first":
-		return core.DeadFirst, nil
-	case "replica-first":
-		return core.ReplicaFirst, nil
-	case "replica-only":
-		return core.ReplicaOnly, nil
-	default:
-		return 0, fmt.Errorf("unknown victim policy %q", s)
-	}
-}
-
-func parseInts(s string) ([]int, error) {
-	parts := strings.Split(s, ",")
-	out := make([]int, 0, len(parts))
-	for _, p := range parts {
-		v, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil {
-			return nil, fmt.Errorf("bad distance %q: %w", p, err)
-		}
-		out = append(out, v)
-	}
-	return out, nil
 }

@@ -3,6 +3,9 @@ package main
 import (
 	"context"
 	"testing"
+
+	"repro/internal/cliflag"
+	"repro/internal/core"
 )
 
 func TestRunBasic(t *testing.T) {
@@ -49,17 +52,17 @@ func TestRunRejectsBadInput(t *testing.T) {
 
 func TestParseVictim(t *testing.T) {
 	for _, name := range []string{"dead-only", "dead-first", "replica-first", "replica-only"} {
-		v, err := parseVictim(name)
+		v, err := core.ParseVictimPolicy(name)
 		if err != nil || v.String() != name {
-			t.Errorf("parseVictim(%q) = %v, %v", name, v, err)
+			t.Errorf("ParseVictimPolicy(%q) = %v, %v", name, v, err)
 		}
 	}
 }
 
 func TestParseInts(t *testing.T) {
-	got, err := parseInts("32, 16,8")
+	got, err := cliflag.Ints("32, 16,8")
 	if err != nil || len(got) != 3 || got[0] != 32 || got[1] != 16 || got[2] != 8 {
-		t.Errorf("parseInts = %v, %v", got, err)
+		t.Errorf("Ints = %v, %v", got, err)
 	}
 }
 

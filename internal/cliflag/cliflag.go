@@ -1,0 +1,132 @@
+// Package cliflag centralizes the command-line surface shared by the ICR
+// commands. icrsim, icrbench, and icrd all spell -parallel, -timeout,
+// -seed, and -instructions the same way, parse comma-separated lists the
+// same way, and build their simulation runner (optionally backed by the
+// persistent result store) from the same flag values — so behaviour like
+// "-parallel 1 gives identical output" holds across every entry point by
+// construction rather than by triplicated code.
+package cliflag
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/metrics"
+	"repro/internal/runner"
+	"repro/internal/store"
+)
+
+// Sim holds the simulation flags every command shares. Zero value +
+// Register = the defaults each binary used before the flags were
+// unified.
+type Sim struct {
+	// Instructions is the committed-instruction budget per simulation.
+	Instructions uint64
+	// Seed seeds workload generation.
+	Seed int64
+	// Parallel bounds concurrent simulations.
+	Parallel int
+	// Timeout bounds each individual simulation (0 = none).
+	Timeout time.Duration
+	// StoreDir, when non-empty, backs the runner's cache with a
+	// persistent result store in that directory (RegisterCache).
+	StoreDir string
+	// NoCache disables memoization entirely (RegisterCache).
+	NoCache bool
+}
+
+// Register installs the four core flags on fs.
+func (s *Sim) Register(fs *flag.FlagSet) {
+	fs.Uint64Var(&s.Instructions, "instructions", config.DefaultInstructions,
+		"committed instructions per simulation")
+	fs.Int64Var(&s.Seed, "seed", 1, "workload seed")
+	fs.IntVar(&s.Parallel, "parallel", runtime.NumCPU(),
+		"concurrent simulations (1 = serial; results identical either way)")
+	fs.DurationVar(&s.Timeout, "timeout", 0, "per-simulation timeout (0 = none)")
+}
+
+// RegisterCache installs the cache-control flags (commands that memoize:
+// icrbench, icrd).
+func (s *Sim) RegisterCache(fs *flag.FlagSet) {
+	fs.StringVar(&s.StoreDir, "store", "",
+		"directory for the persistent result store (empty = in-memory cache only)")
+	fs.BoolVar(&s.NoCache, "nocache", false,
+		"disable memoization of repeated sweep points")
+}
+
+// NewRunner builds the command's simulation engine from the flag values:
+// a worker pool of Parallel slots whose cache is an in-memory LRU,
+// layered over a persistent store when -store is set. The returned Store
+// is nil unless one was opened; the caller owns wiring it into shutdown
+// paths (there is nothing to close — writes are atomic per Put).
+//
+// prog may be nil; the runner then allocates its own counters,
+// reachable via Runner.Progress.
+func (s *Sim) NewRunner(prog *metrics.Progress) (*runner.Runner, *store.Store, error) {
+	if prog == nil {
+		prog = metrics.NewProgress()
+	}
+	cacheSize := 0
+	if s.NoCache {
+		cacheSize = -1
+	}
+	var st *store.Store
+	var cache runner.Cache
+	if s.StoreDir != "" && !s.NoCache {
+		var err error
+		st, err = store.Open(s.StoreDir, store.Options{
+			OnEvict: func(n int) { prog.AddEviction(uint64(n)) },
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("opening result store: %w", err)
+		}
+		cache = runner.NewTiered(
+			runner.NewMemoryCache(0, prog),
+			runner.NewStoreCache(st),
+		)
+	}
+	eng := runner.New(runner.Options{
+		Workers:   s.Parallel,
+		CacheSize: cacheSize,
+		Cache:     cache,
+		Timeout:   s.Timeout,
+		Progress:  prog,
+	})
+	return eng, st, nil
+}
+
+// Seeds parses a comma-separated seed list ("" = nil).
+func Seeds(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Ints parses a comma-separated int list (replica distances).
+func Ints(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

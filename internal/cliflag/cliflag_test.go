@@ -1,0 +1,103 @@
+package cliflag
+
+import (
+	"flag"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+)
+
+func parse(t *testing.T, withCache bool, args ...string) Sim {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var s Sim
+	s.Register(fs)
+	if withCache {
+		s.RegisterCache(fs)
+	}
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRegisterDefaults(t *testing.T) {
+	s := parse(t, true)
+	if s.Instructions != config.DefaultInstructions {
+		t.Errorf("Instructions = %d, want default %d", s.Instructions, config.DefaultInstructions)
+	}
+	if s.Seed != 1 || s.Parallel < 1 || s.Timeout != 0 || s.StoreDir != "" || s.NoCache {
+		t.Errorf("unexpected defaults: %+v", s)
+	}
+}
+
+func TestRegisterParses(t *testing.T) {
+	s := parse(t, true,
+		"-instructions", "5000", "-seed", "9", "-parallel", "3",
+		"-timeout", "2s", "-store", "/tmp/x", "-nocache")
+	want := Sim{Instructions: 5000, Seed: 9, Parallel: 3,
+		Timeout: 2 * time.Second, StoreDir: "/tmp/x", NoCache: true}
+	if s != want {
+		t.Errorf("parsed %+v, want %+v", s, want)
+	}
+}
+
+func TestNewRunnerMemoryOnly(t *testing.T) {
+	s := parse(t, true, "-parallel", "2")
+	eng, st, err := s.NewRunner(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != nil {
+		t.Error("no -store flag should mean no disk store")
+	}
+	if eng.Workers() != 2 {
+		t.Errorf("Workers = %d, want 2", eng.Workers())
+	}
+}
+
+func TestNewRunnerWithStore(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+	s := parse(t, true, "-store", dir)
+	_, st, err := s.NewRunner(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st == nil {
+		t.Fatal("-store should open a persistent store")
+	}
+	// -nocache wins over -store: memoization fully off.
+	s2 := parse(t, true, "-store", dir, "-nocache")
+	_, st2, err := s2.NewRunner(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2 != nil {
+		t.Error("-nocache should disable the disk store too")
+	}
+}
+
+func TestSeeds(t *testing.T) {
+	got, err := Seeds("1, 2,30")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 30 {
+		t.Errorf("Seeds = %v, %v", got, err)
+	}
+	if got, err := Seeds(""); err != nil || got != nil {
+		t.Errorf("empty Seeds = %v, %v, want nil, nil", got, err)
+	}
+	if _, err := Seeds("1,x"); err == nil {
+		t.Error("bad seed should error")
+	}
+}
+
+func TestInts(t *testing.T) {
+	got, err := Ints("32, 16")
+	if err != nil || len(got) != 2 || got[0] != 32 || got[1] != 16 {
+		t.Errorf("Ints = %v, %v", got, err)
+	}
+	if _, err := Ints("a"); err == nil {
+		t.Error("bad int should error")
+	}
+}

@@ -127,6 +127,23 @@ func (v VictimPolicy) String() string {
 	}
 }
 
+// ParseVictimPolicy is the inverse of VictimPolicy.String — the shared
+// parser behind every -victim flag and request field.
+func ParseVictimPolicy(s string) (VictimPolicy, error) {
+	switch s {
+	case "dead-only":
+		return DeadOnly, nil
+	case "dead-first":
+		return DeadFirst, nil
+	case "replica-first":
+		return ReplicaFirst, nil
+	case "replica-only":
+		return ReplicaOnly, nil
+	default:
+		return 0, fmt.Errorf("unknown victim policy %q (have dead-only, dead-first, replica-first, replica-only)", s)
+	}
+}
+
 // Scheme identifies one of the paper's cache-protection schemes (§3.2).
 type Scheme struct {
 	// Trigger is ReplNone for the Base schemes.

@@ -12,17 +12,17 @@ import (
 )
 
 // determinismDrivers are the figure drivers the parallel-vs-serial
-// equivalence is asserted over: a plain per-benchmark sweep (Fig1), a
-// multi-configuration performance comparison (Fig10), and a fault-injection
-// probability sweep built from single submissions (Fig14). Between them
+// equivalence is asserted over: a plain per-benchmark sweep (fig1), a
+// multi-configuration performance comparison (fig10), and a fault-injection
+// probability sweep built from single submissions (fig14). Between them
 // they cover every submission pattern the drivers use.
 var determinismDrivers = []struct {
 	name   string
-	driver Runner
+	driver driver
 }{
-	{"fig1", Fig1},
-	{"fig10", Fig10},
-	{"fig14", Fig14},
+	{"fig1", fig1},
+	{"fig10", fig10},
+	{"fig14", fig14},
 }
 
 // serialOracle reproduces the pre-runner code path: every simulation is a
@@ -63,7 +63,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 			var goldenCSV string
 			var golden *Result
 			for _, cfg := range configs {
-				res, err := d.driver(Options{
+				res, err := d.driver(context.Background(), Options{
 					Instructions: 20_000,
 					Runner:       cfg.mk(),
 				})
@@ -96,11 +96,11 @@ func TestParallelMatchesSerial(t *testing.T) {
 func TestRepeatedParallelRunsIdentical(t *testing.T) {
 	eng := runner.New(runner.Options{Workers: 8})
 	opts := Options{Instructions: 20_000, Runner: eng}
-	first, err := Fig1(opts)
+	first, err := fig1(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := Fig1(opts)
+	second, err := fig1(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,10 +120,9 @@ func TestRepeatedParallelRunsIdentical(t *testing.T) {
 func TestDriverCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err := Fig1(Options{
+	_, err := Run(ctx, "fig1", Options{
 		Instructions: 20_000,
 		Runner:       runner.New(runner.Options{Workers: 2, CacheSize: -1}),
-		Context:      ctx,
 	})
 	if err == nil {
 		t.Fatal("cancelled context should fail the driver")

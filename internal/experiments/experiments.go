@@ -1,8 +1,17 @@
 // Package experiments contains one driver per table/figure of the paper's
 // evaluation (§5). Each driver sweeps the relevant parameters, runs the
 // full simulator, and returns the same rows/series the paper plots, so the
-// whole evaluation can be regenerated with `icrbench` or the benchmark
-// harness.
+// whole evaluation can be regenerated with `icrbench`, served by `icrd`,
+// or replayed by the benchmark harness.
+//
+// The entire surface is one uniform entry point:
+//
+//	res, err := experiments.Run(ctx, "fig14", experiments.Options{...})
+//
+// dispatched through an ordered registry (IDs lists the valid ids).
+// Cancellation flows through the ctx argument — Options carries only
+// simulation parameters — so every caller (CLI flag, HTTP deadline,
+// SIGTERM drain) propagates deadlines the same way.
 package experiments
 
 import (
@@ -30,8 +39,6 @@ type Options struct {
 	// runner with GOMAXPROCS workers and memoization, so independent
 	// sweep points run concurrently and repeated ones simulate once.
 	Runner *runner.Runner
-	// Context cancels in-flight simulations. Nil means background.
-	Context context.Context
 }
 
 // defaultRunner is the process-wide engine used when Options.Runner is
@@ -44,13 +51,6 @@ func (o *Options) runner() *runner.Runner {
 		return o.Runner
 	}
 	return defaultRunner
-}
-
-func (o *Options) context() context.Context {
-	if o.Context != nil {
-		return o.Context
-	}
-	return context.Background()
 }
 
 func (o *Options) machine() config.Machine {
@@ -190,21 +190,48 @@ func (r *Result) SVG() (string, error) {
 	return viz.GroupedBarSVG(spec)
 }
 
-// Runner is an experiment entry point.
-type Runner func(Options) (*Result, error)
+// driver is an experiment implementation. Drivers are unexported: the
+// only way in is Run, so every caller shares one calling convention and
+// one registry.
+type driver func(ctx context.Context, o Options) (*Result, error)
+
+// Run executes the experiment registered under id. A nil ctx means
+// context.Background(); cancelling ctx aborts in-flight simulations and
+// returns promptly.
+func Run(ctx context.Context, id string, o Options) (*Result, error) {
+	d, err := byID(id)
+	if err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return d(ctx, o)
+}
 
 // MultiSeed runs an experiment once per seed and returns a Result whose
 // series values are the element-wise means — the cheap way to damp
 // workload-generation noise. The per-run raw reports are concatenated.
-func MultiSeed(runner Runner, opts Options, seeds []int64) (*Result, error) {
+func MultiSeed(ctx context.Context, id string, opts Options, seeds []int64) (*Result, error) {
+	d, err := byID(id)
+	if err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return multiSeed(ctx, d, opts, seeds)
+}
+
+func multiSeed(ctx context.Context, d driver, opts Options, seeds []int64) (*Result, error) {
 	if len(seeds) == 0 {
-		return runner(opts)
+		return d(ctx, opts)
 	}
 	var agg *Result
 	for i, seed := range seeds {
 		o := opts
 		o.Seed = seed
-		res, err := runner(o)
+		res, err := d(ctx, o)
 		if err != nil {
 			return nil, fmt.Errorf("seed %d: %w", seed, err)
 		}
@@ -235,44 +262,44 @@ func MultiSeed(runner Runner, opts Options, seeds []int64) (*Result, error) {
 	return agg, nil
 }
 
-// registration binds an experiment id to its runner. The registry is an
+// registration binds an experiment id to its driver. The registry is an
 // ordered slice, not a map: ids must never be enumerated in map-iteration
 // order, or `icrbench -fig all` output would shuffle run to run.
 type registration struct {
 	ID  string
-	Run Runner
+	Run driver
 }
 
 // registry lists every experiment. Order here is the registration order;
 // IDs sorts, so appending new experiments anywhere is fine.
 var registry = []registration{
-	{"fig1", Fig1},
-	{"fig2", Fig2},
-	{"fig3", Fig3},
-	{"fig4", Fig4},
-	{"fig5", Fig5},
-	{"fig6", Fig6},
-	{"fig7", Fig7},
-	{"fig8", Fig8},
-	{"fig9", Fig9},
-	{"fig10", Fig10},
-	{"fig11", Fig11},
-	{"fig12", Fig12},
-	{"fig13", Fig13},
-	{"fig14", Fig14},
-	{"fig15", Fig15},
-	{"fig16", Fig16},
-	{"fig17", Fig17},
-	{"faultmodels", FaultModels},
-	{"sensitivity", Sensitivity},
-	{"victims", VictimPolicies},
-	{"swhints", SoftwareHints},
-	{"rcache", RCache},
-	{"scrub", Scrub},
-	{"vulnerability", Vulnerability},
-	{"mttf", MTTF},
-	{"decaypred", DecayPredictors},
-	{"prefetch", Prefetch},
+	{"fig1", fig1},
+	{"fig2", fig2},
+	{"fig3", fig3},
+	{"fig4", fig4},
+	{"fig5", fig5},
+	{"fig6", fig6},
+	{"fig7", fig7},
+	{"fig8", fig8},
+	{"fig9", fig9},
+	{"fig10", fig10},
+	{"fig11", fig11},
+	{"fig12", fig12},
+	{"fig13", fig13},
+	{"fig14", fig14},
+	{"fig15", fig15},
+	{"fig16", fig16},
+	{"fig17", fig17},
+	{"faultmodels", faultModels},
+	{"sensitivity", sensitivity},
+	{"victims", victimPolicies},
+	{"swhints", softwareHints},
+	{"rcache", rCache},
+	{"scrub", scrub},
+	{"vulnerability", vulnerability},
+	{"mttf", mttf},
+	{"decaypred", decayPredictors},
+	{"prefetch", prefetch},
 }
 
 // IDs returns the registered experiment ids in sorted order.
@@ -285,8 +312,16 @@ func IDs() []string {
 	return out
 }
 
-// ByID resolves an experiment by id ("fig1" ... "fig17", "sensitivity").
-func ByID(id string) (Runner, error) {
+// Valid reports whether id names a registered experiment — the cheap
+// pre-flight check for CLIs and the HTTP service, which want to reject a
+// bad id before spending simulation time.
+func Valid(id string) bool {
+	_, err := byID(id)
+	return err == nil
+}
+
+// byID resolves an experiment by id ("fig1" ... "fig17", "sensitivity").
+func byID(id string) (driver, error) {
 	for _, e := range registry {
 		if e.ID == id {
 			return e.Run, nil

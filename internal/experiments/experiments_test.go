@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -25,11 +26,14 @@ func TestRegistryComplete(t *testing.T) {
 			t.Errorf("missing experiment %q", id)
 		}
 	}
-	if _, err := ByID("fig1"); err != nil {
-		t.Error(err)
+	if !Valid("fig1") {
+		t.Error("fig1 should be a valid experiment id")
 	}
-	if _, err := ByID("nope"); err == nil {
-		t.Error("unknown id should error")
+	if Valid("nope") {
+		t.Error("unknown id should be invalid")
+	}
+	if _, err := Run(context.Background(), "nope", Options{}); err == nil {
+		t.Error("Run with an unknown id should error")
 	}
 }
 
@@ -74,15 +78,15 @@ func TestChartRendering(t *testing.T) {
 }
 
 func TestMultiSeedAverages(t *testing.T) {
-	// A synthetic runner returning the seed as its single value: the
+	// A synthetic driver returning the seed as its single value: the
 	// aggregate must be the mean.
-	runner := func(o Options) (*Result, error) {
+	d := func(ctx context.Context, o Options) (*Result, error) {
 		return &Result{
 			ID: "seedtest", XTicks: []string{"x"},
 			Series: []Series{{Label: "v", Values: []float64{float64(o.Seed)}}},
 		}, nil
 	}
-	res, err := MultiSeed(runner, Options{}, []int64{2, 4, 6})
+	res, err := multiSeed(context.Background(), d, Options{}, []int64{2, 4, 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,14 +97,18 @@ func TestMultiSeedAverages(t *testing.T) {
 		t.Errorf("notes should mention seed count: %q", res.Notes)
 	}
 	// Empty seed list falls through to a single run.
-	res2, err := MultiSeed(runner, Options{Seed: 9}, nil)
+	res2, err := multiSeed(context.Background(), d, Options{Seed: 9}, nil)
 	if err != nil || res2.Series[0].Values[0] != 9 {
 		t.Errorf("nil seeds: %v %v", res2, err)
+	}
+	// The exported MultiSeed validates the id before running anything.
+	if _, err := MultiSeed(context.Background(), "nope", Options{}, nil); err == nil {
+		t.Error("MultiSeed with an unknown id should error")
 	}
 }
 
 func TestFig1MultiAttemptNotWorse(t *testing.T) {
-	res, err := Fig1(fastOpts)
+	res, err := fig1(context.Background(), fastOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +126,7 @@ func TestFig1MultiAttemptNotWorse(t *testing.T) {
 }
 
 func TestFig4MissRatesOrdered(t *testing.T) {
-	res, err := Fig4(fastOpts)
+	res, err := fig4(context.Background(), fastOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +147,7 @@ func TestFig4MissRatesOrdered(t *testing.T) {
 }
 
 func TestFig7LSAboveS(t *testing.T) {
-	res, err := Fig7(fastOpts)
+	res, err := fig7(context.Background(), fastOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +160,7 @@ func TestFig7LSAboveS(t *testing.T) {
 }
 
 func TestFig9BasePIsUnity(t *testing.T) {
-	res, err := Fig9(Options{Instructions: 60_000})
+	res, err := fig9(context.Background(), Options{Instructions: 60_000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +187,7 @@ func TestFig9BasePIsUnity(t *testing.T) {
 }
 
 func TestFig10AbilityFallsWithWindow(t *testing.T) {
-	res, err := Fig10(fastOpts)
+	res, err := fig10(context.Background(), fastOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +202,7 @@ func TestFig10AbilityFallsWithWindow(t *testing.T) {
 }
 
 func TestFig14ICRBeatsBaseP(t *testing.T) {
-	res, err := Fig14(Options{Instructions: 60_000})
+	res, err := fig14(context.Background(), Options{Instructions: 60_000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +215,7 @@ func TestFig14ICRBeatsBaseP(t *testing.T) {
 }
 
 func TestFig16WriteThroughCostsMore(t *testing.T) {
-	res, err := Fig16(fastOpts)
+	res, err := fig16(context.Background(), fastOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +227,7 @@ func TestFig16WriteThroughCostsMore(t *testing.T) {
 }
 
 func TestFig17Shapes(t *testing.T) {
-	res, err := Fig17(fastOpts)
+	res, err := fig17(context.Background(), fastOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +244,7 @@ func TestFig17Shapes(t *testing.T) {
 }
 
 func TestSensitivityRuns(t *testing.T) {
-	res, err := Sensitivity(fastOpts)
+	res, err := sensitivity(context.Background(), fastOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +254,7 @@ func TestSensitivityRuns(t *testing.T) {
 }
 
 func TestVictimPoliciesRuns(t *testing.T) {
-	res, err := VictimPolicies(fastOpts)
+	res, err := victimPolicies(context.Background(), fastOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +264,7 @@ func TestVictimPoliciesRuns(t *testing.T) {
 }
 
 func TestSoftwareHintsTrimMissRate(t *testing.T) {
-	res, err := SoftwareHints(fastOpts)
+	res, err := softwareHints(context.Background(), fastOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +279,7 @@ func TestSoftwareHintsTrimMissRate(t *testing.T) {
 }
 
 func TestRCacheComparison(t *testing.T) {
-	res, err := RCache(Options{Instructions: 50_000})
+	res, err := rCache(context.Background(), Options{Instructions: 50_000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +298,7 @@ func TestRCacheComparison(t *testing.T) {
 }
 
 func TestScrubReducesLoss(t *testing.T) {
-	res, err := Scrub(Options{Instructions: 60_000})
+	res, err := scrub(context.Background(), Options{Instructions: 60_000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +311,7 @@ func TestScrubReducesLoss(t *testing.T) {
 }
 
 func TestVulnerabilityOrdering(t *testing.T) {
-	res, err := Vulnerability(Options{Instructions: 50_000})
+	res, err := vulnerability(context.Background(), Options{Instructions: 50_000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,7 +331,7 @@ func TestVulnerabilityOrdering(t *testing.T) {
 }
 
 func TestDecayPredictorsRuns(t *testing.T) {
-	res, err := DecayPredictors(fastOpts)
+	res, err := decayPredictors(context.Background(), fastOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -342,7 +350,7 @@ func TestDecayPredictorsRuns(t *testing.T) {
 }
 
 func TestPrefetchHelpsBaseP(t *testing.T) {
-	res, err := Prefetch(fastOpts)
+	res, err := prefetch(context.Background(), fastOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -358,7 +366,7 @@ func TestPrefetchHelpsBaseP(t *testing.T) {
 }
 
 func TestMTTFProjection(t *testing.T) {
-	res, err := MTTF(Options{Instructions: 40_000})
+	res, err := mttf(context.Background(), Options{Instructions: 40_000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,7 +385,7 @@ func TestMTTFProjection(t *testing.T) {
 }
 
 func TestFaultModelsRuns(t *testing.T) {
-	res, err := FaultModels(fastOpts)
+	res, err := faultModels(context.Background(), fastOpts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"repro/internal/config"
@@ -12,20 +14,20 @@ import (
 	"repro/internal/workload"
 )
 
-// RCache — ICR vs the Kim & Somani separate duplication cache (the
+// rCache — ICR vs the Kim & Somani separate duplication cache (the
 // paper's reference [11], its §1/§5.2 comparison point): duplicate
 // coverage of loads, unrecoverable loads under injection, and total
 // energy, for ICR-P-PS(S) against BaseP plus a 2KB r-cache.
-func RCache(o Options) (*Result, error) {
+func rCache(ctx context.Context, o Options) (*Result, error) {
 	m := o.machine()
 	sets := m.DL1Sets()
 	const prob = 1e-3
 
-	icrP := submitAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+	icrP := submitAll(ctx, o, icrPS(core.ReplStores), func(r *config.Run) {
 		r.Repl = relaxedRepl(sets)
 		r.Fault = config.FaultConfig{Model: fault.Random, Prob: prob, Seed: 7}
 	})
-	dupP := submitAll(o, core.BaseP(), func(r *config.Run) {
+	dupP := submitAll(ctx, o, core.BaseP(), func(r *config.Run) {
 		r.DupCacheKB = 2
 		r.Fault = config.FaultConfig{Model: fault.Random, Prob: prob, Seed: 7}
 	})
@@ -54,10 +56,10 @@ func RCache(o Options) (*Result, error) {
 	}, nil
 }
 
-// Scrub — unrecoverable loads vs scrub interval for BaseP and
+// scrub — unrecoverable loads vs scrub interval for BaseP and
 // ICR-P-PS(S) under random injection (composing the paper's scheme with
 // Saleh-style scrubbing, reference [21]).
-func Scrub(o Options) (*Result, error) {
+func scrub(ctx context.Context, o Options) (*Result, error) {
 	m := o.machine()
 	sets := m.DL1Sets()
 	intervals := []uint64{0, 10000, 1000, 100}
@@ -81,7 +83,7 @@ func Scrub(o Options) (*Result, error) {
 		s := s
 		for _, iv := range intervals {
 			iv := iv
-			pendings[i] = append(pendings[i], submitOne(o, "vortex", s, func(r *config.Run) {
+			pendings[i] = append(pendings[i], submitOne(ctx, o, "vortex", s, func(r *config.Run) {
 				if s.HasReplication() {
 					r.Repl = relaxedRepl(sets)
 				}
@@ -106,14 +108,14 @@ func Scrub(o Options) (*Result, error) {
 	return result, nil
 }
 
-// MTTF — projects the measured vulnerability fractions to real-world
+// mttf — projects the measured vulnerability fractions to real-world
 // failure rates (internal/reliability): estimated unrecoverable-loss FIT
 // for the dL1 at a 2003-class raw soft-error rate (1000 FIT/Mbit). This is
 // the analytic complement to Fig 14's injection campaign: the paper notes
 // realistic rates are unmeasurable by injection (§5.5), but the exposure
 // argument still quantifies them.
-func MTTF(o Options) (*Result, error) {
-	vuln, err := Vulnerability(o)
+func mttf(ctx context.Context, o Options) (*Result, error) {
+	vuln, err := vulnerability(ctx, o)
 	if err != nil {
 		return nil, err
 	}
@@ -141,11 +143,11 @@ func MTTF(o Options) (*Result, error) {
 	return result, nil
 }
 
-// Vulnerability — injection-free architectural vulnerability: the average
+// vulnerability — injection-free architectural vulnerability: the average
 // fraction of time a dL1 line spends holding dirty data whose only
 // protection is parity, per scheme. This is the quantity ICR exists to
 // shrink without paying ECC's latency.
-func Vulnerability(o Options) (*Result, error) {
+func vulnerability(ctx context.Context, o Options) (*Result, error) {
 	m := o.machine()
 	sets := m.DL1Sets()
 	lines := sets * m.DL1Assoc
@@ -165,7 +167,7 @@ func Vulnerability(o Options) (*Result, error) {
 	pendings := make([][]*runner.Pending, len(schemes))
 	for i, s := range schemes {
 		s := s
-		pendings[i] = submitAll(o, s, func(r *config.Run) {
+		pendings[i] = submitAll(ctx, o, s, func(r *config.Run) {
 			if s.HasReplication() {
 				r.Repl = relaxedRepl(sets)
 			}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -8,10 +10,10 @@ import (
 	"repro/internal/workload"
 )
 
-// DecayPredictors — ablation of the dead-block prediction mechanism: the
+// decayPredictors — ablation of the dead-block prediction mechanism: the
 // paper's fixed-window decay counters (ref [10]) at two windows vs the
 // timekeeping-style adaptive predictor (ref [7]), under ICR-P-PS(S).
-func DecayPredictors(o Options) (*Result, error) {
+func decayPredictors(ctx context.Context, o Options) (*Result, error) {
 	m := o.machine()
 	sets := m.DL1Sets()
 	type variant struct {
@@ -39,7 +41,7 @@ func DecayPredictors(o Options) (*Result, error) {
 	}
 	pendings := make([][]*runner.Pending, len(variants))
 	for i, v := range variants {
-		pendings[i] = submitAll(o, icrPS(core.ReplStores), v.mut)
+		pendings[i] = submitAll(ctx, o, icrPS(core.ReplStores), v.mut)
 	}
 	for i, v := range variants {
 		reports, err := collect(pendings[i])
@@ -55,11 +57,11 @@ func DecayPredictors(o Options) (*Result, error) {
 	return result, nil
 }
 
-// Prefetch — the other use of dead lines (refs [14], [7]): next-block
+// prefetch — the other use of dead lines (refs [14], [7]): next-block
 // prefetching into dead ways, alone and composed with ICR. Dead real
 // estate can buy performance (prefetch) or reliability (replicas); this
 // table shows both sides and the combination.
-func Prefetch(o Options) (*Result, error) {
+func prefetch(ctx context.Context, o Options) (*Result, error) {
 	m := o.machine()
 	sets := m.DL1Sets()
 	type variant struct {
@@ -84,7 +86,7 @@ func Prefetch(o Options) (*Result, error) {
 	pendings := make([][]*runner.Pending, len(variants))
 	for i, v := range variants {
 		v := v
-		pendings[i] = submitAll(o, v.scheme, func(r *config.Run) {
+		pendings[i] = submitAll(ctx, o, v.scheme, func(r *config.Run) {
 			if v.scheme.HasReplication() {
 				r.Repl = relaxedRepl(sets)
 			}

@@ -1,23 +1,25 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/workload"
 )
 
-// SoftwareHints — the paper's §6 future work, implemented and evaluated:
+// softwareHints — the paper's §6 future work, implemented and evaluated:
 // software exempts the streaming/pointer-chase regions (no reuse worth
 // protecting, and their one-touch blocks pollute replica sites) from
 // replication. Compares blanket ICR-P-PS(S) against the hinted variant.
-func SoftwareHints(o Options) (*Result, error) {
+func softwareHints(ctx context.Context, o Options) (*Result, error) {
 	m := o.machine()
 	sets := m.DL1Sets()
-	blanketP := submitAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+	blanketP := submitAll(ctx, o, icrPS(core.ReplStores), func(r *config.Run) {
 		r.Repl = relaxedRepl(sets)
 	})
-	hintedP := submitAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+	hintedP := submitAll(ctx, o, icrPS(core.ReplStores), func(r *config.Run) {
 		r.Repl = relaxedRepl(sets)
 		profile, err := workload.ByName(r.Benchmark)
 		if err != nil {

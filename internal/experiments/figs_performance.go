@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"repro/internal/config"
@@ -10,36 +12,36 @@ import (
 	"repro/internal/workload"
 )
 
-// Fig9 — normalized execution cycles for all ten schemes under aggressive
+// fig9 — normalized execution cycles for all ten schemes under aggressive
 // (window 0, dead-only) dead-block prediction. Every bar is normalized to
 // BaseP per benchmark; a geometric-mean column is appended.
-func Fig9(o Options) (*Result, error) {
-	return normalizedCycles(o, "fig9",
+func fig9(ctx context.Context, o Options) (*Result, error) {
+	return normalizedCycles(ctx, o, "fig9",
 		"Normalized execution cycles, all schemes (aggressive dead-block prediction)",
 		"paper: BaseECC ~+30%, ICR-P-PS(S) +3.6%, ICR-ECC-PS(S) +21%, ICR-*-PP ~ BaseECC",
 		aggressiveRepl, false)
 }
 
-// Fig12 — normalized execution cycles with the relaxed (1000-cycle window,
+// fig12 — normalized execution cycles with the relaxed (1000-cycle window,
 // dead-first) prediction.
-func Fig12(o Options) (*Result, error) {
-	return normalizedCycles(o, "fig12",
+func fig12(ctx context.Context, o Options) (*Result, error) {
+	return normalizedCycles(ctx, o, "fig12",
 		"Normalized execution cycles, 1000-cycle decay window (dead-first)",
 		"paper: BaseECC +30.9%, ICR-P-PS(S) +2.4%, ICR-ECC-PS(S) +10.2%",
 		relaxedRepl, false)
 }
 
-// Fig15 — normalized execution cycles when replicas are left in the cache
+// fig15 — normalized execution cycles when replicas are left in the cache
 // on primary eviction and may serve later misses (§5.6 performance mode).
-func Fig15(o Options) (*Result, error) {
-	return normalizedCycles(o, "fig15",
+func fig15(ctx context.Context, o Options) (*Result, error) {
+	return normalizedCycles(ctx, o, "fig15",
 		"Normalized execution cycles with replicas left on primary eviction",
 		"paper: ICR-*-PS(S) match or beat BaseP (up to 24% better on mcf/vpr)",
 		relaxedRepl, true)
 }
 
 // normalizedCycles is the shared driver for Figures 9, 12, and 15.
-func normalizedCycles(o Options, id, title, notes string, repl func(int) core.ReplConfig, leave bool) (*Result, error) {
+func normalizedCycles(ctx context.Context, o Options, id, title, notes string, repl func(int) core.ReplConfig, leave bool) (*Result, error) {
 	m := o.machine()
 	sets := m.DL1Sets()
 	schemes := []core.Scheme{core.BaseECC(false)}
@@ -52,11 +54,11 @@ func normalizedCycles(o Options, id, title, notes string, repl func(int) core.Re
 	} else {
 		schemes = append(schemes, core.AllSchemes()[2:]...)
 	}
-	baseP := submitAll(o, core.BaseP(), nil)
+	baseP := submitAll(ctx, o, core.BaseP(), nil)
 	pendings := make([][]*runner.Pending, len(schemes))
 	for i, s := range schemes {
 		s := s
-		pendings[i] = submitAll(o, s, func(r *config.Run) {
+		pendings[i] = submitAll(ctx, o, s, func(r *config.Run) {
 			if s.HasReplication() {
 				r.Repl = repl(sets)
 				r.Repl.LeaveReplicas = leave
@@ -93,16 +95,16 @@ func normalizedCycles(o Options, id, title, notes string, repl func(int) core.Re
 // decayWindows is the §5.3 sweep.
 var decayWindows = []uint64{0, 500, 1000, 5000, 10000}
 
-// Fig10 — replication ability and loads-with-replica vs decay window for
+// fig10 — replication ability and loads-with-replica vs decay window for
 // vpr, ICR-P-PS(S).
-func Fig10(o Options) (*Result, error) {
+func fig10(ctx context.Context, o Options) (*Result, error) {
 	m := o.machine()
 	sets := m.DL1Sets()
 	pendings := make([]*runner.Pending, 0, len(decayWindows))
 	ticks := make([]string, 0, len(decayWindows))
 	for _, w := range decayWindows {
 		w := w
-		pendings = append(pendings, submitOne(o, "vpr", icrPS(core.ReplStores), func(r *config.Run) {
+		pendings = append(pendings, submitOne(ctx, o, "vpr", icrPS(core.ReplStores), func(r *config.Run) {
 			r.Repl = aggressiveRepl(sets)
 			r.Repl.DecayWindow = w
 		}))
@@ -132,12 +134,12 @@ func Fig10(o Options) (*Result, error) {
 	}, nil
 }
 
-// Fig11 — normalized execution cycles vs decay window for vpr,
+// fig11 — normalized execution cycles vs decay window for vpr,
 // ICR-P-PS(S) and ICR-ECC-PS(S), normalized to BaseP.
-func Fig11(o Options) (*Result, error) {
+func fig11(ctx context.Context, o Options) (*Result, error) {
 	m := o.machine()
 	sets := m.DL1Sets()
-	basePending := submitOne(o, "vpr", core.BaseP(), nil)
+	basePending := submitOne(ctx, o, "vpr", core.BaseP(), nil)
 	schemes := []core.Scheme{
 		core.ICR(core.ParityProt, core.LookupSerial, core.ReplStores),
 		core.ICR(core.ECCProt, core.LookupSerial, core.ReplStores),
@@ -146,7 +148,7 @@ func Fig11(o Options) (*Result, error) {
 	for i, s := range schemes {
 		for _, w := range decayWindows {
 			w := w
-			pendings[i] = append(pendings[i], submitOne(o, "vpr", s, func(r *config.Run) {
+			pendings[i] = append(pendings[i], submitOne(ctx, o, "vpr", s, func(r *config.Run) {
 				r.Repl = aggressiveRepl(sets)
 				r.Repl.DecayWindow = w
 			}))
@@ -182,9 +184,9 @@ func Fig11(o Options) (*Result, error) {
 	return result, nil
 }
 
-// Fig13 — replication ability and loads-with-replica at decay windows 1000
+// fig13 — replication ability and loads-with-replica at decay windows 1000
 // and 0 across all benchmarks, ICR-P-PS(S).
-func Fig13(o Options) (*Result, error) {
+func fig13(ctx context.Context, o Options) (*Result, error) {
 	m := o.machine()
 	sets := m.DL1Sets()
 	mkRepl := func(w uint64) func(*config.Run) {
@@ -193,8 +195,8 @@ func Fig13(o Options) (*Result, error) {
 			r.Repl.DecayWindow = w
 		}
 	}
-	w0P := submitAll(o, icrPS(core.ReplStores), mkRepl(0))
-	w1000P := submitAll(o, icrPS(core.ReplStores), mkRepl(1000))
+	w0P := submitAll(ctx, o, icrPS(core.ReplStores), mkRepl(0))
+	w1000P := submitAll(ctx, o, icrPS(core.ReplStores), mkRepl(1000))
 	w0, err := collect(w0P)
 	if err != nil {
 		return nil, err

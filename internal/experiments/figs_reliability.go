@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"repro/internal/config"
@@ -17,10 +19,10 @@ import (
 // zero.
 var errorProbs = []float64{1e-2, 1e-3, 1e-4, 1e-5}
 
-// Fig14 — fraction of unrecoverable loads vs per-cycle error probability
+// fig14 — fraction of unrecoverable loads vs per-cycle error probability
 // (random injection model) for vortex under BaseP, ICR-P-PS(S),
 // ICR-ECC-PS(S), and BaseECC.
-func Fig14(o Options) (*Result, error) {
+func fig14(ctx context.Context, o Options) (*Result, error) {
 	m := o.machine()
 	sets := m.DL1Sets()
 	schemes := []core.Scheme{
@@ -44,7 +46,7 @@ func Fig14(o Options) (*Result, error) {
 		s := s
 		for _, p := range errorProbs {
 			p := p
-			pendings[i] = append(pendings[i], submitOne(o, "vortex", s, func(r *config.Run) {
+			pendings[i] = append(pendings[i], submitOne(ctx, o, "vortex", s, func(r *config.Run) {
 				if s.HasReplication() {
 					r.Repl = relaxedRepl(sets)
 				}
@@ -67,10 +69,10 @@ func Fig14(o Options) (*Result, error) {
 	return result, nil
 }
 
-// FaultModels — a companion sweep over the four §5.5 injection models at a
+// faultModels — a companion sweep over the four §5.5 injection models at a
 // fixed probability, showing the paper's claim that the models behave
 // similarly.
-func FaultModels(o Options) (*Result, error) {
+func faultModels(ctx context.Context, o Options) (*Result, error) {
 	m := o.machine()
 	sets := m.DL1Sets()
 	models := []fault.Model{fault.Direct, fault.Adjacent, fault.Column, fault.Random}
@@ -92,7 +94,7 @@ func FaultModels(o Options) (*Result, error) {
 		s := s
 		for _, md := range models {
 			md := md
-			pendings[i] = append(pendings[i], submitOne(o, "vortex", s, func(r *config.Run) {
+			pendings[i] = append(pendings[i], submitOne(ctx, o, "vortex", s, func(r *config.Run) {
 				if s.HasReplication() {
 					r.Repl = relaxedRepl(sets)
 				}
@@ -115,16 +117,16 @@ func FaultModels(o Options) (*Result, error) {
 	return result, nil
 }
 
-// Fig16 — the §5.8 write-through comparison: BaseP with a write-through
+// fig16 — the §5.8 write-through comparison: BaseP with a write-through
 // dL1 (8-entry coalescing write buffer), normalized against ICR-P-PS(S)
 // with a write-back dL1. Series (a) execution cycles, (b) L1+L2 energy.
-func Fig16(o Options) (*Result, error) {
+func fig16(ctx context.Context, o Options) (*Result, error) {
 	m := o.machine()
 	sets := m.DL1Sets()
-	icrP := submitAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+	icrP := submitAll(ctx, o, icrPS(core.ReplStores), func(r *config.Run) {
 		r.Repl = relaxedRepl(sets)
 	})
-	wtP := submitAll(o, core.BaseP(), func(r *config.Run) {
+	wtP := submitAll(ctx, o, core.BaseP(), func(r *config.Run) {
 		r.WriteThrough = true
 		r.WriteBufferEntries = 8
 	})
@@ -151,15 +153,15 @@ func Fig16(o Options) (*Result, error) {
 	}, nil
 }
 
-// Fig17 — the §5.9 speculative-ECC comparison: BaseECC with 1-cycle
+// fig17 — the §5.9 speculative-ECC comparison: BaseECC with 1-cycle
 // speculative loads, normalized to the performance-optimized ICR-P-PS(S)
 // (replicas left in place). Series: (a) execution cycles, (b) energy with
 // parity:ECC = 15%:30% of an L1 access, (c) energy with 10%:30%.
-func Fig17(o Options) (*Result, error) {
+func fig17(ctx context.Context, o Options) (*Result, error) {
 	m := o.machine()
 	sets := m.DL1Sets()
 	submit := func(s core.Scheme, parityFrac, eccFrac float64, leave bool) []*runner.Pending {
-		return submitAll(o, s, func(r *config.Run) {
+		return submitAll(ctx, o, s, func(r *config.Run) {
 			if s.HasReplication() {
 				r.Repl = relaxedRepl(sets)
 				r.Repl.LeaveReplicas = leave
@@ -205,9 +207,9 @@ func Fig17(o Options) (*Result, error) {
 	}, nil
 }
 
-// Sensitivity — the §5.7 cache-geometry sweep: replication ability and
+// sensitivity — the §5.7 cache-geometry sweep: replication ability and
 // loads-with-replica for ICR-P-PS(S) across dL1 sizes and associativities.
-func Sensitivity(o Options) (*Result, error) {
+func sensitivity(ctx context.Context, o Options) (*Result, error) {
 	type point struct {
 		label string
 		size  int
@@ -222,7 +224,7 @@ func Sensitivity(o Options) (*Result, error) {
 	}
 	result := &Result{
 		ID:     "sensitivity",
-		Title:  "Sensitivity to dL1 geometry (gzip+vpr mean, ICR-P-PS(S))",
+		Title:  "sensitivity to dL1 geometry (gzip+vpr mean, ICR-P-PS(S))",
 		XLabel: "geometry",
 		Notes:  "paper §5.7: ability grows with cache size; loads-with-replica barely moves",
 	}
@@ -235,7 +237,7 @@ func Sensitivity(o Options) (*Result, error) {
 		opts := o
 		opts.Machine = &m
 		for _, bench := range []string{"gzip", "vpr"} {
-			pendings[i] = append(pendings[i], submitOne(opts, bench, icrPS(core.ReplStores), func(r *config.Run) {
+			pendings[i] = append(pendings[i], submitOne(ctx, opts, bench, icrPS(core.ReplStores), func(r *config.Run) {
 				r.Repl = aggressiveRepl(sets)
 			}))
 		}
@@ -266,9 +268,9 @@ func Sensitivity(o Options) (*Result, error) {
 	return result, nil
 }
 
-// VictimPolicies — an ablation over the §3.1 victim policies (not a paper
+// victimPolicies — an ablation over the §3.1 victim policies (not a paper
 // figure; DESIGN.md design-decision 3).
-func VictimPolicies(o Options) (*Result, error) {
+func victimPolicies(ctx context.Context, o Options) (*Result, error) {
 	m := o.machine()
 	sets := m.DL1Sets()
 	policies := []core.VictimPolicy{core.DeadOnly, core.DeadFirst, core.ReplicaFirst, core.ReplicaOnly}
@@ -282,7 +284,7 @@ func VictimPolicies(o Options) (*Result, error) {
 	pendings := make([][]*runner.Pending, len(policies))
 	for i, pol := range policies {
 		pol := pol
-		pendings[i] = submitAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+		pendings[i] = submitAll(ctx, o, icrPS(core.ReplStores), func(r *config.Run) {
 			r.Repl = relaxedRepl(sets)
 			r.Repl.Victim = pol
 		})

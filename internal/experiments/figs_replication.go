@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -8,15 +10,15 @@ import (
 	"repro/internal/workload"
 )
 
-// Fig1 — replication ability for single-attempt (distance N/2) vs
+// fig1 — replication ability for single-attempt (distance N/2) vs
 // multi-attempt (N/2 then N/4) placement, ICR-P-PS(S), aggressive decay.
-func Fig1(o Options) (*Result, error) {
+func fig1(ctx context.Context, o Options) (*Result, error) {
 	m := o.machine()
 	sets := m.DL1Sets()
-	singleP := submitAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+	singleP := submitAll(ctx, o, icrPS(core.ReplStores), func(r *config.Run) {
 		r.Repl = aggressiveRepl(sets)
 	})
-	multiP := submitAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+	multiP := submitAll(ctx, o, icrPS(core.ReplStores), func(r *config.Run) {
 		r.Repl = aggressiveRepl(sets)
 		r.Repl.Distances = []int{sets / 2, sets / 4}
 	})
@@ -43,14 +45,14 @@ func Fig1(o Options) (*Result, error) {
 	}, nil
 }
 
-// Fig2 — loads with replica for the same two configurations as Fig1.
-func Fig2(o Options) (*Result, error) {
+// fig2 — loads with replica for the same two configurations as fig1.
+func fig2(ctx context.Context, o Options) (*Result, error) {
 	m := o.machine()
 	sets := m.DL1Sets()
-	singleP := submitAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+	singleP := submitAll(ctx, o, icrPS(core.ReplStores), func(r *config.Run) {
 		r.Repl = aggressiveRepl(sets)
 	})
-	multiP := submitAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+	multiP := submitAll(ctx, o, icrPS(core.ReplStores), func(r *config.Run) {
 		r.Repl = aggressiveRepl(sets)
 		r.Repl.Distances = []int{sets / 2, sets / 4}
 	})
@@ -77,15 +79,15 @@ func Fig2(o Options) (*Result, error) {
 	}, nil
 }
 
-// Fig3 — replication ability when maintaining one replica vs two replicas
+// fig3 — replication ability when maintaining one replica vs two replicas
 // (first at N/2, second at N/4), ICR-P-PS(S).
-func Fig3(o Options) (*Result, error) {
+func fig3(ctx context.Context, o Options) (*Result, error) {
 	m := o.machine()
 	sets := m.DL1Sets()
-	oneP := submitAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+	oneP := submitAll(ctx, o, icrPS(core.ReplStores), func(r *config.Run) {
 		r.Repl = aggressiveRepl(sets)
 	})
-	twoP := submitAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+	twoP := submitAll(ctx, o, icrPS(core.ReplStores), func(r *config.Run) {
 		r.Repl = aggressiveRepl(sets)
 		r.Repl.Distances = []int{sets / 2, sets / 4}
 		r.Repl.Replicas = 2
@@ -113,15 +115,15 @@ func Fig3(o Options) (*Result, error) {
 	}, nil
 }
 
-// Fig4 — dL1 miss rates when maintaining one vs two replicas.
-func Fig4(o Options) (*Result, error) {
+// fig4 — dL1 miss rates when maintaining one vs two replicas.
+func fig4(ctx context.Context, o Options) (*Result, error) {
 	m := o.machine()
 	sets := m.DL1Sets()
-	baseP := submitAll(o, core.BaseP(), nil)
-	oneP := submitAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+	baseP := submitAll(ctx, o, core.BaseP(), nil)
+	oneP := submitAll(ctx, o, icrPS(core.ReplStores), func(r *config.Run) {
 		r.Repl = aggressiveRepl(sets)
 	})
-	twoP := submitAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+	twoP := submitAll(ctx, o, icrPS(core.ReplStores), func(r *config.Run) {
 		r.Repl = aggressiveRepl(sets)
 		r.Repl.Distances = []int{sets / 2, sets / 4}
 		r.Repl.Replicas = 2
@@ -154,15 +156,15 @@ func Fig4(o Options) (*Result, error) {
 	}, nil
 }
 
-// Fig5 — loads with replica under vertical (distance N/2) vs horizontal
+// fig5 — loads with replica under vertical (distance N/2) vs horizontal
 // (distance 0) replication, ICR-P-PS(S).
-func Fig5(o Options) (*Result, error) {
+func fig5(ctx context.Context, o Options) (*Result, error) {
 	m := o.machine()
 	sets := m.DL1Sets()
-	verticalP := submitAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+	verticalP := submitAll(ctx, o, icrPS(core.ReplStores), func(r *config.Run) {
 		r.Repl = aggressiveRepl(sets)
 	})
-	horizontalP := submitAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+	horizontalP := submitAll(ctx, o, icrPS(core.ReplStores), func(r *config.Run) {
 		r.Repl = aggressiveRepl(sets)
 		r.Repl.Distances = core.HorizontalDistances()
 	})
@@ -189,14 +191,14 @@ func Fig5(o Options) (*Result, error) {
 	}, nil
 }
 
-// Fig6 — replication ability for the LS vs S triggers.
-func Fig6(o Options) (*Result, error) {
+// fig6 — replication ability for the LS vs S triggers.
+func fig6(ctx context.Context, o Options) (*Result, error) {
 	m := o.machine()
 	sets := m.DL1Sets()
 	triggers := []core.ReplTrigger{core.ReplLoadsStores, core.ReplStores}
 	pendings := make([][]*runner.Pending, len(triggers))
 	for i, trigger := range triggers {
-		pendings[i] = submitAll(o, icrPS(trigger), func(r *config.Run) {
+		pendings[i] = submitAll(ctx, o, icrPS(trigger), func(r *config.Run) {
 			r.Repl = aggressiveRepl(sets)
 		})
 	}
@@ -224,14 +226,14 @@ func Fig6(o Options) (*Result, error) {
 	}, nil
 }
 
-// Fig7 — loads with replica for the LS vs S triggers.
-func Fig7(o Options) (*Result, error) {
+// fig7 — loads with replica for the LS vs S triggers.
+func fig7(ctx context.Context, o Options) (*Result, error) {
 	m := o.machine()
 	sets := m.DL1Sets()
 	triggers := []core.ReplTrigger{core.ReplLoadsStores, core.ReplStores}
 	pendings := make([][]*runner.Pending, len(triggers))
 	for i, trigger := range triggers {
-		pendings[i] = submitAll(o, icrPS(trigger), func(r *config.Run) {
+		pendings[i] = submitAll(ctx, o, icrPS(trigger), func(r *config.Run) {
 			r.Repl = aggressiveRepl(sets)
 		})
 	}
@@ -259,15 +261,15 @@ func Fig7(o Options) (*Result, error) {
 	}, nil
 }
 
-// Fig8 — dL1 miss rates for the Base schemes vs ICR with LS and S triggers.
-func Fig8(o Options) (*Result, error) {
+// fig8 — dL1 miss rates for the Base schemes vs ICR with LS and S triggers.
+func fig8(ctx context.Context, o Options) (*Result, error) {
 	m := o.machine()
 	sets := m.DL1Sets()
-	baseP := submitAll(o, core.BaseP(), nil)
-	lsP := submitAll(o, icrPS(core.ReplLoadsStores), func(r *config.Run) {
+	baseP := submitAll(ctx, o, core.BaseP(), nil)
+	lsP := submitAll(ctx, o, icrPS(core.ReplLoadsStores), func(r *config.Run) {
 		r.Repl = aggressiveRepl(sets)
 	})
-	sP := submitAll(o, icrPS(core.ReplStores), func(r *config.Run) {
+	sP := submitAll(ctx, o, icrPS(core.ReplStores), func(r *config.Run) {
 		r.Repl = aggressiveRepl(sets)
 	})
 	base, err := collect(baseP)

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -41,22 +43,22 @@ func relaxedRepl(sets int) core.ReplConfig {
 // runner and returns its pending handle. The run is fully materialized
 // (mutate applied) before submission, so driver closures never execute on
 // worker goroutines.
-func submitOne(o Options, bench string, scheme core.Scheme, mutate func(*config.Run)) *runner.Pending {
+func submitOne(ctx context.Context, o Options, bench string, scheme core.Scheme, mutate func(*config.Run)) *runner.Pending {
 	r := config.NewRun(bench, scheme)
 	o.apply(&r)
 	if mutate != nil {
 		mutate(&r)
 	}
-	return o.runner().Submit(o.context(), o.machine(), r)
+	return o.runner().Submit(ctx, o.machine(), r)
 }
 
 // submitAll enqueues one run per benchmark (workload.Names() order) and
 // returns the pendings in that order.
-func submitAll(o Options, scheme core.Scheme, mutate func(*config.Run)) []*runner.Pending {
+func submitAll(ctx context.Context, o Options, scheme core.Scheme, mutate func(*config.Run)) []*runner.Pending {
 	names := workload.Names()
 	out := make([]*runner.Pending, len(names))
 	for i, name := range names {
-		out[i] = submitOne(o, name, scheme, mutate)
+		out[i] = submitOne(ctx, o, name, scheme, mutate)
 	}
 	return out
 }
@@ -71,13 +73,13 @@ func collect(pendings []*runner.Pending) ([]*metrics.Report, error) {
 // Drivers that sweep several configurations should prefer submitAll for
 // each configuration first and collect afterwards, so the whole sweep
 // shares the worker pool.
-func runAll(o Options, scheme core.Scheme, mutate func(*config.Run)) ([]*metrics.Report, error) {
-	return collect(submitAll(o, scheme, mutate))
+func runAll(ctx context.Context, o Options, scheme core.Scheme, mutate func(*config.Run)) ([]*metrics.Report, error) {
+	return collect(submitAll(ctx, o, scheme, mutate))
 }
 
 // runOne simulates one benchmark under one configuration.
-func runOne(o Options, bench string, scheme core.Scheme, mutate func(*config.Run)) (*metrics.Report, error) {
-	return submitOne(o, bench, scheme, mutate).Wait()
+func runOne(ctx context.Context, o Options, bench string, scheme core.Scheme, mutate func(*config.Run)) (*metrics.Report, error) {
+	return submitOne(ctx, o, bench, scheme, mutate).Wait()
 }
 
 // values extracts one metric per report.

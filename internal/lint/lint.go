@@ -112,10 +112,12 @@ func DefaultHotPaths() []string {
 }
 
 // DefaultErrPaths is where droppederr applies: the CLIs (exit paths must
-// observe failures) and the parallel runner (a swallowed error there turns
-// into a silently wrong figure).
+// observe failures), the parallel runner (a swallowed error there turns
+// into a silently wrong figure), the persistent result store (a swallowed
+// I/O error turns into silent data loss), and the HTTP serving layer (a
+// swallowed error turns into a wrong response).
 func DefaultErrPaths() []string {
-	return []string{"cmd", "internal/runner"}
+	return []string{"cmd", "internal/runner", "internal/store", "internal/serve"}
 }
 
 // Analyze loads the module at or above dir and runs the selected passes,

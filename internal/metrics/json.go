@@ -1,0 +1,59 @@
+package metrics
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// ReportSchemaVersion is the wire-format version of Report's JSON
+// encoding. It is embedded in every marshalled report (the "schema"
+// field), in every icrd HTTP response, and in every internal/store disk
+// entry header, so all three share one versioned wire form.
+//
+// Bump it whenever the set of Report fields changes (added, removed, or
+// renamed): decoders reject mismatched versions, which turns a stale disk
+// entry into a cache miss instead of a silently wrong report. The golden
+// test in json_test.go fails on any field change that is not accompanied
+// by a bump.
+const ReportSchemaVersion = 1
+
+// ErrReportSchema is returned (wrapped) by Report.UnmarshalJSON when the
+// payload's schema version does not match ReportSchemaVersion. Callers
+// that read cached reports should treat it as a miss, not a failure.
+var ErrReportSchema = errors.New("metrics: report schema version mismatch")
+
+// reportWire is Report plus the schema discriminator. The alias type
+// drops Report's methods so encoding/json does not recurse into
+// MarshalJSON/UnmarshalJSON.
+type reportAlias Report
+
+type reportWire struct {
+	Schema int `json:"schema"`
+	reportAlias
+}
+
+// MarshalJSON encodes the report with its schema version as a leading
+// "schema" field. The encoding is stable: field order follows the struct
+// definition and float64 values round-trip exactly (encoding/json emits
+// the shortest representation that parses back to the same bits), so a
+// report stored and reloaded is byte-identical when re-marshalled.
+func (r Report) MarshalJSON() ([]byte, error) {
+	return json.Marshal(reportWire{Schema: ReportSchemaVersion, reportAlias: reportAlias(r)})
+}
+
+// UnmarshalJSON decodes a report, rejecting payloads whose schema version
+// differs from ReportSchemaVersion with an error wrapping
+// ErrReportSchema.
+func (r *Report) UnmarshalJSON(data []byte) error {
+	var w reportWire
+	w.Schema = -1
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if w.Schema != ReportSchemaVersion {
+		return fmt.Errorf("%w: got %d, want %d", ErrReportSchema, w.Schema, ReportSchemaVersion)
+	}
+	*r = Report(w.reportAlias)
+	return nil
+}

@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// update regenerates testdata/report_schema.json from the current
+// encoding. Only meaningful together with a ReportSchemaVersion bump —
+// TestReportSchemaFingerprint still fails on unpinned field changes.
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenReport populates every field with a distinct value so the golden
+// encoding exercises the full schema (reflection below verifies no field
+// was missed).
+func goldenReport() Report {
+	var r Report
+	v := reflect.ValueOf(&r).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.String:
+			f.SetString(fmt.Sprintf("field%d", i))
+		case reflect.Uint64:
+			f.SetUint(uint64(i + 1))
+		case reflect.Float64:
+			f.SetFloat(float64(i) + 0.125)
+		default:
+			panic("goldenReport: unhandled field kind " + f.Kind().String())
+		}
+	}
+	return r
+}
+
+// TestReportJSONGolden pins the exact wire encoding of Report. If this
+// fails because Report's fields changed, bump ReportSchemaVersion and
+// regenerate the golden file with:
+//
+//	go test ./internal/metrics -run TestReportJSONGolden -update
+func TestReportJSONGolden(t *testing.T) {
+	r := goldenReport()
+	got, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "report_schema.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file: %v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("Report JSON encoding changed without a schema bump.\n got: %s\nwant: %s\n"+
+			"If the field change is intentional, bump metrics.ReportSchemaVersion and re-run with -update.",
+			got, want)
+	}
+	if !strings.Contains(string(got), fmt.Sprintf(`"schema":%d`, ReportSchemaVersion)) {
+		t.Errorf("encoding missing schema field: %s", got)
+	}
+}
+
+// TestReportSchemaFingerprint is the schema-bump tripwire: it pins the
+// full (name, type) list of Report's fields for the current
+// ReportSchemaVersion. Adding, removing, renaming, or retyping a field
+// without bumping the version fails here even if the golden file is
+// regenerated.
+func TestReportSchemaFingerprint(t *testing.T) {
+	const pinnedVersion = 1
+	pinnedFields := []string{
+		"Benchmark string", "Scheme string",
+		"Instructions uint64", "Cycles uint64",
+		"DL1Reads uint64", "DL1ReadHits uint64", "DL1ReadMisses uint64",
+		"DL1Writes uint64", "DL1WriteHits uint64", "DL1WriteMisses uint64",
+		"DL1Writebacks uint64",
+		"L2Accesses uint64", "L2Misses uint64", "MemAccesses uint64",
+		"IL1Fetches uint64", "IL1Misses uint64",
+		"Branches uint64", "Mispredicts uint64",
+		"ReplAttempts uint64", "ReplSuccesses uint64", "ReplDoubles uint64",
+		"ReadHitsWithReplica uint64", "ReplicaServedMisses uint64",
+		"ReplicaEvictions uint64", "DeadEvictions uint64",
+		"ErrorsInjected uint64", "ErrorsDetected uint64",
+		"RecoveredByECC uint64", "RecoveredByReplica uint64",
+		"RecoveredByDuplicate uint64", "RecoveredByL2 uint64",
+		"UnrecoverableLoads uint64", "SilentWritebacks uint64",
+		"ReadHitsWithDuplicate uint64",
+		"VulnerableLineCycles uint64",
+		"ScrubChecks uint64", "ScrubErrors uint64",
+		"ScrubRepaired uint64", "ScrubLost uint64",
+		"EnergyL1 float64", "EnergyL2 float64",
+		"EnergyChecks float64", "EnergyRCache float64",
+	}
+	if ReportSchemaVersion != pinnedVersion {
+		t.Fatalf("ReportSchemaVersion = %d but the fingerprint test still pins version %d: "+
+			"update pinnedVersion and pinnedFields to match the new schema",
+			ReportSchemaVersion, pinnedVersion)
+	}
+	tp := reflect.TypeOf(Report{})
+	var got []string
+	for i := 0; i < tp.NumField(); i++ {
+		f := tp.Field(i)
+		got = append(got, f.Name+" "+f.Type.String())
+	}
+	if !reflect.DeepEqual(got, pinnedFields) {
+		t.Errorf("Report fields changed without bumping ReportSchemaVersion.\n got: %v\nwant: %v\n"+
+			"Bump metrics.ReportSchemaVersion, then update pinnedVersion/pinnedFields and the golden file.",
+			got, pinnedFields)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	r := goldenReport()
+	data, err := json.Marshal(&r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != r {
+		t.Errorf("round trip changed the report:\n got %+v\nwant %+v", back, r)
+	}
+	// Re-marshalling the decoded report is byte-identical: the durability
+	// guarantee the disk store relies on.
+	again, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Errorf("re-marshal not byte-identical:\n first %s\nsecond %s", data, again)
+	}
+}
+
+func TestReportJSONSchemaMismatch(t *testing.T) {
+	r := goldenReport()
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := bytes.Replace(data,
+		[]byte(fmt.Sprintf(`"schema":%d`, ReportSchemaVersion)),
+		[]byte(fmt.Sprintf(`"schema":%d`, ReportSchemaVersion+1)), 1)
+	var back Report
+	if err := json.Unmarshal(bad, &back); !errors.Is(err, ErrReportSchema) {
+		t.Errorf("future-schema decode err = %v, want ErrReportSchema", err)
+	}
+	missing := []byte(`{"Benchmark":"x"}`)
+	if err := json.Unmarshal(missing, &back); !errors.Is(err, ErrReportSchema) {
+		t.Errorf("missing-schema decode err = %v, want ErrReportSchema", err)
+	}
+}

@@ -25,6 +25,9 @@ type Progress struct {
 	completed    atomic.Uint64
 	failed       atomic.Uint64
 	memoHits     atomic.Uint64
+	diskHits     atomic.Uint64
+	cacheMisses  atomic.Uint64
+	evictions    atomic.Uint64
 	instructions atomic.Uint64
 	startNanos   atomic.Int64
 
@@ -73,9 +76,22 @@ func (p *Progress) AddCompleted(instructions uint64) {
 // cancellation).
 func (p *Progress) AddFailed(n uint64) { p.failed.Add(n) }
 
-// AddMemoHit records a simulation served from the memoization cache
-// instead of being executed.
+// AddMemoHit records a simulation served from the in-memory cache (or
+// coalesced onto an in-flight identical run) instead of being executed.
 func (p *Progress) AddMemoHit(n uint64) { p.memoHits.Add(n) }
+
+// AddDiskHit records a simulation served from the persistent disk store
+// instead of being executed.
+func (p *Progress) AddDiskHit(n uint64) { p.diskHits.Add(n) }
+
+// AddCacheMiss records a cacheable simulation that no cache layer held,
+// so it had to execute. Uncacheable runs (opaque inputs, caching
+// disabled) are not counted.
+func (p *Progress) AddCacheMiss(n uint64) { p.cacheMisses.Add(n) }
+
+// AddEviction records n entries displaced from a cache layer (memory or
+// disk) to respect its capacity.
+func (p *Progress) AddEviction(n uint64) { p.evictions.Add(n) }
 
 // ProgressSnapshot is a consistent-enough point-in-time view of the
 // counters (each field is individually atomic).
@@ -85,6 +101,9 @@ type ProgressSnapshot struct {
 	Completed    uint64
 	Failed       uint64
 	MemoHits     uint64
+	DiskHits     uint64
+	CacheMisses  uint64
+	Evictions    uint64
 	Instructions uint64
 	Elapsed      time.Duration
 }
@@ -101,14 +120,33 @@ func (p *Progress) Snapshot() ProgressSnapshot {
 		Completed:    p.completed.Load(),
 		Failed:       p.failed.Load(),
 		MemoHits:     p.memoHits.Load(),
+		DiskHits:     p.diskHits.Load(),
+		CacheMisses:  p.cacheMisses.Load(),
+		Evictions:    p.evictions.Load(),
 		Instructions: p.instructions.Load(),
 		Elapsed:      elapsed,
 	}
 }
 
-// Settled returns completed + failed + memo hits: the number of submitted
-// simulations that have reached a final state.
-func (s ProgressSnapshot) Settled() uint64 { return s.Completed + s.Failed + s.MemoHits }
+// Settled returns completed + failed + cache hits (memory and disk): the
+// number of submitted simulations that have reached a final state.
+func (s ProgressSnapshot) Settled() uint64 {
+	return s.Completed + s.Failed + s.MemoHits + s.DiskHits
+}
+
+// CacheHits returns the total runs served without executing a simulation,
+// from either cache layer.
+func (s ProgressSnapshot) CacheHits() uint64 { return s.MemoHits + s.DiskHits }
+
+// CacheHitRate returns hits over (hits + misses) for cacheable runs, in
+// [0, 1]; 0 when nothing cacheable has settled.
+func (s ProgressSnapshot) CacheHitRate() float64 {
+	total := s.CacheHits() + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits()) / float64(total)
+}
 
 // SimsPerSec returns the executed-simulation rate over the elapsed time.
 func (s ProgressSnapshot) SimsPerSec() float64 {
@@ -128,7 +166,7 @@ func (s ProgressSnapshot) InstructionsPerSec() float64 {
 
 // String renders a one-line progress summary suitable for a status line.
 func (s ProgressSnapshot) String() string {
-	return fmt.Sprintf("%d/%d sims (%d memoized, %d failed, %.0f sims/s, %.2fM inst/s)",
-		s.Settled(), s.Submitted, s.MemoHits, s.Failed,
+	return fmt.Sprintf("%d/%d sims (%d memoized, %d disk, %d evicted, %d failed, %.0f sims/s, %.2fM inst/s)",
+		s.Settled(), s.Submitted, s.MemoHits, s.DiskHits, s.Evictions, s.Failed,
 		s.SimsPerSec(), s.InstructionsPerSec()/1e6)
 }

@@ -73,6 +73,46 @@ func TestProgressFakeClock(t *testing.T) {
 	}
 }
 
+// TestProgressCacheCounters pins the cache-statistics surface: memory
+// hits, disk hits, misses, and evictions are independently counted,
+// settle accounting includes disk hits, and the hit rate derives from
+// hits over cacheable lookups.
+func TestProgressCacheCounters(t *testing.T) {
+	clk := &fakeClock{ns: 1}
+	p := NewProgressClock(clk.now)
+	p.AddSubmitted(10)
+	for i := 0; i < 4; i++ {
+		p.AddCompleted(1000)
+		p.AddCacheMiss(1)
+	}
+	p.AddMemoHit(3)
+	p.AddDiskHit(2)
+	p.AddEviction(5)
+	s := p.Snapshot()
+	if s.MemoHits != 3 || s.DiskHits != 2 || s.CacheMisses != 4 || s.Evictions != 5 {
+		t.Errorf("counters = memo %d disk %d miss %d evict %d, want 3/2/4/5",
+			s.MemoHits, s.DiskHits, s.CacheMisses, s.Evictions)
+	}
+	if got := s.Settled(); got != 9 {
+		t.Errorf("Settled = %d, want 9 (4 completed + 3 memo + 2 disk)", got)
+	}
+	if got := s.CacheHits(); got != 5 {
+		t.Errorf("CacheHits = %d, want 5", got)
+	}
+	if got, want := s.CacheHitRate(), 5.0/9.0; got != want {
+		t.Errorf("CacheHitRate = %v, want %v", got, want)
+	}
+	line := s.String()
+	for _, want := range []string{"3 memoized", "2 disk", "5 evicted"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("String() = %q, missing %q", line, want)
+		}
+	}
+	if (ProgressSnapshot{}).CacheHitRate() != 0 {
+		t.Error("empty snapshot CacheHitRate should be 0")
+	}
+}
+
 // TestProgressZeroValue pins that the zero value still works (no clock
 // stamp: elapsed and rates stay zero, counters still count).
 func TestProgressZeroValue(t *testing.T) {

@@ -1,0 +1,205 @@
+package runner
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+)
+
+// DefaultCacheSize is the default number of settled reports the in-memory
+// cache retains. Reports are small flat structs (~400 bytes), so even the
+// full §5 evaluation fits comfortably.
+const DefaultCacheSize = 4096
+
+// Cache tiers, as reported by Cache.Get and Pending.Source.
+const (
+	// SourceMemory marks a run served from the in-memory cache (or
+	// coalesced onto an identical in-flight run).
+	SourceMemory = "memory"
+	// SourceDisk marks a run served from the persistent disk store.
+	SourceDisk = "disk"
+	// SourceSimulated marks a run that actually executed.
+	SourceSimulated = "simulated"
+)
+
+// Cache is a pluggable content-addressed report store consulted by the
+// runner before executing a simulation. Implementations must be safe for
+// concurrent use and must never mutate a stored report after Put (the
+// runner copies on return, so callers cannot either).
+//
+// Get's tier names the layer that satisfied the lookup (SourceMemory,
+// SourceDisk) so the runner can account hits per layer.
+type Cache interface {
+	Get(key Key) (rep *metrics.Report, tier string, ok bool)
+	Put(key Key, rep *metrics.Report)
+}
+
+// MemoryCache is the in-memory Cache: a bounded LRU over settled reports.
+// It is what the pre-disk-store memo map became; a Runner builds one by
+// default (Options.CacheSize).
+type MemoryCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[Key]*list.Element
+	lru     *list.List // front = most recently used; values are *memEntry
+	prog    *metrics.Progress
+}
+
+type memEntry struct {
+	key Key
+	rep *metrics.Report
+}
+
+// NewMemoryCache returns an LRU cache holding at most capacity reports
+// (<= 0 means DefaultCacheSize). Evictions are reported to prog when it
+// is non-nil.
+func NewMemoryCache(capacity int, prog *metrics.Progress) *MemoryCache {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &MemoryCache{
+		cap:     capacity,
+		entries: make(map[Key]*list.Element),
+		lru:     list.New(),
+		prog:    prog,
+	}
+}
+
+// Get returns the cached report and refreshes its recency.
+func (c *MemoryCache) Get(key Key) (*metrics.Report, string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	elem, ok := c.entries[key]
+	if !ok {
+		return nil, "", false
+	}
+	c.lru.MoveToFront(elem)
+	return elem.Value.(*memEntry).rep, SourceMemory, true
+}
+
+// Put inserts (or refreshes) a report, evicting the least-recently-used
+// entries beyond capacity.
+func (c *MemoryCache) Put(key Key, rep *metrics.Report) {
+	var evicted uint64
+	c.mu.Lock()
+	if elem, ok := c.entries[key]; ok {
+		elem.Value.(*memEntry).rep = rep
+		c.lru.MoveToFront(elem)
+	} else {
+		c.entries[key] = c.lru.PushFront(&memEntry{key: key, rep: rep})
+		for c.lru.Len() > c.cap {
+			back := c.lru.Back()
+			delete(c.entries, back.Value.(*memEntry).key)
+			c.lru.Remove(back)
+			evicted++
+		}
+	}
+	c.mu.Unlock()
+	if evicted > 0 && c.prog != nil {
+		c.prog.AddEviction(evicted)
+	}
+}
+
+// Len returns the number of resident reports.
+func (c *MemoryCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// ReportStore is the slice of internal/store.Store the runner needs: a
+// string-keyed persistent report store. It is an interface here so the
+// runner does not depend on the disk package (and tests can stub it).
+type ReportStore interface {
+	Get(key string) (*metrics.Report, bool)
+	Put(key string, rep *metrics.Report) error
+}
+
+// StoreCache adapts a ReportStore (the disk layer) to the Cache
+// interface, translating Keys to their hex form. Put failures do not fail
+// the run — the report is still returned to the caller — but they are
+// counted (PutErrors) so the daemon can expose them.
+type StoreCache struct {
+	st        ReportStore
+	putErrors atomic.Uint64
+}
+
+// NewStoreCache wraps a persistent store as a runner Cache layer.
+func NewStoreCache(st ReportStore) *StoreCache {
+	return &StoreCache{st: st}
+}
+
+// Get consults the disk store.
+func (c *StoreCache) Get(key Key) (*metrics.Report, string, bool) {
+	rep, ok := c.st.Get(key.String())
+	if !ok {
+		return nil, "", false
+	}
+	return rep, SourceDisk, true
+}
+
+// Put persists the report; failures are counted, not fatal.
+func (c *StoreCache) Put(key Key, rep *metrics.Report) {
+	if err := c.st.Put(key.String(), rep); err != nil {
+		c.putErrors.Add(1)
+	}
+}
+
+// PutErrors returns how many persists have failed since construction.
+func (c *StoreCache) PutErrors() uint64 { return c.putErrors.Load() }
+
+// Tiered layers caches fastest-first (memory, then disk). A hit in a
+// lower layer is promoted into every layer above it, so a disk hit after
+// a restart warms the memory cache. Puts write through to all layers.
+type Tiered struct {
+	layers []Cache
+}
+
+// NewTiered composes cache layers in lookup order; nil layers are
+// skipped.
+func NewTiered(layers ...Cache) *Tiered {
+	t := &Tiered{}
+	for _, l := range layers {
+		if l != nil {
+			t.layers = append(t.layers, l)
+		}
+	}
+	return t
+}
+
+// Get consults each layer in order, promoting hits upward.
+func (t *Tiered) Get(key Key) (*metrics.Report, string, bool) {
+	for i, l := range t.layers {
+		rep, tier, ok := l.Get(key)
+		if !ok {
+			continue
+		}
+		for j := 0; j < i; j++ {
+			t.layers[j].Put(key, rep)
+		}
+		return rep, tier, true
+	}
+	return nil, "", false
+}
+
+// Put writes through to every layer.
+func (t *Tiered) Put(key Key, rep *metrics.Report) {
+	for _, l := range t.layers {
+		l.Put(key, rep)
+	}
+}
+
+// copyReport returns an independent copy of a cached report, so no caller
+// can mutate the cached value another caller sees. metrics.Report is a
+// flat value struct (no pointers, slices, or maps), so a struct copy is a
+// deep copy; the compile-time-adjacent test in memo_test.go guards that
+// assumption against future reference-typed fields.
+func copyReport(r *metrics.Report) *metrics.Report {
+	if r == nil {
+		return nil
+	}
+	cp := *r
+	return &cp
+}

@@ -1,0 +1,62 @@
+package runner
+
+import (
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// flightEntry is one in-flight simulation. The owner that claimed the key
+// runs it and closes done; everyone else waits on done and reads rep/err
+// afterwards. Settled results live in the Runner's Cache, not here.
+type flightEntry struct {
+	done chan struct{}
+	rep  *metrics.Report
+	err  error
+}
+
+// flightGroup is the singleflight layer in front of the cache: concurrent
+// submissions of one key elect an owner and everyone else waits, so an
+// identical sweep point never executes twice concurrently — no matter how
+// many figures share it or how many workers race to submit it.
+type flightGroup struct {
+	mu       sync.Mutex
+	inflight map[Key]*flightEntry
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{inflight: make(map[Key]*flightEntry)}
+}
+
+// claim returns the entry for key and whether the caller became its
+// owner. An owner MUST call settle exactly once.
+func (g *flightGroup) claim(key Key) (*flightEntry, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if e, ok := g.inflight[key]; ok {
+		return e, false
+	}
+	e := &flightEntry{done: make(chan struct{})}
+	g.inflight[key] = e
+	return e, true
+}
+
+// settle records the owner's result and wakes all waiters. The entry
+// leaves the in-flight map either way: successes are in the cache by the
+// time settle runs, and failures must not be cached — a later submission
+// retries, which keeps one batch's cancellation from poisoning another
+// batch's identical run.
+func (g *flightGroup) settle(key Key, e *flightEntry, rep *metrics.Report, err error) {
+	g.mu.Lock()
+	e.rep, e.err = rep, err
+	delete(g.inflight, key)
+	g.mu.Unlock()
+	close(e.done)
+}
+
+// len returns the number of in-flight entries.
+func (g *flightGroup) len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.inflight)
+}

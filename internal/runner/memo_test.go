@@ -298,7 +298,7 @@ func TestMemoErrorRetryUnblocksWaiters(t *testing.T) {
 	}
 }
 
-func TestMemoEvictionFIFO(t *testing.T) {
+func TestMemoEvictionLRU(t *testing.T) {
 	fn, calls := countingSim()
 	r := newTestRunner(t, Options{CacheSize: 2, Simulate: fn})
 	m, run := baseInputs()
@@ -309,10 +309,10 @@ func TestMemoEvictionFIFO(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if got := r.memo.len(); got > 2 {
+	if got := r.cache.(*MemoryCache).Len(); got > 2 {
 		t.Errorf("cache holds %d entries, cap 2", got)
 	}
-	// Seed 1 was evicted (FIFO); seed 3 is still resident.
+	// Seed 1 was the least recently used; it must have been evicted.
 	run.Seed = 1
 	if _, err := r.Run(context.Background(), m, run); err != nil {
 		t.Fatal(err)
@@ -320,12 +320,46 @@ func TestMemoEvictionFIFO(t *testing.T) {
 	if got := calls.Load(); got != 4 {
 		t.Errorf("evicted entry not re-executed: %d calls, want 4", got)
 	}
+	if snap := r.Progress().Snapshot(); snap.Evictions == 0 {
+		t.Error("evictions not reported to Progress")
+	}
 	run.Seed = 3
 	if _, err := r.Run(context.Background(), m, run); err != nil {
 		t.Fatal(err)
 	}
 	if got := calls.Load(); got != 4 {
 		t.Errorf("resident entry re-executed: %d calls, want 4", got)
+	}
+}
+
+// TestMemoLRURecencyRefresh: a Get keeps an entry warm, unlike the old
+// FIFO memo — re-reading the oldest entry must save it from eviction.
+func TestMemoLRURecencyRefresh(t *testing.T) {
+	fn, calls := countingSim()
+	r := newTestRunner(t, Options{CacheSize: 2, Simulate: fn})
+	m, run := baseInputs()
+
+	for seed := int64(1); seed <= 2; seed++ {
+		run.Seed = seed
+		if _, err := r.Run(context.Background(), m, run); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch seed 1 so seed 2 becomes the LRU victim.
+	run.Seed = 1
+	if _, err := r.Run(context.Background(), m, run); err != nil {
+		t.Fatal(err)
+	}
+	run.Seed = 3
+	if _, err := r.Run(context.Background(), m, run); err != nil {
+		t.Fatal(err)
+	}
+	run.Seed = 1
+	if _, err := r.Run(context.Background(), m, run); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("recently-read entry evicted: %d executions, want 3", got)
 	}
 }
 

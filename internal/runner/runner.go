@@ -14,24 +14,39 @@
 //     timeouts. In-flight simulations abort promptly (the core polls a
 //     stop flag once per simulated cycle), queued ones never start, and
 //     batch collection reports whatever completed (partial results).
-//   - Memoization: results are content-addressed by a stable hash of the
-//     full input (see KeyFor), so a sweep point shared between figures —
-//     e.g. the BaseP baseline — simulates once per process. Cached reports
-//     are copied on return; callers can never corrupt each other.
-//   - Observability: progress and throughput counters are exposed via
-//     internal/metrics.Progress for CLI progress lines.
+//   - Caching: results are content-addressed by a stable hash of the
+//     full input (see KeyFor) and served through a pluggable Cache stack —
+//     by default an in-memory LRU, optionally layered over a persistent
+//     disk store (internal/store) so repeated sweep points survive process
+//     restarts. A singleflight layer coalesces concurrent identical
+//     submissions either way. Cached reports are copied on return; callers
+//     can never corrupt each other.
+//   - Draining: Drain moves the runner into shutdown mode — runs already
+//     holding a worker slot finish (and persist), runs still queued settle
+//     immediately with ErrDraining. The serving layer uses this for
+//     graceful SIGTERM handling.
+//   - Observability: progress, throughput, and per-tier cache counters are
+//     exposed via internal/metrics.Progress for CLI progress lines and the
+//     daemon's expvar page.
 package runner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/config"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 )
+
+// ErrDraining is the settlement error for runs that were still queued
+// (waiting for a worker slot) when Drain was called, and for runs
+// submitted after it.
+var ErrDraining = errors.New("runner draining: queued run rejected")
 
 // SimulateFunc executes one simulation. The default is
 // sim.SimulateContext; tests substitute stubs.
@@ -43,9 +58,17 @@ type Options struct {
 	// <= 0 means runtime.GOMAXPROCS(0).
 	Workers int
 
-	// CacheSize is the memoization capacity in settled reports: 0 means
-	// DefaultCacheSize, negative disables memoization entirely.
+	// CacheSize is the in-memory cache capacity in settled reports: 0
+	// means DefaultCacheSize, negative disables caching (and singleflight
+	// coalescing) entirely.
 	CacheSize int
+
+	// Cache overrides the cache stack built from CacheSize. Use
+	// NewTiered(NewMemoryCache(...), NewStoreCache(...)) to layer the
+	// in-memory cache over a persistent disk store. When Cache is non-nil
+	// CacheSize is ignored (except that a negative CacheSize still
+	// disables caching outright).
+	Cache Cache
 
 	// Timeout, when > 0, bounds each individual simulation.
 	Timeout time.Duration
@@ -63,11 +86,14 @@ type Options struct {
 // It is safe for concurrent use and needs no shutdown: workers are
 // goroutines that exist only while work is in flight.
 type Runner struct {
-	slots   chan struct{}
-	memo    *memoCache
-	timeout time.Duration
-	prog    *metrics.Progress
-	simFn   SimulateFunc
+	slots     chan struct{}
+	cache     Cache
+	flight    *flightGroup
+	timeout   time.Duration
+	prog      *metrics.Progress
+	simFn     SimulateFunc
+	drain     chan struct{}
+	drainOnce sync.Once
 }
 
 // New returns a Runner with the given options.
@@ -76,17 +102,21 @@ func New(o Options) *Runner {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	var memo *memoCache
-	if o.CacheSize >= 0 {
-		size := o.CacheSize
-		if size == 0 {
-			size = DefaultCacheSize
-		}
-		memo = newMemoCache(size)
-	}
 	prog := o.Progress
 	if prog == nil {
 		prog = metrics.NewProgress()
+	}
+	var cache Cache
+	if o.CacheSize >= 0 {
+		if o.Cache != nil {
+			cache = o.Cache
+		} else {
+			cache = NewMemoryCache(o.CacheSize, prog)
+		}
+	}
+	var flight *flightGroup
+	if cache != nil {
+		flight = newFlightGroup()
 	}
 	simFn := o.Simulate
 	if simFn == nil {
@@ -94,10 +124,32 @@ func New(o Options) *Runner {
 	}
 	return &Runner{
 		slots:   make(chan struct{}, workers),
-		memo:    memo,
+		cache:   cache,
+		flight:  flight,
 		timeout: o.Timeout,
 		prog:    prog,
 		simFn:   simFn,
+		drain:   make(chan struct{}),
+	}
+}
+
+// Drain moves the runner into shutdown mode, once: submissions that have
+// not yet acquired a worker slot — queued now or submitted later — settle
+// immediately with ErrDraining, while runs already executing are
+// unaffected and finish normally (persisting their results through the
+// cache stack). Waiters coalesced onto an executing run still receive its
+// result.
+func (r *Runner) Drain() {
+	r.drainOnce.Do(func() { close(r.drain) })
+}
+
+// Draining reports whether Drain has been called.
+func (r *Runner) Draining() bool {
+	select {
+	case <-r.drain:
+		return true
+	default:
+		return false
 	}
 }
 
@@ -112,6 +164,7 @@ type Pending struct {
 	done chan struct{}
 	rep  *metrics.Report
 	err  error
+	src  string
 }
 
 // Wait blocks until the simulation settles and returns its result. It is
@@ -119,6 +172,14 @@ type Pending struct {
 func (p *Pending) Wait() (*metrics.Report, error) {
 	<-p.done
 	return p.rep, p.err
+}
+
+// Source reports where a successful result came from: SourceSimulated,
+// SourceMemory, or SourceDisk. It blocks until the simulation settles and
+// returns "" for failed runs.
+func (p *Pending) Source() string {
+	<-p.done
+	return p.src
 }
 
 // Submit enqueues one simulation and returns immediately. The run starts
@@ -132,11 +193,16 @@ func (r *Runner) Submit(ctx context.Context, m config.Machine, run config.Run) *
 	r.prog.AddSubmitted(1)
 	go func() {
 		defer close(p.done)
-		// An explicit pre-check: when the context is already cancelled the
-		// select below could still win the slot branch by chance, and a
-		// cancelled run must never start.
+		// Explicit pre-checks: when the context is already cancelled (or
+		// the runner already draining) the select below could still win
+		// the slot branch by chance, and such a run must never start.
 		if err := ctx.Err(); err != nil {
 			p.err = fmt.Errorf("runner: %s: %w", run.Name(), err)
+			r.prog.AddFailed(1)
+			return
+		}
+		if r.Draining() {
+			p.err = fmt.Errorf("runner: %s: %w", run.Name(), ErrDraining)
 			r.prog.AddFailed(1)
 			return
 		}
@@ -147,14 +213,18 @@ func (r *Runner) Submit(ctx context.Context, m config.Machine, run config.Run) *
 			p.err = fmt.Errorf("runner: %s: %w", run.Name(), ctx.Err())
 			r.prog.AddFailed(1)
 			return
+		case <-r.drain:
+			p.err = fmt.Errorf("runner: %s: %w", run.Name(), ErrDraining)
+			r.prog.AddFailed(1)
+			return
 		}
-		rep, err := r.simulate(ctx, m, run)
+		rep, src, err := r.simulate(ctx, m, run)
 		if err != nil {
 			p.err = fmt.Errorf("runner: %s: %w", run.Name(), err)
 			r.prog.AddFailed(1)
 			return
 		}
-		p.rep = rep
+		p.rep, p.src = rep, src
 	}()
 	return p
 }
@@ -193,40 +263,57 @@ func Collect(pendings []*Pending) ([]*metrics.Report, error) {
 	return reports, firstErr
 }
 
-// simulate executes one run through the memo cache (when eligible).
-func (r *Runner) simulate(ctx context.Context, m config.Machine, run config.Run) (*metrics.Report, error) {
-	if r.memo == nil {
-		return r.exec(ctx, m, run)
+// simulate executes one run through the cache stack (when eligible),
+// reporting where the result came from.
+func (r *Runner) simulate(ctx context.Context, m config.Machine, run config.Run) (*metrics.Report, string, error) {
+	if r.cache == nil {
+		rep, err := r.exec(ctx, m, run)
+		return rep, SourceSimulated, err
 	}
 	key, ok := KeyFor(m, run)
 	if !ok {
 		// Opaque inputs (function hooks, unknown hint policies) cannot be
 		// content-addressed; run uncached.
-		return r.exec(ctx, m, run)
+		rep, err := r.exec(ctx, m, run)
+		return rep, SourceSimulated, err
 	}
 	for {
-		e, owner := r.memo.claim(key)
+		e, owner := r.flight.claim(key)
 		if owner {
-			rep, err := r.exec(ctx, m, run)
-			r.memo.settle(key, e, rep, err)
-			if err != nil {
-				return nil, err
+			if rep, tier, ok := r.cache.Get(key); ok {
+				if tier == SourceDisk {
+					r.prog.AddDiskHit(1)
+				} else {
+					r.prog.AddMemoHit(1)
+				}
+				r.flight.settle(key, e, rep, nil)
+				// The cache keeps its own copy; hand the caller another
+				// so later hits never observe caller mutations.
+				return copyReport(rep), tier, nil
 			}
-			// The cache keeps its own copy; hand the caller another so
-			// later hits never observe caller mutations.
-			return copyReport(rep), nil
+			r.prog.AddCacheMiss(1)
+			rep, err := r.exec(ctx, m, run)
+			if err == nil {
+				r.cache.Put(key, rep)
+			}
+			r.flight.settle(key, e, rep, err)
+			if err != nil {
+				return nil, "", err
+			}
+			return copyReport(rep), SourceSimulated, nil
 		}
 		select {
 		case <-e.done:
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, "", ctx.Err()
 		}
 		if e.err == nil {
+			// Coalesced onto the owner's in-memory result.
 			r.prog.AddMemoHit(1)
-			return copyReport(e.rep), nil
+			return copyReport(e.rep), SourceMemory, nil
 		}
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		// The owner failed — possibly its own caller's cancellation, which
 		// must not poison this caller. The entry was dropped at settle;

@@ -1,0 +1,317 @@
+package store
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func testReport(cycles uint64) *metrics.Report {
+	return &metrics.Report{
+		Benchmark:    "vpr",
+		Scheme:       "ICR-P-PS(S)",
+		Instructions: 100_000,
+		Cycles:       cycles,
+		DL1Reads:     123,
+		EnergyL1:     41.5,
+	}
+}
+
+// keyN returns a distinct valid 64-hex key.
+func keyN(n byte) string {
+	return strings.Repeat("0", 62) + strings.Repeat(string([]byte{'a' + n%6}), 2)
+}
+
+func mustOpen(t *testing.T, dir string, o Options) *Store {
+	t.Helper()
+	s, err := Open(dir, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	key := keyN(0)
+	want := testReport(777)
+	if err := s.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok {
+		t.Fatal("Get missed a just-Put key")
+	}
+	if *got != *want {
+		t.Errorf("round trip changed the report: got %+v want %+v", got, want)
+	}
+	if _, ok := s.Get(keyN(1)); ok {
+		t.Error("Get hit an absent key")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 hit, 1 miss, 1 put, 1 entry", st)
+	}
+}
+
+// TestPersistsAcrossReopen is the durability core: a report written by one
+// Store is served by a fresh Store over the same directory — the restart
+// path of the icrd acceptance test.
+func TestPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	key := keyN(0)
+	want := testReport(42)
+	s1 := mustOpen(t, dir, Options{})
+	if err := s1.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir, Options{})
+	got, ok := s2.Get(key)
+	if !ok {
+		t.Fatal("reopened store missed a persisted key")
+	}
+	if *got != *want {
+		t.Errorf("reopened store returned %+v, want %+v", got, want)
+	}
+}
+
+func TestCorruptEntryQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	key := keyN(0)
+	s := mustOpen(t, dir, Options{})
+	if err := s.Put(key, testReport(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte on disk.
+	path := filepath.Join(dir, key+entrySuffix)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[headerSize] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := s.Get(key); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if _, err := os.Stat(path + quarantineSuffix); err != nil {
+		t.Errorf("corrupt entry not quarantined: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("corrupt entry still in place: %v", err)
+	}
+	if st := s.Stats(); st.Quarantined != 1 || st.Entries != 0 {
+		t.Errorf("stats = %+v, want 1 quarantined, 0 entries", st)
+	}
+	// A quarantined file is invisible to a reopened store.
+	s2 := mustOpen(t, dir, Options{})
+	if _, ok := s2.Get(key); ok {
+		t.Error("reopened store served a quarantined entry")
+	}
+}
+
+func TestTruncatedEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	key := keyN(0)
+	s := mustOpen(t, dir, Options{})
+	if err := s.Put(key, testReport(1)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key+entrySuffix)
+	if err := os.Truncate(path, headerSize-5); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("truncated entry served as a hit")
+	}
+}
+
+// TestStaleSchemaIsMiss writes an entry whose header carries an older
+// report-schema version: it must degrade to a miss (re-simulate), and the
+// file is removed rather than quarantined (stale, not corrupt).
+func TestStaleSchemaIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	key := keyN(0)
+	s := mustOpen(t, dir, Options{})
+	if err := s.Put(key, testReport(1)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key+entrySuffix)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(data[8:12], metrics.ReportSchemaVersion-1)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("stale-schema entry served as a hit")
+	}
+	if st := s.Stats(); st.SchemaStale != 1 || st.Quarantined != 0 {
+		t.Errorf("stats = %+v, want 1 schema-stale, 0 quarantined", st)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("stale entry not removed: %v", err)
+	}
+	// Re-put under the current schema works again.
+	if err := s.Put(key, testReport(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); !ok {
+		t.Error("re-put after stale drop missed")
+	}
+}
+
+func TestStaleContainerFormatIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	key := keyN(0)
+	s := mustOpen(t, dir, Options{})
+	if err := s.Put(key, testReport(1)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key+entrySuffix)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(data[4:8], FormatVersion+1)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("future-format entry served as a hit")
+	}
+}
+
+// TestLRUEviction: the byte cap evicts least-recently-used entries, and a
+// Get refreshes recency so warm entries survive.
+func TestLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	// Size the cap to hold roughly two entries.
+	one := testReport(1)
+	payload, err := one.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evicted int
+	s := mustOpen(t, dir, Options{
+		MaxBytes: int64(len(payload))*2 + 10,
+		OnEvict:  func(n int) { evicted += n },
+	})
+	k0, k1, k2 := keyN(0), keyN(1), keyN(2)
+	for _, k := range []string{k0, k1} {
+		if err := s.Put(k, one); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch k0 so k1 is the LRU victim.
+	if _, ok := s.Get(k0); !ok {
+		t.Fatal("k0 missing before eviction")
+	}
+	if err := s.Put(k2, one); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k1); ok {
+		t.Error("LRU entry survived the cap")
+	}
+	if _, ok := s.Get(k0); !ok {
+		t.Error("recently-used entry was evicted")
+	}
+	if _, ok := s.Get(k2); !ok {
+		t.Error("just-put entry was evicted")
+	}
+	if evicted != 1 {
+		t.Errorf("OnEvict reported %d, want 1", evicted)
+	}
+	if st := s.Stats(); st.Evictions != 1 {
+		t.Errorf("stats evictions = %d, want 1", st.Evictions)
+	}
+}
+
+// TestEvictionOrderSurvivesReopen: mtimes order the LRU list at Open.
+func TestEvictionOrderSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	one := testReport(1)
+	payload, err := one.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := mustOpen(t, dir, Options{MaxBytes: -1})
+	k0, k1 := keyN(0), keyN(1)
+	if err := s1.Put(k0, one); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put(k1, one); err != nil {
+		t.Fatal(err)
+	}
+	// Make k0 clearly newer than k1 without relying on Put timing.
+	old := filepath.Join(dir, k1+entrySuffix)
+	info, err := os.Stat(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(old, info.ModTime().Add(-time.Hour), info.ModTime().Add(-time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, Options{MaxBytes: int64(len(payload))*2 + 10})
+	if err := s2.Put(keyN(2), one); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(k1); ok {
+		t.Error("older entry (by mtime) survived; LRU order not rebuilt from mtimes")
+	}
+	if _, ok := s2.Get(k0); !ok {
+		t.Error("newer entry (by mtime) evicted first")
+	}
+}
+
+func TestInvalidKeysRejected(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	for _, bad := range []string{"", "UPPER", "with/slash", "..", "z-not-hex", strings.Repeat("a", 200)} {
+		if err := s.Put(bad, testReport(1)); err == nil {
+			t.Errorf("Put accepted invalid key %q", bad)
+		}
+		if _, ok := s.Get(bad); ok {
+			t.Errorf("Get hit invalid key %q", bad)
+		}
+	}
+}
+
+func TestTempFilesCleanedAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	tmp := filepath.Join(dir, tmpPrefix+"deadbeef")
+	if err := os.WriteFile(tmp, []byte("partial write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mustOpen(t, dir, Options{})
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Errorf("leftover temp file survived Open: %v", err)
+	}
+}
+
+func TestPutOverwriteRefreshesEntry(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	key := keyN(0)
+	if err := s.Put(key, testReport(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key, testReport(2)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || got.Cycles != 2 {
+		t.Errorf("overwrite not visible: ok=%v rep=%+v", ok, got)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d after overwrite, want 1", s.Len())
+	}
+}

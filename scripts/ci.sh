@@ -1,11 +1,12 @@
 #!/bin/sh
 # ci.sh — the full tier-1 verification pipeline in one command:
 #
-#   build -> vet -> icrvet -> test -> race
+#   build -> vet -> icrvet -> test -> race -> smoke
 #
 # Each stage is announced and the script stops at the first failure, so CI
-# logs read top-to-bottom. Everything is standard-library Go: no network,
-# no external tools beyond the go toolchain.
+# logs read top-to-bottom. Everything is standard-library Go: no network
+# beyond loopback (the smoke stage drives icrd over 127.0.0.1), no
+# external tools beyond the go toolchain and curl.
 set -eu
 
 GO="${GO:-go}"
@@ -28,6 +29,80 @@ stage test
 $GO test ./...
 
 stage race
-$GO test -race ./internal/runner ./internal/experiments ./internal/sim ./cmd/...
+$GO test -race ./internal/runner ./internal/experiments ./internal/sim \
+    ./internal/store ./internal/serve ./internal/cliflag ./cmd/...
+
+# End-to-end smoke test of the serving layer: build icrd, start it on a
+# random port with a persistent store, run the same tiny experiment twice
+# (the second must be served from cache, not re-simulated), drain it with
+# SIGTERM, then restart on the same store and confirm the result survives
+# on disk. Exercises the whole stack the unit tests cover piecewise.
+stage smoke
+SMOKE_DIR=$(mktemp -d)
+SMOKE_PID=
+smoke_cleanup() {
+    [ -n "$SMOKE_PID" ] && kill "$SMOKE_PID" 2>/dev/null
+    rm -rf "$SMOKE_DIR"
+}
+trap smoke_cleanup EXIT INT TERM
+
+fail() {
+    echo "smoke: $*" >&2
+    echo "--- icrd stderr ---" >&2
+    cat "$SMOKE_DIR/icrd.err" >&2 2>/dev/null
+    exit 1
+}
+
+# Start icrd and scrape "listening on <addr>" from stdout.
+smoke_start() {
+    : >"$SMOKE_DIR/icrd.out"
+    "$SMOKE_DIR/icrd" -addr localhost:0 -store "$SMOKE_DIR/results" \
+        -parallel 2 >"$SMOKE_DIR/icrd.out" 2>"$SMOKE_DIR/icrd.err" &
+    SMOKE_PID=$!
+    i=0
+    while ! grep -q '^listening on ' "$SMOKE_DIR/icrd.out" 2>/dev/null; do
+        i=$((i + 1))
+        [ "$i" -gt 100 ] && fail "server did not start"
+        kill -0 "$SMOKE_PID" 2>/dev/null || fail "server exited early"
+        sleep 0.1
+    done
+    SMOKE_ADDR=$(sed -n 's/^listening on //p' "$SMOKE_DIR/icrd.out")
+}
+
+# POST the run and echo the "source" field of the response.
+smoke_post() {
+    resp=$(curl -sS -X POST -d \
+        '{"benchmark":"vpr","scheme":"ICR-P-PS(S)","instructions":20000,"seed":1}' \
+        "http://$SMOKE_ADDR/v1/runs") || fail "POST /v1/runs failed"
+    src=$(printf '%s' "$resp" | sed -n 's/.*"source":"\([a-z]*\)".*/\1/p')
+    [ -n "$src" ] || fail "no source in response: $resp"
+    echo "$src"
+}
+
+# SIGTERM must drain cleanly: exit status 0.
+smoke_stop() {
+    kill -TERM "$SMOKE_PID"
+    if ! wait "$SMOKE_PID"; then
+        SMOKE_PID=
+        fail "SIGTERM drain exited non-zero"
+    fi
+    SMOKE_PID=
+}
+
+$GO build -o "$SMOKE_DIR/icrd" ./cmd/icrd
+smoke_start
+src=$(smoke_post)
+[ "$src" = "simulated" ] || fail "first run source = $src, want simulated"
+src=$(smoke_post)
+[ "$src" = "simulated" ] && fail "second run was re-simulated, not cached"
+smoke_stop
+
+# Restart on the same store: the result must be served from disk.
+smoke_start
+src=$(smoke_post)
+[ "$src" = "disk" ] || fail "post-restart source = $src, want disk"
+smoke_stop
+trap - EXIT INT TERM
+smoke_cleanup
 
 stage ok
