@@ -47,17 +47,22 @@ func run(ctx context.Context, args []string) error {
 	sim.Register(fs)
 	sim.RegisterCache(fs)
 	var (
-		fig      = fs.String("fig", "all", `experiment id ("fig1".."fig17", "faultmodels", "sensitivity", "victims") or "all"`)
-		csv      = fs.Bool("csv", false, "emit CSV instead of text tables")
-		plot     = fs.Bool("plot", false, "render ASCII bar charts instead of tables")
-		seeds    = fs.String("seeds", "", "comma-separated seeds to average over (overrides -seed)")
-		out      = fs.String("out", "", "directory to also write per-experiment CSV files into")
-		svg      = fs.String("svg", "", "directory to also write per-experiment SVG figures into")
-		list     = fs.Bool("list", false, "list experiment ids and exit")
-		progress = fs.Bool("progress", false, "print a live progress line to stderr")
+		fig         = fs.String("fig", "all", `experiment id ("fig1".."fig17", "faultmodels", "sensitivity", "victims") or "all"`)
+		csv         = fs.Bool("csv", false, "emit CSV instead of text tables")
+		plot        = fs.Bool("plot", false, "render ASCII bar charts instead of tables")
+		seeds       = fs.String("seeds", "", "comma-separated seeds to average over (overrides -seed)")
+		out         = fs.String("out", "", "directory to also write per-experiment CSV files into")
+		svg         = fs.String("svg", "", "directory to also write per-experiment SVG figures into")
+		list        = fs.Bool("list", false, "list experiment ids and exit")
+		progress    = fs.Bool("progress", false, "print a live progress line to stderr")
+		showVersion = cliflag.RegisterVersion(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		fmt.Println(cliflag.Version("icrbench"))
+		return nil
 	}
 	if *list {
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))

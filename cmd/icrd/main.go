@@ -6,10 +6,21 @@
 //
 //	icrd -addr localhost:8080 -store /var/cache/icr -parallel 8
 //
+// With -cluster, icrd becomes the coordinator of a simulation fleet:
+// remote icrworker processes register at /cluster/v1/, pull leased tasks,
+// and upload results. Cache misses are then farmed out instead of
+// simulated in-process, while caching, ordering, and output bytes stay
+// identical to single-node mode:
+//
+//	icrd -addr :8080 -cluster -store /var/cache/icr
+//	icrworker -coordinator http://host:8080   # on each fleet machine
+//
 // Overload is bounded: at most -queue requests are admitted concurrently
-// and the rest get 429 immediately. SIGTERM/SIGINT drains gracefully:
-// executing simulations finish and persist, queued ones are rejected, and
-// the process exits 0 once in-flight responses are written.
+// and the rest get 429 immediately. SIGTERM/SIGINT drains gracefully —
+// fleet-wide in cluster mode: leasing stops, workers finish and upload
+// in-flight tasks — executing simulations finish and persist, queued ones
+// are rejected, and the process exits 0 once in-flight responses are
+// written.
 //
 // Observability: GET /debug/vars exposes cache-tier hit counters, queue
 // state, and store stats; GET /debug/pprof serves the standard profilers.
@@ -28,6 +39,8 @@ import (
 	"time"
 
 	"repro/internal/cliflag"
+	"repro/internal/cluster"
+	"repro/internal/runner"
 	"repro/internal/serve"
 )
 
@@ -44,16 +57,30 @@ func run(args []string) error {
 	sim.Register(fs)
 	sim.RegisterCache(fs)
 	var (
-		addr       = fs.String("addr", "localhost:8080", "listen address (port 0 picks a free port, printed on stdout)")
-		queue      = fs.Int("queue", 0, "max concurrently admitted requests before 429 (0 = 4x -parallel)")
-		reqTimeout = fs.Duration("request-timeout", 0, "per-request deadline cap (0 = none)")
-		drainWait  = fs.Duration("drain-timeout", time.Minute, "max time to wait for in-flight requests on shutdown")
+		addr        = fs.String("addr", "localhost:8080", "listen address (port 0 picks a free port, printed on stdout)")
+		queue       = fs.Int("queue", 0, "max concurrently admitted requests before 429 (0 = 4x -parallel)")
+		reqTimeout  = fs.Duration("request-timeout", 0, "per-request deadline cap (0 = none)")
+		drainWait   = fs.Duration("drain-timeout", time.Minute, "max time to wait for in-flight requests on shutdown")
+		clusterMode = fs.Bool("cluster", false, "coordinate a fleet of icrworker processes instead of simulating in-process")
+		lease       = fs.Duration("lease", cluster.DefaultLeaseTTL, "cluster task lease duration before reassignment (with -cluster)")
+		showVersion = cliflag.RegisterVersion(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *showVersion {
+		fmt.Println(cliflag.Version("icrd"))
+		return nil
+	}
 
-	eng, st, err := sim.NewRunner(nil)
+	var coord *cluster.Coordinator
+	var exec runner.Executor
+	if *clusterMode {
+		coord = cluster.New(cluster.Options{LeaseTTL: *lease})
+		defer coord.Close()
+		exec = coord
+	}
+	eng, st, err := sim.NewRunnerExecutor(nil, exec)
 	if err != nil {
 		return err
 	}
@@ -62,6 +89,7 @@ func run(args []string) error {
 		Store:          st,
 		QueueDepth:     *queue,
 		RequestTimeout: *reqTimeout,
+		Cluster:        coord,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -73,6 +101,9 @@ func run(args []string) error {
 	fmt.Printf("listening on %s\n", ln.Addr())
 	if st != nil {
 		fmt.Fprintf(os.Stderr, "icrd: persistent store at %s (%d results warm)\n", sim.StoreDir, st.Len())
+	}
+	if coord != nil {
+		fmt.Fprintf(os.Stderr, "icrd: cluster mode on (lease %s); workers register at /cluster/v1/\n", coord.LeaseTTL())
 	}
 
 	httpSrv := &http.Server{Handler: srv.Handler()}

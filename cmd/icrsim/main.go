@@ -55,9 +55,14 @@ func run(ctx context.Context, args []string) error {
 		faultSeed    = fs.Int64("fault-seed", 7, "injection RNG seed")
 		csv          = fs.Bool("csv", false, "emit a CSV row instead of the text report")
 		all          = fs.Bool("all", false, "run every scheme on the benchmark and print a comparison table")
+		showVersion  = cliflag.RegisterVersion(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		fmt.Println(cliflag.Version("icrsim"))
+		return nil
 	}
 
 	if *all {

@@ -1,0 +1,107 @@
+// Command icrworker is one machine of an ICR simulation fleet: it
+// registers with an icrd coordinator (-cluster), pulls leased simulation
+// tasks over HTTP/JSON, executes them with the ordinary local engine, and
+// uploads the resulting reports.
+//
+//	icrworker -coordinator http://icrd-host:8080 -parallel 8
+//
+// Tasks are content-addressed, so a worker may share a -store directory
+// with other local processes and serve repeated sweep points from disk
+// instead of re-simulating. Leases are renewed while a task runs; if the
+// coordinator reassigns one (this worker looked dead), the execution is
+// cancelled and the result dropped — the other worker's upload wins.
+//
+// The first SIGTERM/SIGINT drains: no new leases, in-flight tasks finish
+// and upload, then the process exits 0. A second signal aborts in-flight
+// work immediately.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/cliflag"
+	"repro/internal/cluster"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "icrworker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("icrworker", flag.ContinueOnError)
+	var sim cliflag.Sim
+	fs.IntVar(&sim.Parallel, "parallel", runtime.NumCPU(),
+		"concurrent leased tasks (also advertised to the coordinator as capacity)")
+	fs.DurationVar(&sim.Timeout, "timeout", 0,
+		"per-simulation timeout; an expiry is reported transient so another worker may retry (0 = none)")
+	sim.RegisterCache(fs)
+	var (
+		coordinator = fs.String("coordinator", "http://localhost:8080", "icrd coordinator base URL")
+		id          = fs.String("id", "", "worker id in leases and coordinator stats (default host-pid)")
+		poll        = fs.Duration("poll", 5*time.Second, "lease long-poll duration when the queue is empty")
+		showVersion = cliflag.RegisterVersion(fs)
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *showVersion {
+		fmt.Println(cliflag.Version("icrworker"))
+		return nil
+	}
+	if *id == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		*id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	eng, st, err := sim.NewRunner(nil)
+	if err != nil {
+		return err
+	}
+	if st != nil {
+		fmt.Fprintf(os.Stderr, "icrworker: persistent store at %s (%d results warm)\n", sim.StoreDir, st.Len())
+	}
+	w, err := cluster.NewWorker(cluster.WorkerOptions{
+		BaseURL:  *coordinator,
+		ID:       *id,
+		Runner:   eng,
+		Slots:    sim.Parallel,
+		PollWait: *poll,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "icrworker: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	// First signal: drain (finish and upload in-flight tasks, then exit 0).
+	// Second signal: hard stop (cancel executions, upload nothing).
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "icrworker: draining (in-flight tasks will finish and upload)")
+		w.Drain()
+		<-sigs
+		fmt.Fprintln(os.Stderr, "icrworker: aborting")
+		cancel()
+	}()
+
+	return w.Run(ctx)
+}

@@ -68,6 +68,15 @@ func (s *Sim) RegisterCache(fs *flag.FlagSet) {
 // prog may be nil; the runner then allocates its own counters,
 // reachable via Runner.Progress.
 func (s *Sim) NewRunner(prog *metrics.Progress) (*runner.Runner, *store.Store, error) {
+	return s.NewRunnerExecutor(prog, nil)
+}
+
+// NewRunnerExecutor is NewRunner with an execution backend: exec, when
+// non-nil, replaces in-process simulation on every cache miss (icrd's
+// cluster coordinator farming runs out to remote workers). The cache
+// stack, worker pool, and ordering guarantees are identical either way —
+// results stay byte-for-byte those of local execution.
+func (s *Sim) NewRunnerExecutor(prog *metrics.Progress, exec runner.Executor) (*runner.Runner, *store.Store, error) {
 	if prog == nil {
 		prog = metrics.NewProgress()
 	}
@@ -96,6 +105,7 @@ func (s *Sim) NewRunner(prog *metrics.Progress) (*runner.Runner, *store.Store, e
 		Cache:     cache,
 		Timeout:   s.Timeout,
 		Progress:  prog,
+		Executor:  exec,
 	})
 	return eng, st, nil
 }

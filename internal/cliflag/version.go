@@ -1,0 +1,74 @@
+package cliflag
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// RegisterVersion installs the -version flag shared by every ICR command.
+// After flag parsing, callers do:
+//
+//	if *showVersion {
+//		fmt.Println(cliflag.Version(name))
+//		return nil
+//	}
+func RegisterVersion(fs *flag.FlagSet) *bool {
+	return fs.Bool("version", false, "print version information and exit")
+}
+
+// Version renders the one-line -version output for the named command from
+// the build metadata the Go toolchain embeds: module version when built
+// via `go install mod@version`, VCS revision and time when built from a
+// checkout, and always the toolchain and platform.
+func Version(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s %s %s/%s", name, moduleVersion(), runtime.Version(), runtime.GOOS, runtime.GOARCH)
+	if rev, t, dirty := vcsStamp(); rev != "" {
+		fmt.Fprintf(&b, " (%s", rev)
+		if t != "" {
+			fmt.Fprintf(&b, " %s", t)
+		}
+		if dirty {
+			b.WriteString(" dirty")
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+// moduleVersion returns the main module's version, or "devel" when built
+// from a working tree.
+func moduleVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok || bi.Main.Version == "" || bi.Main.Version == "(devel)" {
+		return "devel"
+	}
+	return bi.Main.Version
+}
+
+// vcsStamp extracts the embedded VCS revision (truncated), commit time,
+// and dirty bit; empty strings when the build carries no VCS metadata
+// (e.g. `go build` outside a repository, or tests).
+func vcsStamp() (rev, when string, dirty bool) {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "", "", false
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+		case "vcs.time":
+			when = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	return rev, when, dirty
+}

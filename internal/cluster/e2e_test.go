@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/metrics"
+	"repro/internal/runner"
+)
+
+// e2eSim is a deterministic stand-in for the simulator, slow enough
+// (blockable via gate) that a worker killed mid-sweep is holding leases.
+func e2eSim(gate <-chan struct{}) runner.SimulateFunc {
+	return func(ctx context.Context, m config.Machine, r config.Run) (*metrics.Report, error) {
+		if gate != nil {
+			select {
+			case <-gate:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return stubReport(r), nil
+	}
+}
+
+// startWorker builds a Worker over a stub-sim runner and runs it.
+func startWorker(t *testing.T, baseURL, id string, slots int, sim runner.SimulateFunc) (*Worker, context.CancelFunc, *sync.WaitGroup) {
+	t.Helper()
+	eng := runner.New(runner.Options{Workers: slots, Simulate: sim})
+	w, err := NewWorker(WorkerOptions{
+		BaseURL:  baseURL,
+		ID:       id,
+		Runner:   eng,
+		Slots:    slots,
+		PollWait: 100 * time.Millisecond,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := w.Run(ctx); err != nil && ctx.Err() == nil {
+			t.Errorf("worker %s: %v", id, err)
+		}
+	}()
+	return w, cancel, &wg
+}
+
+// sweepRuns is a small figure-like sweep: one benchmark, several seeds.
+func sweepRuns(n int) (config.Machine, []config.Run) {
+	m := config.Default()
+	runs := make([]config.Run, n)
+	for i := range runs {
+		_, r := runInputs(int64(i + 1))
+		runs[i] = r
+	}
+	return m, runs
+}
+
+// reportCSV renders a batch the way figure drivers do — fixed column
+// order, fixed float formatting — so "byte-identical" is testable at this
+// level without dragging real simulations in.
+func reportCSV(reps []*metrics.Report) string {
+	var b strings.Builder
+	b.WriteString("benchmark,scheme,instructions,cycles\n")
+	for _, r := range reps {
+		fmt.Fprintf(&b, "%s,%s,%d,%d\n", r.Benchmark, r.Scheme, r.Instructions, r.Cycles)
+	}
+	return b.String()
+}
+
+// TestE2EFleetSweepSurvivesWorkerKill is the acceptance scenario: a sweep
+// dispatched through a coordinator with two workers, one worker killed
+// hard mid-sweep, must still complete — expired leases are reassigned to
+// the survivor — and produce results byte-identical to a single-node run.
+func TestE2EFleetSweepSurvivesWorkerKill(t *testing.T) {
+	coord := New(Options{
+		LeaseTTL:  200 * time.Millisecond,
+		RetryBase: 5 * time.Millisecond,
+		RetryMax:  50 * time.Millisecond,
+	})
+	defer coord.Close()
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	// Worker "victim" executes nothing: its simulations block on the gate
+	// until the worker is killed, so the leases it holds must expire and
+	// move to "survivor".
+	gate := make(chan struct{})
+	_, killVictim, victimWG := startWorker(t, srv.URL, "victim", 2, e2eSim(gate))
+	_, stopSurvivor, survivorWG := startWorker(t, srv.URL, "survivor", 2, e2eSim(nil))
+	defer survivorWG.Wait() // runs after stopSurvivor (LIFO): no goroutines outlive the test
+	defer stopSurvivor()
+
+	// The front door: a normal runner whose executor is the coordinator —
+	// exactly how icrd -cluster wires it.
+	front := runner.New(runner.Options{Workers: 4, Executor: coord})
+	m, runs := sweepRuns(10)
+
+	// Kill the victim once it holds leases (its runner started sims that
+	// are parked on the gate).
+	go func() {
+		deadline := time.After(10 * time.Second)
+		for {
+			stats := coord.StatsSnapshot()
+			for _, w := range stats.Workers {
+				if w.Worker == "victim" && w.Leased > 0 {
+					killVictim()
+					return
+				}
+			}
+			select {
+			case <-deadline:
+				killVictim() // the test will fail on results; don't also hang
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	got, err := front.RunBatch(ctx, m, runs)
+	if err != nil {
+		t.Fatalf("fleet sweep: %v", err)
+	}
+	victimWG.Wait()
+
+	// Single-node reference: same stub, plain local runner.
+	local := runner.New(runner.Options{Workers: 4, Simulate: e2eSim(nil)})
+	want, err := local.RunBatch(context.Background(), m, runs)
+	if err != nil {
+		t.Fatalf("local sweep: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("fleet results differ from single-node:\n got %+v\nwant %+v", got, want)
+	}
+	if gotCSV, wantCSV := reportCSV(got), reportCSV(want); gotCSV != wantCSV {
+		t.Fatalf("fleet CSV differs from single-node:\n got:\n%s\nwant:\n%s", gotCSV, wantCSV)
+	}
+
+	stats := coord.StatsSnapshot()
+	if stats.Reassigned == 0 {
+		t.Error("Reassigned = 0: the victim's leases were never reclaimed, so the kill was not exercised")
+	}
+	if snap := front.Progress().Snapshot(); snap.Remote == 0 {
+		t.Errorf("front runner Remote = 0, want > 0 (results must have come from the fleet)")
+	}
+}
+
+// TestE2EWorkerDrainFinishesInFlight: Drain on a worker lets in-flight
+// tasks finish and upload (the submitter gets its result), while the
+// worker stops pulling new leases and Run returns nil.
+func TestE2EWorkerDrainFinishesInFlight(t *testing.T) {
+	coord := New(Options{LeaseTTL: 500 * time.Millisecond})
+	defer coord.Close()
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	gate := make(chan struct{})
+	w, stop, wg := startWorker(t, srv.URL, "w1", 1, e2eSim(gate))
+	defer stop()
+
+	front := runner.New(runner.Options{Workers: 2, Executor: coord})
+	m, runs := sweepRuns(1)
+	pending := front.Submit(context.Background(), m, runs[0])
+
+	// Wait until the worker actually holds the lease, then drain it while
+	// the simulation is still parked on the gate.
+	for i := 0; ; i++ {
+		stats := coord.StatsSnapshot()
+		if len(stats.Workers) > 0 && stats.Workers[0].Leased > 0 {
+			break
+		}
+		if i > 2000 {
+			t.Fatal("worker never leased the task")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	w.Drain()
+	close(gate) // let the in-flight simulation finish
+
+	rep, err := pending.Wait()
+	if err != nil {
+		t.Fatalf("in-flight task across worker drain: %v", err)
+	}
+	if want := stubReport(runs[0]); *rep != *want {
+		t.Fatalf("report = %+v, want %+v", rep, want)
+	}
+	wg.Wait() // Run must return (nil error checked inside startWorker)
+}

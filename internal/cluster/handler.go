@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/runner"
+)
+
+// maxBodyBytes bounds request bodies. Reports are small; 4 MiB leaves
+// generous headroom for future report fields.
+const maxBodyBytes = 4 << 20
+
+// maxLeaseWait caps a lease long poll regardless of the client's wait_ms,
+// so a dead client cannot pin a handler forever.
+const maxLeaseWait = 30 * time.Second
+
+// Handler returns the coordinator's HTTP surface, routed at the absolute
+// /cluster/v1/... paths so it can be mounted directly on icrd's mux.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+PathRegister, c.handleRegister)
+	mux.HandleFunc("POST "+PathHeartbeat, c.handleHeartbeat)
+	mux.HandleFunc("POST "+PathLease, c.handleLease)
+	mux.HandleFunc("POST "+PathRenew, c.handleRenew)
+	mux.HandleFunc("POST "+PathComplete, c.handleComplete)
+	return mux
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if !decodeReq(w, r, &req) || !requireWorker(w, req.Worker) {
+		return
+	}
+	c.Register(req.Worker, req.Slots)
+	writeJSON(w, http.StatusOK, RegisterResponse{
+		LeaseMS:     c.opts.LeaseTTL.Milliseconds(),
+		HeartbeatMS: (c.opts.WorkerTTL / 3).Milliseconds(),
+	})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !decodeReq(w, r, &req) || !requireWorker(w, req.Worker) {
+		return
+	}
+	writeJSON(w, http.StatusOK, HeartbeatResponse{Draining: c.Heartbeat(req.Worker)})
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !decodeReq(w, r, &req) || !requireWorker(w, req.Worker) {
+		return
+	}
+	wait := time.Duration(req.WaitMS) * time.Millisecond
+	if wait < 0 {
+		wait = 0
+	}
+	if wait > maxLeaseWait {
+		wait = maxLeaseWait
+	}
+	task, ok, err := c.Lease(r.Context(), req.Worker, wait)
+	switch {
+	case errors.Is(err, runner.ErrDraining):
+		// Tell the worker to back off; drain means no more work here.
+		w.Header().Set("Retry-After", "5")
+		writeJSONError(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		// The client went away mid-poll; the response is a formality.
+		writeJSONError(w, http.StatusServiceUnavailable, err)
+	case !ok:
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		writeJSON(w, http.StatusOK, LeaseResponse{Task: task})
+	}
+}
+
+func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
+	var req RenewRequest
+	if !decodeReq(w, r, &req) || !requireWorker(w, req.Worker) {
+		return
+	}
+	ttl, ok := c.Renew(req.Worker, req.Task)
+	if !ok {
+		writeJSONError(w, http.StatusGone,
+			fmt.Errorf("cluster: lease on task %s lost", req.Task))
+		return
+	}
+	writeJSON(w, http.StatusOK, RenewResponse{LeaseMS: ttl.Milliseconds()})
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if !decodeReq(w, r, &req) || !requireWorker(w, req.Worker) {
+		return
+	}
+	if err := c.Complete(req); err != nil {
+		writeJSONError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CompleteResponse{})
+}
+
+// decodeReq parses a bounded JSON body, writing a 400 on failure.
+func decodeReq(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeJSONError(w, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// requireWorker writes a 400 when the request names no worker.
+func requireWorker(w http.ResponseWriter, worker string) bool {
+	if worker == "" {
+		writeJSONError(w, http.StatusBadRequest, errors.New("worker is required"))
+		return false
+	}
+	return true
+}
+
+func writeJSONError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		// Every payload type here marshals; reaching this is a bug.
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	//icrvet:ignore droppederr a failed write means the worker is gone; the lease layer recovers
+	w.Write(buf)
+}

@@ -1,0 +1,51 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// postBody POSTs raw JSON at a handler path and returns the response.
+func postBody(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestHandlerStatusCodes pins the protocol's HTTP surface: 204 on an empty
+// queue, 503 + Retry-After while draining, 410 for a lost lease, and 400
+// for malformed or unknown-field bodies.
+func TestHandlerStatusCodes(t *testing.T) {
+	c := New(Options{})
+	defer c.Close()
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	if resp := postBody(t, srv.URL+PathLease, `{"worker":"w1","wait_ms":0}`); resp.StatusCode != http.StatusNoContent {
+		t.Errorf("lease on empty queue = %d, want 204", resp.StatusCode)
+	}
+	if resp := postBody(t, srv.URL+PathRenew, `{"worker":"w1","task":"deadbeef"}`); resp.StatusCode != http.StatusGone {
+		t.Errorf("renew of unknown lease = %d, want 410", resp.StatusCode)
+	}
+	if resp := postBody(t, srv.URL+PathLease, `{"worker":"w1","bogus":1}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown-field body = %d, want 400", resp.StatusCode)
+	}
+	if resp := postBody(t, srv.URL+PathLease, `{`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body = %d, want 400", resp.StatusCode)
+	}
+
+	c.Drain()
+	resp := postBody(t, srv.URL+PathLease, `{"worker":"w1","wait_ms":0}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("lease while draining = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("draining 503 missing Retry-After header")
+	}
+}

@@ -1,0 +1,239 @@
+// Package cluster turns icrd into the coordinator of a simulation fleet:
+// remote icrworker processes register over HTTP/JSON, pull leased tasks,
+// execute them with the ordinary local engine, and upload the resulting
+// metrics.Report. The coordinator plugs into internal/runner behind the
+// Executor seam, so everything above it — experiment drivers, figure CSVs,
+// the memo/disk cache tiers — behaves exactly as in single-node mode.
+//
+// Correctness model:
+//
+//   - Content addressing: a task's ID is runner.KeyFor's SHA-256 of the
+//     full (Machine, Run) input. Workers recompute the key from the
+//     decoded task and refuse on mismatch, so a wire-format field that
+//     stops round-tripping turns into a loud error, never a silently
+//     different simulation.
+//   - At-least-once + idempotent: a lease that expires (worker crash,
+//     partition, slow machine) is reassigned, so one task may execute on
+//     several workers. Simulation is a pure function of its inputs, so
+//     every execution yields the identical report; the first upload wins
+//     and later ones are acknowledged and dropped. Results flow through
+//     the runner's content-addressed cache tiers, so the disk store
+//     persists a fleet result exactly once.
+//   - Determinism: the coordinator returns reports to the runner, which
+//     preserves submission-order collection; figure output is
+//     byte-identical to a single-node run no matter which worker ran
+//     which task or how many leases expired along the way.
+//   - Backoff: transiently failed tasks (worker timeout, lease expiry)
+//     are re-queued with exponential backoff plus jitter, capped at
+//     MaxAttempts before the error is surfaced to the submitter.
+//   - Drain: Coordinator.Drain stops granting leases and fails queued
+//     tasks with runner.ErrDraining; leased tasks may still renew and
+//     upload, so SIGTERM lets the fleet finish in-flight work.
+package cluster
+
+import (
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/metrics"
+	"repro/internal/runner"
+)
+
+// Wire paths (mounted on icrd's mux; see Coordinator.Handler).
+const (
+	PathRegister  = "/cluster/v1/register"
+	PathHeartbeat = "/cluster/v1/heartbeat"
+	PathLease     = "/cluster/v1/lease"
+	PathRenew     = "/cluster/v1/renew"
+	PathComplete  = "/cluster/v1/complete"
+)
+
+// RegisterRequest announces a worker to the coordinator. Workers
+// re-register freely (process restart, coordinator restart): registration
+// is an upsert.
+type RegisterRequest struct {
+	Worker string `json:"worker"`
+	// Slots is the worker's concurrent task capacity (informational,
+	// surfaced in the coordinator's stats).
+	Slots int `json:"slots,omitempty"`
+}
+
+// RegisterResponse tells the worker the coordinator's timing contract.
+type RegisterResponse struct {
+	// LeaseMS is the lease duration; workers must renew well within it.
+	LeaseMS int64 `json:"lease_ms"`
+	// HeartbeatMS is how often the worker should heartbeat.
+	HeartbeatMS int64 `json:"heartbeat_ms"`
+}
+
+// HeartbeatRequest keeps a worker's registration alive between leases.
+type HeartbeatRequest struct {
+	Worker string `json:"worker"`
+}
+
+// HeartbeatResponse carries coordinator state back on the heartbeat.
+type HeartbeatResponse struct {
+	// Draining is true once the coordinator stops granting leases; a
+	// worker may use it to finish up and exit.
+	Draining bool `json:"draining"`
+}
+
+// LeaseRequest asks for one task. The coordinator holds the request open
+// for up to WaitMS when the queue is empty (long poll), so idle workers
+// learn about new work without a tight poll loop.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+	WaitMS int64  `json:"wait_ms,omitempty"`
+}
+
+// LeaseResponse carries the granted task. An empty queue is a 204, not a
+// LeaseResponse.
+type LeaseResponse struct {
+	Task Task `json:"task"`
+}
+
+// Task is one leased unit of work.
+type Task struct {
+	// ID is the content address: runner.KeyFor(Machine, Run) in hex.
+	ID string `json:"id"`
+	// Attempt is the 1-based dispatch attempt (diagnostics; retries and
+	// lease reassignments increment it).
+	Attempt int `json:"attempt"`
+	// LeaseMS is the lease duration granted with this task.
+	LeaseMS int64 `json:"lease_ms"`
+	// Spec is the serialized simulation input.
+	Spec Spec `json:"spec"`
+}
+
+// RenewRequest extends a lease mid-execution.
+type RenewRequest struct {
+	Worker string `json:"worker"`
+	Task   string `json:"task"`
+}
+
+// RenewResponse confirms the extension. A lost lease (expired and
+// reassigned, or task settled) is a 410, telling the worker to abandon
+// the execution.
+type RenewResponse struct {
+	LeaseMS int64 `json:"lease_ms"`
+}
+
+// CompleteRequest uploads a task result: exactly one of Report or Error
+// is set.
+type CompleteRequest struct {
+	Worker string `json:"worker"`
+	Task   string `json:"task"`
+	// Key is the worker's recomputed content address of the decoded spec.
+	// The coordinator rejects the result on mismatch — the wire-drift
+	// tripwire.
+	Key    string          `json:"key,omitempty"`
+	Report *metrics.Report `json:"report,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	// Transient marks an error worth retrying on another lease (worker
+	// overload, local timeout) as opposed to a deterministic simulation
+	// failure that would recur anywhere.
+	Transient bool `json:"transient,omitempty"`
+}
+
+// CompleteResponse acknowledges the upload (idempotent: completing an
+// already-settled or unknown task also acknowledges).
+type CompleteResponse struct{}
+
+// Spec serializes one (config.Machine, config.Run) pair. The wire structs
+// embed the real configuration structs so every serializable field —
+// including ones added after this package was written — rides along
+// automatically; only the unserializable members (function hooks, the
+// HintPolicy interface) are shadowed out and, where meaningful, re-encoded
+// explicitly. The worker-side key recomputation (see Task.ID) guards the
+// remaining drift surface at runtime.
+type Spec struct {
+	Machine wireMachine `json:"machine"`
+	Run     wireRun     `json:"run"`
+}
+
+// wireCPU is cpu.Config with the function hooks shadowed out. The shadow
+// fields reuse the embedded fields' names so encoding/json resolves the
+// conflict to the (serializable) outer field at every depth.
+type wireCPU struct {
+	cpu.Config
+	EachCycle *struct{} `json:"EachCycle,omitempty"`
+	Halt      *struct{} `json:"Halt,omitempty"`
+}
+
+// wireMachine is config.Machine with the CPU replaced by its wire form.
+type wireMachine struct {
+	config.Machine
+	CPU wireCPU `json:"CPU"`
+}
+
+// wireRun is config.Run with the HintPolicy interface replaced by a tagged
+// union of the known implementations.
+type wireRun struct {
+	config.Run
+	Hints *wireHints `json:"Hints,omitempty"`
+}
+
+// Hint-policy kinds on the wire.
+const (
+	hintsAll    = "all"
+	hintsRanges = "ranges"
+)
+
+// wireHints encodes the known core.HintPolicy implementations.
+type wireHints struct {
+	Kind string `json:"kind"`
+	// Ranges carries the *core.RangePolicy payload for Kind "ranges".
+	Ranges *core.RangePolicy `json:"ranges,omitempty"`
+}
+
+// EncodeSpec serializes a simulation input and returns its content
+// address. ok is false when the input cannot go on the wire — it carries a
+// function hook or an unknown HintPolicy — exactly the runs runner.KeyFor
+// refuses to fingerprint; such runs must execute locally.
+func EncodeSpec(m config.Machine, r config.Run) (Spec, runner.Key, bool) {
+	key, ok := runner.KeyFor(m, r)
+	if !ok {
+		return Spec{}, runner.Key{}, false
+	}
+	var hints *wireHints
+	switch pol := r.Hints.(type) {
+	case nil:
+	case core.ReplicateAll:
+		hints = &wireHints{Kind: hintsAll}
+	case *core.RangePolicy:
+		if pol != nil {
+			hints = &wireHints{Kind: hintsRanges, Ranges: pol}
+		}
+	default:
+		// Unreachable while KeyFor and this switch list the same
+		// implementations, but a new policy added to one and not the
+		// other must degrade to local execution, not a mis-encoded task.
+		return Spec{}, runner.Key{}, false
+	}
+	return Spec{
+		Machine: wireMachine{Machine: m, CPU: wireCPU{Config: m.CPU}},
+		Run:     wireRun{Run: r, Hints: hints},
+	}, key, true
+}
+
+// DecodeSpec reconstructs the simulation input from its wire form.
+func (s Spec) DecodeSpec() (config.Machine, config.Run, error) {
+	m := s.Machine.Machine
+	m.CPU = s.Machine.CPU.Config
+	r := s.Run.Run
+	r.Hints = nil
+	if h := s.Run.Hints; h != nil {
+		switch h.Kind {
+		case hintsAll:
+			r.Hints = core.ReplicateAll{}
+		case hintsRanges:
+			if h.Ranges == nil {
+				return config.Machine{}, config.Run{}, errProto("hints kind %q without payload", h.Kind)
+			}
+			r.Hints = h.Ranges
+		default:
+			return config.Machine{}, config.Run{}, errProto("unknown hints kind %q", h.Kind)
+		}
+	}
+	return m, r, nil
+}

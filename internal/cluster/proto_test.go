@@ -1,0 +1,201 @@
+package cluster
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/runner"
+)
+
+func baseInputs() (config.Machine, config.Run) {
+	return config.Default(), config.NewRun("vpr", core.BaseP())
+}
+
+// fakePolicy is a HintPolicy the wire format does not know about.
+type fakePolicy struct{}
+
+func (fakePolicy) Hint(uint64) core.Hint { return core.Hint{} }
+
+// TestSpecRoundTrip pushes representative inputs through the full wire
+// path — EncodeSpec, JSON marshal, JSON unmarshal, DecodeSpec — and
+// requires the decoded input to hash to the original content key and to
+// reconstruct the original values. This is the property the whole cluster
+// rests on: a spec that does not round-trip would simulate a different
+// configuration than the coordinator addressed.
+func TestSpecRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*config.Machine, *config.Run)
+	}{
+		{"default", func(*config.Machine, *config.Run) {}},
+		{"scheme", func(m *config.Machine, r *config.Run) {
+			r.Scheme = core.ICR(core.ECCProt, core.LookupParallel, core.ReplStores)
+		}},
+		{"replication", func(m *config.Machine, r *config.Run) {
+			r.Repl.DecayWindow = 4096
+			r.Repl.Distances = []int{32, 16, 8}
+			r.Repl.Replicas = 2
+			r.Repl.Victim = core.DeadFirst
+			r.Repl.LeaveReplicas = true
+		}},
+		{"budget-and-seed", func(m *config.Machine, r *config.Run) {
+			r.Instructions = 123456
+			r.Seed = 99
+		}},
+		{"write-through", func(m *config.Machine, r *config.Run) {
+			r.WriteThrough = true
+			r.WriteBufferEntries = 16
+		}},
+		{"fault-injection", func(m *config.Machine, r *config.Run) {
+			r.Fault = config.FaultConfig{Model: fault.Column, Prob: 1e-4, Seed: 42}
+		}},
+		{"machine-geometry", func(m *config.Machine, r *config.Run) {
+			m.DL1Size *= 2
+			m.DL1Assoc = 8
+			m.L2Latency = 9
+			m.CPU.IssueWidth = 2
+		}},
+		{"hints-replicate-all", func(m *config.Machine, r *config.Run) {
+			r.Hints = core.ReplicateAll{}
+		}},
+		{"hints-ranges", func(m *config.Machine, r *config.Run) {
+			r.Hints = core.NewRangePolicy(
+				core.AddrRange{Start: 0, End: 1 << 20, Hint: core.Hint{Replicate: true, Replicas: 2}},
+				core.AddrRange{Start: 1 << 20, End: 1 << 21},
+			)
+		}},
+		{"extensions", func(m *config.Machine, r *config.Run) {
+			r.DupCacheKB = 2
+			r.ScrubInterval = 10000
+			r.ScrubLines = 4
+			r.Prefetch = true
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, r := baseInputs()
+			tc.mut(&m, &r)
+			wantKey, ok := runner.KeyFor(m, r)
+			if !ok {
+				t.Fatal("KeyFor rejected wire-safe inputs")
+			}
+
+			spec, key, ok := EncodeSpec(m, r)
+			if !ok {
+				t.Fatal("EncodeSpec rejected wire-safe inputs")
+			}
+			if key != wantKey {
+				t.Fatalf("EncodeSpec key %s, KeyFor %s", key, wantKey)
+			}
+
+			buf, err := json.Marshal(spec)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			var decodedSpec Spec
+			if err := json.Unmarshal(buf, &decodedSpec); err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+			gotM, gotR, err := decodedSpec.DecodeSpec()
+			if err != nil {
+				t.Fatalf("DecodeSpec: %v", err)
+			}
+
+			gotKey, ok := runner.KeyFor(gotM, gotR)
+			if !ok {
+				t.Fatal("KeyFor rejected the decoded inputs")
+			}
+			if gotKey != wantKey {
+				t.Fatalf("decoded inputs hash to %s, want %s (wire drift)", gotKey, wantKey)
+			}
+			if !reflect.DeepEqual(gotM, m) {
+				t.Errorf("machine did not round-trip:\n got %+v\nwant %+v", gotM, m)
+			}
+			if !reflect.DeepEqual(gotR, r) {
+				t.Errorf("run did not round-trip:\n got %+v\nwant %+v", gotR, r)
+			}
+		})
+	}
+}
+
+// TestEncodeSpecRefusesOpaqueInputs: inputs KeyFor cannot fingerprint
+// (function hooks, unknown hint policies) must be refused, not mis-encoded
+// — the coordinator falls back to local execution for them.
+func TestEncodeSpecRefusesOpaqueInputs(t *testing.T) {
+	t.Run("cpu-hook", func(t *testing.T) {
+		m, r := baseInputs()
+		m.CPU.EachCycle = func(uint64) {}
+		if _, _, ok := EncodeSpec(m, r); ok {
+			t.Fatal("EncodeSpec accepted a machine with a function hook")
+		}
+	})
+	t.Run("unknown-hint-policy", func(t *testing.T) {
+		m, r := baseInputs()
+		r.Hints = fakePolicy{}
+		if _, _, ok := EncodeSpec(m, r); ok {
+			t.Fatal("EncodeSpec accepted an unknown HintPolicy implementation")
+		}
+	})
+}
+
+// TestDecodeSpecRejectsMalformedHints: a tampered or version-skewed hints
+// union must decode to an error, never to a silently different policy.
+func TestDecodeSpecRejectsMalformedHints(t *testing.T) {
+	m, r := baseInputs()
+	r.Hints = core.NewRangePolicy(core.AddrRange{Start: 0, End: 4096})
+	spec, _, ok := EncodeSpec(m, r)
+	if !ok {
+		t.Fatal("EncodeSpec failed")
+	}
+
+	bad := spec
+	bad.Run.Hints = &wireHints{Kind: "telepathy"}
+	if _, _, err := bad.DecodeSpec(); err == nil {
+		t.Error("unknown hints kind decoded without error")
+	}
+
+	bad = spec
+	bad.Run.Hints = &wireHints{Kind: hintsRanges} // payload missing
+	if _, _, err := bad.DecodeSpec(); err == nil {
+		t.Error("ranges kind without payload decoded without error")
+	}
+}
+
+// TestSpecWireShapeOmitsHooks pins the shadowing trick: the marshaled
+// spec must not contain the function-hook fields at all (they cannot be
+// marshaled) while still carrying the embedded config fields.
+func TestSpecWireShapeOmitsHooks(t *testing.T) {
+	m, r := baseInputs()
+	spec, _, ok := EncodeSpec(m, r)
+	if !ok {
+		t.Fatal("EncodeSpec failed")
+	}
+	buf, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(buf, &top); err != nil {
+		t.Fatal(err)
+	}
+	var machine map[string]json.RawMessage
+	if err := json.Unmarshal(top["machine"], &machine); err != nil {
+		t.Fatal(err)
+	}
+	var cpuFields map[string]json.RawMessage
+	if err := json.Unmarshal(machine["CPU"], &cpuFields); err != nil {
+		t.Fatal(err)
+	}
+	for _, hook := range []string{"EachCycle", "Halt"} {
+		if _, present := cpuFields[hook]; present {
+			t.Errorf("marshaled CPU config carries hook field %s", hook)
+		}
+	}
+	if _, present := cpuFields["IssueWidth"]; !present {
+		t.Error("marshaled CPU config lost its embedded data fields")
+	}
+}

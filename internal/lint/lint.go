@@ -114,10 +114,12 @@ func DefaultHotPaths() []string {
 // DefaultErrPaths is where droppederr applies: the CLIs (exit paths must
 // observe failures), the parallel runner (a swallowed error there turns
 // into a silently wrong figure), the persistent result store (a swallowed
-// I/O error turns into silent data loss), and the HTTP serving layer (a
-// swallowed error turns into a wrong response).
+// I/O error turns into silent data loss), the HTTP serving layer (a
+// swallowed error turns into a wrong response), and the cluster fleet (a
+// swallowed error there turns into a lost task or a silently incomplete
+// sweep).
 func DefaultErrPaths() []string {
-	return []string{"cmd", "internal/runner", "internal/store", "internal/serve"}
+	return []string{"cmd", "internal/runner", "internal/store", "internal/serve", "internal/cluster"}
 }
 
 // Analyze loads the module at or above dir and runs the selected passes,

@@ -28,6 +28,7 @@ type Progress struct {
 	diskHits     atomic.Uint64
 	cacheMisses  atomic.Uint64
 	evictions    atomic.Uint64
+	remote       atomic.Uint64
 	instructions atomic.Uint64
 	startNanos   atomic.Int64
 
@@ -93,6 +94,11 @@ func (p *Progress) AddCacheMiss(n uint64) { p.cacheMisses.Add(n) }
 // disk) to respect its capacity.
 func (p *Progress) AddEviction(n uint64) { p.evictions.Add(n) }
 
+// AddRemote records a simulation executed by a remote cluster worker
+// rather than in this process. Such runs are also counted by AddStarted
+// and AddCompleted; this counter tags how many of them went remote.
+func (p *Progress) AddRemote(n uint64) { p.remote.Add(n) }
+
 // ProgressSnapshot is a consistent-enough point-in-time view of the
 // counters (each field is individually atomic).
 type ProgressSnapshot struct {
@@ -104,6 +110,7 @@ type ProgressSnapshot struct {
 	DiskHits     uint64
 	CacheMisses  uint64
 	Evictions    uint64
+	Remote       uint64
 	Instructions uint64
 	Elapsed      time.Duration
 }
@@ -123,6 +130,7 @@ func (p *Progress) Snapshot() ProgressSnapshot {
 		DiskHits:     p.diskHits.Load(),
 		CacheMisses:  p.cacheMisses.Load(),
 		Evictions:    p.evictions.Load(),
+		Remote:       p.remote.Load(),
 		Instructions: p.instructions.Load(),
 		Elapsed:      elapsed,
 	}

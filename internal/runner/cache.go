@@ -20,8 +20,11 @@ const (
 	SourceMemory = "memory"
 	// SourceDisk marks a run served from the persistent disk store.
 	SourceDisk = "disk"
-	// SourceSimulated marks a run that actually executed.
+	// SourceSimulated marks a run that actually executed in this process.
 	SourceSimulated = "simulated"
+	// SourceRemote marks a run executed by a remote worker through a
+	// cluster executor (internal/cluster).
+	SourceRemote = "remote"
 )
 
 // Cache is a pluggable content-addressed report store consulted by the

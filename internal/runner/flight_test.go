@@ -1,0 +1,128 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/metrics"
+)
+
+// TestFlightGroupErrorFansOutToAllWaiters exercises the singleflight layer
+// directly: one owner, many waiters, the owner settles with an error. Every
+// waiter must observe that same error, and the key must leave the in-flight
+// map so the next claim elects a fresh owner (failures are not cached).
+func TestFlightGroupErrorFansOutToAllWaiters(t *testing.T) {
+	g := newFlightGroup()
+	m, run := baseInputs()
+	key := mustKey(t, m, run)
+
+	owner, isOwner := g.claim(key)
+	if !isOwner {
+		t.Fatal("first claim did not become owner")
+	}
+
+	const waiters = 16
+	errs := make(chan error, waiters)
+	var ready sync.WaitGroup
+	ready.Add(waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			e, isOwner := g.claim(key)
+			ready.Done()
+			if isOwner {
+				t.Error("waiter became owner while the key was in flight")
+				g.settle(key, e, nil, nil)
+				return
+			}
+			<-e.done
+			errs <- e.err
+		}()
+	}
+	ready.Wait()
+
+	wantErr := errors.New("owner failed")
+	g.settle(key, owner, nil, wantErr)
+
+	for i := 0; i < waiters; i++ {
+		if err := <-errs; !errors.Is(err, wantErr) {
+			t.Fatalf("waiter %d saw %v, want the owner's error", i, err)
+		}
+	}
+	if g.len() != 0 {
+		t.Fatalf("in-flight map holds %d entries after settle, want 0", g.len())
+	}
+	if _, isOwner := g.claim(key); !isOwner {
+		t.Fatal("claim after a failed flight did not re-elect an owner: the error was cached")
+	}
+}
+
+// TestFlightErrorThenRetryThroughRunner drives the contract end to end:
+// N concurrent submissions of one key while the first execution fails.
+// The runner's singleflight does NOT fan a failure out to coalesced
+// waiters — the error belongs to the owner's caller alone, and the entry
+// leaves the flight map unsettled-as-failure so a waiter re-claims
+// ownership and retries. With N concurrent submissions and a fail-once
+// simulation, exactly one caller sees the error, everyone else gets the
+// retry's report, and the simulation executes exactly twice (the retry is
+// itself singleflighted, never a stampede).
+func TestFlightErrorThenRetryThroughRunner(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	wantErr := errors.New("injected simulation failure")
+	fn := func(ctx context.Context, m config.Machine, r config.Run) (*metrics.Report, error) {
+		n := calls.Add(1)
+		if n == 1 {
+			<-release // hold the first execution in flight until all submissions are in
+			return nil, wantErr
+		}
+		return &metrics.Report{Benchmark: r.Benchmark, Scheme: r.Scheme.Name(), Cycles: 42}, nil
+	}
+	r := newTestRunner(t, Options{Simulate: fn, Workers: 8})
+	m, run := baseInputs()
+
+	const submits = 8
+	pending := make([]*Pending, submits)
+	for i := 0; i < submits; i++ {
+		pending[i] = r.Submit(context.Background(), m, run)
+	}
+	close(release)
+
+	var failures, successes int
+	for i, p := range pending {
+		rep, err := p.Wait()
+		switch {
+		case errors.Is(err, wantErr):
+			failures++
+		case err != nil:
+			t.Fatalf("submission %d: unexpected error %v", i, err)
+		case rep == nil || rep.Cycles != 42:
+			t.Fatalf("submission %d: wrong report %+v", i, rep)
+		default:
+			successes++
+		}
+	}
+	if failures != 1 {
+		t.Fatalf("%d submissions saw the injected error, want exactly 1 (the owner's caller)", failures)
+	}
+	if successes != submits-1 {
+		t.Fatalf("%d submissions succeeded, want %d (waiters must retry, not inherit the failure)", successes, submits-1)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("simulation executed %d times, want 2 (fail once, one singleflighted retry)", got)
+	}
+
+	// The retry's success is cached like any other.
+	if _, err := r.Run(context.Background(), m, run); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("post-retry run executed again (%d total), want memo hit", got)
+	}
+	if g := r.flight.len(); g != 0 {
+		t.Fatalf("flight group holds %d entries at rest, want 0", g)
+	}
+}

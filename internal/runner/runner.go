@@ -52,6 +52,25 @@ var ErrDraining = errors.New("runner draining: queued run rejected")
 // sim.SimulateContext; tests substitute stubs.
 type SimulateFunc func(ctx context.Context, m config.Machine, r config.Run) (*metrics.Report, error)
 
+// Executor is the seam between the runner and whatever actually executes a
+// simulation that missed every cache tier. The tier result names where the
+// work happened (SourceSimulated for in-process execution, SourceRemote for
+// a cluster worker) and becomes the Pending's Source. Implementations must
+// be safe for concurrent use; the runner's worker pool bounds how many
+// Execute calls are in flight at once.
+type Executor interface {
+	Execute(ctx context.Context, m config.Machine, r config.Run) (*metrics.Report, string, error)
+}
+
+// simExecutor adapts a SimulateFunc to the Executor seam: plain in-process
+// execution.
+type simExecutor struct{ fn SimulateFunc }
+
+func (e simExecutor) Execute(ctx context.Context, m config.Machine, r config.Run) (*metrics.Report, string, error) {
+	rep, err := e.fn(ctx, m, r)
+	return rep, SourceSimulated, err
+}
+
 // Options configure a Runner.
 type Options struct {
 	// Workers bounds the number of concurrently executing simulations.
@@ -78,8 +97,14 @@ type Options struct {
 	Progress *metrics.Progress
 
 	// Simulate substitutes the simulation function (tests). Nil means
-	// sim.SimulateContext.
+	// sim.SimulateContext. Ignored when Executor is set.
 	Simulate SimulateFunc
+
+	// Executor substitutes the whole execution seam — cache misses are
+	// handed to it instead of the in-process simulator. The cluster
+	// coordinator plugs in here to dispatch runs to remote workers. Nil
+	// means in-process execution via Simulate.
+	Executor Executor
 }
 
 // Runner executes simulations on a bounded worker pool with memoization.
@@ -91,7 +116,7 @@ type Runner struct {
 	flight    *flightGroup
 	timeout   time.Duration
 	prog      *metrics.Progress
-	simFn     SimulateFunc
+	executor  Executor
 	drain     chan struct{}
 	drainOnce sync.Once
 }
@@ -118,18 +143,22 @@ func New(o Options) *Runner {
 	if cache != nil {
 		flight = newFlightGroup()
 	}
-	simFn := o.Simulate
-	if simFn == nil {
-		simFn = sim.SimulateContext
+	executor := o.Executor
+	if executor == nil {
+		simFn := o.Simulate
+		if simFn == nil {
+			simFn = sim.SimulateContext
+		}
+		executor = simExecutor{fn: simFn}
 	}
 	return &Runner{
-		slots:   make(chan struct{}, workers),
-		cache:   cache,
-		flight:  flight,
-		timeout: o.Timeout,
-		prog:    prog,
-		simFn:   simFn,
-		drain:   make(chan struct{}),
+		slots:    make(chan struct{}, workers),
+		cache:    cache,
+		flight:   flight,
+		timeout:  o.Timeout,
+		prog:     prog,
+		executor: executor,
+		drain:    make(chan struct{}),
 	}
 }
 
@@ -175,8 +204,8 @@ func (p *Pending) Wait() (*metrics.Report, error) {
 }
 
 // Source reports where a successful result came from: SourceSimulated,
-// SourceMemory, or SourceDisk. It blocks until the simulation settles and
-// returns "" for failed runs.
+// SourceRemote, SourceMemory, or SourceDisk. It blocks until the
+// simulation settles and returns "" for failed runs.
 func (p *Pending) Source() string {
 	<-p.done
 	return p.src
@@ -267,15 +296,13 @@ func Collect(pendings []*Pending) ([]*metrics.Report, error) {
 // reporting where the result came from.
 func (r *Runner) simulate(ctx context.Context, m config.Machine, run config.Run) (*metrics.Report, string, error) {
 	if r.cache == nil {
-		rep, err := r.exec(ctx, m, run)
-		return rep, SourceSimulated, err
+		return r.exec(ctx, m, run)
 	}
 	key, ok := KeyFor(m, run)
 	if !ok {
 		// Opaque inputs (function hooks, unknown hint policies) cannot be
 		// content-addressed; run uncached.
-		rep, err := r.exec(ctx, m, run)
-		return rep, SourceSimulated, err
+		return r.exec(ctx, m, run)
 	}
 	for {
 		e, owner := r.flight.claim(key)
@@ -292,7 +319,7 @@ func (r *Runner) simulate(ctx context.Context, m config.Machine, run config.Run)
 				return copyReport(rep), tier, nil
 			}
 			r.prog.AddCacheMiss(1)
-			rep, err := r.exec(ctx, m, run)
+			rep, tier, err := r.exec(ctx, m, run)
 			if err == nil {
 				r.cache.Put(key, rep)
 			}
@@ -300,7 +327,7 @@ func (r *Runner) simulate(ctx context.Context, m config.Machine, run config.Run)
 			if err != nil {
 				return nil, "", err
 			}
-			return copyReport(rep), SourceSimulated, nil
+			return copyReport(rep), tier, nil
 		}
 		select {
 		case <-e.done:
@@ -321,18 +348,21 @@ func (r *Runner) simulate(ctx context.Context, m config.Machine, run config.Run)
 	}
 }
 
-// exec runs the simulation function with the per-run timeout applied.
-func (r *Runner) exec(ctx context.Context, m config.Machine, run config.Run) (*metrics.Report, error) {
+// exec hands one run to the executor with the per-run timeout applied.
+func (r *Runner) exec(ctx context.Context, m config.Machine, run config.Run) (*metrics.Report, string, error) {
 	if r.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, r.timeout)
 		defer cancel()
 	}
 	r.prog.AddStarted(1)
-	rep, err := r.simFn(ctx, m, run)
+	rep, tier, err := r.executor.Execute(ctx, m, run)
 	if err != nil {
-		return nil, err
+		return nil, "", err
+	}
+	if tier == SourceRemote {
+		r.prog.AddRemote(1)
 	}
 	r.prog.AddCompleted(rep.Instructions)
-	return rep, nil
+	return rep, tier, nil
 }

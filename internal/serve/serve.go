@@ -7,6 +7,9 @@
 //	                       metrics.Report JSON and the cache tier that
 //	                       served it ("simulated", "memory", "disk")
 //	POST /v1/figures/{id}  one experiment driver (experiments.IDs)
+//	POST /cluster/v1/...   coordinator endpoints for icrworker fleets
+//	                       (register, heartbeat, lease, renew, complete;
+//	                       mounted only when Options.Cluster is set)
 //	GET  /healthz          liveness + draining state
 //	GET  /debug/vars       expvar counters (cache tiers, queue, store)
 //	GET  /debug/pprof/...  standard profiling handlers
@@ -16,7 +19,8 @@
 //   - Admission control: at most QueueDepth requests are inside the
 //     simulation endpoints at once; the next one is rejected immediately
 //     with 429 rather than queued without bound, so overload degrades to
-//     fast failure instead of memory growth and timeout pileups.
+//     fast failure instead of memory growth and timeout pileups. 429 and
+//     the drain 503s carry a Retry-After hint for well-behaved clients.
 //   - Deadlines: each request's context — including the optional
 //     timeout_ms field and the server-wide RequestTimeout cap — flows
 //     through the runner into sim.SimulateContext, so an abandoned or
@@ -40,6 +44,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -69,6 +74,12 @@ type Options struct {
 	// RequestTimeout caps every request's context (0 = no cap). A
 	// request's own timeout_ms can only shorten it further.
 	RequestTimeout time.Duration
+
+	// Cluster, when non-nil, mounts the coordinator's /cluster/v1/...
+	// endpoints, adds fleet stats to /debug/vars, and includes the
+	// coordinator in Drain. Pair it with a Runner built over the
+	// coordinator as its Executor (cliflag.Sim.NewRunnerExecutor).
+	Cluster *cluster.Coordinator
 }
 
 // Server is the icrd HTTP service. Create with New, expose via Handler,
@@ -76,6 +87,7 @@ type Options struct {
 type Server struct {
 	eng        *runner.Runner
 	st         *store.Store
+	coord      *cluster.Coordinator
 	admit      chan struct{}
 	reqTimeout time.Duration
 	mux        *http.ServeMux
@@ -105,9 +117,13 @@ func New(o Options) *Server {
 	s := &Server{
 		eng:        o.Runner,
 		st:         o.Store,
+		coord:      o.Cluster,
 		admit:      make(chan struct{}, depth),
 		reqTimeout: o.RequestTimeout,
 		mux:        http.NewServeMux(),
+	}
+	if s.coord != nil {
+		s.mux.Handle("POST /cluster/v1/", s.coord.Handler())
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("POST /v1/runs", s.handleRun)
@@ -135,8 +151,16 @@ func New(o Options) *Server {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Drain moves the runner into shutdown mode: executing simulations finish
-// and persist, queued ones are rejected. Safe to call more than once.
-func (s *Server) Drain() { s.eng.Drain() }
+// and persist, queued ones are rejected. With a cluster coordinator, the
+// drain is fleet-wide: leasing stops, queued tasks settle with
+// ErrDraining, and workers finish and upload in-flight work. Safe to call
+// more than once.
+func (s *Server) Drain() {
+	s.eng.Drain()
+	if s.coord != nil {
+		s.coord.Drain()
+	}
+}
 
 // stats is the /debug/vars payload: runner progress per cache tier, the
 // admission queue, and (when persistent) the disk store.
@@ -150,6 +174,7 @@ func (s *Server) stats() map[string]any {
 		"disk_hits":    snap.DiskHits,
 		"cache_misses": snap.CacheMisses,
 		"evictions":    snap.Evictions,
+		"remote":       snap.Remote,
 		"inflight":     s.inflight.Load(),
 		"admitted":     s.admitted.Load(),
 		"rejected":     s.rejected.Load(),
@@ -164,10 +189,14 @@ func (s *Server) stats() map[string]any {
 			"hits":         st.Hits,
 			"misses":       st.Misses,
 			"puts":         st.Puts,
+			"dup_puts":     st.DupPuts,
 			"evictions":    st.Evictions,
 			"quarantined":  st.Quarantined,
 			"schema_stale": st.SchemaStale,
 		}
+	}
+	if s.coord != nil {
+		out["cluster"] = s.coord.StatsSnapshot()
 	}
 	return out
 }
@@ -283,6 +312,9 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 // the caller must invoke the returned release exactly once.
 func (s *Server) tryAdmit(w http.ResponseWriter) (release func(), ok bool) {
 	if s.eng.Draining() {
+		// A drain usually precedes a restart or a failover; a few seconds
+		// is the honest hint.
+		w.Header().Set("Retry-After", "5")
 		writeError(w, http.StatusServiceUnavailable, errors.New("server draining"))
 		return nil, false
 	}
@@ -296,6 +328,9 @@ func (s *Server) tryAdmit(w http.ResponseWriter) (release func(), ok bool) {
 		}, true
 	default:
 		s.rejected.Add(1)
+		// Queue-full is transient at simulation timescales: slots free as
+		// soon as the next run settles.
+		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests,
 			fmt.Errorf("admission queue full (%d in flight); retry later", cap(s.admit)))
 		return nil, false
@@ -378,6 +413,7 @@ func decodeBody(r *http.Request, v any) error {
 func writeRunError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, runner.ErrDraining):
+		w.Header().Set("Retry-After", "5")
 		writeError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, context.DeadlineExceeded):
 		writeError(w, http.StatusGatewayTimeout, err)

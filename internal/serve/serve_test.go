@@ -210,6 +210,9 @@ func TestQueueFullReturns429(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("overload status = %d (%s), want 429", resp.StatusCode, data)
 	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 response missing Retry-After header")
+	}
 	var eb errorBody
 	if err := json.Unmarshal(data, &eb); err != nil || eb.Error == "" {
 		t.Errorf("429 body not a JSON error: %s", data)
@@ -238,6 +241,9 @@ func TestDrainRejectsNewFinishesRunning(t *testing.T) {
 	resp, data := postJSON(t, ts.URL+"/v1/runs", runBody)
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("post-drain status = %d (%s), want 503", resp.StatusCode, data)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("drain 503 response missing Retry-After header")
 	}
 	hz, err := http.Get(ts.URL + "/healthz")
 	if err != nil {

@@ -81,6 +81,7 @@ type Stats struct {
 	Hits        uint64 // Get served from disk
 	Misses      uint64 // Get found nothing (including invalidated entries)
 	Puts        uint64 // entries written
+	DupPuts     uint64 // identical re-writes skipped (recency refreshed only)
 	Evictions   uint64 // entries removed by the size cap
 	Quarantined uint64 // corrupt files renamed aside
 	SchemaStale uint64 // entries dropped for a format/schema version mismatch
@@ -227,6 +228,13 @@ func (s *Store) Get(key string) (*metrics.Report, bool) {
 // Put stores a report under key, atomically (write temp + rename), then
 // evicts least-recently-used entries until the size cap is respected. A
 // Put that fails leaves the previous entry (if any) intact.
+//
+// Re-putting identical bytes is detected and skipped (recency still
+// refreshes). Content addressing makes this the common shape of a
+// duplicate: at-least-once cluster execution or two processes sharing the
+// directory produce byte-identical reports for the same key, and skipping
+// the rewrite avoids both the write amplification and a quarantine window
+// for concurrent readers.
 func (s *Store) Put(key string, rep *metrics.Report) error {
 	if !validKey(key) {
 		return fmt.Errorf("store: invalid key %q", key)
@@ -248,6 +256,16 @@ func (s *Store) Put(key string, rep *metrics.Report) error {
 	buf = append(buf, payload...)
 
 	s.mu.Lock()
+	if old, ok := s.index[key]; ok && old.size == int64(len(payload)) {
+		if cur, err := os.ReadFile(s.path(key)); err == nil && bytes.Equal(cur, buf) {
+			s.lru.MoveToFront(old.elem)
+			now := time.Now()
+			os.Chtimes(s.path(key), now, now) //icrvet:ignore droppederr recency mtime is a best-effort hint for the next Open
+			s.stats.DupPuts++
+			s.mu.Unlock()
+			return nil
+		}
+	}
 	if err := s.writeAtomic(key, buf); err != nil {
 		s.mu.Unlock()
 		return err

@@ -315,3 +315,65 @@ func TestPutOverwriteRefreshesEntry(t *testing.T) {
 		t.Errorf("Len = %d after overwrite, want 1", s.Len())
 	}
 }
+
+// TestPutIdenticalBytesSkipsRewrite: re-putting the same report (the
+// at-least-once cluster case: two workers execute one content-addressed
+// task and both upload) must not rewrite the file — only refresh recency —
+// while a genuinely different payload still overwrites.
+func TestPutIdenticalBytesSkipsRewrite(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	key := keyN(0)
+	if err := s.Put(key, testReport(7)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key+entrySuffix)
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.Put(key, testReport(7)); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Error("identical re-put changed the file contents")
+	}
+	st := s.Stats()
+	if st.DupPuts != 1 {
+		t.Errorf("DupPuts = %d, want 1", st.DupPuts)
+	}
+	if st.Puts != 1 {
+		t.Errorf("Puts = %d after duplicate, want 1 (the duplicate must not count as a write)", st.Puts)
+	}
+	// Recency refreshed: the mtime moved (or at least did not go backwards).
+	info2, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.ModTime().Before(info.ModTime()) {
+		t.Error("duplicate put moved the mtime backwards")
+	}
+	if got, ok := s.Get(key); !ok || got.Cycles != 7 {
+		t.Errorf("entry unreadable after duplicate put: ok=%v rep=%+v", ok, got)
+	}
+
+	// A different report for the same key still overwrites.
+	if err := s.Put(key, testReport(8)); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(key); !ok || got.Cycles != 8 {
+		t.Errorf("changed payload not written: ok=%v rep=%+v", ok, got)
+	}
+	if st := s.Stats(); st.Puts != 2 || st.DupPuts != 1 {
+		t.Errorf("Puts=%d DupPuts=%d after overwrite, want 2 and 1", st.Puts, st.DupPuts)
+	}
+}

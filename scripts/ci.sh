@@ -30,7 +30,8 @@ $GO test ./...
 
 stage race
 $GO test -race ./internal/runner ./internal/experiments ./internal/sim \
-    ./internal/store ./internal/serve ./internal/cliflag ./cmd/...
+    ./internal/store ./internal/serve ./internal/cliflag ./internal/cluster \
+    ./cmd/...
 
 # End-to-end smoke test of the serving layer: build icrd, start it on a
 # random port with a persistent store, run the same tiny experiment twice
@@ -104,5 +105,101 @@ src=$(smoke_post)
 smoke_stop
 trap - EXIT INT TERM
 smoke_cleanup
+
+# End-to-end cluster test: the same figure sweep run single-node and then
+# through a coordinator with two workers — one of which is SIGKILLed
+# mid-sweep — must produce byte-identical JSON. Exercises lease expiry and
+# reassignment, at-least-once dedup, and fleet-wide SIGTERM drain with the
+# real binaries over loopback HTTP.
+stage cluster
+CL_DIR=$(mktemp -d)
+CL_ICRD_PID=
+CL_W1_PID=
+CL_W2_PID=
+cluster_cleanup() {
+    for p in "$CL_ICRD_PID" "$CL_W1_PID" "$CL_W2_PID"; do
+        [ -n "$p" ] && kill -9 "$p" 2>/dev/null
+    done
+    rm -rf "$CL_DIR"
+}
+trap cluster_cleanup EXIT INT TERM
+
+clfail() {
+    echo "cluster: $*" >&2
+    for f in icrd.err w1.err w2.err; do
+        echo "--- $f ---" >&2
+        cat "$CL_DIR/$f" >&2 2>/dev/null
+    done
+    exit 1
+}
+
+# Start icrd with the given extra flags and scrape its address.
+cluster_start_icrd() {
+    : >"$CL_DIR/icrd.out"
+    "$CL_DIR/icrd" -addr localhost:0 -parallel 4 "$@" \
+        >"$CL_DIR/icrd.out" 2>"$CL_DIR/icrd.err" &
+    CL_ICRD_PID=$!
+    i=0
+    while ! grep -q '^listening on ' "$CL_DIR/icrd.out" 2>/dev/null; do
+        i=$((i + 1))
+        [ "$i" -gt 100 ] && clfail "icrd did not start"
+        kill -0 "$CL_ICRD_PID" 2>/dev/null || clfail "icrd exited early"
+        sleep 0.1
+    done
+    CL_ADDR=$(sed -n 's/^listening on //p' "$CL_DIR/icrd.out")
+}
+
+cluster_stop_icrd() {
+    kill -TERM "$CL_ICRD_PID"
+    if ! wait "$CL_ICRD_PID"; then
+        CL_ICRD_PID=
+        clfail "icrd SIGTERM drain exited non-zero"
+    fi
+    CL_ICRD_PID=
+}
+
+CL_FIG='fig2'
+CL_BODY='{"instructions":2000000,"seed":1}'
+
+$GO build -o "$CL_DIR/icrd" ./cmd/icrd
+$GO build -o "$CL_DIR/icrworker" ./cmd/icrworker
+
+# Single-node baseline.
+cluster_start_icrd
+curl -sS -X POST -d "$CL_BODY" "http://$CL_ADDR/v1/figures/$CL_FIG" \
+    >"$CL_DIR/single.json" || clfail "single-node figure failed"
+cluster_stop_icrd
+
+# The same sweep through coordinator + 2 workers, one killed mid-sweep.
+cluster_start_icrd -cluster -lease 2s
+"$CL_DIR/icrworker" -coordinator "http://$CL_ADDR" -id w1 -parallel 2 \
+    2>"$CL_DIR/w1.err" &
+CL_W1_PID=$!
+"$CL_DIR/icrworker" -coordinator "http://$CL_ADDR" -id w2 -parallel 2 \
+    2>"$CL_DIR/w2.err" &
+CL_W2_PID=$!
+
+curl -sS -X POST -d "$CL_BODY" "http://$CL_ADDR/v1/figures/$CL_FIG" \
+    >"$CL_DIR/fleet.json" &
+CL_CURL_PID=$!
+sleep 1
+kill -9 "$CL_W1_PID" 2>/dev/null || clfail "worker w1 was not running mid-sweep"
+CL_W1_PID=
+wait "$CL_CURL_PID" || clfail "fleet figure request failed"
+
+grep -q '"error"' "$CL_DIR/fleet.json" && clfail "fleet sweep errored: $(cat "$CL_DIR/fleet.json")"
+cmp -s "$CL_DIR/single.json" "$CL_DIR/fleet.json" \
+    || clfail "fleet figure JSON differs from single-node run"
+
+# Fleet-wide drain: surviving worker and coordinator both exit 0.
+kill -TERM "$CL_W2_PID"
+if ! wait "$CL_W2_PID"; then
+    CL_W2_PID=
+    clfail "icrworker SIGTERM drain exited non-zero"
+fi
+CL_W2_PID=
+cluster_stop_icrd
+trap - EXIT INT TERM
+cluster_cleanup
 
 stage ok
