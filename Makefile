@@ -34,9 +34,13 @@ race:
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzKeyFor -fuzztime=30s ./internal/runner
 
-# The full testing.B harness: one bench per paper figure + micro-benches.
+# Benchmark baseline: micro-benches over the hot packages (sim kernel,
+# ICR cache, OoO core) plus the per-figure harness, captured as a
+# machine-readable BENCH_<date>.json (ns/op, allocs/op, instr/s). Set
+# BENCHTIME to trade precision for runtime; pass a previous file through
+# scripts/bench.sh -baseline to embed speedups.
 bench:
-	$(GO) test -bench=. -benchmem .
+	./scripts/bench.sh -o BENCH_$$(date +%F).json
 
 # Regenerate the paper's evaluation at the default budget (tables + CSV).
 evaluate:

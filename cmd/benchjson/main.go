@@ -1,0 +1,232 @@
+// Command benchjson converts `go test -bench` text output into the
+// machine-readable BENCH_<date>.json files the repo uses to track
+// simulator performance PR-over-PR (see scripts/bench.sh).
+//
+// Modes:
+//
+//	go test -bench=. -benchmem ./... | benchjson -o BENCH_2026-08-06.json
+//	benchjson -baseline old.json -o BENCH_<date>.json < bench.txt
+//	benchjson -check BENCH_2026-08-06.json
+//
+// The emitted schema (version 1):
+//
+//	{
+//	  "schema": 1,
+//	  "date": "2026-08-06",
+//	  "go": "go1.24.0 linux/amd64",
+//	  "benchmarks": [
+//	    {"name": "BenchmarkSimulateBaseP", "package": "repro/internal/sim",
+//	     "iterations": 12, "metrics": {"ns/op": 9.6e7, "allocs/op": 110921,
+//	     "B/op": 9343013, "instr/s": 1.04e6}}
+//	  ],
+//	  "baseline": [ ...same shape, from -baseline... ],
+//	  "speedup": {"BenchmarkSimulateBaseP": 1.62}   // baseline ns/op ÷ new ns/op
+//	}
+//
+// -check validates that a file parses, carries schema 1, and that every
+// benchmark has a name and an ns/op metric — the contract scripts/ci.sh
+// enforces on every run.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Schema is the BENCH file format version.
+const Schema = 1
+
+// Benchmark is one `go test -bench` result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// File is the top-level BENCH_<date>.json document.
+type File struct {
+	Schema     int                `json:"schema"`
+	Date       string             `json:"date"`
+	Go         string             `json:"go"`
+	Benchmarks []Benchmark        `json:"benchmarks"`
+	Baseline   []Benchmark        `json:"baseline,omitempty"`
+	Speedup    map[string]float64 `json:"speedup,omitempty"`
+}
+
+func main() {
+	var (
+		out      = flag.String("o", "", "output file (default stdout)")
+		baseline = flag.String("baseline", "", "prior BENCH json to embed and compute speedups against")
+		check    = flag.String("check", "", "validate an existing BENCH json and exit")
+		date     = flag.String("date", "", "date stamp (default today, YYYY-MM-DD)")
+	)
+	flag.Parse()
+
+	if *check != "" {
+		if err := checkFile(*check); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *check, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: ok\n", *check)
+		return
+	}
+
+	benches, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	f := File{
+		Schema:     Schema,
+		Date:       *date,
+		Go:         runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+		Benchmarks: benches,
+	}
+	if f.Date == "" {
+		f.Date = time.Now().Format("2006-01-02")
+	}
+	if *baseline != "" {
+		if err := embedBaseline(&f, *baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: baseline: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	enc, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		if _, err := os.Stdout.Write(enc); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parse extracts benchmark result lines (and their owning package from the
+// interleaved "pkg:" headers) from `go test -bench` output.
+func parse(sc *bufio.Scanner) ([]Benchmark, error) {
+	var (
+		out []Benchmark
+		pkg string
+	)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// name iterations (value unit)+ — metric values pair with units.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		// Strip the -GOMAXPROCS suffix go test appends.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		b := Benchmark{Name: name, Package: pkg, Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad metric value in %q", line)
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		if _, ok := b.Metrics["ns/op"]; !ok {
+			return nil, fmt.Errorf("benchmark line without ns/op: %q", line)
+		}
+		out = append(out, b)
+	}
+	return out, sc.Err()
+}
+
+// embedBaseline loads a prior BENCH file, embeds its benchmarks, and
+// computes per-benchmark speedups (baseline ns/op ÷ current ns/op).
+func embedBaseline(f *File, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base File
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return err
+	}
+	if base.Schema != Schema {
+		return fmt.Errorf("schema %d, want %d", base.Schema, Schema)
+	}
+	f.Baseline = base.Benchmarks
+	f.Speedup = map[string]float64{}
+	old := map[string]float64{}
+	for _, b := range base.Benchmarks {
+		old[b.Name] = b.Metrics["ns/op"]
+	}
+	for _, b := range f.Benchmarks {
+		if o, ok := old[b.Name]; ok && b.Metrics["ns/op"] > 0 {
+			f.Speedup[b.Name] = o / b.Metrics["ns/op"]
+		}
+	}
+	return nil
+}
+
+// checkFile enforces the schema contract on an emitted BENCH file.
+func checkFile(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return err
+	}
+	if f.Schema != Schema {
+		return fmt.Errorf("schema = %d, want %d", f.Schema, Schema)
+	}
+	if f.Date == "" || f.Go == "" {
+		return fmt.Errorf("missing date or go version")
+	}
+	if len(f.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmarks")
+	}
+	for _, b := range f.Benchmarks {
+		if b.Name == "" {
+			return fmt.Errorf("benchmark with empty name")
+		}
+		if b.Metrics["ns/op"] <= 0 {
+			return fmt.Errorf("%s: missing ns/op", b.Name)
+		}
+	}
+	return nil
+}

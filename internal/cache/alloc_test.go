@@ -1,0 +1,48 @@
+package cache
+
+import "testing"
+
+// The generic cache level (iL1/L2 modeling) must stay allocation-free per
+// access once warmed: its tag array is fixed at New and hits/misses only
+// update in-place state.
+func TestAccessAllocFree(t *testing.T) {
+	next := &fixedLevel{latency: 10}
+	c := newTestCache(1<<14, 4, 64, next)
+	// Working set twice the cache: a steady mix of hits and miss/evict.
+	const blocks = 512
+	for i := uint64(0); i < 4*blocks; i++ {
+		c.Access(i, i%blocks*64, Write)
+	}
+	var i uint64
+	got := testing.AllocsPerRun(1000, func() {
+		c.Access(4*blocks+i, i%blocks*64, Read)
+		c.Access(4*blocks+i, (i+3)%blocks*64, Write)
+		i++
+	})
+	if got != 0 {
+		t.Errorf("cache access allocates %.1f objects per access, want 0", got)
+	}
+}
+
+// The coalescing write buffer reaches a steady state where adds reuse the
+// queue's capacity and drains shrink it in place.
+func TestWriteBufferAllocFree(t *testing.T) {
+	next := &fixedLevel{latency: 6}
+	// fixedLevel.Access appends to its log slices; pre-grow them so the
+	// spy itself does not count against the buffer.
+	next.accesses = make([]Kind, 0, 1<<20)
+	next.addrs = make([]uint64, 0, 1<<20)
+	wb := NewWriteBuffer(8, 6, next)
+	for i := uint64(0); i < 64; i++ {
+		wb.Add(i*3, i%16)
+	}
+	var now uint64 = 1 << 10
+	got := testing.AllocsPerRun(1000, func() {
+		wb.Add(now, now%16)
+		wb.Drain(now + 2)
+		now += 3
+	})
+	if got != 0 {
+		t.Errorf("write buffer allocates %.1f objects per add/drain, want 0", got)
+	}
+}

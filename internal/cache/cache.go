@@ -306,6 +306,13 @@ type WriteBuffer struct {
 	next      Level
 	queue     []uint64 // block addresses, FIFO
 	frontDone uint64   // cycle the front entry finishes retiring
+	// clock is the high-water mark of every `now` the buffer has observed.
+	// Overdue entries (frontDone long in the past because the buffer sat
+	// idle) retire at this clock, never at their stale frontDone: the next
+	// level must see non-decreasing timestamps even when drains interleave
+	// with demand misses issued at later cycles.
+	clock     uint64
+	lastIssue uint64 // last timestamp handed to next.Access (monotonicity check)
 	stats     WriteBufferStats
 }
 
@@ -327,18 +334,45 @@ func NewWriteBuffer(entries int, interval uint64, next Level) *WriteBuffer {
 // Stats returns a snapshot of the buffer's counters.
 func (w *WriteBuffer) Stats() WriteBufferStats { return w.stats }
 
-// Pending returns the number of queued entries after draining up to now.
-func (w *WriteBuffer) Pending(now uint64) int {
+// Len returns the number of queued entries. It never mutates the buffer;
+// call Drain first when retirement up to the current cycle should be
+// modeled before counting.
+func (w *WriteBuffer) Len() int { return len(w.queue) }
+
+// Drain retires every entry whose turn has come by cycle now, forwarding
+// each to the next level.
+func (w *WriteBuffer) Drain(now uint64) {
+	w.observe(now)
 	w.drain(now)
-	return len(w.queue)
+}
+
+// observe advances the buffer's monotonic clock to now.
+func (w *WriteBuffer) observe(now uint64) {
+	if now > w.clock {
+		w.clock = now
+	}
 }
 
 func (w *WriteBuffer) drain(now uint64) {
 	for len(w.queue) > 0 && w.frontDone <= now {
 		ba := w.queue[0]
-		w.queue = w.queue[1:]
+		// Shift down rather than re-slice: the queue is tiny (8 entries in
+		// the paper's configuration) and keeping the backing array intact
+		// keeps Add allocation-free forever.
+		copy(w.queue, w.queue[1:])
+		w.queue = w.queue[:len(w.queue)-1]
 		w.stats.Retired++
-		w.next.Access(w.frontDone, ba, Write) // count the L2 write
+		// Overdue retirements are clamped to the observed clock so the
+		// next level's timeline never runs backwards.
+		at := w.frontDone
+		if at < w.clock {
+			at = w.clock
+		}
+		if at < w.lastIssue {
+			panic("cache: write buffer issued a non-monotonic timestamp")
+		}
+		w.lastIssue = at
+		w.next.Access(at, ba, Write) // count the L2 write
 		if len(w.queue) > 0 {
 			w.frontDone += w.interval
 		}
@@ -348,6 +382,7 @@ func (w *WriteBuffer) drain(now uint64) {
 // Add enqueues a write of the given block and returns the stall cycles the
 // store suffers (zero unless the buffer is full and cannot coalesce).
 func (w *WriteBuffer) Add(now uint64, blockAddr uint64) (stall uint64) {
+	w.observe(now)
 	w.drain(now)
 	for _, ba := range w.queue {
 		if ba == blockAddr {
@@ -356,10 +391,13 @@ func (w *WriteBuffer) Add(now uint64, blockAddr uint64) (stall uint64) {
 		}
 	}
 	if len(w.queue) >= w.entries {
-		// Stall until the front entry retires, then take its slot.
+		// Stall until the front entry retires, then take its slot. The
+		// stalled store experiences time now+stall, so the clock advances
+		// with it.
 		w.stats.Stalls++
 		stall = w.frontDone - now
 		w.stats.StallCycles += stall
+		w.observe(now + stall)
 		w.drain(w.frontDone)
 	}
 	if len(w.queue) == 0 {
@@ -384,6 +422,7 @@ type Memory struct {
 	BlockSize int
 	blocks    map[uint64][]byte
 	accesses  uint64
+	scratch   []byte // PeekBlock's synthesis buffer for never-written blocks
 }
 
 var _ Level = (*Memory)(nil)
@@ -414,6 +453,17 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// synthesize fills out with the deterministic content of a never-written
+// block.
+func (m *Memory) synthesize(out []byte, blockAddr uint64) {
+	for i := 0; i < m.BlockSize; i += 8 {
+		v := splitmix64(blockAddr*uint64(m.BlockSize/8) + uint64(i/8))
+		for j := 0; j < 8 && i+j < m.BlockSize; j++ {
+			out[i+j] = byte(v >> (8 * j))
+		}
+	}
+}
+
 // FetchBlock returns the architectural content of the block with the given
 // block address (addr >> log2(BlockSize)). The returned slice is a copy.
 func (m *Memory) FetchBlock(blockAddr uint64) []byte {
@@ -422,19 +472,52 @@ func (m *Memory) FetchBlock(blockAddr uint64) []byte {
 		copy(out, b)
 		return out
 	}
-	for i := 0; i < m.BlockSize; i += 8 {
-		v := splitmix64(blockAddr*uint64(m.BlockSize/8) + uint64(i/8))
-		for j := 0; j < 8 && i+j < m.BlockSize; j++ {
-			out[i+j] = byte(v >> (8 * j))
-		}
-	}
+	m.synthesize(out, blockAddr)
 	return out
 }
 
+// PeekBlock returns the architectural content of a block without copying:
+// the allocation-free read path for callers that only copy the bytes out
+// (cache fills, scrub refills). The returned slice is owned by the Memory
+// and must be treated as read-only; it is valid only until the next
+// PeekBlock, WriteBlock, or WriteWord call (never-written blocks are
+// synthesized into a single reusable scratch buffer).
+func (m *Memory) PeekBlock(blockAddr uint64) []byte {
+	if b, ok := m.blocks[blockAddr]; ok {
+		return b
+	}
+	if m.scratch == nil {
+		m.scratch = make([]byte, m.BlockSize)
+	}
+	m.synthesize(m.scratch, blockAddr)
+	return m.scratch
+}
+
 // WriteBlock stores new architectural content for a block. The data is
-// copied.
+// copied (into the block's existing buffer when one exists, so steady-state
+// write-backs do not allocate).
 func (m *Memory) WriteBlock(blockAddr uint64, data []byte) {
-	b := make([]byte, m.BlockSize)
+	b, ok := m.blocks[blockAddr]
+	if !ok {
+		b = make([]byte, m.BlockSize)
+		m.blocks[blockAddr] = b
+	}
 	copy(b, data)
-	m.blocks[blockAddr] = b
+}
+
+// WriteWord updates the aligned 64-bit word containing byte offset off of
+// a block in place — the read-modify-write a write-through store performs,
+// without materializing a full block copy per store. First touch of a
+// block synthesizes its deterministic content.
+func (m *Memory) WriteWord(blockAddr uint64, off int, value uint64) {
+	b, ok := m.blocks[blockAddr]
+	if !ok {
+		b = make([]byte, m.BlockSize)
+		m.synthesize(b, blockAddr)
+		m.blocks[blockAddr] = b
+	}
+	w := off &^ 7
+	for i := 0; i < 8 && w+i < len(b); i++ {
+		b[w+i] = byte(value >> (8 * i))
+	}
 }

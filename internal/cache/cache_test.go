@@ -150,8 +150,9 @@ func TestWriteBufferCoalescing(t *testing.T) {
 	if s.Adds != 1 || s.Coalesced != 1 {
 		t.Errorf("stats = %+v, want 1 add / 1 coalesced", s)
 	}
-	if wb.Pending(0) != 1 {
-		t.Errorf("pending = %d, want 1", wb.Pending(0))
+	wb.Drain(0)
+	if wb.Len() != 1 {
+		t.Errorf("pending = %d, want 1", wb.Len())
 	}
 }
 
@@ -160,20 +161,93 @@ func TestWriteBufferDrains(t *testing.T) {
 	wb := NewWriteBuffer(8, 10, next)
 	wb.Add(0, 1)
 	wb.Add(0, 2)
-	if wb.Pending(5) != 2 {
-		t.Errorf("pending@5 = %d, want 2", wb.Pending(5))
+	wb.Drain(5)
+	if wb.Len() != 2 {
+		t.Errorf("pending@5 = %d, want 2", wb.Len())
 	}
-	if wb.Pending(10) != 1 {
-		t.Errorf("pending@10 = %d, want 1", wb.Pending(10))
+	wb.Drain(10)
+	if wb.Len() != 1 {
+		t.Errorf("pending@10 = %d, want 1", wb.Len())
 	}
-	if wb.Pending(20) != 0 {
-		t.Errorf("pending@20 = %d, want 0", wb.Pending(20))
+	wb.Drain(20)
+	if wb.Len() != 0 {
+		t.Errorf("pending@20 = %d, want 0", wb.Len())
 	}
 	if got := wb.Stats().Retired; got != 2 {
 		t.Errorf("retired = %d, want 2", got)
 	}
 	if len(next.accesses) != 2 {
 		t.Errorf("next level saw %d writes, want 2", len(next.accesses))
+	}
+}
+
+// monotonicLevel fails the test if it ever sees time run backwards across
+// Access calls, regardless of which component issued them.
+type monotonicLevel struct {
+	t       *testing.T
+	latency uint64
+	last    uint64
+	seen    int
+}
+
+func (m *monotonicLevel) Access(now uint64, addr uint64, kind Kind) uint64 {
+	if now < m.last {
+		m.t.Errorf("next level saw time run backwards: %d after %d (addr %#x, kind %v)",
+			now, m.last, addr, kind)
+	}
+	m.last = now
+	m.seen++
+	return m.latency
+}
+
+// Regression test: a write buffer left idle long enough accumulates overdue
+// retirements (frontDone far in the past). Before the monotonic clamp, a
+// later Add or Drain would forward those entries to the next level at their
+// stale frontDone timestamps — *earlier* than demand misses the same next
+// level had already served — so the shared L2 timeline ran backwards.
+func TestWriteBufferDrainTimestampsMonotonic(t *testing.T) {
+	next := &monotonicLevel{t: t, latency: 6}
+	wb := NewWriteBuffer(8, 10, next)
+
+	// Enqueue a few writes early; their retirement slots are cycles 10,
+	// 20, 30, all long overdue by the time anything drains them.
+	wb.Add(0, 1)
+	wb.Add(1, 2)
+	wb.Add(2, 3)
+
+	// A demand miss stream hits the same next level at much later cycles.
+	next.Access(500, 0x1000, Read)
+	next.Access(600, 0x2000, Read)
+
+	// Now the overdue entries drain: every forwarded timestamp must be
+	// >= 600, not the stale 10/20/30.
+	wb.Add(700, 4)
+	if next.last < 600 {
+		t.Fatalf("drain rewound the clock to %d", next.last)
+	}
+
+	// And interleave once more: idle again, demand misses advance time,
+	// then an explicit Drain retires the leftovers.
+	next.Access(900, 0x3000, Read)
+	wb.Drain(950)
+	if wb.Len() != 0 {
+		t.Fatalf("pending = %d, want 0 after drain", wb.Len())
+	}
+	if next.seen < 7 {
+		t.Fatalf("next level saw %d accesses, want >= 7", next.seen)
+	}
+}
+
+// An Add that stalls on a full buffer must also respect monotonicity: the
+// freed slot's retirement is issued no earlier than anything already seen.
+func TestWriteBufferStallDrainMonotonic(t *testing.T) {
+	next := &monotonicLevel{t: t, latency: 6}
+	wb := NewWriteBuffer(2, 10, next)
+	wb.Add(0, 1) // front retires at 10
+	wb.Add(0, 2) // queued behind it
+	next.Access(5, 0x1000, Read)
+	if stall := wb.Add(0, 3); stall != 10 {
+		t.Errorf("stall = %d, want 10", stall)
 	}
 }
 

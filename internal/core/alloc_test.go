@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// The simulator's throughput rests on the dL1 kernel allocating nothing
+// per access: every scratch need (replica candidate walks, used-set lists,
+// memory-block synthesis) is served from buffers owned by the Cache or the
+// Memory. These tests pin that property so a regression shows up as a test
+// failure, not as a slow profile three PRs later.
+
+func allocsPerAccess(t *testing.T, warm, body func(i uint64)) float64 {
+	t.Helper()
+	for i := uint64(0); i < 8192; i++ {
+		warm(i)
+	}
+	var i uint64
+	return testing.AllocsPerRun(1000, func() {
+		body(i)
+		i++
+	})
+}
+
+func TestLoadHitAllocFree(t *testing.T) {
+	c := benchCache(ICR(ParityProt, LookupSerial, ReplStores))
+	c.Store(0, 0x1000) // primary + replica resident
+	got := allocsPerAccess(t,
+		func(i uint64) { c.Load(i, 0x1000) },
+		func(i uint64) { c.Load(8192+i, 0x1000) })
+	if got != 0 {
+		t.Errorf("replicated load hit allocates %.1f objects per access, want 0", got)
+	}
+}
+
+func TestStoreHitAllocFree(t *testing.T) {
+	c := benchCache(ICR(ParityProt, LookupSerial, ReplStores))
+	// Hot stores: replica update, quota check, replicate attempt each time.
+	got := allocsPerAccess(t,
+		func(i uint64) { c.Store(i, i%64*64) },
+		func(i uint64) { c.Store(8192+i, i%64*64) })
+	if got != 0 {
+		t.Errorf("hot store allocates %.1f objects per access, want 0", got)
+	}
+}
+
+func TestMissFillAllocFree(t *testing.T) {
+	// A 256KB working set over a 16KB cache: every access is a miss, an
+	// eviction (often a dirty writeback), a fill, and a replicate attempt.
+	// After the warmup pass has touched every block once, the memory
+	// bottom reuses its stored block buffers and the steady state holds
+	// zero allocations.
+	c := benchCache(ICR(ParityProt, LookupSerial, ReplLoadsStores))
+	touch := func(i uint64) {
+		c.Store(i, i%4096*64)
+		c.Load(i, (i+1)%4096*64)
+	}
+	got := allocsPerAccess(t, touch, func(i uint64) { touch(8192 + i) })
+	if got != 0 {
+		t.Errorf("miss/fill/writeback allocates %.1f objects per access, want 0", got)
+	}
+}
+
+func TestScrubAllocFree(t *testing.T) {
+	mem := cache.NewMemory(6, 64)
+	c := New(Config{
+		Size: 16 << 10, Assoc: 4, BlockSize: 64,
+		Scheme: ICR(ParityProt, LookupSerial, ReplStores),
+		Next:   mem, Mem: mem,
+	})
+	for i := uint64(0); i < 512; i++ {
+		c.Store(i, i*64)
+	}
+	var now uint64 = 1 << 20
+	got := testing.AllocsPerRun(100, func() {
+		c.Scrub(now, 8)
+		now++
+	})
+	if got != 0 {
+		t.Errorf("scrub pass allocates %.1f objects, want 0", got)
+	}
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// benchCache builds a paper-geometry dL1 over a plain Memory bottom.
+func benchCache(scheme Scheme) *Cache {
+	mem := cache.NewMemory(6, 64)
+	return New(Config{
+		Size: 16 << 10, Assoc: 4, BlockSize: 64,
+		Scheme: scheme,
+		Next:   mem, Mem: mem,
+	})
+}
+
+// BenchmarkCoreAccess is the per-access cost of the ICR kernel under the
+// three access shapes the simulator issues constantly: a load hit on a
+// replicated line, a store to a hot block (replica update + quota check),
+// and a load-miss/fill/replicate sweep over a working set larger than the
+// cache.
+func BenchmarkCoreAccess(b *testing.B) {
+	b.Run("load-hit", func(b *testing.B) {
+		c := benchCache(ICR(ParityProt, LookupSerial, ReplStores))
+		c.Store(0, 0x1000)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Load(uint64(i), 0x1000)
+		}
+	})
+	b.Run("store-hot", func(b *testing.B) {
+		c := benchCache(ICR(ParityProt, LookupSerial, ReplStores))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Store(uint64(i), uint64(i%64)*64)
+		}
+	})
+	b.Run("miss-fill", func(b *testing.B) {
+		c := benchCache(ICR(ParityProt, LookupSerial, ReplLoadsStores))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// 4096 blocks of 64B = 256KB working set over a 16KB cache.
+			c.Load(uint64(i), uint64(i%4096)*64)
+		}
+	})
+}

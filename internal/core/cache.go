@@ -45,6 +45,10 @@ type line struct {
 	// prefetched marks a line brought in by the next-block prefetcher and
 	// not yet demanded.
 	prefetched bool
+
+	// idx is the line's fixed position in Cache.lines (set once at New),
+	// so set/way arithmetic never needs a search.
+	idx int
 }
 
 // Cache is the ICR L1 data cache.
@@ -61,6 +65,18 @@ type Cache struct {
 	lastWord   int    // word index of the most recent access (fault targeting)
 
 	wordsPerLine int
+
+	// replDistances is cfg.Repl.Distances normalized modulo the set count
+	// and deduplicated (order preserved): the candidate-set walk for any
+	// block is home+d for each d, with no per-access slice or dedup pass.
+	replDistances []int
+
+	// Scratch buffers reused across accesses so the hot path allocates
+	// nothing. replScratch backs findReplicas results (valid until the
+	// next findReplicas call); usedSets backs replicate's used-set list.
+	// Neither ever reaches a Report: they carry only intra-access state.
+	replScratch []*line
+	usedSets    []int
 
 	scrubPos int
 	scrub    ScrubStats
@@ -119,12 +135,31 @@ func New(cfg Config) *Cache {
 		eccLen = ecc.SECDEDBytesPerLine(cfg.BlockSize)
 	}
 	for i := range c.lines {
+		c.lines[i].idx = i
 		c.lines[i].data = make([]byte, cfg.BlockSize)
 		c.lines[i].parity = make([]byte, parityLen)
 		if eccLen > 0 {
 			c.lines[i].eccb = make([]byte, eccLen)
 		}
 	}
+	for _, d := range cfg.Repl.Distances {
+		nd := d % sets
+		if nd < 0 {
+			nd += sets
+		}
+		dup := false
+		for _, prev := range c.replDistances {
+			if prev == nd {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			c.replDistances = append(c.replDistances, nd)
+		}
+	}
+	c.replScratch = make([]*line, 0, len(c.replDistances)*cfg.Assoc)
+	c.usedSets = make([]int, 0, len(c.replDistances))
 	return c
 }
 
@@ -195,7 +230,7 @@ func (c *Cache) revalVuln(ln *line, now uint64) {
 	}
 	vuln := ln.dirty &&
 		c.cfg.Scheme.Protection != ECCProt &&
-		len(c.findReplicas(ln.blockAddr)) == 0
+		!c.hasReplica(ln.blockAddr)
 	c.setVuln(ln, now, vuln)
 }
 
@@ -236,40 +271,32 @@ func (c *Cache) lookupPrimary(blockAddr uint64) *line {
 	return nil
 }
 
-// candidateSets returns the deduplicated sets where replicas of a block may
-// live, in attempt order.
-func (c *Cache) candidateSets(blockAddr uint64) []int {
-	home := c.homeSet(blockAddr)
-	out := make([]int, 0, len(c.cfg.Repl.Distances))
-	for _, d := range c.cfg.Repl.Distances {
-		s := (home + d) % c.sets
-		if s < 0 {
-			s += c.sets
-		}
-		dup := false
-		for _, prev := range out {
-			if prev == s {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			out = append(out, s)
-		}
+// candidateSet returns the i-th set where replicas of a block may live, in
+// attempt order. The distance list was normalized and deduplicated at New,
+// so home+d needs at most one wrap.
+func (c *Cache) candidateSet(blockAddr uint64, i int) int {
+	s := c.homeSet(blockAddr) + c.replDistances[i]
+	if s >= c.sets {
+		s -= c.sets
 	}
-	return out
+	return s
 }
 
 // findReplicas returns every resident replica of a block, searching the
 // candidate sets the placement policy could have used (this mirrors the
 // bounded parallel lookup real hardware would perform).
+//
+// The returned slice is backed by c.replScratch and is valid only until
+// the next findReplicas call on this cache; callers that need a fact about
+// the replicas across a nested call must capture it (e.g. the length)
+// first. hasReplica is the clobber-free alternative for yes/no questions.
 func (c *Cache) findReplicas(blockAddr uint64) []*line {
 	if !c.cfg.Scheme.HasReplication() {
 		return nil
 	}
-	var out []*line
-	for _, s := range c.candidateSets(blockAddr) {
-		base := s * c.cfg.Assoc
+	out := c.replScratch[:0]
+	for i := range c.replDistances {
+		base := c.candidateSet(blockAddr, i) * c.cfg.Assoc
 		for w := 0; w < c.cfg.Assoc; w++ {
 			ln := &c.lines[base+w]
 			if ln.valid && ln.replica && ln.blockAddr == blockAddr {
@@ -277,7 +304,28 @@ func (c *Cache) findReplicas(blockAddr uint64) []*line {
 			}
 		}
 	}
+	c.replScratch = out
 	return out
+}
+
+// hasReplica reports whether any resident replica of the block exists. It
+// early-exits and never touches the shared scratch buffer, so it is safe
+// inside deferred revalidation while a caller still holds a findReplicas
+// result.
+func (c *Cache) hasReplica(blockAddr uint64) bool {
+	if !c.cfg.Scheme.HasReplication() {
+		return false
+	}
+	for i := range c.replDistances {
+		base := c.candidateSet(blockAddr, i) * c.cfg.Assoc
+		for w := 0; w < c.cfg.Assoc; w++ {
+			ln := &c.lines[base+w]
+			if ln.valid && ln.replica && ln.blockAddr == blockAddr {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // ---------------------------------------------------------------------------
@@ -314,7 +362,7 @@ func (c *Cache) fill(ln *line, blockAddr uint64, asReplica bool, now uint64) {
 	ln.dirty = false
 	ln.prefetched = false
 	ln.blockAddr = blockAddr
-	copy(ln.data, c.cfg.Mem.FetchBlock(blockAddr))
+	copy(ln.data, c.cfg.Mem.PeekBlock(blockAddr))
 	c.recode(ln)
 	c.touch(ln, now)
 	if c.cfg.Meter != nil {
@@ -497,7 +545,7 @@ func (c *Cache) WouldHit(addr uint64) bool {
 	if c.lookupPrimary(ba) != nil {
 		return true
 	}
-	return c.cfg.Repl.LeaveReplicas && len(c.findReplicas(ba)) > 0
+	return c.cfg.Repl.LeaveReplicas && c.hasReplica(ba)
 }
 
 // ReplicaCount returns the number of resident replicas for the block
@@ -514,7 +562,6 @@ func (c *Cache) ReplicaCount(addr uint64) int {
 //  2. every replica belongs to a scheme with replication enabled;
 //  3. check bits lengths match the geometry.
 func (c *Cache) CheckInvariants() error {
-	primaries := make(map[uint64]int)
 	for i := range c.lines {
 		ln := &c.lines[i]
 		if !ln.valid {
@@ -529,9 +576,13 @@ func (c *Cache) CheckInvariants() error {
 			if got := c.homeSet(ln.blockAddr); got != set {
 				return fmt.Errorf("primary of block %#x in set %d, home is %d", ln.blockAddr, set, got)
 			}
-			primaries[ln.blockAddr]++
-			if primaries[ln.blockAddr] > 1 {
-				return fmt.Errorf("duplicate primary for block %#x", ln.blockAddr)
+			// A duplicate primary must share the home set, so scanning the
+			// earlier ways of this set finds it without a map.
+			for j := set * c.cfg.Assoc; j < i; j++ {
+				dup := &c.lines[j]
+				if dup.valid && !dup.replica && dup.blockAddr == ln.blockAddr {
+					return fmt.Errorf("duplicate primary for block %#x", ln.blockAddr)
+				}
 			}
 		}
 		if len(ln.data) != c.cfg.BlockSize || len(ln.parity) != ecc.ParityBytesPerLine(c.cfg.BlockSize) {

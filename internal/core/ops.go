@@ -152,20 +152,21 @@ func (c *Cache) Store(now uint64, addr uint64) uint64 {
 		// replication ability "relatively low" even while loads-with-
 		// replica stays high (§5.1): the hot data is already duplicated.
 		replicas := c.findReplicas(ba)
+		nrep := len(replicas) // replicate() below reuses the scratch buffer
 		for _, rep := range replicas {
 			c.writeWord(rep, addr, value)
 			c.touch(rep, now)
 		}
 		c.stats.ReplAttempts++
 		created := 0
-		if len(replicas) < c.replicaQuota(ba) {
+		if nrep < c.replicaQuota(ba) {
 			created = c.replicate(ln, now)
 		}
 		if created >= 1 {
 			c.stats.ReplSuccesses++
 			// A "double" is an attempt that achieved the full two-replica
 			// state (Fig 3: "three copies of a block exist").
-			if len(replicas)+created >= 2 {
+			if nrep+created >= 2 {
 				c.stats.ReplDoubles++
 			}
 		}
@@ -186,11 +187,8 @@ func (c *Cache) storeWriteThrough(now uint64, addr, ba, value uint64) uint64 {
 		c.stats.WriteMisses++
 	}
 	// Architectural memory is updated immediately: read-modify-write of
-	// the block.
-	blk := c.cfg.Mem.FetchBlock(ba)
-	off := int(addr) & (c.cfg.BlockSize - 1)
-	ecc.PutWord64(blk, off, value)
-	c.cfg.Mem.WriteBlock(ba, blk)
+	// the stored word, in place.
+	c.cfg.Mem.WriteWord(ba, int(addr)&(c.cfg.BlockSize-1), value)
 
 	if c.cfg.WriteBuf != nil {
 		stall := c.cfg.WriteBuf.Add(now, ba)
@@ -276,32 +274,8 @@ func (c *Cache) depositDuplicate(ln *line) {
 // model.
 func (c *Cache) noteAccess(ba, addr uint64) {
 	if ln := c.lookupPrimary(ba); ln != nil {
-		c.lastWord = c.lineIndexFast(ln)*c.wordsPerLine + (int(addr)&(c.cfg.BlockSize-1))/8
+		c.lastWord = ln.idx*c.wordsPerLine + (int(addr)&(c.cfg.BlockSize-1))/8
 	}
-}
-
-// lineIndexFast computes the index of ln in c.lines from slice layout.
-func (c *Cache) lineIndexFast(ln *line) int {
-	// All line structs live contiguously in c.lines; index by identity
-	// comparison over the set the line must belong to would require the
-	// set, so derive it from the stored block address instead.
-	if ln.replica {
-		for _, s := range c.candidateSets(ln.blockAddr) {
-			base := s * c.cfg.Assoc
-			for w := 0; w < c.cfg.Assoc; w++ {
-				if &c.lines[base+w] == ln {
-					return base + w
-				}
-			}
-		}
-	}
-	base := c.homeSet(ln.blockAddr) * c.cfg.Assoc
-	for w := 0; w < c.cfg.Assoc; w++ {
-		if &c.lines[base+w] == ln {
-			return base + w
-		}
-	}
-	return 0
 }
 
 // loadHitLatency returns the scheme latency for an error-free load hit.
@@ -341,17 +315,27 @@ func (c *Cache) replicate(primary *line, now uint64) int {
 	if want <= 0 {
 		return 0
 	}
-	// Sets already holding a replica of this block are skipped.
-	used := make(map[int]bool, len(existing)+1)
+	// Sets already holding a replica of this block are skipped. The used
+	// list is scratch on the Cache (the distance list is short, so a
+	// linear membership scan beats a map and allocates nothing).
+	used := c.usedSets[:0]
 	for _, rep := range existing {
-		used[c.lineIndexFast(rep)/c.cfg.Assoc] = true
+		used = append(used, rep.idx/c.cfg.Assoc)
 	}
 	created := 0
-	for _, set := range c.candidateSets(ba) {
+	for i := range c.replDistances {
 		if created >= want {
 			break
 		}
-		if used[set] {
+		set := c.candidateSet(ba, i)
+		skip := false
+		for _, u := range used {
+			if u == set {
+				skip = true
+				break
+			}
+		}
+		if skip {
 			continue
 		}
 		v := c.replicaVictim(set, primary, now)
@@ -359,9 +343,10 @@ func (c *Cache) replicate(primary *line, now uint64) int {
 			continue
 		}
 		c.installReplica(v, primary, now)
-		used[set] = true
+		used = append(used, set)
 		created++
 	}
+	c.usedSets = used
 	return created
 }
 

@@ -53,11 +53,13 @@ func (c *Cache) Scrub(now uint64, n int) {
 // refilled from memory regardless, so simulation proceeds).
 func (c *Cache) repairLine(ln *line, now uint64) bool {
 	var replicas []*line
+	var one [1]*line
 	if !ln.replica {
 		replicas = c.findReplicas(ln.blockAddr)
 	} else if p := c.lookupPrimary(ln.blockAddr); p != nil {
 		// A corrupted replica heals from its primary.
-		replicas = []*line{p}
+		one[0] = p
+		replicas = one[:]
 	}
 	ok := true
 	for off := 0; off < c.cfg.BlockSize; off += 8 {
@@ -71,7 +73,7 @@ func (c *Cache) repairLine(ln *line, now uint64) bool {
 	if !ok {
 		// Unrecoverable content: refill from architectural memory so the
 		// array is consistent again (the dirty update is lost).
-		copy(ln.data, c.cfg.Mem.FetchBlock(ln.blockAddr))
+		copy(ln.data, c.cfg.Mem.PeekBlock(ln.blockAddr))
 		ln.dirty = false
 		c.recode(ln)
 		c.revalVuln(ln, now)
@@ -105,7 +107,7 @@ func (c *Cache) repairWord(ln *line, replicas []*line, off int, now uint64) bool
 	if !ln.dirty {
 		// Clean data refills from below at leisure. Scrubbing never
 		// touches LRU or decay state: it is invisible to replacement.
-		copy(ln.data, c.cfg.Mem.FetchBlock(ln.blockAddr))
+		copy(ln.data, c.cfg.Mem.PeekBlock(ln.blockAddr))
 		c.recode(ln)
 		return true
 	}

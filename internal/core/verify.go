@@ -134,7 +134,7 @@ func (c *Cache) recoverFromBelow(now uint64, ln *line, addr uint64) (extra uint6
 		c.stats.RecoveredByL2++
 	}
 	extra = c.cfg.Next.Access(now, addr, cache.Read)
-	copy(ln.data, c.cfg.Mem.FetchBlock(ln.blockAddr))
+	copy(ln.data, c.cfg.Mem.PeekBlock(ln.blockAddr))
 	ln.dirty = false
 	c.setVuln(ln, now, false)
 	c.recode(ln)

@@ -1,0 +1,26 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// BenchmarkCPURun measures the out-of-order engine alone: a fixed-latency
+// data cache isolates the per-cycle pipeline cost (fetch, dispatch, issue
+// wakeup scans, commit) from the memory hierarchy.
+func BenchmarkCPURun(b *testing.B) {
+	const instrs = 50_000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		gen := workload.MustNew(workload.Gcc(), 1)
+		c := New(DefaultConfig(), gen, perfectICache{}, &fixedDCache{loadLat: 2, storeLat: 1})
+		b.StartTimer()
+		s := c.Run(instrs)
+		if s.Instructions != instrs {
+			b.Fatalf("committed %d, want %d", s.Instructions, instrs)
+		}
+	}
+	b.ReportMetric(float64(instrs)*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
+}

@@ -152,10 +152,17 @@ type Core struct {
 	now   uint64
 	stats Stats
 
-	// Fetch state.
-	fetchQ       []fqEntry
+	// Fetch state. The fetch queue is a fixed ring (head/count over a
+	// cfg.FetchQueue-sized array) and the one-instruction peek buffer is
+	// held by value: both would otherwise allocate on every fetched
+	// instruction (slice growth after re-slicing; &inst escaping to the
+	// heap), the dominant allocation source in the whole simulator.
+	fetchQ       []fqEntry // ring buffer, len == cfg.FetchQueue
+	fqHead       int
+	fqCount      int
 	fetchStall   uint64 // fetch blocked until this cycle
-	pendingInst  *isa.Inst
+	pendingInst  isa.Inst
+	havePending  bool
 	streamDone   bool
 	lastFetchBlk uint64 // last icache block fetched (to count per-block accesses)
 	seqCounter   uint64
@@ -165,6 +172,16 @@ type Core struct {
 	ruuHead  int
 	ruuCount int
 	lsqCount int
+	// unissued lists the RUU slots of not-yet-issued entries in dispatch
+	// (= sequence) order, so issue() visits exactly the entries the full
+	// head-to-tail scan would have attempted, without walking the issued
+	// majority every cycle. Entries leave only by issuing (there is no
+	// wrong-path squash), so the list never needs rebuilding.
+	unissued []int
+	// storesInWindow counts not-yet-committed stores in the RUU so the
+	// per-load disambiguation scan can be skipped entirely when no store
+	// is in flight (the common case).
+	storesInWindow int
 
 	// Non-pipelined FU reservation.
 	intDivBusy uint64
@@ -197,17 +214,24 @@ func New(cfg Config, stream isa.Stream, icache cache.Level, dcache DataCache) *C
 	if cfg.FetchWidth <= 0 {
 		cfg = DefaultConfig()
 	}
+	if cfg.FetchQueue <= 0 {
+		// A zero-capacity queue could never feed dispatch; default to two
+		// fetch groups, as in DefaultConfig.
+		cfg.FetchQueue = 2 * cfg.FetchWidth
+	}
 	return &Core{
-		cfg:        cfg,
-		stream:     stream,
-		icache:     icache,
-		dcache:     dcache,
-		pred:       branch.NewCombined(branch.DefaultConfig()),
-		btb:        branch.NewBTB(512, 4),
-		ras:        branch.NewRAS(cfg.RASDepth),
-		fetchQ:     make([]fqEntry, 0, cfg.FetchQueue),
-		ruu:        make([]entry, cfg.RUUSize),
-		portFreeAt: make([]uint64, cfg.MemPorts),
+		cfg:           cfg,
+		stream:        stream,
+		icache:        icache,
+		dcache:        dcache,
+		pred:          branch.NewCombined(branch.DefaultConfig()),
+		btb:           branch.NewBTB(512, 4),
+		ras:           branch.NewRAS(cfg.RASDepth),
+		fetchQ:        make([]fqEntry, cfg.FetchQueue),
+		ruu:           make([]entry, cfg.RUUSize),
+		unissued:      make([]int, 0, cfg.RUUSize),
+		portFreeAt:    make([]uint64, cfg.MemPorts),
+		missBusyUntil: make([]uint64, 0, cfg.MSHRs),
 	}
 }
 
@@ -222,7 +246,7 @@ func (c *Core) Now() uint64 { return c.now }
 func (c *Core) Run(maxInstructions uint64) Stats {
 	c.maxInstrs = maxInstructions
 	for c.stats.Instructions < maxInstructions {
-		if c.streamDone && c.ruuCount == 0 && len(c.fetchQ) == 0 && c.pendingInst == nil {
+		if c.streamDone && c.ruuCount == 0 && c.fqCount == 0 && !c.havePending {
 			break
 		}
 		if c.cfg.Halt != nil && c.cfg.Halt() {
@@ -247,10 +271,9 @@ func (c *Core) Run(maxInstructions uint64) Stats {
 
 // nextInst peeks/consumes the stream through a one-instruction buffer.
 func (c *Core) nextInst() (isa.Inst, bool) {
-	if c.pendingInst != nil {
-		in := *c.pendingInst
-		c.pendingInst = nil
-		return in, true
+	if c.havePending {
+		c.havePending = false
+		return c.pendingInst, true
 	}
 	if c.streamDone {
 		return isa.Inst{}, false
@@ -263,13 +286,19 @@ func (c *Core) nextInst() (isa.Inst, bool) {
 	return in, true
 }
 
+// fqPush appends to the fetch-queue ring; the caller has checked capacity.
+func (c *Core) fqPush(fe fqEntry) {
+	c.fetchQ[(c.fqHead+c.fqCount)%len(c.fetchQ)] = fe
+	c.fqCount++
+}
+
 func (c *Core) fetch() {
 	if c.now < c.fetchStall {
 		c.stats.FetchStalls++
 		return
 	}
 	for n := 0; n < c.cfg.FetchWidth; n++ {
-		if len(c.fetchQ) >= c.cfg.FetchQueue {
+		if c.fqCount >= len(c.fetchQ) {
 			return
 		}
 		in, ok := c.nextInst()
@@ -284,7 +313,8 @@ func (c *Core) fetch() {
 			if lat > 1 {
 				// Miss: this instruction arrives when the fill completes.
 				c.fetchStall = c.now + lat
-				c.pendingInst = &in
+				c.pendingInst = in
+				c.havePending = true
 				return
 			}
 		}
@@ -297,16 +327,16 @@ func (c *Core) fetch() {
 				// Trace-driven: stall fetch; the redirect is released
 				// when the branch resolves (see issue()).
 				c.fetchStall = neverDone
-				c.fetchQ = append(c.fetchQ, fe)
+				c.fqPush(fe)
 				return
 			}
 			if in.Taken {
 				// Can't fetch past a predicted-taken branch this cycle.
-				c.fetchQ = append(c.fetchQ, fe)
+				c.fqPush(fe)
 				return
 			}
 		}
-		c.fetchQ = append(c.fetchQ, fe)
+		c.fqPush(fe)
 	}
 }
 
@@ -367,19 +397,20 @@ func (c *Core) resolveBranch(e *entry) {
 
 func (c *Core) dispatch() {
 	for n := 0; n < c.cfg.FetchWidth; n++ {
-		if len(c.fetchQ) == 0 || c.fetchQ[0].readyAt > c.now {
+		if c.fqCount == 0 || c.fetchQ[c.fqHead].readyAt > c.now {
 			return
 		}
 		if c.ruuCount >= c.cfg.RUUSize {
 			c.stats.RUUFull++
 			return
 		}
-		fe := c.fetchQ[0]
+		fe := c.fetchQ[c.fqHead]
 		if fe.inst.Op.IsMem() && c.lsqCount >= c.cfg.LSQSize {
 			c.stats.LSQFull++
 			return
 		}
-		c.fetchQ = c.fetchQ[1:]
+		c.fqHead = (c.fqHead + 1) % len(c.fetchQ)
+		c.fqCount--
 		idx := (c.ruuHead + c.ruuCount) % c.cfg.RUUSize
 		c.ruu[idx] = entry{
 			valid:   true,
@@ -389,8 +420,12 @@ func (c *Core) dispatch() {
 			mispred: fe.mispred,
 		}
 		c.ruuCount++
+		c.unissued = append(c.unissued, idx)
 		if fe.inst.Op.IsMem() {
 			c.lsqCount++
+			if fe.inst.Op == isa.OpStore {
+				c.storesInWindow++
+			}
 		}
 	}
 }
@@ -402,30 +437,42 @@ func (c *Core) dispatch() {
 // producerDone reports whether the producer `dist` instructions before seq
 // has its result available. Producers no longer in the window have
 // committed and are surely done.
+//
+// The RUU holds a contiguous seq range (sequence numbers are assigned at
+// fetch, dispatched in order, and retired only from the head), so the
+// producer's slot — if it is still in the window — is at a fixed offset
+// from the head: an O(1) index computation instead of the O(RUU) scan
+// that used to dominate the whole simulator's profile.
 func (c *Core) producerDone(seq uint64, dist uint16) bool {
-	if dist == 0 {
+	if dist == 0 || c.ruuCount == 0 {
 		return true
 	}
-	p := seq - uint64(dist)
-	for i := 0; i < c.ruuCount; i++ {
-		e := &c.ruu[(c.ruuHead+i)%c.cfg.RUUSize]
-		if e.seq == p {
-			return e.doneAt <= c.now
-		}
+	p := seq - uint64(dist) // may wrap; a wrapped p falls outside the window
+	head := c.ruu[c.ruuHead].seq
+	if p < head || p-head >= uint64(c.ruuCount) {
+		// Not in the window: committed long ago (or predates the stream).
+		return true
 	}
-	return true
+	e := &c.ruu[(c.ruuHead+int(p-head))%c.cfg.RUUSize]
+	return e.doneAt <= c.now
 }
 
 // earlierStoreConflict reports whether an older, not-yet-committed store
-// overlaps the load's word (conservative same-word disambiguation).
+// overlaps the load's word (conservative same-word disambiguation). With
+// no store in the window — the common case, tracked by storesInWindow —
+// the scan is skipped outright; otherwise only the entries older than the
+// load are examined (the window is in seq order from the head).
 func (c *Core) earlierStoreConflict(loadIdx int) bool {
+	if c.storesInWindow == 0 {
+		return false
+	}
 	word := c.ruu[loadIdx].inst.Addr &^ 7
-	seq := c.ruu[loadIdx].seq
-	for i := 0; i < c.ruuCount; i++ {
+	pos := loadIdx - c.ruuHead
+	if pos < 0 {
+		pos += c.cfg.RUUSize
+	}
+	for i := 0; i < pos; i++ {
 		e := &c.ruu[(c.ruuHead+i)%c.cfg.RUUSize]
-		if e.seq >= seq {
-			break
-		}
 		if e.inst.Op == isa.OpStore && e.inst.Addr&^7 == word {
 			return true
 		}
@@ -453,8 +500,13 @@ func (c *Core) opLatency(op isa.Op) (lat uint64, div bool) {
 }
 
 // mshrsFull reports whether every miss register is occupied, retiring
-// completed entries first.
+// completed entries first. The occupancy list is bounded by cfg.MSHRs
+// (checked before every append), so when it is not even full there is
+// nothing to decide — and nothing to compact.
 func (c *Core) mshrsFull() bool {
+	if len(c.missBusyUntil) < c.cfg.MSHRs {
+		return false
+	}
 	live := c.missBusyUntil[:0]
 	for _, t := range c.missBusyUntil {
 		if t > c.now {
@@ -480,29 +532,36 @@ func (c *Core) issue() {
 	intALU, fpALU := c.cfg.IntALUs, c.cfg.FPALUs
 	intMD, fpMD := c.cfg.IntMulDiv, c.cfg.FPMulDiv
 
-	for i := 0; i < c.ruuCount && issued < c.cfg.IssueWidth; i++ {
-		idx := (c.ruuHead + i) % c.cfg.RUUSize
-		e := &c.ruu[idx]
-		if e.issued {
-			continue
+	// Walk only the unissued entries (in sequence order); entries that
+	// stay unissued this cycle are compacted back into the list in place.
+	keep := c.unissued[:0]
+	for li, idx := range c.unissued {
+		if issued >= c.cfg.IssueWidth {
+			keep = append(keep, c.unissued[li:]...)
+			break
 		}
+		e := &c.ruu[idx]
 		if !c.producerDone(e.seq, e.inst.SrcDist1) || !c.producerDone(e.seq, e.inst.SrcDist2) {
+			keep = append(keep, idx)
 			continue
 		}
 		op := e.inst.Op
 		switch {
 		case op == isa.OpLoad:
 			if c.earlierStoreConflict(idx) {
+				keep = append(keep, idx)
 				continue
 			}
 			port := c.freePort()
 			if port < 0 {
+				keep = append(keep, idx)
 				continue
 			}
 			if c.cfg.MSHRs > 0 && c.mshrsFull() {
 				// A load that would miss cannot allocate a miss register.
 				if hp, ok := c.dcache.(HitPredictor); ok && !hp.WouldHit(e.inst.Addr) {
 					c.stats.MSHRStalls++
+					keep = append(keep, idx)
 					continue
 				}
 			}
@@ -529,11 +588,13 @@ func (c *Core) issue() {
 			lat, isDiv := c.opLatency(op)
 			if op == isa.OpIntALU {
 				if intALU == 0 {
+					keep = append(keep, idx)
 					continue
 				}
 				intALU--
 			} else {
 				if intMD == 0 || (isDiv && c.intDivBusy > c.now) {
+					keep = append(keep, idx)
 					continue
 				}
 				intMD--
@@ -547,11 +608,13 @@ func (c *Core) issue() {
 			lat, isDiv := c.opLatency(op)
 			if op == isa.OpFPALU {
 				if fpALU == 0 {
+					keep = append(keep, idx)
 					continue
 				}
 				fpALU--
 			} else {
 				if fpMD == 0 || (isDiv && c.fpDivBusy > c.now) {
+					keep = append(keep, idx)
 					continue
 				}
 				fpMD--
@@ -563,6 +626,7 @@ func (c *Core) issue() {
 			e.doneAt = c.now + lat
 		default: // control
 			if intALU == 0 {
+				keep = append(keep, idx)
 				continue
 			}
 			intALU--
@@ -570,10 +634,9 @@ func (c *Core) issue() {
 			e.doneAt = c.now + 1
 			c.resolveBranch(e)
 		}
-		if e.issued {
-			issued++
-		}
+		issued++
 	}
+	c.unissued = keep
 }
 
 // ---------------------------------------------------------------------------
@@ -614,6 +677,7 @@ func (c *Core) commit() {
 				c.commitStall = c.now + lat - 1
 			}
 			c.lsqCount--
+			c.storesInWindow--
 		} else if e.inst.Op == isa.OpLoad {
 			c.lsqCount--
 		}

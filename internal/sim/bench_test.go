@@ -1,0 +1,44 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+)
+
+// benchInstrs is the single-thread throughput yardstick: the issue's
+// "≥1.5× sim.Simulate at 100k instructions" target is measured on these
+// benchmarks (scripts/bench.sh turns ns/op into instr/sec).
+const benchInstrs = 100_000
+
+func benchSimulate(b *testing.B, scheme core.Scheme) {
+	b.Helper()
+	r := config.NewRun("gzip", scheme)
+	r.Instructions = benchInstrs
+	m := config.Default()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(m, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(benchInstrs)*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
+}
+
+func BenchmarkSimulateBaseP(b *testing.B) {
+	benchSimulate(b, core.BaseP())
+}
+
+func BenchmarkSimulateBaseECC(b *testing.B) {
+	benchSimulate(b, core.BaseECC(false))
+}
+
+func BenchmarkSimulateICRPPSS(b *testing.B) {
+	benchSimulate(b, core.ICR(core.ParityProt, core.LookupSerial, core.ReplStores))
+}
+
+func BenchmarkSimulateICRECCPPLS(b *testing.B) {
+	benchSimulate(b, core.ICR(core.ECCProt, core.LookupParallel, core.ReplLoadsStores))
+}

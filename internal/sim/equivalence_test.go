@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/fault"
+)
+
+// The kernel-equivalence goldens pin the exact metrics.Report JSON the
+// simulator produced *before* the hot-path optimizations (scratch buffers,
+// O(1) RUU lookups, copy-free memory fetches). Any optimization that
+// changes a single reported number — a counter, a latency, an energy
+// figure — fails this test. Regenerate only when a deliberate
+// model-behaviour change is being made:
+//
+//	go test ./internal/sim -run TestKernelEquivalenceGoldens -update-equivalence
+var updateEquivalence = flag.Bool("update-equivalence", false,
+	"rewrite the kernel equivalence goldens from the current simulator")
+
+// equivInstrs keeps the 10-scheme × 3-seed × 2-benchmark matrix around a
+// second of wall time while still reaching steady-state cache behaviour.
+const equivInstrs = 40_000
+
+// equivalenceRuns is the scheme matrix: all ten §3.2 schemes, three
+// workload seeds, two benchmarks, with a modest fault-injection rate so
+// the verify/recovery paths (parity checks, replica repair, ECC
+// correction, L2 refill) execute and their counters are pinned too.
+func equivalenceRuns() []config.Run {
+	var runs []config.Run
+	for _, bench := range []string{"gzip", "vpr"} {
+		for _, s := range core.AllSchemes() {
+			for seed := int64(1); seed <= 3; seed++ {
+				r := config.NewRun(bench, s)
+				r.Instructions = equivInstrs
+				r.Seed = seed
+				r.Fault = config.FaultConfig{Model: fault.Random, Prob: 1e-4, Seed: seed}
+				runs = append(runs, r)
+			}
+		}
+	}
+	return runs
+}
+
+// goldenName maps a run to its golden file name (scheme names contain
+// parentheses; keep the files shell-friendly).
+func goldenName(r *config.Run) string {
+	s := strings.NewReplacer("(", "-", ")", "").Replace(r.Scheme.Name())
+	return fmt.Sprintf("%s_%s_seed%d.json", r.Benchmark, s, r.Seed)
+}
+
+func TestKernelEquivalenceGoldens(t *testing.T) {
+	dir := filepath.Join("testdata", "equivalence")
+	if *updateEquivalence {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range equivalenceRuns() {
+		r := r
+		t.Run(fmt.Sprintf("%s/seed%d", r.Name(), r.Seed), func(t *testing.T) {
+			rep, err := Simulate(config.Default(), r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := rep.MarshalJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join(dir, goldenName(&r))
+			if *updateEquivalence {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update-equivalence): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("report diverged from the pre-optimization kernel\n got: %s\nwant: %s", got, want)
+			}
+		})
+	}
+}

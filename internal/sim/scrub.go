@@ -1,0 +1,39 @@
+package sim
+
+// scrubTicker schedules the periodic scrub passes driven from the core's
+// per-cycle hook. The first pass is due at `interval` and then every
+// `interval` cycles.
+//
+// When the observed clock jumps past several due times at once (a hook
+// driven with large strides, e.g. a long stall that batches cycle
+// callbacks), exactly one catch-up pass runs and the schedule realigns to
+// the next interval boundary after now. The naive `for now >= next` loop
+// instead burst one pass per missed interval — all at the same timestamp,
+// scrubbing far more lines per cycle than the configured engine could.
+type scrubTicker struct {
+	interval uint64
+	next     uint64
+}
+
+func newScrubTicker(interval uint64) *scrubTicker {
+	if interval == 0 {
+		interval = 1
+	}
+	return &scrubTicker{interval: interval, next: interval}
+}
+
+// due reports whether a scrub pass should run at cycle now, advancing the
+// schedule. At most one pass is due per call, however far the clock moved.
+func (s *scrubTicker) due(now uint64) bool {
+	if now < s.next {
+		return false
+	}
+	s.next += s.interval
+	if s.next <= now {
+		// The clock jumped past at least one more due time: realign to
+		// the first boundary strictly after now instead of replaying
+		// every missed interval.
+		s.next = now - now%s.interval + s.interval
+	}
+	return true
+}

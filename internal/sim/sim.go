@@ -116,11 +116,10 @@ func SimulateContext(ctx context.Context, m config.Machine, r config.Run) (*metr
 		if lines <= 0 {
 			lines = 1
 		}
-		nextScrub := r.ScrubInterval
+		tick := newScrubTicker(r.ScrubInterval)
 		hooks = append(hooks, func(now uint64) {
-			for now >= nextScrub {
+			if tick.due(now) {
 				dl1.Scrub(now, lines)
-				nextScrub += r.ScrubInterval
 			}
 		})
 	}

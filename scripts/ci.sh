@@ -1,7 +1,7 @@
 #!/bin/sh
 # ci.sh — the full tier-1 verification pipeline in one command:
 #
-#   build -> vet -> icrvet -> test -> race -> smoke
+#   build -> vet -> icrvet -> test -> bench -> race -> smoke
 #
 # Each stage is announced and the script stops at the first failure, so CI
 # logs read top-to-bottom. Everything is standard-library Go: no network
@@ -27,6 +27,14 @@ $GO run ./cmd/icrvet ./...
 
 stage test
 $GO test ./...
+
+# One iteration of every benchmark, converted to BENCH JSON and validated
+# against the schema: catches benchmarks that stop compiling or emit
+# malformed metrics without paying for a full timing run.
+stage bench
+BENCH_TMP=$(mktemp)
+BENCHTIME=1x ./scripts/bench.sh -o "$BENCH_TMP"
+rm -f "$BENCH_TMP"
 
 stage race
 $GO test -race ./internal/runner ./internal/experiments ./internal/sim \
