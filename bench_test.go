@@ -296,9 +296,15 @@ func BenchmarkTraceRoundTrip(b *testing.B) {
 
 func BenchmarkEndToEndSimulation(b *testing.B) {
 	// Whole-machine simulation throughput (instructions/op ≈ 50k).
+	r := config.NewRun("gzip", core.ICR(core.ParityProt, core.LookupSerial, core.ReplStores))
+	r.Instructions = 50_000
+	// Untimed steady-state warm-up: populates the sim instance pool and
+	// the memory's lazy block store so allocs/op is benchtime-independent.
+	if _, err := sim.Simulate(config.Default(), r); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r := config.NewRun("gzip", core.ICR(core.ParityProt, core.LookupSerial, core.ReplStores))
-		r.Instructions = 50_000
 		if _, err := sim.Simulate(config.Default(), r); err != nil {
 			b.Fatal(err)
 		}

@@ -25,7 +25,15 @@
 //
 // -check validates that a file parses, carries schema 1, and that every
 // benchmark has a name and an ns/op metric — the contract scripts/ci.sh
-// enforces on every run.
+// enforces on every run. With -against BASELINE it additionally gates
+// performance regressions: every benchmark present in both files must
+// stay within -max-alloc-growth of the baseline's allocs/op (allocations
+// are deterministic, so this bound is tight) and above -min-speed-frac of
+// its instr/s (timing from CI's single-iteration smoke runs is noisy, so
+// this bound only catches order-of-magnitude collapses, e.g. arena
+// pooling silently breaking). A benchmark that exists in the baseline but
+// not in the checked file fails the gate: renames must update the
+// committed baseline.
 package main
 
 import (
@@ -63,10 +71,13 @@ type File struct {
 
 func main() {
 	var (
-		out      = flag.String("o", "", "output file (default stdout)")
-		baseline = flag.String("baseline", "", "prior BENCH json to embed and compute speedups against")
-		check    = flag.String("check", "", "validate an existing BENCH json and exit")
-		date     = flag.String("date", "", "date stamp (default today, YYYY-MM-DD)")
+		out       = flag.String("o", "", "output file (default stdout)")
+		baseline  = flag.String("baseline", "", "prior BENCH json to embed and compute speedups against")
+		check     = flag.String("check", "", "validate an existing BENCH json and exit")
+		against   = flag.String("against", "", "with -check: committed BENCH json to gate regressions against")
+		allocGrow = flag.Float64("max-alloc-growth", 0.25, "with -against: allowed fractional allocs/op growth")
+		speedFrac = flag.Float64("min-speed-frac", 0.30, "with -against: required fraction of baseline instr/s")
+		date      = flag.String("date", "", "date stamp (default today, YYYY-MM-DD)")
 	)
 	flag.Parse()
 
@@ -75,8 +86,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *check, err)
 			os.Exit(1)
 		}
+		if *against != "" {
+			if err := checkAgainst(*check, *against, *allocGrow, *speedFrac); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %s vs %s: %v\n", *check, *against, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%s: ok (no regression vs %s)\n", *check, *against)
+			return
+		}
 		fmt.Printf("%s: ok\n", *check)
 		return
+	}
+	if *against != "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -against requires -check")
+		os.Exit(1)
 	}
 
 	benches, err := parse(bufio.NewScanner(os.Stdin))
@@ -197,6 +220,67 @@ func embedBaseline(f *File, path string) error {
 		if o, ok := old[b.Name]; ok && b.Metrics["ns/op"] > 0 {
 			f.Speedup[b.Name] = o / b.Metrics["ns/op"]
 		}
+	}
+	return nil
+}
+
+// loadFile reads and validates one BENCH file.
+func loadFile(path string) (*File, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, err
+	}
+	if f.Schema != Schema {
+		return nil, fmt.Errorf("schema = %d, want %d", f.Schema, Schema)
+	}
+	return &f, nil
+}
+
+// checkAgainst is the CI regression gate: compare the current run against
+// a committed baseline. See compareBench for the rules.
+func checkAgainst(current, baseline string, allocGrow, speedFrac float64) error {
+	cur, err := loadFile(current)
+	if err != nil {
+		return err
+	}
+	base, err := loadFile(baseline)
+	if err != nil {
+		return err
+	}
+	return compareBench(cur.Benchmarks, base.Benchmarks, allocGrow, speedFrac)
+}
+
+// compareBench enforces the regression rules benchmark-by-benchmark:
+// every baseline benchmark must exist in the current run, allocs/op may
+// grow at most by the allocGrow fraction, and instr/s (where both sides
+// report it) must stay at or above speedFrac of the baseline.
+func compareBench(current, baseline []Benchmark, allocGrow, speedFrac float64) error {
+	cur := make(map[string]Benchmark, len(current))
+	for _, b := range current {
+		cur[b.Name] = b
+	}
+	var failures []string
+	for _, b := range baseline {
+		c, ok := cur[b.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: present in baseline but missing from current run", b.Name))
+			continue
+		}
+		if ba, ca := b.Metrics["allocs/op"], c.Metrics["allocs/op"]; ba > 0 && ca > ba*(1+allocGrow) {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %.0f > %.0f (+%.0f%% over baseline %.0f)",
+				b.Name, ca, ba*(1+allocGrow), allocGrow*100, ba))
+		}
+		if bs, cs := b.Metrics["instr/s"], c.Metrics["instr/s"]; bs > 0 && cs > 0 && cs < bs*speedFrac {
+			failures = append(failures, fmt.Sprintf("%s: instr/s %.0f < %.0f (%.0f%% of baseline %.0f)",
+				b.Name, cs, bs*speedFrac, speedFrac*100, bs))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d regression(s):\n  %s", len(failures), strings.Join(failures, "\n  "))
 	}
 	return nil
 }

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func bm(name string, allocs, instrs float64) Benchmark {
+	m := map[string]float64{"ns/op": 1e6}
+	if allocs >= 0 {
+		m["allocs/op"] = allocs
+	}
+	if instrs > 0 {
+		m["instr/s"] = instrs
+	}
+	return Benchmark{Name: name, Iterations: 1, Metrics: m}
+}
+
+func TestCompareBenchPasses(t *testing.T) {
+	base := []Benchmark{bm("A", 100, 1e6), bm("B", 50, 2e6)}
+	cur := []Benchmark{
+		bm("A", 110, 0.9e6), // +10% allocs, slightly slower: within bounds
+		bm("B", 50, 3e6),    // faster is always fine
+		bm("C", 9999, 1),    // new benchmark: not gated
+	}
+	if err := compareBench(cur, base, 0.25, 0.30); err != nil {
+		t.Errorf("compareBench = %v, want nil", err)
+	}
+}
+
+func TestCompareBenchCatchesAllocGrowth(t *testing.T) {
+	base := []Benchmark{bm("A", 100, 1e6)}
+	cur := []Benchmark{bm("A", 200, 1e6)}
+	err := compareBench(cur, base, 0.25, 0.30)
+	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
+		t.Errorf("compareBench = %v, want allocs/op regression", err)
+	}
+}
+
+func TestCompareBenchCatchesSpeedCollapse(t *testing.T) {
+	base := []Benchmark{bm("A", 100, 10e6)}
+	cur := []Benchmark{bm("A", 100, 1e6)} // 10% of baseline speed
+	err := compareBench(cur, base, 0.25, 0.30)
+	if err == nil || !strings.Contains(err.Error(), "instr/s") {
+		t.Errorf("compareBench = %v, want instr/s regression", err)
+	}
+}
+
+func TestCompareBenchCatchesMissingBenchmark(t *testing.T) {
+	base := []Benchmark{bm("A", 100, 1e6), bm("Gone", 10, 1e6)}
+	cur := []Benchmark{bm("A", 100, 1e6)}
+	err := compareBench(cur, base, 0.25, 0.30)
+	if err == nil || !strings.Contains(err.Error(), "Gone") {
+		t.Errorf("compareBench = %v, want missing-benchmark failure", err)
+	}
+}
+
+func TestCompareBenchSkipsMetriclessSides(t *testing.T) {
+	// Benchmarks without instr/s (figure sweeps) or allocs/op are only
+	// gated on the metrics both sides report.
+	base := []Benchmark{bm("Fig", -1, 0)}
+	cur := []Benchmark{bm("Fig", -1, 0)}
+	if err := compareBench(cur, base, 0.25, 0.30); err != nil {
+		t.Errorf("compareBench = %v, want nil", err)
+	}
+}

@@ -90,6 +90,9 @@ func run(ctx context.Context, args []string) error {
 		Seed:         sim.Seed,
 		Runner:       eng,
 	}
+	if opts.Sample, err = sim.SampleConfig(); err != nil {
+		return err
+	}
 	if *progress {
 		stopProgress := startProgressLine(prog)
 		defer stopProgress()

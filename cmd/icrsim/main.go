@@ -76,6 +76,9 @@ func run(ctx context.Context, args []string) error {
 	r := config.NewRun(*bench, scheme)
 	r.Instructions = sf.Instructions
 	r.Seed = sf.Seed
+	if r.Sample, err = sf.SampleConfig(); err != nil {
+		return err
+	}
 	r.WriteThrough = *writeThrough
 	r.Repl.DecayWindow = *window
 	r.Repl.Replicas = *replicas
@@ -122,6 +125,10 @@ func runAllSchemes(ctx context.Context, sf cliflag.Sim, bench string, window uin
 	if err != nil {
 		return err
 	}
+	sample, err := sf.SampleConfig()
+	if err != nil {
+		return err
+	}
 	eng := runner.New(runner.Options{Workers: sf.Parallel, Timeout: sf.Timeout})
 	schemes := core.AllSchemes()
 	runs := make([]config.Run, len(schemes))
@@ -129,6 +136,7 @@ func runAllSchemes(ctx context.Context, sf cliflag.Sim, bench string, window uin
 		r := config.NewRun(bench, scheme)
 		r.Instructions = sf.Instructions
 		r.Seed = sf.Seed
+		r.Sample = sample
 		r.Repl.DecayWindow = window
 		r.Repl.Victim = vp
 		runs[i] = r

@@ -318,3 +318,49 @@ func (r *RAS) Pop() (uint64, bool) {
 
 // Depth returns the number of live entries.
 func (r *RAS) Depth() int { return r.top }
+
+// ---------------------------------------------------------------------------
+// Reset (arena reuse)
+// ---------------------------------------------------------------------------
+
+// Reset restores the predictor to its post-construction state (counters
+// weakly not-taken) without reallocating the table.
+func (b *Bimodal) Reset() {
+	for i := range b.table {
+		b.table[i] = 1
+	}
+}
+
+// Reset restores the predictor to its post-construction state without
+// reallocating the table.
+func (g *TwoLevel) Reset() {
+	for i := range g.table {
+		g.table[i] = 1
+	}
+	g.history = 0
+}
+
+// Reset restores the tournament predictor to its post-construction state
+// without reallocating any table.
+func (c *Combined) Reset() {
+	c.bimodal.Reset()
+	c.twoLevel.Reset()
+	for i := range c.meta {
+		c.meta[i] = 1
+	}
+}
+
+// Reset empties the BTB without reallocating its entry array.
+func (b *BTB) Reset() {
+	clear(b.entries)
+	b.clock = 0
+}
+
+// Reset empties the stack (entry contents are overwritten before use).
+func (r *RAS) Reset() {
+	r.top = 0
+	r.pos = 0
+}
+
+// Cap returns the stack's capacity (its construction depth).
+func (r *RAS) Cap() int { return len(r.stack) }

@@ -521,3 +521,38 @@ func (m *Memory) WriteWord(blockAddr uint64, off int, value uint64) {
 		b[w+i] = byte(value >> (8 * i))
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Reset (arena reuse)
+// ---------------------------------------------------------------------------
+
+// Reset restores the cache to its post-construction state — every line
+// invalid, counters zeroed — without reallocating the line array.
+func (c *Cache) Reset() {
+	clear(c.lines)
+	c.clock = 0
+	c.stats = Stats{}
+	c.portBusy = 0
+}
+
+// Reset empties the buffer and zeroes its counters without reallocating
+// the queue.
+func (w *WriteBuffer) Reset() {
+	w.queue = w.queue[:0]
+	w.frontDone = 0
+	w.clock = 0
+	w.lastIssue = 0
+	w.stats = WriteBufferStats{}
+}
+
+// Reset restores the memory to its post-construction state without
+// releasing the block map: every retained block is re-synthesized to the
+// deterministic never-written pattern for its address, which is exactly
+// what a fresh Memory would return for it, so steady-state reuse
+// allocates nothing.
+func (m *Memory) Reset() {
+	for addr, b := range m.blocks {
+		m.synthesize(b, addr)
+	}
+	m.accesses = 0
+}

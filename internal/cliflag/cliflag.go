@@ -33,6 +33,9 @@ type Sim struct {
 	Parallel int
 	// Timeout bounds each individual simulation (0 = none).
 	Timeout time.Duration
+	// Sample is the raw -sample value; SampleConfig parses it
+	// ("" = exact simulation).
+	Sample string
 	// StoreDir, when non-empty, backs the runner's cache with a
 	// persistent result store in that directory (RegisterCache).
 	StoreDir string
@@ -48,6 +51,14 @@ func (s *Sim) Register(fs *flag.FlagSet) {
 	fs.IntVar(&s.Parallel, "parallel", runtime.NumCPU(),
 		"concurrent simulations (1 = serial; results identical either way)")
 	fs.DurationVar(&s.Timeout, "timeout", 0, "per-simulation timeout (0 = none)")
+	fs.StringVar(&s.Sample, "sample", "",
+		`SMARTS-style sampled simulation: "on" for the default geometry, or `+
+			`"period=N[,detail=N][,warmup=N][,conf=90|95|99]" (empty = exact)`)
+}
+
+// SampleConfig parses the -sample flag value (config.ParseSample syntax).
+func (s *Sim) SampleConfig() (config.SampleConfig, error) {
+	return config.ParseSample(s.Sample)
 }
 
 // RegisterCache installs the cache-control flags (commands that memoize:

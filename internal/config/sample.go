@@ -1,0 +1,53 @@
+package config
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSample parses the textual sampling spec every entry point shares
+// (the icrsim/icrbench/icrd -sample flag and the icrd request field).
+// "" disables sampling; "on" (or "default") selects the validated default
+// geometry; otherwise the value is comma-separated key=value pairs:
+// period, detail, warmup (all instruction counts), conf (confidence
+// percent: 90, 95, or 99).
+func ParseSample(v string) (SampleConfig, error) {
+	var sc SampleConfig
+	switch v {
+	case "":
+		return sc, nil
+	case "on", "default":
+		sc.Period = DefaultSamplePeriod
+		return sc, nil
+	}
+	for _, part := range strings.Split(v, ",") {
+		key, val, found := strings.Cut(strings.TrimSpace(part), "=")
+		if !found {
+			return sc, fmt.Errorf(`bad sample element %q: want key=value (or "on")`, part)
+		}
+		n, err := strconv.ParseUint(strings.TrimSpace(val), 10, 64)
+		if err != nil {
+			return sc, fmt.Errorf("bad sample value %q: %w", part, err)
+		}
+		switch strings.TrimSpace(key) {
+		case "period":
+			sc.Period = n
+		case "detail":
+			sc.Detail = n
+		case "warmup":
+			sc.Warmup = n
+		case "conf":
+			if n != 90 && n != 95 && n != 99 {
+				return sc, fmt.Errorf("bad sample confidence %d: want 90, 95, or 99", n)
+			}
+			sc.Confidence = int(n)
+		default:
+			return sc, fmt.Errorf("unknown sample key %q (want period, detail, warmup, conf)", key)
+		}
+	}
+	if !sc.Enabled() {
+		return sc, fmt.Errorf("sample spec %q sets no period: sampling needs period=N (or \"on\")", v)
+	}
+	return sc, nil
+}

@@ -345,11 +345,7 @@ func (c *Cache) recode(ln *line) {
 func (c *Cache) recodeWord(ln *line, off int) {
 	w := off &^ 7
 	// Parity bits for the word's 8 bytes live in parity[w/8].
-	var p byte
-	for j := 0; j < 8; j++ {
-		p |= ecc.ParityByte(ln.data[w+j]) << uint(j)
-	}
-	ln.parity[w/8] = p
+	ln.parity[w/8] = ecc.EncodeParity64(ecc.Word64(ln.data, w))
 	if ln.eccb != nil {
 		ln.eccb[w/8] = ecc.EncodeSECDED(ecc.Word64(ln.data, off))
 	}
@@ -590,4 +586,27 @@ func (c *Cache) CheckInvariants() error {
 		}
 	}
 	return nil
+}
+
+// Reset restores the cache to its post-construction state — every line
+// invalid with zeroed metadata, counters and scrub state cleared — without
+// reallocating the per-line data, parity, or ECC arrays. Stale payload
+// bytes in invalid lines are unreachable: every fill copies the full block
+// (and recomputes its check bits) before the line turns valid. Attached
+// components (write buffer, duplicate cache, energy meter) have their own
+// Reset methods; the caller resets them alongside.
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		l := &c.lines[i]
+		data, parity, eccb := l.data, l.parity, l.eccb
+		*l = line{data: data, parity: parity, eccb: eccb, idx: i}
+	}
+	c.clock = 0
+	c.stats = Stats{}
+	c.storeSeq = 0
+	c.lastWord = -1
+	c.replScratch = c.replScratch[:0]
+	c.usedSets = c.usedSets[:0]
+	c.scrubPos = 0
+	c.scrub = ScrubStats{}
 }

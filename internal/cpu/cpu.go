@@ -690,3 +690,70 @@ func (c *Core) commit() {
 		}
 	}
 }
+
+// Reset restores the core to its post-construction state for a new run —
+// new per-run configuration (hooks differ run to run), new stream — while
+// reusing every internal array: the fetch ring, RUU, issue list, port and
+// MSHR reservations, and the branch predictor tables. Structure sizes are
+// taken from cfg exactly as New takes them; an array whose configured size
+// changed is reallocated, so Reset is correct (just not allocation-free)
+// across machine geometries. Stale entries beyond the reset ring counts
+// are unreachable: fetch and dispatch fully overwrite a slot before the
+// counts make it visible.
+func (c *Core) Reset(cfg Config, stream isa.Stream) {
+	if cfg.FetchWidth <= 0 {
+		cfg = DefaultConfig()
+	}
+	if cfg.FetchQueue <= 0 {
+		cfg.FetchQueue = 2 * cfg.FetchWidth
+	}
+	c.cfg = cfg
+	c.stream = stream
+
+	c.pred.Reset()
+	c.btb.Reset()
+	if c.ras.Cap() != cfg.RASDepth {
+		c.ras = branch.NewRAS(cfg.RASDepth)
+	} else {
+		c.ras.Reset()
+	}
+
+	c.now = 0
+	c.stats = Stats{}
+
+	if len(c.fetchQ) != cfg.FetchQueue {
+		c.fetchQ = make([]fqEntry, cfg.FetchQueue)
+	}
+	c.fqHead = 0
+	c.fqCount = 0
+	c.fetchStall = 0
+	c.pendingInst = isa.Inst{}
+	c.havePending = false
+	c.streamDone = false
+	c.lastFetchBlk = 0
+	c.seqCounter = 0
+
+	if len(c.ruu) != cfg.RUUSize {
+		c.ruu = make([]entry, cfg.RUUSize)
+		c.unissued = make([]int, 0, cfg.RUUSize)
+	}
+	c.ruuHead = 0
+	c.ruuCount = 0
+	c.lsqCount = 0
+	c.unissued = c.unissued[:0]
+	c.storesInWindow = 0
+
+	c.intDivBusy = 0
+	c.fpDivBusy = 0
+	if len(c.portFreeAt) != cfg.MemPorts {
+		c.portFreeAt = make([]uint64, cfg.MemPorts)
+	} else {
+		clear(c.portFreeAt)
+	}
+	if cap(c.missBusyUntil) < cfg.MSHRs {
+		c.missBusyUntil = make([]uint64, 0, cfg.MSHRs)
+	}
+	c.missBusyUntil = c.missBusyUntil[:0]
+	c.commitStall = 0
+	c.maxInstrs = 0
+}

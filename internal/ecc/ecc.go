@@ -10,7 +10,10 @@
 // assumed.
 package ecc
 
-import "math/bits"
+import (
+	"encoding/binary"
+	"math/bits"
+)
 
 // Result classifies the outcome of a code check.
 type Result uint8
@@ -69,12 +72,17 @@ func ParityByte(b byte) byte {
 
 // EncodeParity64 returns the 8 parity bits for a 64-bit word (one per byte,
 // bit i of the result covering byte i, little-endian byte order).
+//
+// The parities of all 8 bytes are computed at once: three xor-folds leave
+// each byte's parity in its bit 0, and the multiply gathers those eight
+// bit-0 positions into the top byte. The gather is exact — every partial
+// product of (x & 0x0101…) * 0x0102040810204080 lands on a distinct bit
+// (8i−7j collides only for i=j within range), so no carries occur.
 func EncodeParity64(word uint64) uint8 {
-	var p uint8
-	for i := 0; i < 8; i++ {
-		p |= ParityByte(byte(word>>(8*i))) << i
-	}
-	return p
+	word ^= word >> 4
+	word ^= word >> 2
+	word ^= word >> 1
+	return uint8((word & 0x0101010101010101) * 0x0102040810204080 >> 56)
 }
 
 // CheckParity64 verifies a 64-bit word against its stored parity bits.
@@ -213,11 +221,16 @@ func SECDEDBytesPerLine(lineSize int) int { return (lineSize + 7) / 8 }
 // dst[i] is the parity of data[8*i+j]. dst must have length
 // ParityBytesPerLine(len(data)).
 func EncodeParityLine(data, dst []byte) {
-	for i := range dst {
-		dst[i] = 0
+	i := 0
+	for ; i+8 <= len(data); i += 8 {
+		dst[i/8] = EncodeParity64(binary.LittleEndian.Uint64(data[i:]))
 	}
-	for i, b := range data {
-		dst[i/8] |= ParityByte(b) << uint(i%8)
+	if i < len(data) {
+		var p byte
+		for j, b := range data[i:] {
+			p |= ParityByte(b) << uint(j)
+		}
+		dst[i/8] = p
 	}
 }
 
@@ -234,7 +247,15 @@ func CheckParityLineByte(data, parity []byte, i int) Result {
 // CheckParityLineRange verifies bytes [off, off+n) of a line. It returns OK
 // only if every byte in the range checks.
 func CheckParityLineRange(data, parity []byte, off, n int) Result {
-	for i := off; i < off+n && i < len(data); i++ {
+	i := off
+	// Word-aligned spans check 8 bytes per step against the packed
+	// parity byte directly.
+	for ; i%8 == 0 && i+8 <= off+n && i+8 <= len(data); i += 8 {
+		if EncodeParity64(binary.LittleEndian.Uint64(data[i:])) != parity[i/8] {
+			return DetectedSingle
+		}
+	}
+	for ; i < off+n && i < len(data); i++ {
 		if CheckParityLineByte(data, parity, i) != OK {
 			return DetectedSingle
 		}
@@ -246,6 +267,9 @@ func CheckParityLineRange(data, parity []byte, off, n int) Result {
 // line, little-endian.
 func Word64(data []byte, off int) uint64 {
 	w := off &^ 7
+	if w+8 <= len(data) {
+		return binary.LittleEndian.Uint64(data[w:])
+	}
 	var v uint64
 	for i := 0; i < 8 && w+i < len(data); i++ {
 		v |= uint64(data[w+i]) << (8 * i)
@@ -257,6 +281,10 @@ func Word64(data []byte, off int) uint64 {
 // containing byte offset off.
 func PutWord64(data []byte, off int, v uint64) {
 	w := off &^ 7
+	if w+8 <= len(data) {
+		binary.LittleEndian.PutUint64(data[w:], v)
+		return
+	}
 	for i := 0; i < 8 && w+i < len(data); i++ {
 		data[w+i] = byte(v >> (8 * i))
 	}

@@ -30,6 +30,51 @@ func TestEncodeParity64RoundTrip(t *testing.T) {
 	}
 }
 
+func TestEncodeParity64MatchesByteLoop(t *testing.T) {
+	// The SWAR fold-and-gather must agree with the definitional per-byte
+	// loop on every input.
+	ref := func(word uint64) uint8 {
+		var p uint8
+		for i := 0; i < 8; i++ {
+			p |= ParityByte(byte(word>>(8*i))) << i
+		}
+		return p
+	}
+	f := func(word uint64) bool {
+		return EncodeParity64(word) == ref(word)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	for _, w := range []uint64{0, ^uint64(0), 0x0102040810204080, 0x0101010101010101} {
+		if EncodeParity64(w) != ref(w) {
+			t.Errorf("EncodeParity64(%#x) = %#x, want %#x", w, EncodeParity64(w), ref(w))
+		}
+	}
+}
+
+func TestLineParityUnalignedTail(t *testing.T) {
+	// Lines whose length is not a multiple of 8 exercise the byte-loop
+	// tails of EncodeParityLine and CheckParityLineRange.
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 7, 8, 9, 20, 31, 32, 33} {
+		data := make([]byte, n)
+		rng.Read(data)
+		parity := make([]byte, ParityBytesPerLine(n))
+		EncodeParityLine(data, parity)
+		if r := CheckParityLineRange(data, parity, 0, n); r != OK {
+			t.Errorf("len %d: clean check = %v, want OK", n, r)
+		}
+		for i := 0; i < n; i++ {
+			data[i] ^= 0x10
+			if r := CheckParityLineRange(data, parity, 0, n); r != DetectedSingle {
+				t.Errorf("len %d: flip at %d = %v, want DetectedSingle", n, i, r)
+			}
+			data[i] ^= 0x10
+		}
+	}
+}
+
 func TestParityDetectsSingleBitFlip(t *testing.T) {
 	f := func(word uint64, bit uint8) bool {
 		p := EncodeParity64(word)

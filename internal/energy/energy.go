@@ -164,3 +164,10 @@ func (m *Meter) CheckEnergy() float64 {
 func (m *Meter) Total() float64 {
 	return m.L1Energy() + m.L2Energy() + m.CheckEnergy() + m.RCacheEnergy()
 }
+
+// Reset zeroes the accumulated counts and installs new parameters, making
+// the meter indistinguishable from NewMeter(p) (arena reuse).
+func (m *Meter) Reset(p Params) {
+	m.params = p
+	m.counts = Counts{}
+}

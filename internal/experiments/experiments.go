@@ -35,6 +35,10 @@ type Options struct {
 	Seed int64
 	// Machine overrides the Table 1 machine when non-nil.
 	Machine *config.Machine
+	// Sample, when enabled, switches every simulation the drivers issue
+	// to SMARTS-style sampled mode (config.SampleConfig); counters stay
+	// exact, timing is extrapolated from the measured windows.
+	Sample config.SampleConfig
 	// Runner executes the simulations. Nil uses a process-wide shared
 	// runner with GOMAXPROCS workers and memoization, so independent
 	// sweep points run concurrently and repeated ones simulate once.
@@ -66,6 +70,9 @@ func (o *Options) apply(r *config.Run) {
 	}
 	if o.Seed != 0 {
 		r.Seed = o.Seed
+	}
+	if o.Sample.Enabled() {
+		r.Sample = o.Sample
 	}
 }
 

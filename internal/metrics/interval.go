@@ -1,0 +1,90 @@
+package metrics
+
+import "math"
+
+// MeanCI returns the sample mean of xs and the half-width of the two-sided
+// Student-t confidence interval at conf percent (90, 95, or 99; other
+// values fall back to 95). With no samples it returns (0, 0); with one
+// sample the interval is undefined and the half-width is reported as 0.
+// Summation is sequential in slice order, so the result is deterministic
+// for a deterministic input order.
+func MeanCI(xs []float64, conf int) (mean, half float64) {
+	n := len(xs)
+	if n == 0 {
+		return 0, 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	mean = sum / float64(n)
+	if n < 2 {
+		return mean, 0
+	}
+	ss := 0.0
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	return mean, tCritical(conf, n-1) * sd / math.Sqrt(float64(n))
+}
+
+// tTableDF lists the degrees of freedom covered by the critical-value
+// tables; a df between entries uses the largest tabulated df not above it,
+// which over-states t slightly (a conservative, wider interval).
+var tTableDF = []int{
+	1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
+	11, 12, 13, 14, 15, 16, 17, 18, 19, 20,
+	21, 22, 23, 24, 25, 26, 27, 28, 29, 30,
+	40, 60, 120, 300,
+}
+
+// Two-sided critical values of Student's t, indexed like tTableDF; the
+// final entry (df 300+) is the normal limit.
+var (
+	tCrit90 = []float64{
+		6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812,
+		1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725,
+		1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701, 1.699, 1.697,
+		1.684, 1.671, 1.658, 1.645,
+	}
+	tCrit95 = []float64{
+		12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+		2.021, 2.000, 1.980, 1.960,
+	}
+	tCrit99 = []float64{
+		63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169,
+		3.106, 3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845,
+		2.831, 2.819, 2.807, 2.797, 2.787, 2.779, 2.771, 2.763, 2.756, 2.750,
+		2.704, 2.660, 2.617, 2.576,
+	}
+)
+
+// tCritical returns the two-sided Student-t critical value for the given
+// confidence percent and degrees of freedom.
+func tCritical(conf, df int) float64 {
+	var table []float64
+	switch conf {
+	case 90:
+		table = tCrit90
+	case 99:
+		table = tCrit99
+	default:
+		table = tCrit95
+	}
+	if df < 1 {
+		df = 1
+	}
+	// Largest tabulated df not above the actual df.
+	idx := 0
+	for i, d := range tTableDF {
+		if d > df {
+			break
+		}
+		idx = i
+	}
+	return table[idx]
+}

@@ -11,16 +11,30 @@ import (
 // field), in every icrd HTTP response, and in every internal/store disk
 // entry header, so all three share one versioned wire form.
 //
+// Version history:
+//
+//	1 — exact runs: every counter, no sampling fields.
+//	2 — adds the optional Sampling block (SamplingStats) for sampled
+//	    runs. Exact runs still marshal as version 1 — their encoding is
+//	    byte-identical to what version-1 writers produced — and decoders
+//	    accept both, so only payloads that actually carry sampling data
+//	    are tagged with the new version.
+//
 // Bump it whenever the set of Report fields changes (added, removed, or
-// renamed): decoders reject mismatched versions, which turns a stale disk
+// renamed): decoders reject unknown versions, which turns a stale disk
 // entry into a cache miss instead of a silently wrong report. The golden
 // test in json_test.go fails on any field change that is not accompanied
 // by a bump.
-const ReportSchemaVersion = 1
+const ReportSchemaVersion = 2
+
+// exactReportSchema is the wire version emitted for reports without
+// sampling data; see the version history above.
+const exactReportSchema = 1
 
 // ErrReportSchema is returned (wrapped) by Report.UnmarshalJSON when the
-// payload's schema version does not match ReportSchemaVersion. Callers
-// that read cached reports should treat it as a miss, not a failure.
+// payload's schema version is not one this decoder understands, or when a
+// payload's fields contradict its declared version. Callers that read
+// cached reports should treat it as a miss, not a failure.
 var ErrReportSchema = errors.New("metrics: report schema version mismatch")
 
 // reportWire is Report plus the schema discriminator. The alias type
@@ -34,25 +48,38 @@ type reportWire struct {
 }
 
 // MarshalJSON encodes the report with its schema version as a leading
-// "schema" field. The encoding is stable: field order follows the struct
-// definition and float64 values round-trip exactly (encoding/json emits
-// the shortest representation that parses back to the same bits), so a
-// report stored and reloaded is byte-identical when re-marshalled.
+// "schema" field: exactReportSchema when Sampling is nil (byte-identical
+// to the version-1 encoding), ReportSchemaVersion otherwise. The encoding
+// is stable: field order follows the struct definition and float64 values
+// round-trip exactly (encoding/json emits the shortest representation
+// that parses back to the same bits), so a report stored and reloaded is
+// byte-identical when re-marshalled.
 func (r Report) MarshalJSON() ([]byte, error) {
-	return json.Marshal(reportWire{Schema: ReportSchemaVersion, reportAlias: reportAlias(r)})
+	v := exactReportSchema
+	if r.Sampling != nil {
+		v = ReportSchemaVersion
+	}
+	return json.Marshal(reportWire{Schema: v, reportAlias: reportAlias(r)})
 }
 
-// UnmarshalJSON decodes a report, rejecting payloads whose schema version
-// differs from ReportSchemaVersion with an error wrapping
-// ErrReportSchema.
+// UnmarshalJSON decodes a report, accepting both current wire versions and
+// rejecting anything else with an error wrapping ErrReportSchema. A
+// payload claiming version 1 but carrying sampling fields is malformed and
+// rejected the same way.
 func (r *Report) UnmarshalJSON(data []byte) error {
 	var w reportWire
 	w.Schema = -1
 	if err := json.Unmarshal(data, &w); err != nil {
 		return err
 	}
-	if w.Schema != ReportSchemaVersion {
-		return fmt.Errorf("%w: got %d, want %d", ErrReportSchema, w.Schema, ReportSchemaVersion)
+	switch w.Schema {
+	case exactReportSchema:
+		if w.Sampling != nil {
+			return fmt.Errorf("%w: version %d payload carries sampling fields", ErrReportSchema, w.Schema)
+		}
+	case ReportSchemaVersion:
+	default:
+		return fmt.Errorf("%w: got %d, want %d or %d", ErrReportSchema, w.Schema, exactReportSchema, ReportSchemaVersion)
 	}
 	*r = Report(w.reportAlias)
 	return nil

@@ -13,74 +13,108 @@ import (
 	"testing"
 )
 
-// update regenerates testdata/report_schema.json from the current
+// update regenerates testdata/report_schema*.json from the current
 // encoding. Only meaningful together with a ReportSchemaVersion bump —
 // TestReportSchemaFingerprint still fails on unpinned field changes.
 var update = flag.Bool("update", false, "rewrite golden files")
 
-// goldenReport populates every field with a distinct value so the golden
-// encoding exercises the full schema (reflection below verifies no field
-// was missed).
-func goldenReport() Report {
-	var r Report
-	v := reflect.ValueOf(&r).Elem()
+// fillDistinct sets every scalar field of the struct v points at to a
+// distinct value, so golden encodings exercise the full schema and
+// field-order swaps are visible. It panics on an unhandled kind, which is
+// the tripwire that forces this helper (and the goldens) to keep up with
+// schema changes.
+func fillDistinct(v reflect.Value, base int) {
 	for i := 0; i < v.NumField(); i++ {
 		f := v.Field(i)
 		switch f.Kind() {
 		case reflect.String:
-			f.SetString(fmt.Sprintf("field%d", i))
+			f.SetString(fmt.Sprintf("field%d", base+i))
 		case reflect.Uint64:
-			f.SetUint(uint64(i + 1))
+			f.SetUint(uint64(base + i + 1))
+		case reflect.Int:
+			f.SetInt(int64(base + i + 1))
 		case reflect.Float64:
-			f.SetFloat(float64(i) + 0.125)
+			f.SetFloat(float64(base+i) + 0.125)
+		case reflect.Pointer:
+			// Handled by the caller (goldenReport): the only pointer field
+			// is Sampling, which is nil for exact reports.
 		default:
-			panic("goldenReport: unhandled field kind " + f.Kind().String())
+			panic("fillDistinct: unhandled field kind " + f.Kind().String())
 		}
+	}
+}
+
+// goldenReport populates every field with a distinct value so the golden
+// encoding exercises the full schema (reflection above verifies no field
+// was missed). sampled attaches a fully populated SamplingStats block;
+// exact reports leave it nil.
+func goldenReport(sampled bool) Report {
+	var r Report
+	fillDistinct(reflect.ValueOf(&r).Elem(), 0)
+	if sampled {
+		var s SamplingStats
+		fillDistinct(reflect.ValueOf(&s).Elem(), 100)
+		r.Sampling = &s
 	}
 	return r
 }
 
-// TestReportJSONGolden pins the exact wire encoding of Report. If this
-// fails because Report's fields changed, bump ReportSchemaVersion and
-// regenerate the golden file with:
+// TestReportJSONGolden pins the exact wire encoding of Report in both
+// schema variants: an exact run (Sampling nil) must stay byte-identical to
+// the version-1 encoding, and a sampled run pins the version-2 encoding
+// with the Sampling block. If this fails because Report's fields changed,
+// bump ReportSchemaVersion and regenerate the golden files with:
 //
 //	go test ./internal/metrics -run TestReportJSONGolden -update
 func TestReportJSONGolden(t *testing.T) {
-	r := goldenReport()
-	got, err := json.Marshal(r)
-	if err != nil {
-		t.Fatal(err)
+	cases := []struct {
+		name    string
+		file    string
+		sampled bool
+		schema  int
+	}{
+		{"exact", "report_schema.json", false, exactReportSchema},
+		{"sampled", "report_schema_sampled.json", true, ReportSchemaVersion},
 	}
-	path := filepath.Join("testdata", "report_schema.json")
-	if *update {
-		if err := os.MkdirAll("testdata", 0o755); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(path, got, 0o644); err != nil {
-			t.Fatal(err)
-		}
-	}
-	want, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatalf("reading golden file: %v (run with -update to regenerate)", err)
-	}
-	if !bytes.Equal(got, want) {
-		t.Errorf("Report JSON encoding changed without a schema bump.\n got: %s\nwant: %s\n"+
-			"If the field change is intentional, bump metrics.ReportSchemaVersion and re-run with -update.",
-			got, want)
-	}
-	if !strings.Contains(string(got), fmt.Sprintf(`"schema":%d`, ReportSchemaVersion)) {
-		t.Errorf("encoding missing schema field: %s", got)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := goldenReport(tc.sampled)
+			got, err := json.Marshal(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", tc.file)
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("reading golden file: %v (run with -update to regenerate)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("Report JSON encoding changed without a schema bump.\n got: %s\nwant: %s\n"+
+					"If the field change is intentional, bump metrics.ReportSchemaVersion and re-run with -update.",
+					got, want)
+			}
+			if !strings.Contains(string(got), fmt.Sprintf(`"schema":%d`, tc.schema)) {
+				t.Errorf("encoding missing schema:%d field: %s", tc.schema, got)
+			}
+		})
 	}
 }
 
 // TestReportSchemaFingerprint is the schema-bump tripwire: it pins the
-// full (name, type) list of Report's fields for the current
-// ReportSchemaVersion. Adding, removing, renaming, or retyping a field
-// without bumping the version fails here even if the golden file is
-// regenerated.
+// full (name, type) list of Report's fields (and SamplingStats', which is
+// part of the wire format) for the current ReportSchemaVersion. Adding,
+// removing, renaming, or retyping a field without bumping the version
+// fails here even if the golden files are regenerated.
 func TestReportSchemaFingerprint(t *testing.T) {
-	const pinnedVersion = 1
+	const pinnedVersion = 2
 	pinnedFields := []string{
 		"Benchmark string", "Scheme string",
 		"Instructions uint64", "Cycles uint64",
@@ -103,51 +137,70 @@ func TestReportSchemaFingerprint(t *testing.T) {
 		"ScrubRepaired uint64", "ScrubLost uint64",
 		"EnergyL1 float64", "EnergyL2 float64",
 		"EnergyChecks float64", "EnergyRCache float64",
+		"Sampling *metrics.SamplingStats",
+	}
+	pinnedSamplingFields := []string{
+		"Period uint64", "Detail uint64", "Warmup uint64",
+		"Confidence int",
+		"Windows int",
+		"WarmedInstructions uint64", "WarmupDiscarded uint64",
+		"MeasuredInstructions uint64", "MeasuredCycles uint64",
+		"IPCMean float64", "IPCHalfCI float64",
+		"MissRateMean float64", "MissRateHalfCI float64",
 	}
 	if ReportSchemaVersion != pinnedVersion {
 		t.Fatalf("ReportSchemaVersion = %d but the fingerprint test still pins version %d: "+
-			"update pinnedVersion and pinnedFields to match the new schema",
+			"update pinnedVersion and the pinned field lists to match the new schema",
 			ReportSchemaVersion, pinnedVersion)
 	}
-	tp := reflect.TypeOf(Report{})
-	var got []string
-	for i := 0; i < tp.NumField(); i++ {
-		f := tp.Field(i)
-		got = append(got, f.Name+" "+f.Type.String())
+	fieldList := func(tp reflect.Type) []string {
+		var out []string
+		for i := 0; i < tp.NumField(); i++ {
+			f := tp.Field(i)
+			out = append(out, f.Name+" "+f.Type.String())
+		}
+		return out
 	}
-	if !reflect.DeepEqual(got, pinnedFields) {
+	if got := fieldList(reflect.TypeOf(Report{})); !reflect.DeepEqual(got, pinnedFields) {
 		t.Errorf("Report fields changed without bumping ReportSchemaVersion.\n got: %v\nwant: %v\n"+
-			"Bump metrics.ReportSchemaVersion, then update pinnedVersion/pinnedFields and the golden file.",
+			"Bump metrics.ReportSchemaVersion, then update the pinned lists and the golden files.",
 			got, pinnedFields)
+	}
+	if got := fieldList(reflect.TypeOf(SamplingStats{})); !reflect.DeepEqual(got, pinnedSamplingFields) {
+		t.Errorf("SamplingStats fields changed without bumping ReportSchemaVersion.\n got: %v\nwant: %v\n"+
+			"Bump metrics.ReportSchemaVersion, then update the pinned lists and the golden files.",
+			got, pinnedSamplingFields)
 	}
 }
 
 func TestReportJSONRoundTrip(t *testing.T) {
-	r := goldenReport()
-	data, err := json.Marshal(&r)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var back Report
-	if err := json.Unmarshal(data, &back); err != nil {
-		t.Fatal(err)
-	}
-	if back != r {
-		t.Errorf("round trip changed the report:\n got %+v\nwant %+v", back, r)
-	}
-	// Re-marshalling the decoded report is byte-identical: the durability
-	// guarantee the disk store relies on.
-	again, err := json.Marshal(back)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(data, again) {
-		t.Errorf("re-marshal not byte-identical:\n first %s\nsecond %s", data, again)
+	for _, sampled := range []bool{false, true} {
+		r := goldenReport(sampled)
+		data, err := json.Marshal(&r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Report
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(back, r) {
+			t.Errorf("sampled=%v: round trip changed the report:\n got %+v\nwant %+v", sampled, back, r)
+		}
+		// Re-marshalling the decoded report is byte-identical: the durability
+		// guarantee the disk store relies on.
+		again, err := json.Marshal(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, again) {
+			t.Errorf("sampled=%v: re-marshal not byte-identical:\n first %s\nsecond %s", sampled, data, again)
+		}
 	}
 }
 
 func TestReportJSONSchemaMismatch(t *testing.T) {
-	r := goldenReport()
+	r := goldenReport(true)
 	data, err := json.Marshal(r)
 	if err != nil {
 		t.Fatal(err)
@@ -162,5 +215,22 @@ func TestReportJSONSchemaMismatch(t *testing.T) {
 	missing := []byte(`{"Benchmark":"x"}`)
 	if err := json.Unmarshal(missing, &back); !errors.Is(err, ErrReportSchema) {
 		t.Errorf("missing-schema decode err = %v, want ErrReportSchema", err)
+	}
+}
+
+// TestExactSchemaRejectsSamplingBlock pins the invariant behind the dual
+// schema: a version-1 document must not carry a Sampling block.
+func TestExactSchemaRejectsSamplingBlock(t *testing.T) {
+	r := goldenReport(true)
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := bytes.Replace(data,
+		[]byte(fmt.Sprintf(`"schema":%d`, ReportSchemaVersion)),
+		[]byte(fmt.Sprintf(`"schema":%d`, exactReportSchema)), 1)
+	var back Report
+	if err := json.Unmarshal(bad, &back); !errors.Is(err, ErrReportSchema) {
+		t.Errorf("schema-1-with-sampling decode err = %v, want ErrReportSchema", err)
 	}
 }

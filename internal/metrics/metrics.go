@@ -80,6 +80,48 @@ type Report struct {
 	EnergyL2     float64
 	EnergyChecks float64
 	EnergyRCache float64
+
+	// Sampling is non-nil iff the run used SMARTS-style sampled simulation
+	// (config.SampleConfig): Cycles is then extrapolated from the measured
+	// detailed windows, and this records the window geometry and interval
+	// estimates. All event counters above remain cumulative over the full
+	// instruction stream — functional warming performs every cache access,
+	// replication decision, and predictor update — so only timing is
+	// estimated. Exact runs leave it nil, and their wire encoding is
+	// unchanged (see ReportSchemaVersion).
+	Sampling *SamplingStats `json:",omitempty"`
+}
+
+// SamplingStats records how a sampled run measured and extrapolated its
+// timing: the sampling-unit geometry, the number of measured windows, the
+// instruction counts spent in each mode, and the per-window mean ± CI of
+// the two headline rates. Half-widths are two-sided Student-t intervals at
+// the configured confidence level; with fewer than two windows they are
+// reported as 0 (undefined).
+type SamplingStats struct {
+	// Window geometry actually used (after defaulting).
+	Period     uint64
+	Detail     uint64
+	Warmup     uint64
+	Confidence int // percent: 90, 95, or 99
+
+	// Windows is the number of measured detailed windows.
+	Windows int
+	// WarmedInstructions were executed under functional warming;
+	// WarmupDiscarded were simulated in detail but excluded from timing
+	// estimates (pipeline warm-up before each measured window).
+	WarmedInstructions uint64
+	WarmupDiscarded    uint64
+	// MeasuredInstructions/MeasuredCycles accumulate over the measured
+	// windows only; their ratio is the CPI estimate behind Cycles.
+	MeasuredInstructions uint64
+	MeasuredCycles       uint64
+
+	// Per-window interval estimates.
+	IPCMean        float64
+	IPCHalfCI      float64
+	MissRateMean   float64
+	MissRateHalfCI float64
 }
 
 // IPC returns instructions per cycle.
@@ -194,6 +236,12 @@ func (r *Report) String() string {
 	}
 	fmt.Fprintf(&b, "  energy (nJ)       L1=%.1f L2=%.1f checks=%.1f total=%.1f\n",
 		r.EnergyL1, r.EnergyL2, r.EnergyChecks, r.TotalEnergy())
+	if s := r.Sampling; s != nil {
+		fmt.Fprintf(&b, "  sampled           %12d windows (%d/%d/%d)  IPC %.3f ± %.3f @%d%%\n",
+			s.Windows, s.Period, s.Detail, s.Warmup, s.IPCMean, s.IPCHalfCI, s.Confidence)
+		fmt.Fprintf(&b, "  instr by mode     warmed=%d warmup=%d measured=%d\n",
+			s.WarmedInstructions, s.WarmupDiscarded, s.MeasuredInstructions)
+	}
 	return b.String()
 }
 

@@ -146,3 +146,18 @@ func (c *Cache) Get(blockAddr uint64) ([]byte, bool) {
 
 // Contains reports residency without touching LRU or stats.
 func (c *Cache) Contains(blockAddr uint64) bool { return c.lookup(blockAddr) != nil }
+
+// Reset invalidates every line and zeroes the counters without
+// reallocating the data arrays, making the cache indistinguishable from a
+// freshly constructed one (invalid lines' stale payloads are unreachable:
+// every fill overwrites the full block before the line turns valid).
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		l := &c.lines[i]
+		l.valid = false
+		l.blockAddr = 0
+		l.lru = 0
+	}
+	c.clock = 0
+	c.stats = Stats{}
+}

@@ -196,13 +196,18 @@ func (t *Tiered) Put(key Key, rep *metrics.Report) {
 
 // copyReport returns an independent copy of a cached report, so no caller
 // can mutate the cached value another caller sees. metrics.Report is a
-// flat value struct (no pointers, slices, or maps), so a struct copy is a
-// deep copy; the compile-time-adjacent test in memo_test.go guards that
-// assumption against future reference-typed fields.
+// flat value struct except for the optional Sampling block, which is
+// itself flat, so one struct copy per level is a deep copy; the
+// compile-time-adjacent test in memo_test.go guards that assumption
+// against future reference-typed fields.
 func copyReport(r *metrics.Report) *metrics.Report {
 	if r == nil {
 		return nil
 	}
 	cp := *r
+	if r.Sampling != nil {
+		s := *r.Sampling
+		cp.Sampling = &s
+	}
 	return &cp
 }

@@ -61,6 +61,9 @@ func KeyFor(m config.Machine, r config.Run) (Key, bool) {
 	h.i64(r.Seed)
 	h.bool(r.WriteThrough)
 	h.ints(r.WriteBufferEntries)
+	h.section("run.sample")
+	h.u64s(r.Sample.Period, r.Sample.Detail, r.Sample.Warmup)
+	h.ints(r.Sample.Confidence)
 	h.section("run.fault")
 	h.ints(int(r.Fault.Model))
 	h.f64(r.Fault.Prob)

@@ -150,15 +150,23 @@ func TestMemoCopyOnReturn(t *testing.T) {
 	}
 }
 
-// TestReportIsFlatValueStruct guards the assumption copyReport rests on: a
-// struct copy of metrics.Report is a deep copy. Any future reference-typed
-// field (pointer, slice, map) would alias cached state and must come with a
-// real deep-copy implementation.
+// TestReportIsFlatValueStruct guards the assumption copyReport rests on:
+// metrics.Report is a flat value struct apart from the pointer fields
+// copyReport explicitly deep-copies (Sampling). Any other reference-typed
+// field (pointer, slice, map) would alias cached state and must come with
+// its own deep-copy step here and in copyReport.
 func TestReportIsFlatValueStruct(t *testing.T) {
+	deepCopied := map[string]bool{"Report.Sampling": true}
 	var check func(tp reflect.Type, path string)
 	check = func(tp reflect.Type, path string) {
 		switch tp.Kind() {
-		case reflect.Ptr, reflect.Slice, reflect.Map, reflect.Chan, reflect.Func, reflect.Interface:
+		case reflect.Ptr:
+			if deepCopied[path] {
+				check(tp.Elem(), path+".*")
+				return
+			}
+			t.Errorf("%s is reference-typed (%s): copyReport's struct copy is no longer a deep copy", path, tp.Kind())
+		case reflect.Slice, reflect.Map, reflect.Chan, reflect.Func, reflect.Interface:
 			t.Errorf("%s is reference-typed (%s): copyReport's struct copy is no longer a deep copy", path, tp.Kind())
 		case reflect.Struct:
 			for i := 0; i < tp.NumField(); i++ {
@@ -170,6 +178,21 @@ func TestReportIsFlatValueStruct(t *testing.T) {
 		}
 	}
 	check(reflect.TypeOf(metrics.Report{}), "Report")
+}
+
+// TestCopyReportDeepCopiesSampling pins the explicit deep-copy branch: a
+// cached report's sampling block must not be aliased by the copies handed
+// to callers.
+func TestCopyReportDeepCopiesSampling(t *testing.T) {
+	orig := &metrics.Report{Sampling: &metrics.SamplingStats{Windows: 10, IPCMean: 1.5}}
+	cp := copyReport(orig)
+	if cp.Sampling == orig.Sampling {
+		t.Fatal("copyReport aliased the Sampling block")
+	}
+	cp.Sampling.IPCMean = 9
+	if orig.Sampling.IPCMean != 1.5 {
+		t.Error("mutating the copy's Sampling reached the cached report")
+	}
 }
 
 // TestMemoSingleflight: concurrent submissions of the same key execute the

@@ -217,6 +217,10 @@ type RunRequest struct {
 	FaultModel    string  `json:"fault_model,omitempty"`
 	FaultProb     float64 `json:"fault_prob,omitempty"`
 	FaultSeed     int64   `json:"fault_seed,omitempty"`
+	// Sample switches the run to SMARTS-style sampled simulation; the
+	// value uses the -sample flag syntax (config.ParseSample): "on", or
+	// "period=N[,detail=N][,warmup=N][,conf=95]".
+	Sample string `json:"sample,omitempty"`
 	// TimeoutMS bounds this request (further capped by the server's
 	// RequestTimeout).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -235,7 +239,10 @@ type FigureRequest struct {
 	Instructions uint64  `json:"instructions,omitempty"`
 	Seed         int64   `json:"seed,omitempty"`
 	Seeds        []int64 `json:"seeds,omitempty"`
-	TimeoutMS    int64   `json:"timeout_ms,omitempty"`
+	// Sample switches every simulation behind the figure to sampled mode
+	// (same syntax as RunRequest.Sample).
+	Sample    string `json:"sample,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
 }
 
 // errorBody is every non-2xx JSON payload.
@@ -296,9 +303,15 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
+	sample, err := config.ParseSample(req.Sample)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	res, err := experiments.MultiSeed(ctx, id, experiments.Options{
 		Instructions: req.Instructions,
 		Seed:         req.Seed,
+		Sample:       sample,
 		Runner:       s.eng,
 	}, req.Seeds)
 	if err != nil {
@@ -384,6 +397,9 @@ func buildRun(req RunRequest) (config.Run, error) {
 	}
 	run.Repl.LeaveReplicas = req.LeaveReplicas
 	run.WriteThrough = req.WriteThrough
+	if run.Sample, err = config.ParseSample(req.Sample); err != nil {
+		return config.Run{}, err
+	}
 	if req.FaultProb > 0 {
 		if req.FaultModel == "" {
 			req.FaultModel = "random" // the icrsim -fault-model default

@@ -17,6 +17,12 @@ func benchSimulate(b *testing.B, scheme core.Scheme) {
 	r := config.NewRun("gzip", scheme)
 	r.Instructions = benchInstrs
 	m := config.Default()
+	// One untimed run reaches steady state (instance pool populated,
+	// architectural memory's lazy block store faulted in) so allocs/op is
+	// the deterministic per-run figure the CI gate pins, at any benchtime.
+	if _, err := Simulate(m, r); err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -41,4 +47,51 @@ func BenchmarkSimulateICRPPSS(b *testing.B) {
 
 func BenchmarkSimulateICRECCPPLS(b *testing.B) {
 	benchSimulate(b, core.ICR(core.ECCProt, core.LookupParallel, core.ReplLoadsStores))
+}
+
+// sampledBenchInstrs matches the committed validation table: at the
+// default 50k/1k/400 geometry an 8M budget yields 160 measured windows
+// and sub-percent IPC error (see EXPERIMENTS.md). The benchmarks report
+// effective instr/s — total committed instructions (warmed + detailed)
+// over wall time — which is the figure the ≥10M instr/s target in
+// ISSUE.md refers to.
+const sampledBenchInstrs = 8_000_000
+
+func benchSampled(b *testing.B, bench string, scheme core.Scheme) {
+	b.Helper()
+	r := config.NewRun(bench, scheme)
+	r.Instructions = sampledBenchInstrs
+	r.Sample = config.SampleConfig{
+		Period: config.DefaultSamplePeriod,
+		Detail: config.DefaultSampleDetail,
+		Warmup: config.DefaultSampleWarmup,
+	}
+	m := config.Default()
+	// One untimed full-length run reaches steady state (instance pool
+	// populated, memory block store faulted in to the workload's whole
+	// footprint) so the few, long timed iterations measure steady-state
+	// sampling and allocs/op stays deterministic at any benchtime.
+	if _, err := Simulate(m, r); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(m, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(sampledBenchInstrs)*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
+}
+
+func BenchmarkSampledBasePGzip(b *testing.B) {
+	benchSampled(b, "gzip", core.BaseP())
+}
+
+func BenchmarkSampledBasePVpr(b *testing.B) {
+	benchSampled(b, "vpr", core.BaseP())
+}
+
+func BenchmarkSampledICRECCPPLSVpr(b *testing.B) {
+	benchSampled(b, "vpr", core.ICR(core.ECCProt, core.LookupParallel, core.ReplLoadsStores))
 }

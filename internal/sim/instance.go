@@ -1,0 +1,286 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/energy"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/rcache"
+	"repro/internal/workload"
+)
+
+// instance is one assembled simulated machine: the full memory hierarchy,
+// energy meter, and core, reusable across runs of the same shape. The
+// workload generator and fault injector are per-run (they are cheap and
+// seed-dependent); everything here is the expensive arena — cache line
+// arrays with their data/check-bit payloads, the RUU, predictor tables —
+// that used to be reallocated for every task the runner executed.
+type instance struct {
+	// shape is the pool key ("" = not poolable, e.g. a run carrying a
+	// HintPolicy).
+	shape string
+
+	mem   *cache.Memory
+	l2    *cache.Cache
+	il1   *cache.Cache
+	meter *energy.Meter
+	dups  *rcache.Cache
+	wbuf  *cache.WriteBuffer
+	dl1   *core.Cache
+	core  *cpu.Core
+}
+
+// shapeOf fingerprints everything that determines an instance's
+// construction: the memory-hierarchy geometry and the dl1 configuration
+// knobs (scheme, replication, write policy, duplicate cache, prefetching).
+// Deliberately absent — absorbed by per-run resets — are the benchmark and
+// seed (fresh generator each run), the instruction budget, sampling and
+// scrubbing parameters, fault injection, energy parameters
+// (meter.Reset takes new ones), and the whole cpu.Config (core.Reset
+// takes it wholesale). ok is false when the run cannot share an instance:
+// a HintPolicy is baked into the dl1 at construction and is an open
+// interface, so hinted runs always build fresh.
+func shapeOf(m config.Machine, r config.Run) (string, bool) {
+	if r.Hints != nil {
+		return "", false
+	}
+	// Scheme and Repl are fingerprinted wholesale (%+v covers every field,
+	// including the slice of distances) so a new knob on either struct can
+	// never silently collide two different constructions.
+	return fmt.Sprintf("%d/%d/%d/%d|%d/%d/%d/%d|%d/%d/%d/%d|%d|%+v|%+v|%t/%d|%d|%t",
+		m.IL1Size, m.IL1Assoc, m.IL1Block, m.IL1Latency,
+		m.DL1Size, m.DL1Assoc, m.DL1Block, m.DL1Latency,
+		m.L2Size, m.L2Assoc, m.L2Block, m.L2Latency,
+		m.MemLatency,
+		r.Scheme, r.Repl,
+		r.WriteThrough, r.WriteBufferEntries,
+		r.DupCacheKB,
+		r.Prefetch,
+	), true
+}
+
+// newInstance assembles a machine for the given shape-determining inputs,
+// mirroring what Simulate historically built inline.
+func newInstance(m config.Machine, r config.Run) *instance {
+	shape, ok := shapeOf(m, r)
+	if !ok {
+		shape = ""
+	}
+
+	// Memory hierarchy, bottom up. The L2 is unified: both L1s miss into
+	// it, as in Table 1.
+	mem := cache.NewMemory(m.MemLatency, m.DL1Block)
+	l2 := cache.New(cache.Config{
+		Name: "l2", Size: m.L2Size, Assoc: m.L2Assoc, BlockSize: m.L2Block,
+		HitLatency: m.L2Latency, Policy: cache.WriteBack, Next: mem,
+		// The L2 is single-banked: each access (demand fill, write-back,
+		// or write-buffer drain) occupies it for a few cycles, so heavy
+		// write-through traffic delays demand misses (§5.8).
+		PortOccupancy: 4,
+	})
+	il1 := cache.New(cache.Config{
+		Name: "il1", Size: m.IL1Size, Assoc: m.IL1Assoc, BlockSize: m.IL1Block,
+		HitLatency: m.IL1Latency, Policy: cache.WriteBack, Next: l2,
+	})
+
+	meter := energy.NewMeter(r.Energy)
+	var dups *rcache.Cache
+	if r.DupCacheKB > 0 {
+		dups = rcache.New(r.DupCacheKB<<10, 4, m.DL1Block)
+	}
+	dl1cfg := core.Config{
+		Size: m.DL1Size, Assoc: m.DL1Assoc, BlockSize: m.DL1Block,
+		HitLatency: m.DL1Latency,
+		Scheme:     r.Scheme,
+		Repl:       r.Repl,
+		Next:       l2,
+		Mem:        mem,
+		Meter:      meter,
+		Hints:      r.Hints,
+	}
+	dl1cfg.PrefetchIntoDead = r.Prefetch
+	if dups != nil {
+		dl1cfg.Duplicates = dups
+	}
+	var wbuf *cache.WriteBuffer
+	if r.WriteThrough {
+		dl1cfg.WritePolicy = cache.WriteThrough
+		entries := r.WriteBufferEntries
+		if entries <= 0 {
+			entries = 8
+		}
+		wbuf = cache.NewWriteBuffer(entries, m.L2Latency, l2)
+		dl1cfg.WriteBuf = wbuf
+	}
+	dl1 := core.New(dl1cfg)
+
+	return &instance{
+		shape: shape,
+		mem:   mem,
+		l2:    l2,
+		il1:   il1,
+		meter: meter,
+		dups:  dups,
+		wbuf:  wbuf,
+		dl1:   dl1,
+		core:  cpu.New(m.CPU, nil, il1, dl1),
+	}
+}
+
+// reset restores every pooled component to its post-construction state.
+// It runs on fresh instances too (where it is a cheap no-op beyond array
+// clears), so the pooled and unpooled paths execute identical code.
+func (in *instance) reset(r config.Run) {
+	in.mem.Reset()
+	in.l2.Reset()
+	in.il1.Reset()
+	in.dl1.Reset()
+	in.meter.Reset(r.Energy)
+	if in.dups != nil {
+		in.dups.Reset()
+	}
+	if in.wbuf != nil {
+		in.wbuf.Reset()
+	}
+}
+
+// simulate executes one run on the instance. r must match the instance's
+// shape; the caller has already normalized the budget and energy params.
+func (in *instance) simulate(ctx context.Context, m config.Machine, r config.Run, gen *workload.Generator) (*metrics.Report, error) {
+	in.reset(r)
+
+	cpucfg := m.CPU
+	var hooks []func(uint64)
+	var injector *fault.Injector
+	if r.Fault.Prob > 0 {
+		wordsPerRow := m.DL1Assoc * m.DL1Block / 8
+		injector = fault.NewInjector(r.Fault.Model, r.Fault.Prob, wordsPerRow, r.Fault.Seed)
+		next := injector.NextAfter(0)
+		dl1 := in.dl1
+		hooks = append(hooks, func(now uint64) {
+			for now >= next {
+				dl1.Inject(injector)
+				next = injector.NextAfter(now)
+			}
+		})
+	}
+	if r.ScrubInterval > 0 {
+		lines := r.ScrubLines
+		if lines <= 0 {
+			lines = 1
+		}
+		tick := newScrubTicker(r.ScrubInterval)
+		dl1 := in.dl1
+		hooks = append(hooks, func(now uint64) {
+			if tick.due(now) {
+				dl1.Scrub(now, lines)
+			}
+		})
+	}
+	switch len(hooks) {
+	case 0:
+	case 1:
+		cpucfg.EachCycle = hooks[0]
+	default:
+		cpucfg.EachCycle = func(now uint64) {
+			for _, h := range hooks {
+				h(now)
+			}
+		}
+	}
+
+	if ctx.Done() != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var stop atomic.Bool
+		cancelWatch := context.AfterFunc(ctx, func() { stop.Store(true) })
+		defer cancelWatch()
+		cpucfg.Halt = stop.Load
+	}
+
+	c := in.core
+	c.Reset(cpucfg, gen)
+	var cstats cpu.Stats
+	var sampling *metrics.SamplingStats
+	if plan := planWindows(r.Instructions, r.Sample); plan != nil {
+		cstats, sampling = runSampled(c, in.dl1, plan, r.Sample)
+	} else {
+		cstats = c.Run(r.Instructions)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if cstats.Instructions < r.Instructions {
+		return nil, fmt.Errorf("sim: stream ended after %d instructions", cstats.Instructions)
+	}
+	in.dl1.FinishVulnerability(cstats.Cycles)
+
+	rep := assemble(r, cstats, in.dl1.Stats(), in.il1.Stats(), in.l2.Stats(), in.mem, in.meter, injector)
+	if sampling != nil {
+		// Timing is the one estimated quantity: every event counter in the
+		// report is cumulative over the full stream (warming performs all
+		// accesses), but Cycles is extrapolated from the measured windows.
+		rep.Cycles = extrapolatedCycles(cstats.Instructions, sampling, cstats.Cycles)
+		rep.Sampling = sampling
+	}
+	scrub := in.dl1.ScrubStats()
+	rep.ScrubChecks = scrub.Checks
+	rep.ScrubErrors = scrub.Errors
+	rep.ScrubRepaired = scrub.Repaired
+	rep.ScrubLost = scrub.Lost
+	return rep, nil
+}
+
+// instancePool keeps idle instances for reuse, newest first per shape.
+// The bound caps idle memory (each instance holds the full cache arena,
+// on the order of a megabyte); a sweep running W-wide keeps at most W
+// instances in flight plus max idle here.
+type instancePool struct {
+	mu   sync.Mutex
+	idle []*instance
+	max  int
+}
+
+var defaultPool = &instancePool{max: runtime.GOMAXPROCS(0) + 2}
+
+// get returns an idle instance of the given shape, or nil.
+func (p *instancePool) get(shape string) *instance {
+	if shape == "" {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := len(p.idle) - 1; i >= 0; i-- {
+		if p.idle[i].shape == shape {
+			inst := p.idle[i]
+			p.idle = append(p.idle[:i], p.idle[i+1:]...)
+			return inst
+		}
+	}
+	return nil
+}
+
+// put parks an instance for reuse, evicting the oldest idle one past the
+// cap. Non-poolable instances are dropped.
+func (p *instancePool) put(inst *instance) {
+	if inst == nil || inst.shape == "" {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.idle) >= p.max {
+		copy(p.idle, p.idle[1:])
+		p.idle = p.idle[:len(p.idle)-1]
+	}
+	p.idle = append(p.idle, inst)
+}

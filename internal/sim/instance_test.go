@@ -1,0 +1,249 @@
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/fault"
+	"repro/internal/workload"
+)
+
+// identityMatrix covers every construction-relevant knob the instance pool
+// must absorb: schemes with and without replication/ECC, fault injection,
+// scrubbing, write-through with a buffer, the duplicate cache, prefetch,
+// decay variants, and sampled mode.
+func identityMatrix() []config.Run {
+	machine := config.Default()
+	sets := machine.DL1Sets()
+	repl := core.ReplConfig{
+		Distances:   core.VerticalDistances(sets),
+		Replicas:    1,
+		Victim:      core.DeadFirst,
+		DecayWindow: 1000,
+	}
+	runs := []config.Run{
+		config.NewRun("gzip", core.BaseP()),
+		config.NewRun("vpr", core.BaseECC(true)),
+	}
+	r := config.NewRun("gzip", core.ICR(core.ParityProt, core.LookupSerial, core.ReplStores))
+	r.Repl = repl
+	runs = append(runs, r)
+
+	r = config.NewRun("vpr", core.ICR(core.ECCProt, core.LookupParallel, core.ReplLoadsStores))
+	r.Repl = repl
+	r.Repl.LeaveReplicas = true
+	runs = append(runs, r)
+
+	r = config.NewRun("gzip", core.ICR(core.ParityProt, core.LookupSerial, core.ReplStores))
+	r.Repl = repl
+	r.Repl.Decay = core.Adaptive
+	r.Fault = config.FaultConfig{Model: fault.Random, Prob: 1e-3, Seed: 7}
+	runs = append(runs, r)
+
+	r = config.NewRun("vpr", core.ICR(core.ECCProt, core.LookupSerial, core.ReplStores))
+	r.Repl = repl
+	r.Fault = config.FaultConfig{Model: fault.Direct, Prob: 1e-3, Seed: 11}
+	r.ScrubInterval = 5000
+	r.ScrubLines = 2
+	runs = append(runs, r)
+
+	r = config.NewRun("gzip", core.BaseP())
+	r.WriteThrough = true
+	r.WriteBufferEntries = 4
+	runs = append(runs, r)
+
+	r = config.NewRun("vpr", core.BaseECC(false))
+	r.DupCacheKB = 8
+	r.Prefetch = true
+	runs = append(runs, r)
+
+	r = config.NewRun("gzip", core.ICR(core.ECCProt, core.LookupParallel, core.ReplLoadsStores))
+	r.Repl = repl
+	r.Sample = config.SampleConfig{Period: 20_000, Detail: 1_000, Warmup: 400}
+	runs = append(runs, r)
+
+	for i := range runs {
+		runs[i].Instructions = 120_000
+	}
+	return runs
+}
+
+// freshReport simulates r on a freshly built, never-pooled instance — the
+// oracle the pooled path must match byte for byte.
+func freshReport(t *testing.T, m config.Machine, r config.Run) []byte {
+	t.Helper()
+	profile, err := workload.ByName(r.Benchmark)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.New(profile, r.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Energy == (energy.Params{}) {
+		r.Energy = energy.DefaultParams()
+	}
+	rep, err := newInstance(m, r).simulate(context.Background(), m, r, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestPooledInstanceByteIdentical pins the arena-reuse contract: a report
+// produced on a pooled, reset instance is byte-identical to one from a
+// fresh build. Each config runs once to populate the pool and once
+// reusing it; both are compared against a never-pooled oracle.
+func TestPooledInstanceByteIdentical(t *testing.T) {
+	m := config.Default()
+	for _, r := range identityMatrix() {
+		r := r
+		t.Run(r.Name(), func(t *testing.T) {
+			want := freshReport(t, m, r)
+			for pass := 0; pass < 2; pass++ {
+				rep, err := Simulate(m, r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := json.Marshal(rep)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(got) != string(want) {
+					t.Fatalf("pass %d diverged from fresh-instance oracle:\n got: %s\nwant: %s", pass, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestShapeOf pins the poolability rules: hinted runs never pool, and any
+// construction-relevant knob must change the shape key.
+func TestShapeOf(t *testing.T) {
+	m := config.Default()
+	base := config.NewRun("gzip", core.ICR(core.ParityProt, core.LookupSerial, core.ReplStores))
+
+	if _, ok := shapeOf(m, base); !ok {
+		t.Fatal("plain run should be poolable")
+	}
+	hinted := base
+	hinted.Hints = core.ReplicateAll{}
+	if _, ok := shapeOf(m, hinted); ok {
+		t.Error("hinted run must not be poolable")
+	}
+
+	s0, _ := shapeOf(m, base)
+	mutants := []func(*config.Machine, *config.Run){
+		func(m *config.Machine, r *config.Run) { m.DL1Size *= 2 },
+		func(m *config.Machine, r *config.Run) { m.L2Latency++ },
+		func(m *config.Machine, r *config.Run) { m.MemLatency++ },
+		func(m *config.Machine, r *config.Run) { r.Scheme = core.BaseECC(true) },
+		func(m *config.Machine, r *config.Run) { r.Repl.Distances = []int{1, 2} },
+		func(m *config.Machine, r *config.Run) { r.Repl.Replicas = 2 },
+		func(m *config.Machine, r *config.Run) { r.Repl.Victim = core.DeadFirst },
+		func(m *config.Machine, r *config.Run) { r.Repl.DecayWindow = 4096 },
+		func(m *config.Machine, r *config.Run) { r.Repl.LeaveReplicas = true },
+		func(m *config.Machine, r *config.Run) { r.Repl.Decay = core.Adaptive },
+		func(m *config.Machine, r *config.Run) { r.WriteThrough = true },
+		func(m *config.Machine, r *config.Run) { r.DupCacheKB = 8 },
+		func(m *config.Machine, r *config.Run) { r.Prefetch = true },
+	}
+	for i, mut := range mutants {
+		mm, rr := m, base
+		mut(&mm, &rr)
+		if s, _ := shapeOf(mm, rr); s == s0 {
+			t.Errorf("mutant %d did not change the shape key", i)
+		}
+	}
+
+	// Per-run state must NOT change the shape: these are absorbed by reset.
+	same := []func(*config.Run){
+		func(r *config.Run) { r.Benchmark = "vpr" },
+		func(r *config.Run) { r.Seed = 99 },
+		func(r *config.Run) { r.Instructions = 1 },
+		func(r *config.Run) { r.Fault = config.FaultConfig{Model: fault.Direct, Prob: 0.5, Seed: 3} },
+		func(r *config.Run) { r.ScrubInterval = 100 },
+		func(r *config.Run) { r.Sample = config.SampleConfig{Period: 1000} },
+	}
+	for i, mut := range same {
+		rr := base
+		mut(&rr)
+		if s, _ := shapeOf(m, rr); s != s0 {
+			t.Errorf("per-run mutant %d changed the shape key", i)
+		}
+	}
+}
+
+// TestInstancePoolBounds exercises the pool directly: shape matching,
+// LIFO reuse, the idle cap, and the non-poolable drop path.
+func TestInstancePoolBounds(t *testing.T) {
+	p := &instancePool{max: 2}
+	a := &instance{shape: "A"}
+	b := &instance{shape: "B"}
+	c := &instance{shape: "A"}
+
+	if got := p.get("A"); got != nil {
+		t.Fatal("empty pool returned an instance")
+	}
+	p.put(a)
+	p.put(b)
+	if got := p.get("A"); got != a {
+		t.Fatalf("get(A) = %v, want a", got)
+	}
+	p.put(a)
+	p.put(c) // over cap: evicts the oldest (b)
+	if got := p.get("B"); got != nil {
+		t.Error("evicted instance still retrievable")
+	}
+	if got := p.get("A"); got != c {
+		t.Error("newest A not returned first")
+	}
+	p.put(&instance{shape: ""}) // non-poolable: dropped
+	if got := p.get(""); got != nil {
+		t.Error("non-poolable shape must never be served")
+	}
+}
+
+// TestSimulateSteadyStateAllocs pins the arena-reuse win: once the pool is
+// warm, a run allocates only its per-run state (workload generator, fault
+// injector, hooks, report) — the cache arenas, RUU, and predictor tables
+// are reused. Building the arena alone costs ~800 allocations (and
+// megabytes), so the bound below fails if pooling silently stops working.
+func TestSimulateSteadyStateAllocs(t *testing.T) {
+	m := config.Default()
+	cases := []struct {
+		name  string
+		run   config.Run
+		bound float64
+	}{
+		{"basep", config.NewRun("gzip", core.BaseP()), 700},
+		{"icr", config.NewRun("vpr", core.ICR(core.ECCProt, core.LookupParallel, core.ReplLoadsStores)), 1000},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			r := tc.run
+			r.Instructions = 50_000
+			if _, err := Simulate(m, r); err != nil {
+				t.Fatal(err)
+			}
+			n := testing.AllocsPerRun(5, func() {
+				if _, err := Simulate(m, r); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if n > tc.bound {
+				t.Errorf("steady-state Simulate allocates %.0f objects/run, want <= %.0f "+
+					"(did the instance pool stop reusing arenas?)", n, tc.bound)
+			}
+		})
+	}
+}

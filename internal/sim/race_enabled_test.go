@@ -1,0 +1,8 @@
+//go:build race
+
+package sim
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race. The sampling validation matrix shrinks under the detector: see
+// samplingMatrix.
+const raceDetectorEnabled = true

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"math"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/metrics"
+)
+
+// segKind labels one stretch of a sampled run's schedule.
+type segKind uint8
+
+const (
+	// segWarm is functional warming: every cache access, replication
+	// decision, decay update, and predictor update happens, but
+	// out-of-order timing is skipped and the clock advances at the
+	// estimated CPI.
+	segWarm segKind = iota + 1
+	// segWarmup is a detailed window run cycle-accurately to refill the
+	// pipeline, fetch queue, and other timing-only state, but excluded
+	// from the timing estimate.
+	segWarmup
+	// segMeasure is a detailed window whose cycles and instructions feed
+	// the CPI/IPC estimate.
+	segMeasure
+)
+
+// segment is one schedule entry: n instructions in the given mode.
+type segment struct {
+	kind segKind
+	n    uint64
+}
+
+// planWindows tiles an instruction budget into the SMARTS-style schedule
+// for the given sampling configuration: per sampling unit, functional
+// warming for (Period - Warmup - Detail) instructions, then a detailed
+// warm-up of Warmup, then a measured window of Detail. A trailing partial
+// unit runs as pure warming, so every committed instruction is inside
+// exactly one segment and segment lengths always sum to budget.
+//
+// It returns nil — meaning exact (unsampled) simulation — when sampling is
+// disabled or the geometry is degenerate: a period with no room for its
+// detailed windows (Period <= Warmup + Detail) or a budget smaller than
+// one full unit. Degradation beats guessing: a schedule with zero measured
+// windows or one that alters the run length would be silently wrong.
+func planWindows(budget uint64, s config.SampleConfig) []segment {
+	s = s.Normalized()
+	if !s.Enabled() {
+		return nil
+	}
+	detailed := s.Warmup + s.Detail
+	if detailed < s.Warmup { // overflow
+		return nil
+	}
+	if s.Period <= detailed || budget < s.Period {
+		return nil
+	}
+	units := budget / s.Period
+	rem := budget % s.Period
+	warm := s.Period - detailed
+	segs := make([]segment, 0, 3*units+1)
+	for u := uint64(0); u < units; u++ {
+		segs = append(segs,
+			segment{segWarm, warm},
+			segment{segWarmup, s.Warmup},
+			segment{segMeasure, s.Detail},
+		)
+	}
+	if rem > 0 {
+		segs = append(segs, segment{segWarm, rem})
+	}
+	return segs
+}
+
+// runSampled drives the core through the schedule and gathers the
+// per-window measurements. The returned stats are the core's cumulative
+// counters (the caller detects early termination — halt or stream end —
+// exactly as in exact mode, by Instructions < budget); the SamplingStats
+// carries the interval estimates. Warming segments are paced at the CPI
+// measured so far (1.0 before the first measured window), so cycle-driven
+// machinery sees a clock consistent with the final estimate.
+func runSampled(c *cpu.Core, dl1 *core.Cache, plan []segment, s config.SampleConfig) (cpu.Stats, *metrics.SamplingStats) {
+	var (
+		cum       uint64
+		ipcs      []float64
+		missRates []float64
+		sumCycles uint64 // over measured windows
+		sumInstrs uint64
+		warmed    uint64
+		discarded uint64
+	)
+	for _, seg := range plan {
+		cum += seg.n
+		switch seg.kind {
+		case segWarm:
+			before := c.Stats().Instructions
+			c.RunWarming(cum, sumCycles, sumInstrs)
+			warmed += c.Stats().Instructions - before
+		case segWarmup:
+			before := c.Stats().Instructions
+			c.Run(cum)
+			discarded += c.Stats().Instructions - before
+		case segMeasure:
+			cb, db := c.Stats(), dl1.Stats()
+			c.Run(cum)
+			ca, da := c.Stats(), dl1.Stats()
+			dc := ca.Cycles - cb.Cycles
+			di := ca.Instructions - cb.Instructions
+			if di > 0 && dc > 0 {
+				ipcs = append(ipcs, float64(di)/float64(dc))
+				sumCycles += dc
+				sumInstrs += di
+			}
+			acc := (da.Reads + da.Writes) - (db.Reads + db.Writes)
+			if acc > 0 {
+				miss := (da.ReadMisses + da.WriteMisses) - (db.ReadMisses + db.WriteMisses)
+				missRates = append(missRates, float64(miss)/float64(acc))
+			}
+		}
+		if c.Stats().Instructions < cum {
+			// Halted or stream ended mid-segment; the caller turns the
+			// shortfall into the usual error/cancellation result.
+			break
+		}
+	}
+
+	s = s.Normalized()
+	ipcMean, ipcHalf := metrics.MeanCI(ipcs, s.Confidence)
+	mrMean, mrHalf := metrics.MeanCI(missRates, s.Confidence)
+	return c.Stats(), &metrics.SamplingStats{
+		Period:               s.Period,
+		Detail:               s.Detail,
+		Warmup:               s.Warmup,
+		Confidence:           s.Confidence,
+		Windows:              len(ipcs),
+		WarmedInstructions:   warmed,
+		WarmupDiscarded:      discarded,
+		MeasuredInstructions: sumInstrs,
+		MeasuredCycles:       sumCycles,
+		IPCMean:              ipcMean,
+		IPCHalfCI:            ipcHalf,
+		MissRateMean:         mrMean,
+		MissRateHalfCI:       mrHalf,
+	}
+}
+
+// extrapolatedCycles converts the measured CPI into a whole-run cycle
+// estimate: instructions × (measured cycles / measured instructions),
+// rounded to the nearest cycle. With nothing measured it falls back to the
+// core's own (warming-paced) clock, which is the same estimate the pacing
+// was built from.
+func extrapolatedCycles(instructions uint64, st *metrics.SamplingStats, fallback uint64) uint64 {
+	if st.MeasuredInstructions == 0 || st.MeasuredCycles == 0 {
+		return fallback
+	}
+	cpi := float64(st.MeasuredCycles) / float64(st.MeasuredInstructions)
+	return uint64(math.Round(float64(instructions) * cpi))
+}

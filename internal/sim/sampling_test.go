@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+)
+
+// samplingBudget keeps the 60-config validation matrix (10 schemes × 2
+// benchmarks × 3 seeds, each run exact AND sampled) around a minute of
+// CPU time. 2M instructions gives 40 measured windows at the default
+// geometry; the committed validation table in EXPERIMENTS.md uses 8M
+// (160 windows), where errors are ~2× smaller.
+const samplingBudget = 2_000_000
+
+// Error bounds for the matrix below. The simulator is deterministic, so
+// these are regression pins with headroom over the observed worst case
+// (IPC 7.6%, miss rate 1.6%), not statistical gambles. Fault-event counts
+// are small (tens of events at P=1e-4) and their injection times shift
+// with the warming clock, so they are bounded by absolute count, not
+// ratio.
+const (
+	maxIPCErr      = 0.10 // per-config worst case
+	maxMeanIPCErr  = 0.03 // mean over the matrix (observed 0.017)
+	maxMissRateErr = 0.03 // per-config worst case (observed 0.016)
+	maxFaultDelta  = 40   // |sampled - exact| detected or recovered events
+	minCICoverage  = 0.60 // fraction of configs whose exact IPC lies in the 95% CI
+)
+
+func samplingMatrix() []config.Run {
+	schemes := core.AllSchemes()
+	seeds := []int64{1, 2, 3}
+	if raceDetectorEnabled {
+		// The detector slows the 120 two-Minstr simulations past any
+		// reasonable package timeout and adds nothing to a statistical
+		// validation of a deterministic simulator. Keep two corners of
+		// the matrix so the sampled path — and its concurrent use of
+		// the instance pool via t.Parallel — still runs under -race;
+		// the matrix-wide statistics are skipped on the reduced set.
+		schemes = []core.Scheme{schemes[0], schemes[len(schemes)-1]}
+		seeds = seeds[:1]
+	}
+	var runs []config.Run
+	for _, bench := range []string{"gzip", "vpr"} {
+		for _, s := range schemes {
+			for _, seed := range seeds {
+				r := config.NewRun(bench, s)
+				r.Instructions = samplingBudget
+				r.Seed = seed
+				r.Fault = config.FaultConfig{Model: fault.Random, Prob: 1e-4, Seed: seed}
+				runs = append(runs, r)
+			}
+		}
+	}
+	return runs
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(got-want) / want
+}
+
+func absDelta(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// TestSampledMatchesExact validates SMARTS-style sampling against
+// full-detail simulation over the full scheme matrix: per-config error
+// bounds on IPC, dL1 miss rate, and fault detection/recovery counts, plus
+// matrix-wide bounds on the mean IPC error and the confidence-interval
+// coverage rate. Every subtest also checks the accounting invariants: all
+// counters cumulative over the full budget, instruction modes tiling the
+// budget exactly, and the planned number of measured windows.
+func TestSampledMatchesExact(t *testing.T) {
+	m := config.Default()
+	runs := samplingMatrix()
+
+	type outcome struct {
+		ipcErr  float64
+		covered bool
+	}
+	results := make([]outcome, len(runs))
+
+	t.Run("matrix", func(t *testing.T) {
+		for i, r := range runs {
+			i, r := i, r
+			t.Run(r.Name(), func(t *testing.T) {
+				t.Parallel()
+				exact, err := Simulate(m, r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if exact.Sampling != nil {
+					t.Fatal("exact run carries a Sampling block")
+				}
+
+				rs := r
+				rs.Sample = config.SampleConfig{
+					Period: config.DefaultSamplePeriod,
+					Detail: config.DefaultSampleDetail,
+					Warmup: config.DefaultSampleWarmup,
+				}
+				samp, err := Simulate(m, rs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				st := samp.Sampling
+				if st == nil {
+					t.Fatal("sampled run missing its Sampling block")
+				}
+
+				// Accounting invariants.
+				if samp.Instructions != r.Instructions || exact.Instructions != r.Instructions {
+					t.Fatalf("instruction counts: sampled %d exact %d want %d",
+						samp.Instructions, exact.Instructions, r.Instructions)
+				}
+				wantWindows := int(r.Instructions / config.DefaultSamplePeriod)
+				if st.Windows != wantWindows {
+					t.Errorf("measured windows = %d, want %d", st.Windows, wantWindows)
+				}
+				if total := st.WarmedInstructions + st.WarmupDiscarded + st.MeasuredInstructions; total != r.Instructions {
+					t.Errorf("modes do not tile the budget: warm %d + warmup %d + measured %d = %d, want %d",
+						st.WarmedInstructions, st.WarmupDiscarded, st.MeasuredInstructions, total, r.Instructions)
+				}
+
+				// Timing accuracy.
+				ipcErr := relErr(samp.IPC(), exact.IPC())
+				if ipcErr > maxIPCErr {
+					t.Errorf("IPC error %.4f > %.2f (sampled %.4f, exact %.4f)",
+						ipcErr, maxIPCErr, samp.IPC(), exact.IPC())
+				}
+				if mrErr := relErr(samp.DL1MissRate(), exact.DL1MissRate()); mrErr > maxMissRateErr {
+					t.Errorf("miss-rate error %.4f > %.2f (sampled %.5f, exact %.5f)",
+						mrErr, maxMissRateErr, samp.DL1MissRate(), exact.DL1MissRate())
+				}
+
+				// Fault-event accuracy: warming performs every access, so
+				// detection/recovery still happens; only the injection clock
+				// shifts. Counts are small, so bound the absolute delta.
+				if d := absDelta(samp.ErrorsDetected, exact.ErrorsDetected); d > maxFaultDelta {
+					t.Errorf("detected-errors delta %d > %d (sampled %d, exact %d)",
+						d, maxFaultDelta, samp.ErrorsDetected, exact.ErrorsDetected)
+				}
+				recovered := func(r *metrics.Report) uint64 {
+					return r.RecoveredByECC + r.RecoveredByReplica + r.RecoveredByDuplicate + r.RecoveredByL2
+				}
+				if d := absDelta(recovered(samp), recovered(exact)); d > maxFaultDelta {
+					t.Errorf("recovered-errors delta %d > %d (sampled %d, exact %d)",
+						d, maxFaultDelta, recovered(samp), recovered(exact))
+				}
+
+				covered := exact.IPC() >= st.IPCMean-st.IPCHalfCI && exact.IPC() <= st.IPCMean+st.IPCHalfCI
+				if st.IPCHalfCI <= 0 {
+					t.Errorf("IPCHalfCI = %v, want > 0 with %d windows", st.IPCHalfCI, st.Windows)
+				}
+				results[i] = outcome{ipcErr: ipcErr, covered: covered}
+			})
+		}
+	})
+
+	if raceDetectorEnabled {
+		return // matrix-wide statistics need the full matrix
+	}
+
+	var sum float64
+	cov := 0
+	for _, o := range results {
+		sum += o.ipcErr
+		if o.covered {
+			cov++
+		}
+	}
+	if mean := sum / float64(len(results)); mean > maxMeanIPCErr {
+		t.Errorf("mean IPC error over the matrix = %.4f, want <= %.2f", mean, maxMeanIPCErr)
+	}
+	if rate := float64(cov) / float64(len(results)); rate < minCICoverage {
+		t.Errorf("CI coverage = %d/%d (%.2f), want >= %.2f — intervals are too narrow for their confidence level",
+			cov, len(results), rate, minCICoverage)
+	}
+}
+
+// FuzzWindowSchedule property-tests the sampling schedule: for any
+// geometry, planWindows either declines (nil ⇒ the run falls back to
+// exact simulation) or produces a schedule whose segments exactly tile
+// the budget with at least one measured window — and it never panics.
+func FuzzWindowSchedule(f *testing.F) {
+	f.Add(uint64(1_000_000), uint64(50_000), uint64(1_000), uint64(400))
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0))
+	f.Add(uint64(100), uint64(50_000), uint64(1_000), uint64(400)) // budget < period
+	f.Add(uint64(1_000_000), uint64(1_000), uint64(1_000), uint64(400))
+	f.Add(uint64(1_000_000), uint64(1), uint64(0), uint64(0))
+	f.Add(^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0))
+	f.Add(uint64(1_000_000), uint64(50_000), ^uint64(0), uint64(2)) // warmup+detail overflows
+	f.Fuzz(func(t *testing.T, budget, period, detail, warmup uint64) {
+		s := config.SampleConfig{Period: period, Detail: detail, Warmup: warmup}
+		plan := planWindows(budget, s)
+		if plan == nil {
+			return // exact fallback: always legal
+		}
+		var total uint64
+		measured := 0
+		for _, seg := range plan {
+			if seg.n == 0 {
+				t.Fatalf("zero-length segment in plan for budget=%d %+v", budget, s)
+			}
+			next := total + seg.n
+			if next < total {
+				t.Fatalf("schedule overflows uint64 for budget=%d %+v", budget, s)
+			}
+			total = next
+			if seg.kind == segMeasure {
+				measured++
+			}
+		}
+		if total != budget {
+			t.Fatalf("segments sum to %d, want budget %d (%+v)", total, budget, s)
+		}
+		if measured == 0 {
+			t.Fatalf("non-nil plan with zero measured windows for budget=%d %+v", budget, s)
+		}
+	})
+}

@@ -170,6 +170,83 @@ func TestStaleSchemaIsMiss(t *testing.T) {
 	}
 }
 
+// sampledReport is testReport plus the schema-2 Sampling block a sampled
+// run attaches.
+func sampledReport(cycles uint64) *metrics.Report {
+	r := testReport(cycles)
+	r.Sampling = &metrics.SamplingStats{
+		Period: 50_000, Detail: 1_000, Warmup: 400, Confidence: 95,
+		Windows:            40,
+		WarmedInstructions: 1_900_000, WarmupDiscarded: 16_000,
+		MeasuredInstructions: 40_000, MeasuredCycles: 52_000,
+		IPCMean: 0.77, IPCHalfCI: 0.012,
+		MissRateMean: 0.031, MissRateHalfCI: 0.004,
+	}
+	return r
+}
+
+// TestSampledReportRoundTrip: a schema-2 report (Sampling block attached)
+// survives Put/Get — including across a reopen — with a byte-identical
+// payload, the durability guarantee the runner's memoization relies on.
+func TestSampledReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	key := keyN(0)
+	want := sampledReport(999)
+	wantJSON, err := want.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mustOpen(t, dir, Options{})
+	if err := s.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	for name, st := range map[string]*Store{"same": s, "reopened": mustOpen(t, dir, Options{})} {
+		got, ok := st.Get(key)
+		if !ok {
+			t.Fatalf("%s store missed the sampled entry", name)
+		}
+		if got.Sampling == nil {
+			t.Fatalf("%s store dropped the Sampling block", name)
+		}
+		gotJSON, err := got.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(gotJSON) != string(wantJSON) {
+			t.Errorf("%s store round trip not byte-identical:\n got: %s\nwant: %s", name, gotJSON, wantJSON)
+		}
+	}
+}
+
+// TestPreSamplingEntryIsMiss pins the migration story for entries written
+// before the sampling schema bump: their header carries report schema 1,
+// which the current store treats as stale — a miss that forces
+// resimulation — rather than serving a payload the current decoder only
+// half-understands.
+func TestPreSamplingEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	key := keyN(0)
+	s := mustOpen(t, dir, Options{})
+	if err := s.Put(key, testReport(1)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key+entrySuffix)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(data[8:12], 1) // pre-sampling schema
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("pre-sampling entry served as a hit")
+	}
+	if st := s.Stats(); st.SchemaStale != 1 {
+		t.Errorf("stats = %+v, want 1 schema-stale", st)
+	}
+}
+
 func TestStaleContainerFormatIsMiss(t *testing.T) {
 	dir := t.TempDir()
 	key := keyN(0)

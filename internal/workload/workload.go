@@ -509,5 +509,61 @@ func (g *Generator) emitTerminator(top *frameState, blk *block, bi int) (isa.Ins
 	}
 }
 
+// NextWarm is the functional-warming variant of Next: it produces the next
+// instruction's op, PC, address, and branch outcome — everything a
+// functional model needs to keep caches, replication state, and branch
+// predictors warm — but skips the draws that only parameterize
+// out-of-order timing (dependence distances and load-use chains), which
+// dominate Next's cost. Control flow, trip counts, and address streams are
+// drawn from the same RNG with the same distributions, so the warmed
+// stream is statistically identical to the detailed one; it is NOT the
+// same realization (the per-instruction RNG draw sequence differs), which
+// is exactly the accuracy contract of sampled simulation.
+func (g *Generator) NextWarm() (isa.Inst, bool) {
+	if len(g.stack) == 0 {
+		g.stack = append(g.stack, frameState{fn: 0})
+	}
+	for {
+		top := &g.stack[len(g.stack)-1]
+		f := &g.funcs[top.fn]
+		bi := f.blocks[top.block]
+		blk := &g.blocks[bi]
+
+		if top.inst < len(blk.insts) {
+			si := blk.insts[top.inst]
+			in := isa.Inst{
+				PC: blk.startPC + uint64(4*top.inst),
+				Op: si.op,
+			}
+			// Dependence bookkeeping (sinceLoad, lastLoadAt) is kept — it
+			// is assignment-only and lets the first detailed window after a
+			// warming stretch draw its load-use and address chains from
+			// accurate state. Only the RNG draws are skipped.
+			if si.op == isa.OpLoad {
+				g.sinceLoad = 0
+			} else if g.sinceLoad < 1<<30 {
+				g.sinceLoad++
+			}
+			if si.op.IsMem() {
+				r := g.regions[si.region]
+				in.Addr = r.next(g.rng, si.op == isa.OpStore)
+				in.Size = 8
+				if si.op == isa.OpLoad {
+					r.lastLoadAt = g.count
+					g.lastLoadAt = g.count
+				}
+			}
+			top.inst++
+			g.count++
+			return in, true
+		}
+		in, advanced := g.emitTerminator(top, blk, bi)
+		if advanced {
+			g.count++
+			return in, true
+		}
+	}
+}
+
 // Count returns the number of instructions emitted so far.
 func (g *Generator) Count() uint64 { return g.count }

@@ -37,7 +37,7 @@ RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT INT TERM
 
 echo "==> micro benchmarks (benchtime=$BENCHTIME)"
-$GO test -run=NONE -bench='BenchmarkSimulate|BenchmarkCoreAccess|BenchmarkCPURun' \
+$GO test -run=NONE -bench='BenchmarkSimulate|BenchmarkSampled|BenchmarkCoreAccess|BenchmarkCPURun' \
     -benchmem -benchtime="$BENCHTIME" \
     ./internal/sim ./internal/core ./internal/cpu | tee -a "$RAW"
 

@@ -28,16 +28,28 @@ $GO run ./cmd/icrvet ./...
 stage test
 $GO test ./...
 
-# One iteration of every benchmark, converted to BENCH JSON and validated
-# against the schema: catches benchmarks that stop compiling or emit
-# malformed metrics without paying for a full timing run.
+# One iteration of every benchmark, converted to BENCH JSON, validated
+# against the schema, and gated against the newest committed BENCH_*.json
+# baseline: allocs/op may not grow past the tolerance (allocations are
+# deterministic) and instr/s may not collapse below the floor fraction
+# (single-iteration timings are noisy, so only order-of-magnitude
+# regressions — e.g. the sim arena pool silently breaking — trip it).
 stage bench
 BENCH_TMP=$(mktemp)
 BENCHTIME=1x ./scripts/bench.sh -o "$BENCH_TMP"
+BENCH_BASE=$(ls BENCH_*.json 2>/dev/null | sort | tail -1)
+if [ -n "$BENCH_BASE" ]; then
+    $GO run ./cmd/benchjson -check "$BENCH_TMP" -against "$BENCH_BASE"
+else
+    echo "bench: no committed BENCH_*.json baseline to gate against" >&2
+    exit 1
+fi
 rm -f "$BENCH_TMP"
 
 stage race
-$GO test -race ./internal/runner ./internal/experiments ./internal/sim \
+# Explicit timeout: the detector is a 10-20x slowdown on the heavier
+# packages (experiments, sim) and this may run on a single-core host.
+$GO test -race -timeout 30m ./internal/runner ./internal/experiments ./internal/sim \
     ./internal/store ./internal/serve ./internal/cliflag ./internal/cluster \
     ./cmd/...
 
