@@ -14,8 +14,10 @@ vet:
 	$(GO) vet ./...
 
 # icrvet: the repo's own static analyzer (internal/lint). Enforces the
-# determinism and concurrency invariants the parallel runner depends on;
-# see DESIGN.md "Invariants".
+# determinism, concurrency, pooling, allocation, wire-coverage, and
+# context invariants the parallel/distributed runner depends on; see
+# DESIGN.md "Invariants". CI runs the same binary with -json to archive
+# a machine-readable report (scripts/ci.sh).
 lint:
 	$(GO) run ./cmd/icrvet ./...
 

@@ -3,25 +3,40 @@
 // (go/ast, go/parser, go/types): the module stays offline and
 // dependency-free.
 //
-// Five passes run over the module containing the given packages:
+// Nine passes run over the module containing the given packages:
 //
-//	determinism  wall-clock time, global math/rand, and order-dependent
-//	             map iteration in the simulation hot path
-//	keycoverage  runner.KeyFor covers every exported config field
-//	syncmisuse   copied locks/atomics; misaligned 64-bit atomics
-//	floatorder   float accumulation in map-iteration order
-//	droppederr   discarded errors in cmd/ and internal/runner
+//	determinism    wall-clock time, global math/rand, and order-dependent
+//	               map iteration in the simulation hot path
+//	keycoverage    runner.KeyFor covers every exported config field
+//	syncmisuse     copied locks/atomics; misaligned 64-bit atomics
+//	floatorder     float accumulation in map-iteration order
+//	droppederr     discarded errors in cmd/ and the error-critical layers
+//	resetcoverage  //icrvet:pooled types Reset every field or declare it
+//	               //icrvet:persistent
+//	allocfree      no allocation in code reachable from the steady-state
+//	               loop ((*cpu.Core).Run/RunWarming and //icrvet:hot roots)
+//	wirecoverage   the key, cluster-wire, and metrics-schema codecs cover
+//	               every config/report field
+//	ctxflow        context.Context plumbing discipline
 //
 // Findings print as "path:line:col: [pass] message" and make the process
-// exit 1; load or usage errors exit 2. Suppress a finding with a justified
-// directive on the flagged line or the line above:
+// exit 1; load or usage errors exit 2. With -json, findings are printed
+// instead as one versioned JSON document (see lint.JSONReport) on stdout —
+// exit codes are unchanged, so CI can both archive the artifact and gate
+// on it. Suppress a finding with a justified directive on the flagged line
+// or the line above:
 //
 //	//icrvet:ignore <pass>[,<pass>...] <reason>
+//
+// An ignore directive that suppresses nothing is itself a finding. The
+// annotation directives //icrvet:pooled, //icrvet:persistent <reason>, and
+// //icrvet:hot <reason> feed the resetcoverage and allocfree passes.
 //
 // Examples:
 //
 //	icrvet ./...
 //	icrvet -passes determinism,droppederr ./...
+//	icrvet -json ./... > icrvet.json
 //	icrvet internal/sim/...
 package main
 
@@ -44,9 +59,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("icrvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		passes = fs.String("passes", "", "comma-separated pass subset (default: all)")
-		list   = fs.Bool("list", false, "list passes and exit")
-		dir    = fs.String("C", "", "change to this directory before resolving patterns")
+		passes  = fs.String("passes", "", "comma-separated pass subset (default: all)")
+		list    = fs.Bool("list", false, "list passes and exit")
+		dir     = fs.String("C", "", "change to this directory before resolving patterns")
+		jsonOut = fs.Bool("json", false, "emit findings as a versioned JSON report on stdout")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -74,6 +90,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "icrvet:", err)
 		return 2
+	}
+	if *jsonOut {
+		data, err := lint.NewJSONReport(root, opts.Passes, findings).Encode()
+		if err != nil {
+			fmt.Fprintln(stderr, "icrvet:", err)
+			return 2
+		}
+		if _, err := stdout.Write(data); err != nil {
+			fmt.Fprintln(stderr, "icrvet:", err)
+			return 2
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(stderr, "icrvet: %d finding(s)\n", len(findings))
+			return 1
+		}
+		return 0
 	}
 	for _, f := range findings {
 		fmt.Fprintln(stdout, f.Relative(root))

@@ -39,7 +39,7 @@ type DirPredictor interface {
 // Bimodal is a PC-indexed table of 2-bit saturating counters.
 type Bimodal struct {
 	table []counter2
-	mask  uint64
+	mask  uint64 //icrvet:persistent geometry: fixed by the construction-time entry count
 }
 
 var _ DirPredictor = (*Bimodal)(nil)
@@ -78,9 +78,9 @@ func (b *Bimodal) Update(pc uint64, taken bool) {
 // 2-bit counters.
 type TwoLevel struct {
 	table    []counter2
-	mask     uint64
+	mask     uint64 //icrvet:persistent geometry: fixed by the construction-time entry count
 	history  uint64
-	histMask uint64
+	histMask uint64 //icrvet:persistent geometry: fixed by the construction-time history length
 }
 
 var _ DirPredictor = (*TwoLevel)(nil)
@@ -131,7 +131,7 @@ type Combined struct {
 	bimodal  *Bimodal
 	twoLevel *TwoLevel
 	meta     []counter2
-	metaMask uint64
+	metaMask uint64 //icrvet:persistent geometry: fixed by the construction-time chooser size
 }
 
 var _ DirPredictor = (*Combined)(nil)
@@ -205,8 +205,8 @@ func (c *Combined) Update(pc uint64, taken bool) {
 
 // BTB is a set-associative branch target buffer with LRU replacement.
 type BTB struct {
-	sets  int
-	assoc int
+	sets  int //icrvet:persistent geometry: fixed at construction
+	assoc int //icrvet:persistent geometry: fixed at construction
 	// entries[set*assoc+way]
 	entries []btbEntry
 	clock   uint64
@@ -283,9 +283,9 @@ func (b *BTB) Update(pc, target uint64) {
 // RAS is a fixed-depth return-address stack. Pushing onto a full stack
 // wraps (overwriting the oldest entry), matching typical hardware.
 type RAS struct {
-	stack []uint64
-	top   int // number of live entries, capped at len(stack)
-	pos   int // next push position
+	stack []uint64 //icrvet:persistent backing array: entries above top are unreachable and every push overwrites its slot
+	top   int      // number of live entries, capped at len(stack)
+	pos   int      // next push position
 }
 
 // NewRAS returns a return-address stack with the given depth.

@@ -110,10 +110,10 @@ type line struct {
 
 // Cache is a set-associative timing cache with LRU replacement.
 type Cache struct {
-	cfg        Config
-	sets       int
-	offsetBits uint
-	indexMask  uint64
+	cfg        Config //icrvet:persistent construction input: pooled reuse keys on the same geometry
+	sets       int    //icrvet:persistent geometry: derived from cfg at construction
+	offsetBits uint   //icrvet:persistent geometry: derived from cfg at construction
+	indexMask  uint64 //icrvet:persistent geometry: derived from cfg at construction
 	lines      []line // sets*assoc, way-major within a set
 	clock      uint64
 	stats      Stats
@@ -301,9 +301,9 @@ type WriteBufferStats struct {
 // access latency; a store that finds the buffer full stalls until the
 // front entry retires.
 type WriteBuffer struct {
-	entries   int
-	interval  uint64 // cycles per retirement (next-level write latency)
-	next      Level
+	entries   int      //icrvet:persistent capacity: fixed at construction
+	interval  uint64   //icrvet:persistent cycles per retirement (next-level write latency), fixed at construction
+	next      Level    //icrvet:persistent hierarchy wiring: the next level is itself reset by the pool owner
 	queue     []uint64 // block addresses, FIFO
 	frontDone uint64   // cycle the front entry finishes retiring
 	// clock is the high-water mark of every `now` the buffer has observed.
@@ -418,11 +418,11 @@ func (w *WriteBuffer) Add(now uint64, blockAddr uint64) (stall uint64) {
 // address, so simulations are reproducible and data-carrying levels can be
 // verified against ground truth.
 type Memory struct {
-	Latency   uint64
+	Latency   uint64 //icrvet:persistent construction parameter, identical for every run sharing the pool shape
 	BlockSize int
 	blocks    map[uint64][]byte
 	accesses  uint64
-	scratch   []byte // PeekBlock's synthesis buffer for never-written blocks
+	scratch   []byte //icrvet:persistent PeekBlock's synthesis buffer for never-written blocks, fully overwritten before each use
 }
 
 var _ Level = (*Memory)(nil)
@@ -487,6 +487,7 @@ func (m *Memory) PeekBlock(blockAddr uint64) []byte {
 		return b
 	}
 	if m.scratch == nil {
+		//icrvet:ignore allocfree one-time lazy scratch allocation, reused for every subsequent peek
 		m.scratch = make([]byte, m.BlockSize)
 	}
 	m.synthesize(m.scratch, blockAddr)
@@ -499,6 +500,7 @@ func (m *Memory) PeekBlock(blockAddr uint64) []byte {
 func (m *Memory) WriteBlock(blockAddr uint64, data []byte) {
 	b, ok := m.blocks[blockAddr]
 	if !ok {
+		//icrvet:ignore allocfree amortized lazy allocation: each block is materialized once on first write-back, then reused
 		b = make([]byte, m.BlockSize)
 		m.blocks[blockAddr] = b
 	}
@@ -512,6 +514,7 @@ func (m *Memory) WriteBlock(blockAddr uint64, data []byte) {
 func (m *Memory) WriteWord(blockAddr uint64, off int, value uint64) {
 	b, ok := m.blocks[blockAddr]
 	if !ok {
+		//icrvet:ignore allocfree amortized lazy allocation: each block is materialized once on first touch, then reused
 		b = make([]byte, m.BlockSize)
 		m.synthesize(b, blockAddr)
 		m.blocks[blockAddr] = b

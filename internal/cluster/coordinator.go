@@ -556,6 +556,7 @@ func (c *Coordinator) StatsSnapshot() Stats {
 		Duplicate:  c.duplicate,
 	}
 	for _, w := range c.workers {
+		//icrvet:ignore determinism collection order is irrelevant: sortWorkers orders the slice by id before it is returned
 		s.Workers = append(s.Workers, WorkerStats{
 			Worker:   w.id,
 			Slots:    w.slots,

@@ -351,7 +351,7 @@ func (w *Worker) post(ctx context.Context, path string, in, out any) (int, error
 	if err != nil {
 		return 0, fmt.Errorf("cluster: %s: %w", path, err)
 	}
-	defer resp.Body.Close() //icrvet:ignore droppederr response body close failures are unactionable
+	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusOK && out != nil {
 		if err := json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(out); err != nil {
 			return resp.StatusCode, fmt.Errorf("cluster: decoding %s response: %w", path, err)

@@ -53,23 +53,23 @@ type line struct {
 
 // Cache is the ICR L1 data cache.
 type Cache struct {
-	cfg        Config
-	sets       int
-	offsetBits uint
-	indexMask  uint64
+	cfg        Config //icrvet:persistent construction input: the pool shape fingerprints Scheme and Repl wholesale
+	sets       int    //icrvet:persistent geometry: derived from cfg at construction
+	offsetBits uint   //icrvet:persistent geometry: derived from cfg at construction
+	indexMask  uint64 //icrvet:persistent geometry: derived from cfg at construction
 	lines      []line
 	clock      uint64 // LRU clock
-	tickPeriod uint64 // decay tick length in cycles (0 => window 0)
+	tickPeriod uint64 //icrvet:persistent decay tick length in cycles (0 => window 0), derived from cfg.Repl at construction
 	stats      Stats
 	storeSeq   uint64 // deterministic store-value generator state
 	lastWord   int    // word index of the most recent access (fault targeting)
 
-	wordsPerLine int
+	wordsPerLine int //icrvet:persistent geometry: derived from cfg at construction
 
 	// replDistances is cfg.Repl.Distances normalized modulo the set count
 	// and deduplicated (order preserved): the candidate-set walk for any
 	// block is home+d for each d, with no per-access slice or dedup pass.
-	replDistances []int
+	replDistances []int //icrvet:persistent derived from cfg.Repl at construction, part of the pool shape
 
 	// Scratch buffers reused across accesses so the hot path allocates
 	// nothing. replScratch backs findReplicas results (valid until the

@@ -166,7 +166,9 @@ type Config struct {
 type DuplicateStore interface {
 	// Put deposits a copy of a block (data is copied by the callee).
 	Put(blockAddr uint64, data []byte)
-	// Get returns a copy of the stored duplicate, if present.
+	// Get returns the stored duplicate's bytes, if present. The slice may
+	// alias the store's internal buffers: it is valid only until the next
+	// Put and the caller must not retain or mutate it.
 	Get(blockAddr uint64) ([]byte, bool)
 }
 

@@ -142,8 +142,8 @@ type entry struct {
 type Core struct {
 	cfg    Config
 	stream isa.Stream
-	icache cache.Level
-	dcache DataCache
+	icache cache.Level //icrvet:persistent aliases the pool owner's il1, which the owner resets directly
+	dcache DataCache   //icrvet:persistent aliases the pool owner's dl1, which the owner resets directly
 
 	pred *branch.Combined
 	btb  *branch.BTB

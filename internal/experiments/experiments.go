@@ -211,7 +211,7 @@ func Run(ctx context.Context, id string, o Options) (*Result, error) {
 		return nil, err
 	}
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //icrvet:ignore ctxflow nil-ctx compatibility seam: Run's documented default for non-cancellable callers
 	}
 	return d(ctx, o)
 }
@@ -225,7 +225,7 @@ func MultiSeed(ctx context.Context, id string, opts Options, seeds []int64) (*Re
 		return nil, err
 	}
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //icrvet:ignore ctxflow nil-ctx compatibility seam: MultiSeed's documented default for non-cancellable callers
 	}
 	return multiSeed(ctx, d, opts, seeds)
 }

@@ -75,6 +75,7 @@ type Injector struct {
 	wordsPerRow int
 	rng         *rand.Rand
 	injected    uint64
+	scratch     []Flip // backs Flips results (at most two flips per event)
 }
 
 // NewInjector returns an injector with the given model, per-cycle
@@ -92,6 +93,7 @@ func NewInjector(model Model, prob float64, wordsPerRow int, seed int64) *Inject
 		prob:        prob,
 		wordsPerRow: wordsPerRow,
 		rng:         rand.New(rand.NewSource(seed)),
+		scratch:     make([]Flip, 0, 2),
 	}
 }
 
@@ -127,37 +129,44 @@ func (in *Injector) NextAfter(now uint64) uint64 {
 // Flips generates the bit flips for one injection event against an array of
 // wordCount valid 64-bit words. lastAccessed is the word index of the most
 // recent access (-1 if none; the Direct model then falls back to a random
-// word). It returns nil if the array is empty.
+// word). It returns nil if the array is empty. The returned slice aliases
+// the injector's scratch buffer: it is valid only until the next Flips
+// call and must not be retained — injection runs on the simulated cycle
+// loop, so the event must not allocate.
 func (in *Injector) Flips(wordCount, lastAccessed int) []Flip {
 	if wordCount <= 0 {
 		return nil
 	}
 	in.injected++
 	bit := in.rng.Intn(64)
+	flips := in.scratch[:0]
 	switch in.model {
 	case Direct:
 		w := lastAccessed
 		if w < 0 || w >= wordCount {
 			w = in.rng.Intn(wordCount)
 		}
-		return []Flip{{Word: w, Bit: bit}}
+		flips = append(flips, Flip{Word: w, Bit: bit})
 	case Adjacent:
 		w := in.rng.Intn(wordCount)
 		b2 := bit + 1
 		if b2 > 63 {
 			b2 = bit - 1
 		}
-		return []Flip{{Word: w, Bit: bit}, {Word: w, Bit: b2}}
+		flips = append(flips, Flip{Word: w, Bit: bit}, Flip{Word: w, Bit: b2})
 	case Column:
 		w := in.rng.Intn(wordCount)
 		w2 := (w + in.wordsPerRow) % wordCount
-		if w2 == w {
-			return []Flip{{Word: w, Bit: bit}}
+		flips = append(flips, Flip{Word: w, Bit: bit})
+		if w2 != w {
+			flips = append(flips, Flip{Word: w2, Bit: bit})
 		}
-		return []Flip{{Word: w, Bit: bit}, {Word: w2, Bit: bit}}
 	case Random:
-		return []Flip{{Word: in.rng.Intn(wordCount), Bit: bit}}
+		flips = append(flips, Flip{Word: in.rng.Intn(wordCount), Bit: bit})
 	default:
+		//icrvet:ignore allocfree cold panic path: an invalid model is a construction bug, never taken in a correct build
 		panic(fmt.Sprintf("fault: invalid model %d", in.model))
 	}
+	in.scratch = flips
+	return flips
 }

@@ -1,0 +1,220 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runAllocFree verifies the zero-allocation guarantee of the simulator's
+// steady-state loop statically, complementing the AllocsPerRun spot checks
+// that can only sample configurations. Roots are the cycle loop itself —
+// (*Core).Run and (*Core).RunWarming in internal/cpu — plus every function
+// or closure marked //icrvet:hot (the hooks installed behind dynamic call
+// seams like Config.EachCycle, which the call graph cannot follow). In
+// every function statically reachable from a root, the pass flags the
+// constructs that force heap allocation:
+//
+//   - closure creation, make, new, and slice/map composite literals
+//   - taking the address of a composite literal
+//   - append that does not feed back into its own base slice
+//     (x = append(x, ...) and x = append(x[:0], ...) are the sanctioned
+//     scratch-reuse idioms; anything else can escape)
+//   - string concatenation and string<->[]byte conversions
+//   - explicit conversions to interface types (boxing)
+//   - any fmt.* call (always boxes its arguments)
+//
+// Amortized lazy allocation (e.g. cache.Memory synthesizing blocks on
+// first touch) is exempted with //icrvet:ignore allocfree at the site.
+// Interface dispatch is over-approximated to every in-module
+// implementation, so a predictor swapped in behind an interface is checked
+// without new annotations.
+func runAllocFree(a *Analysis, r *Reporter) {
+	g := a.graph()
+	roots := allocRoots(a)
+	if len(roots) == 0 {
+		return
+	}
+	parent := g.reachable(roots)
+	for _, n := range g.nodes {
+		if _, ok := parent[n]; ok {
+			checkAllocFreeNode(a, r, n, parent)
+		}
+	}
+}
+
+// allocRoots gathers the steady-state entry points.
+func allocRoots(a *Analysis) []*funcNode {
+	g := a.graph()
+	var roots []*funcNode
+	for _, n := range g.nodes {
+		if n.obj != nil && n.pkg.Rel == "internal/cpu" &&
+			(n.obj.Name() == "Run" || n.obj.Name() == "RunWarming") &&
+			recvTypeName(n.obj) == "Core" {
+			roots = append(roots, n)
+			continue
+		}
+		pos := a.Mod.Fset.Position(n.Pos())
+		if a.dirs.annotationAt(annHot, pos) != nil {
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}
+
+// recvTypeName returns the name of a method's receiver type ("" for plain
+// functions).
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	if named := asNamedStruct(sig.Recv().Type()); named != nil {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// checkAllocFreeNode flags allocation-inducing constructs in one reachable
+// function body.
+func checkAllocFreeNode(a *Analysis, r *Reporter, n *funcNode, parent map[*funcNode]*funcNode) {
+	pkg := n.pkg
+	via := chain(parent, n)
+	report := func(pos token.Pos, what string) {
+		r.Reportf(pos, "%s in the steady-state loop (reachable via %s); hoist it into setup or a scratch buffer", what, via)
+	}
+
+	// Sanctioned appends: x = append(x, ...) / x = append(x[:0], ...).
+	selfAppend := make(map[*ast.CallExpr]bool)
+	n.inspectOwn(func(node ast.Node) bool {
+		as, ok := node.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 || !isBuiltin(pkg, call.Fun, "append") {
+				continue
+			}
+			base := ast.Unparen(call.Args[0])
+			if sl, ok := base.(*ast.SliceExpr); ok {
+				base = sl.X
+			}
+			if types.ExprString(base) == types.ExprString(as.Lhs[i]) {
+				selfAppend[call] = true
+			}
+		}
+		return true
+	})
+
+	n.inspectOwn(func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.FuncLit:
+			if node != n.lit {
+				report(node.Pos(), "closure creation")
+			}
+		case *ast.CompositeLit:
+			if tv, ok := pkg.Info.Types[node]; ok && tv.Type != nil {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					report(node.Pos(), "slice/map literal")
+				}
+			}
+		case *ast.UnaryExpr:
+			if node.Op == token.AND {
+				if _, ok := ast.Unparen(node.X).(*ast.CompositeLit); ok {
+					report(node.Pos(), "address of composite literal")
+				}
+			}
+		case *ast.BinaryExpr:
+			// Constant-folded concatenation ("a"+"b") costs nothing.
+			if node.Op == token.ADD && isStringExpr(pkg, node.X) &&
+				pkg.Info.Types[node].Value == nil {
+				report(node.Pos(), "string concatenation")
+			}
+		case *ast.AssignStmt:
+			if node.Tok == token.ADD_ASSIGN && len(node.Lhs) == 1 && isStringExpr(pkg, node.Lhs[0]) {
+				report(node.Pos(), "string concatenation")
+			}
+		case *ast.CallExpr:
+			checkAllocCall(pkg, report, node, selfAppend)
+		}
+		return true
+	})
+}
+
+// checkAllocCall classifies one call expression in a hot body.
+func checkAllocCall(pkg *Package, report func(token.Pos, string), call *ast.CallExpr, selfAppend map[*ast.CallExpr]bool) {
+	switch {
+	case isBuiltin(pkg, call.Fun, "make"):
+		report(call.Pos(), "make")
+		return
+	case isBuiltin(pkg, call.Fun, "new"):
+		report(call.Pos(), "new")
+		return
+	case isBuiltin(pkg, call.Fun, "append"):
+		if !selfAppend[call] {
+			report(call.Pos(), "append escaping its base slice")
+		}
+		return
+	}
+	if pkgPath, name, ok := stdFuncCall(pkg, call); ok && pkgPath == "fmt" {
+		report(call.Pos(), "fmt."+name+" (boxes every argument)")
+		return
+	}
+	// Explicit conversions: T(x) where T is an interface (boxing) or a
+	// string<->[]byte pair (copies).
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		src := pkg.Info.Types[call.Args[0]].Type
+		if src == nil {
+			return
+		}
+		if types.IsInterface(dst) && !types.IsInterface(src) {
+			report(call.Pos(), "conversion to interface (boxes the value)")
+			return
+		}
+		if isStringByteConv(dst, src) {
+			report(call.Pos(), "string<->[]byte conversion (copies)")
+		}
+	}
+}
+
+// isBuiltin reports whether fun names the given builtin.
+func isBuiltin(pkg *Package, fun ast.Expr, name string) bool {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pkg.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// isStringExpr reports whether e has string type.
+func isStringExpr(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+// isStringByteConv reports a string<->[]byte (or []rune) conversion.
+func isStringByteConv(dst, src types.Type) bool {
+	return (isStringType(dst) && isByteSlice(src)) || (isByteSlice(dst) && isStringType(src))
+}
+
+func isStringType(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	basic, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (basic.Kind() == types.Byte || basic.Kind() == types.Rune || basic.Kind() == types.Uint8 || basic.Kind() == types.Int32)
+}

@@ -1,0 +1,297 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// funcNode is one function body in the module: a declared function or
+// method, or a function literal. Literals are their own nodes — code
+// inside a closure belongs to the closure, not to the function that
+// happens to contain its text — so reachability and per-function checks
+// attribute every statement to the body that actually executes it.
+type funcNode struct {
+	pkg  *Package
+	decl *ast.FuncDecl // nil for literals
+	lit  *ast.FuncLit  // nil for declarations
+	obj  *types.Func   // nil for literals
+	line int           // source line (diagnostics for literals)
+
+	// callees are the node's outgoing edges in deterministic first-seen
+	// order: static calls, interface dispatch (over-approximated to every
+	// in-module implementation), and function literals created in the
+	// body (creating a closure inside a hot region is treated as making
+	// it callable there).
+	calleeSet map[*funcNode]bool
+	callees   []*funcNode
+}
+
+// Name renders the node for diagnostics: "(*cpu.Core).Run" for methods,
+// "sim.planWindows" for functions, "func literal at line N" otherwise.
+func (n *funcNode) Name() string {
+	if n.obj != nil {
+		return relFuncName(n.obj)
+	}
+	return fmt.Sprintf("%s func literal at line %d", n.pkg.Types.Name(), n.line)
+}
+
+// Pos returns the node's source position.
+func (n *funcNode) Pos() token.Pos {
+	if n.decl != nil {
+		return n.decl.Pos()
+	}
+	return n.lit.Pos()
+}
+
+// Body returns the node's statement block (nil for bodyless declarations).
+func (n *funcNode) Body() *ast.BlockStmt {
+	if n.decl != nil {
+		return n.decl.Body
+	}
+	return n.lit.Body
+}
+
+// relFuncName renders a types.Func with a package-qualified short name:
+// "(*cpu.Core).Run", "sim.planWindows".
+func relFuncName(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	pkgName := ""
+	if fn.Pkg() != nil {
+		pkgName = fn.Pkg().Name() + "."
+	}
+	if sig != nil && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		ptr := ""
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+			ptr = "*"
+		}
+		if named, ok := types.Unalias(recv).(*types.Named); ok {
+			return fmt.Sprintf("(%s%s%s).%s", ptr, pkgName, named.Obj().Name(), fn.Name())
+		}
+	}
+	return pkgName + fn.Name()
+}
+
+// callGraph is a static over-approximation of the module's call relation.
+// Dynamic calls through plain function values (hooks, stored callbacks)
+// have no callee edge — the //icrvet:hot annotation exists to re-root
+// analyses on the far side of such seams.
+type callGraph struct {
+	mod   *Module
+	nodes []*funcNode
+	byObj map[*types.Func]*funcNode
+	byLit map[*ast.FuncLit]*funcNode
+
+	// named lists every named type declared in the module (deterministic
+	// order), the candidate set for interface-dispatch resolution.
+	named []*types.Named
+}
+
+// buildCallGraph constructs the graph for a loaded module. It is pure and
+// read-only over the module, so the result can be shared across
+// concurrently running passes.
+func buildCallGraph(mod *Module) *callGraph {
+	g := &callGraph{
+		mod:   mod,
+		byObj: make(map[*types.Func]*funcNode),
+		byLit: make(map[*ast.FuncLit]*funcNode),
+	}
+	// Pass 1: create nodes for every function declaration and literal,
+	// and collect the module's named types.
+	for _, pkg := range mod.Packages {
+		scope := pkg.Types.Scope()
+		names := scope.Names() // sorted
+		for _, name := range names {
+			if tn, ok := scope.Lookup(name).(*types.TypeName); ok {
+				if named, ok := tn.Type().(*types.Named); ok {
+					g.named = append(g.named, named)
+				}
+			}
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				n := &funcNode{
+					pkg: pkg, decl: fd, obj: obj,
+					line:      mod.Fset.Position(fd.Pos()).Line,
+					calleeSet: make(map[*funcNode]bool),
+				}
+				g.nodes = append(g.nodes, n)
+				if obj != nil {
+					g.byObj[obj] = n
+				}
+				// Literals, attributed to their innermost enclosing body.
+				g.addLiterals(pkg, fd.Body)
+			}
+		}
+	}
+	// Pass 2: edges.
+	for _, n := range g.nodes {
+		g.addEdges(n)
+	}
+	return g
+}
+
+// addLiterals creates nodes for every function literal under root.
+func (g *callGraph) addLiterals(pkg *Package, root ast.Node) {
+	ast.Inspect(root, func(node ast.Node) bool {
+		if lit, ok := node.(*ast.FuncLit); ok {
+			n := &funcNode{
+				pkg: pkg, lit: lit,
+				line:      g.mod.Fset.Position(lit.Pos()).Line,
+				calleeSet: make(map[*funcNode]bool),
+			}
+			g.nodes = append(g.nodes, n)
+			g.byLit[lit] = n
+		}
+		return true
+	})
+}
+
+// inspectOwn walks the node's body, skipping nested function literals
+// (they are separate nodes).
+func (n *funcNode) inspectOwn(fn func(ast.Node) bool) {
+	body := n.Body()
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(node ast.Node) bool {
+		if lit, ok := node.(*ast.FuncLit); ok && lit != n.lit {
+			return false
+		}
+		return fn(node)
+	})
+}
+
+// addEdges computes the outgoing edges of one node.
+func (g *callGraph) addEdges(n *funcNode) {
+	n.inspectOwn(func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.FuncLit:
+			if node != n.lit {
+				// Creating a closure here: treat it as callable from here.
+				n.addCallee(g.byLit[node])
+			}
+		case *ast.CallExpr:
+			g.addCallEdges(n, node)
+		}
+		return true
+	})
+}
+
+func (n *funcNode) addCallee(callee *funcNode) {
+	if callee == nil || n.calleeSet[callee] {
+		return
+	}
+	n.calleeSet[callee] = true
+	n.callees = append(n.callees, callee)
+}
+
+// addCallEdges resolves one call expression to zero or more callees.
+func (g *callGraph) addCallEdges(n *funcNode, call *ast.CallExpr) {
+	pkg := n.pkg
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		n.addCallee(g.byLit[fun])
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			n.addCallee(g.byObj[fn])
+		}
+	case *ast.SelectorExpr:
+		// Package-qualified function or a method call.
+		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			if sel, ok := pkg.Info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+				if types.IsInterface(sel.Recv()) {
+					// Interface dispatch: over-approximate to every
+					// in-module implementation.
+					for _, impl := range g.implementations(sel.Recv(), fn) {
+						n.addCallee(impl)
+					}
+					return
+				}
+			}
+			n.addCallee(g.byObj[fn])
+		}
+	}
+}
+
+// implementations returns the nodes of every in-module concrete method
+// that can stand behind a call to iface method m.
+func (g *callGraph) implementations(iface types.Type, m *types.Func) []*funcNode {
+	var out []*funcNode
+	it, ok := iface.Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	for _, named := range g.named {
+		if types.IsInterface(named) {
+			continue
+		}
+		var impl types.Type = named
+		if !types.Implements(impl, it) {
+			impl = types.NewPointer(named)
+			if !types.Implements(impl, it) {
+				continue
+			}
+		}
+		obj, _, _ := types.LookupFieldOrMethod(impl, true, m.Pkg(), m.Name())
+		if fn, ok := obj.(*types.Func); ok {
+			if node := g.byObj[fn]; node != nil {
+				out = append(out, node)
+			}
+		}
+	}
+	return out
+}
+
+// funcOf returns the node for a declared function/method, or nil.
+func (g *callGraph) funcOf(fn *types.Func) *funcNode { return g.byObj[fn] }
+
+// reachable computes the set of nodes reachable from roots, recording for
+// each reached node its BFS parent so diagnostics can show one concrete
+// call chain back to a root.
+func (g *callGraph) reachable(roots []*funcNode) map[*funcNode]*funcNode {
+	parent := make(map[*funcNode]*funcNode)
+	var queue []*funcNode
+	for _, r := range roots {
+		if r == nil {
+			continue
+		}
+		if _, ok := parent[r]; !ok {
+			parent[r] = nil
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, c := range n.callees {
+			if _, ok := parent[c]; !ok {
+				parent[c] = n
+				queue = append(queue, c)
+			}
+		}
+	}
+	return parent
+}
+
+// chain renders the call path from a root to n, e.g.
+// "(*cpu.Core).Run -> (*cpu.Core).commit -> (*core.Cache).Store".
+func chain(parent map[*funcNode]*funcNode, n *funcNode) string {
+	var names []string
+	for at := n; at != nil; at = parent[at] {
+		names = append(names, at.Name())
+	}
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	return strings.Join(names, " -> ")
+}

@@ -26,23 +26,20 @@ var globalRandFuncs = map[string]bool{
 // whose body accumulates ordered output (appends, string building, writes).
 // Floating-point accumulation under map iteration is the floatorder pass's
 // job module-wide, so it is not duplicated here.
-func runDeterminism(mod *Module, r *Reporter) {
-	hot := r.hotPaths()
-	for _, pkg := range mod.Packages {
-		if !inScope(pkg.Rel, hot) {
-			continue
-		}
-		for _, f := range pkg.Files {
-			ast.Inspect(f, func(n ast.Node) bool {
-				switch n := n.(type) {
-				case *ast.CallExpr:
-					checkDeterminismCall(pkg, r, n)
-				case *ast.RangeStmt:
-					checkMapRange(pkg, r, n)
-				}
-				return true
-			})
-		}
+func runDeterminism(_ *Analysis, pkg *Package, r *Reporter) {
+	if !inScope(pkg.Rel, r.hotPaths()) {
+		return
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDeterminismCall(pkg, r, n)
+			case *ast.RangeStmt:
+				checkMapRange(pkg, r, n)
+			}
+			return true
+		})
 	}
 }
 

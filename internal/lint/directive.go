@@ -2,19 +2,36 @@ package lint
 
 import (
 	"fmt"
+	"go/ast"
 	"go/token"
 	"strings"
 )
 
-// directivePrefix introduces a suppression comment:
+// The icrvet comment vocabulary. Suppressions silence a finding with a
+// justification; annotations feed facts into the analyses themselves:
 //
 //	//icrvet:ignore <pass>[,<pass>...] <reason>
+//	//icrvet:persistent <reason>   field deliberately survives Reset (resetcoverage)
+//	//icrvet:hot <reason>          function runs inside the steady-state loop
+//	                               behind a dynamic call seam (allocfree root)
+//	//icrvet:pooled [reason]       struct is a pooled-arena root (resetcoverage)
 //
-// The directive suppresses the named passes' findings on its own line (a
-// trailing comment) or on the line directly below (a comment on its own
-// line). The reason is mandatory: a suppression with no justification is
+// A trailing directive applies to its own line only; a directive standing
+// on a line of its own applies to the line directly below. (A trailing
+// directive never leaks onto the next line: annotating one struct field
+// must not silently cover the field declared under it.) The reason is
+// mandatory
+// except for pooled: a suppression or exemption with no justification is
 // exactly the kind of reviewer-vigilance failure the analyzer replaces.
-const directivePrefix = "icrvet:ignore"
+// Any other icrvet: verb is a finding — a typo like icrvet:persistant
+// must fail loudly, not silently annotate nothing.
+const (
+	directivePrefix   = "icrvet:ignore"
+	persistentPrefix  = "icrvet:persistent"
+	hotPrefix         = "icrvet:hot"
+	pooledPrefix      = "icrvet:pooled"
+	anyDirectivePrefx = "icrvet:"
+)
 
 // directive is one parsed suppression comment.
 type directive struct {
@@ -24,8 +41,8 @@ type directive struct {
 }
 
 // parseDirective parses the text after "//" of a candidate comment line.
-// ok is false when the comment is not an icrvet directive at all. err is
-// non-nil when it is one but is malformed.
+// ok is false when the comment is not an icrvet:ignore directive at all.
+// err is non-nil when it is one but is malformed.
 func parseDirective(text string) (passes []string, reason string, ok bool, err error) {
 	text = strings.TrimSpace(text)
 	rest, isDirective := strings.CutPrefix(text, directivePrefix)
@@ -33,7 +50,8 @@ func parseDirective(text string) (passes []string, reason string, ok bool, err e
 		return nil, "", false, nil
 	}
 	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
-		// e.g. "icrvet:ignoreX" — some other token, not our directive.
+		// e.g. "icrvet:ignoreX" — some other token, not this directive
+		// (the unknown-verb check reports it separately).
 		return nil, "", false, nil
 	}
 	fields := strings.Fields(rest)
@@ -61,45 +79,104 @@ func parseDirective(text string) (passes []string, reason string, ok bool, err e
 	return passes, reason, true, nil
 }
 
-// suppressions indexes every valid directive in a module by file and the
-// line it covers, and records malformed directives as findings.
-type suppressions struct {
-	// byLine maps filename -> covered line -> directives.
-	byLine   map[string]map[int][]*directive
-	problems []Finding
+// annotationKind discriminates the non-suppression directives.
+type annotationKind int
+
+const (
+	annPersistent annotationKind = iota
+	annHot
+	annPooled
+)
+
+func (k annotationKind) String() string {
+	switch k {
+	case annPersistent:
+		return "persistent"
+	case annHot:
+		return "hot"
+	case annPooled:
+		return "pooled"
+	}
+	return "?"
 }
 
-// collectSuppressions scans all comments of all files.
-func collectSuppressions(mod *Module) *suppressions {
-	s := &suppressions{byLine: make(map[string]map[int][]*directive)}
+// annotation is one parsed non-suppression directive.
+type annotation struct {
+	kind   annotationKind
+	reason string
+	pos    token.Position
+}
+
+// parseAnnotation parses the text of a candidate annotation comment.
+// ok is false when the comment is not an annotation directive at all.
+func parseAnnotation(text string) (kind annotationKind, reason string, ok bool, err error) {
+	text = strings.TrimSpace(text)
+	var prefix string
+	switch {
+	// persistent before pooled/hot: longest-match is irrelevant here, but
+	// each prefix must be checked with its own boundary rule below.
+	case strings.HasPrefix(text, persistentPrefix):
+		kind, prefix = annPersistent, persistentPrefix
+	case strings.HasPrefix(text, hotPrefix):
+		kind, prefix = annHot, hotPrefix
+	case strings.HasPrefix(text, pooledPrefix):
+		kind, prefix = annPooled, pooledPrefix
+	default:
+		return 0, "", false, nil
+	}
+	rest := text[len(prefix):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return 0, "", false, nil // some other token
+	}
+	reason = strings.TrimSpace(rest)
+	if reason == "" && kind != annPooled {
+		return kind, "", true, fmt.Errorf(
+			"missing reason: //icrvet:%s must say why (want \"//icrvet:%s <reason>\")", kind, kind)
+	}
+	return kind, reason, true, nil
+}
+
+// knownVerb reports whether an "icrvet:..."-prefixed comment uses one of
+// the defined directive verbs (possibly malformed in its arguments).
+func knownVerb(text string) bool {
+	verb := text[len(anyDirectivePrefx):]
+	if i := strings.IndexAny(verb, " \t"); i >= 0 {
+		verb = verb[:i]
+	}
+	switch anyDirectivePrefx + verb {
+	case directivePrefix, persistentPrefix, hotPrefix, pooledPrefix:
+		return true
+	}
+	return false
+}
+
+// directives indexes every icrvet comment in a module: suppressions by the
+// lines they cover, annotations by kind and covered line, and malformed
+// directives as findings.
+type directives struct {
+	// suppByLine maps filename -> covered line -> suppressions.
+	suppByLine map[string]map[int][]*directive
+	// all lists every valid suppression (for the unused check).
+	all []*directive
+	// annByLine maps annotation kind -> filename -> covered line.
+	annByLine map[annotationKind]map[string]map[int]*annotation
+	problems  []Finding
+}
+
+// collectDirectives scans all comments of all files.
+func collectDirectives(mod *Module) *directives {
+	s := &directives{
+		suppByLine: make(map[string]map[int][]*directive),
+		annByLine:  make(map[annotationKind]map[string]map[int]*annotation),
+	}
 	for _, pkg := range mod.Packages {
 		for _, f := range pkg.Files {
+			minCol := codeStartColumns(mod.Fset, f)
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					text := strings.TrimPrefix(c.Text, "//")
-					passes, reason, ok, err := parseDirective(text)
-					if !ok {
-						continue
-					}
 					pos := mod.Fset.Position(c.Pos())
-					if err != nil {
-						s.problems = append(s.problems, Finding{
-							Pass: "directive", Pos: pos,
-							Message: fmt.Sprintf("malformed //icrvet:ignore: %v", err),
-						})
-						continue
-					}
-					d := &directive{passes: passes, reason: reason, pos: pos}
-					lines := s.byLine[pos.Filename]
-					if lines == nil {
-						lines = make(map[int][]*directive)
-						s.byLine[pos.Filename] = lines
-					}
-					// A trailing directive covers its own line; a directive
-					// on a line of its own covers the next line. Covering
-					// both is harmless and keeps the rule simple.
-					lines[pos.Line] = append(lines[pos.Line], d)
-					lines[pos.Line+1] = append(lines[pos.Line+1], d)
+					col, hasCode := minCol[pos.Line]
+					s.collect(mod, c, hasCode && col < pos.Column)
 				}
 			}
 		}
@@ -107,15 +184,105 @@ func collectSuppressions(mod *Module) *suppressions {
 	return s
 }
 
-// suppressed reports whether a finding of the given pass at p is covered by
-// a valid directive.
-func (s *suppressions) suppressed(pass string, p token.Position) bool {
-	for _, d := range s.byLine[p.Filename][p.Line] {
+// codeStartColumns maps each line on which a non-comment node begins to
+// the smallest starting column of such a node. A comment with code
+// starting before it on its line is a trailing comment.
+func codeStartColumns(fset *token.FileSet, f *ast.File) map[int]int {
+	cols := make(map[int]int)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return true
+		}
+		p := fset.Position(n.Pos())
+		if c, ok := cols[p.Line]; !ok || p.Column < c {
+			cols[p.Line] = p.Column
+		}
+		return true
+	})
+	return cols
+}
+
+func (s *directives) collect(mod *Module, c *ast.Comment, trailing bool) {
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	pos := mod.Fset.Position(c.Pos())
+
+	if passes, reason, ok, err := parseDirective(text); ok {
+		if err != nil {
+			s.problems = append(s.problems, Finding{
+				Pass: "directive", Pos: pos,
+				Message: fmt.Sprintf("malformed //icrvet:ignore: %v", err),
+			})
+			return
+		}
+		d := &directive{passes: passes, reason: reason, pos: pos}
+		s.all = append(s.all, d)
+		lines := s.suppByLine[pos.Filename]
+		if lines == nil {
+			lines = make(map[int][]*directive)
+			s.suppByLine[pos.Filename] = lines
+		}
+		// A trailing directive covers its own line; a directive on a line
+		// of its own covers that (empty) line and the next.
+		lines[pos.Line] = append(lines[pos.Line], d)
+		if !trailing {
+			lines[pos.Line+1] = append(lines[pos.Line+1], d)
+		}
+		return
+	}
+
+	if kind, reason, ok, err := parseAnnotation(text); ok {
+		if err != nil {
+			s.problems = append(s.problems, Finding{
+				Pass: "directive", Pos: pos,
+				Message: fmt.Sprintf("malformed //icrvet:%s: %v", kind, err),
+			})
+			return
+		}
+		byFile := s.annByLine[kind]
+		if byFile == nil {
+			byFile = make(map[string]map[int]*annotation)
+			s.annByLine[kind] = byFile
+		}
+		lines := byFile[pos.Filename]
+		if lines == nil {
+			lines = make(map[int]*annotation)
+			byFile[pos.Filename] = lines
+		}
+		a := &annotation{kind: kind, reason: reason, pos: pos}
+		lines[pos.Line] = a
+		if !trailing {
+			lines[pos.Line+1] = a
+		}
+		return
+	}
+
+	if strings.HasPrefix(text, anyDirectivePrefx) && !knownVerb(text) {
+		s.problems = append(s.problems, Finding{
+			Pass: "directive", Pos: pos,
+			Message: fmt.Sprintf("unknown icrvet directive %q (have ignore, persistent, hot, pooled)",
+				strings.Fields(text)[0]),
+		})
+	}
+}
+
+// suppressing returns the directives that suppress a finding of the given
+// pass at p (nil when none do).
+func (s *directives) suppressing(pass string, p token.Position) []*directive {
+	var out []*directive
+	for _, d := range s.suppByLine[p.Filename][p.Line] {
 		for _, dp := range d.passes {
 			if dp == pass {
-				return true
+				out = append(out, d)
+				break
 			}
 		}
 	}
-	return false
+	return out
+}
+
+// annotationAt returns the annotation of the given kind covering
+// file:line, or nil.
+func (s *directives) annotationAt(kind annotationKind, p token.Position) *annotation {
+	return s.annByLine[kind][p.Filename][p.Line]
 }

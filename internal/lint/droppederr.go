@@ -28,26 +28,23 @@ var errIgnoredCallees = map[string]bool{
 // means a failed simulation is silently folded into the figures. Deferred
 // calls and explicit `_ =` discards are allowed — the first is accepted
 // cleanup idiom, the second is a visible, greppable decision.
-func runDroppedErr(mod *Module, r *Reporter) {
-	scope := r.errPaths()
-	for _, pkg := range mod.Packages {
-		if !inScope(pkg.Rel, scope) {
-			continue
-		}
-		for _, f := range pkg.Files {
-			ast.Inspect(f, func(n ast.Node) bool {
-				stmt, ok := n.(*ast.ExprStmt)
-				if !ok {
-					return true
-				}
-				call, ok := stmt.X.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				checkDroppedErr(pkg, r, call)
+func runDroppedErr(_ *Analysis, pkg *Package, r *Reporter) {
+	if !inScope(pkg.Rel, r.errPaths()) {
+		return
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
 				return true
-			})
-		}
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkDroppedErr(pkg, r, call)
+			return true
+		})
 	}
 }
 

@@ -13,32 +13,30 @@ import (
 // result-corruption mode the byte-identical-CSV guarantee exists to
 // prevent. The fix is always the same: collect the keys, sort them, then
 // accumulate in sorted order.
-func runFloatOrder(mod *Module, r *Reporter) {
-	for _, pkg := range mod.Packages {
-		for _, f := range pkg.Files {
-			ast.Inspect(f, func(n ast.Node) bool {
-				rng, ok := n.(*ast.RangeStmt)
+func runFloatOrder(_ *Analysis, pkg *Package, r *Reporter) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pkg.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			ast.Inspect(rng.Body, func(b ast.Node) bool {
+				as, ok := b.(*ast.AssignStmt)
 				if !ok {
 					return true
 				}
-				tv, ok := pkg.Info.Types[rng.X]
-				if !ok {
-					return true
-				}
-				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
-					return true
-				}
-				ast.Inspect(rng.Body, func(b ast.Node) bool {
-					as, ok := b.(*ast.AssignStmt)
-					if !ok {
-						return true
-					}
-					checkFloatAccum(pkg, r, as)
-					return true
-				})
+				checkFloatAccum(pkg, r, as)
 				return true
 			})
-		}
+			return true
+		})
 	}
 }
 

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSONVersion is the version stamped on every JSON report. Bump it when
+// the shape of JSONReport changes incompatibly; CI artifacts carry the
+// version so downstream tooling can refuse reports it does not understand.
+const JSONVersion = 1
+
+// JSONFinding is one finding in the machine-readable report. File is
+// module-root-relative with forward slashes, matching the text renderer.
+type JSONFinding struct {
+	Pass    string `json:"pass"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Message string `json:"message"`
+}
+
+// JSONReport is the -json output: a versioned envelope around the
+// findings, plus the pass roster so a clean report still records what ran.
+type JSONReport struct {
+	Version  int           `json:"version"`
+	Passes   []string      `json:"passes"`
+	Findings []JSONFinding `json:"findings"`
+}
+
+// NewJSONReport converts findings (already sorted by Run) into a report
+// with paths relative to root. passes is the roster that ran; nil means
+// all.
+func NewJSONReport(root string, passes []string, findings []Finding) JSONReport {
+	if len(passes) == 0 {
+		passes = PassNames()
+	}
+	rep := JSONReport{
+		Version:  JSONVersion,
+		Passes:   passes,
+		Findings: []JSONFinding{}, // encode as [], never null
+	}
+	for _, f := range findings {
+		rep.Findings = append(rep.Findings, JSONFinding{
+			Pass:    f.Pass,
+			File:    relName(root, f.Pos.Filename),
+			Line:    f.Pos.Line,
+			Column:  f.Pos.Column,
+			Message: f.Message,
+		})
+	}
+	return rep
+}
+
+// Encode renders the report as indented JSON with a trailing newline.
+func (rep JSONReport) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeJSONReport parses a report produced by Encode, rejecting versions
+// this build does not understand.
+func DecodeJSONReport(data []byte) (JSONReport, error) {
+	var rep JSONReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return JSONReport{}, err
+	}
+	if rep.Version != JSONVersion {
+		return JSONReport{}, fmt.Errorf("lint: unsupported JSON report version %d (this build understands %d)",
+			rep.Version, JSONVersion)
+	}
+	return rep, nil
+}

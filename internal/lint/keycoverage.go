@@ -25,7 +25,8 @@ const keyFuncName = "KeyFor"
 // must at least nil-check them to refuse memoizing an un-fingerprintable
 // run). Interface-typed fields are required to be referenced but are not
 // recursed into: their dynamic contents are the serializer's problem.
-func runKeyCoverage(mod *Module, r *Reporter) {
+func runKeyCoverage(a *Analysis, r *Reporter) {
+	mod := a.Mod
 	found := false
 	for _, pkg := range mod.Packages {
 		for _, f := range pkg.Files {

@@ -1,7 +1,8 @@
 // Package lint is icrvet's analysis engine: a standard-library-only static
 // analyzer (go/ast, go/parser, go/types) that enforces the repository's
-// determinism and concurrency invariants. Five passes run over the whole
-// module:
+// determinism, concurrency, and pooling invariants. Nine passes run over
+// the whole module, sharing one type-checked load and (for the
+// reachability-based passes) one static call graph:
 //
 //   - determinism: wall-clock time, global math/rand, and order-dependent
 //     map iteration in the simulation hot path
@@ -12,6 +13,16 @@
 //     64-bit atomics at 32-bit-unsafe struct offsets
 //   - floatorder: floating-point accumulation fed by map iteration order
 //   - droppederr: discarded error returns in the CLIs and the runner
+//   - resetcoverage: every field of an //icrvet:pooled type must be
+//     assigned in its Reset or be declared //icrvet:persistent — a missed
+//     field is cross-run state contamination through the instance pool
+//   - allocfree: no allocation-inducing constructs in functions statically
+//     reachable from the simulator's steady-state loop
+//   - wirecoverage: config and report structs must be covered by all three
+//     codecs that have to agree (KeyFor, the metrics JSON schema, the
+//     cluster wire codec)
+//   - ctxflow: context.Context plumbing discipline in the serving and
+//     cluster layers
 //
 // Findings can be suppressed with a justified directive on the flagged
 // line or the line above:
@@ -19,15 +30,19 @@
 //	//icrvet:ignore <pass>[,<pass>...] <reason>
 //
 // A malformed directive (unknown pass, missing reason) is itself a finding
-// and cannot be suppressed.
+// and cannot be suppressed — and so is a directive that suppresses
+// nothing: stale suppressions rot into blanket permission slips unless
+// they are forced to justify their existence on every run.
 package lint
 
 import (
 	"fmt"
 	"go/token"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // A Finding is one diagnostic: a position, the pass that produced it, and
@@ -46,31 +61,64 @@ func (f Finding) String() string {
 
 // Relative renders the finding with its file path relative to root.
 func (f Finding) Relative(root string) string {
-	name := f.Pos.Filename
+	return fmt.Sprintf("%s:%d:%d: [%s] %s",
+		relName(root, f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Pass, f.Message)
+}
+
+// relName renders a file path relative to root (when possible) with
+// forward slashes.
+func relName(root, name string) string {
 	if root != "" {
 		if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
 			name = rel
 		}
 	}
-	return fmt.Sprintf("%s:%d:%d: [%s] %s",
-		filepath.ToSlash(name), f.Pos.Line, f.Pos.Column, f.Pass, f.Message)
+	return filepath.ToSlash(name)
 }
 
-// A Pass is one analysis over a loaded module.
+// An Analysis is the shared state of one engine run: the loaded module,
+// the parsed directive index, and a lazily built static call graph. It is
+// read-only while passes execute, so every pass (and every per-package
+// shard of a pass) can use it concurrently.
+type Analysis struct {
+	Mod  *Module
+	opts Options
+	dirs *directives
+
+	cgOnce sync.Once
+	cg     *callGraph
+}
+
+// graph returns the module's static call graph, building it on first use.
+func (a *Analysis) graph() *callGraph {
+	a.cgOnce.Do(func() { a.cg = buildCallGraph(a.Mod) })
+	return a.cg
+}
+
+// A Pass is one analysis. Exactly one of Package and Module is set:
+// Package passes are sharded one work item per package and run
+// concurrently; Module passes need a whole-module view (call graph, cross-
+// package struct coverage) and run as a single item alongside the shards.
 type Pass struct {
 	Name string
 	Doc  string
-	Run  func(m *Module, r *Reporter)
+
+	Package func(a *Analysis, pkg *Package, r *Reporter)
+	Module  func(a *Analysis, r *Reporter)
 }
 
-// Passes returns the five analyses in their canonical order.
+// Passes returns the analyses in their canonical order.
 func Passes() []Pass {
 	return []Pass{
-		{Name: "determinism", Doc: "wall-clock, global rand, and map-order dependence in hot packages", Run: runDeterminism},
-		{Name: "keycoverage", Doc: "KeyFor must cover every exported config field", Run: runKeyCoverage},
-		{Name: "syncmisuse", Doc: "copied locks/atomics and misaligned 64-bit atomics", Run: runSyncMisuse},
-		{Name: "floatorder", Doc: "float accumulation in map-iteration order", Run: runFloatOrder},
-		{Name: "droppederr", Doc: "discarded error returns in cmd/ and internal/runner", Run: runDroppedErr},
+		{Name: "determinism", Doc: "wall-clock, global rand, and map-order dependence in hot packages", Package: runDeterminism},
+		{Name: "keycoverage", Doc: "KeyFor must cover every exported config field", Module: runKeyCoverage},
+		{Name: "syncmisuse", Doc: "copied locks/atomics and misaligned 64-bit atomics", Package: runSyncMisuse},
+		{Name: "floatorder", Doc: "float accumulation in map-iteration order", Package: runFloatOrder},
+		{Name: "droppederr", Doc: "discarded error returns in cmd/ and the runner/store/serve/cluster layers", Package: runDroppedErr},
+		{Name: "resetcoverage", Doc: "pooled types must Reset every field or declare it persistent", Module: runResetCoverage},
+		{Name: "allocfree", Doc: "no allocation in functions reachable from the steady-state loop", Module: runAllocFree},
+		{Name: "wirecoverage", Doc: "key, wire, and schema codecs must cover every config/report field", Module: runWireCoverage},
+		{Name: "ctxflow", Doc: "context.Context plumbing discipline in serving and cluster layers", Package: runCtxFlow},
 	}
 }
 
@@ -86,7 +134,7 @@ func PassNames() []string {
 
 // Options configures an analysis.
 type Options struct {
-	// Passes selects a subset of pass names; nil runs all five.
+	// Passes selects a subset of pass names; nil runs all.
 	Passes []string
 
 	// HotPaths lists the module-relative directory prefixes the
@@ -102,12 +150,17 @@ type Options struct {
 
 // DefaultHotPaths is the simulation hot path: packages whose behaviour
 // must be a pure function of (Machine, Run) for results to be reproducible
-// and memoizable.
+// and memoizable. The cluster layer is included because a wall-clock or
+// global-rand dependence there breaks the byte-identical fleet/single-node
+// equivalence the cluster smoke test asserts.
 func DefaultHotPaths() []string {
 	return []string{
 		"internal/sim", "internal/cpu", "internal/cache",
 		"internal/experiments", "internal/reliability", "internal/energy",
 		"internal/metrics",
+		"internal/branch", "internal/ecc", "internal/rcache",
+		"internal/fault", "internal/isa", "internal/config",
+		"internal/cluster",
 	}
 }
 
@@ -115,11 +168,17 @@ func DefaultHotPaths() []string {
 // observe failures), the parallel runner (a swallowed error there turns
 // into a silently wrong figure), the persistent result store (a swallowed
 // I/O error turns into silent data loss), the HTTP serving layer (a
-// swallowed error turns into a wrong response), and the cluster fleet (a
+// swallowed error turns into a wrong response), the cluster fleet (a
 // swallowed error there turns into a lost task or a silently incomplete
-// sweep).
+// sweep), and the model packages themselves — a swallowed error in branch
+// or fault construction turns into a silently misconfigured simulation.
 func DefaultErrPaths() []string {
-	return []string{"cmd", "internal/runner", "internal/store", "internal/serve", "internal/cluster"}
+	return []string{
+		"cmd", "internal/runner", "internal/store", "internal/serve",
+		"internal/cluster",
+		"internal/branch", "internal/ecc", "internal/rcache",
+		"internal/fault", "internal/isa", "internal/config",
+	}
 }
 
 // Analyze loads the module at or above dir and runs the selected passes,
@@ -134,20 +193,71 @@ func Analyze(dir string, opts Options) ([]Finding, error) {
 	return Run(mod, opts)
 }
 
-// Run executes the selected passes over an already loaded module.
+// workItem is one schedulable unit: a package shard of a Package pass, or
+// the single whole-module item of a Module pass.
+type workItem struct {
+	pass Pass
+	pkg  *Package // nil for Module passes
+}
+
+// Run executes the selected passes over an already loaded module. Work is
+// sharded per (pass, package) and runs on up to GOMAXPROCS goroutines;
+// each shard reports into its own Reporter and the shards are merged and
+// sorted at the end, so the output is independent of scheduling.
 func Run(mod *Module, opts Options) ([]Finding, error) {
 	selected, err := selectPasses(opts.Passes)
 	if err != nil {
 		return nil, err
 	}
-	r := newReporter(mod, opts)
+	a := &Analysis{Mod: mod, opts: opts, dirs: collectDirectives(mod)}
+
+	var items []workItem
 	for _, p := range selected {
-		r.pass = p.Name
-		p.Run(mod, r)
+		if p.Package != nil {
+			for _, pkg := range mod.Packages {
+				items = append(items, workItem{pass: p, pkg: pkg})
+			}
+		} else {
+			items = append(items, workItem{pass: p})
+		}
 	}
-	r.finish()
-	sort.Slice(r.findings, func(i, j int) bool {
-		a, b := r.findings[i], r.findings[j]
+
+	shards := make([]*Reporter, len(items))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, it := range items {
+		wg.Add(1)
+		go func(i int, it workItem) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r := &Reporter{
+				mod: mod, opts: opts, pass: it.pass.Name,
+				dirs: a.dirs, used: make(map[*directive]bool),
+			}
+			shards[i] = r
+			if it.pkg != nil {
+				it.pass.Package(a, it.pkg, r)
+			} else {
+				it.pass.Module(a, r)
+			}
+		}(i, it)
+	}
+	wg.Wait()
+
+	var findings []Finding
+	used := make(map[*directive]bool)
+	for _, r := range shards {
+		findings = append(findings, r.findings...)
+		for d := range r.used {
+			used[d] = true
+		}
+	}
+	findings = append(findings, a.dirs.problems...)
+	findings = append(findings, unusedDirectives(a.dirs, selected, used)...)
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -162,7 +272,40 @@ func Run(mod *Module, opts Options) ([]Finding, error) {
 		}
 		return a.Message < b.Message
 	})
-	return r.findings, nil
+	return findings, nil
+}
+
+// unusedDirectives flags every suppression that suppressed nothing. A
+// directive is only judged when every pass it names actually ran this
+// invocation — running a single pass with -passes must not condemn the
+// suppressions that belong to the others.
+func unusedDirectives(dirs *directives, selected []Pass, used map[*directive]bool) []Finding {
+	ran := make(map[string]bool, len(selected))
+	for _, p := range selected {
+		ran[p.Name] = true
+	}
+	var out []Finding
+	for _, d := range dirs.all {
+		if used[d] {
+			continue
+		}
+		judgeable := true
+		for _, p := range d.passes {
+			if !ran[p] {
+				judgeable = false
+				break
+			}
+		}
+		if !judgeable {
+			continue
+		}
+		out = append(out, Finding{
+			Pass: "directive", Pos: d.pos,
+			Message: fmt.Sprintf("//icrvet:ignore %s suppresses nothing: no such finding on this or the next line; delete the stale directive",
+				strings.Join(d.passes, ",")),
+		})
+	}
+	return out
 }
 
 func selectPasses(names []string) ([]Pass, error) {
@@ -186,24 +329,26 @@ func selectPasses(names []string) ([]Pass, error) {
 	return out, nil
 }
 
-// Reporter collects findings and applies suppression directives.
+// Reporter collects findings for one work item (one pass over one package,
+// or one module-level pass) and applies suppression directives. Each shard
+// has its own Reporter, so passes never contend on it.
 type Reporter struct {
 	mod      *Module
 	opts     Options
 	pass     string
 	findings []Finding
-	supp     *suppressions
-}
-
-func newReporter(mod *Module, opts Options) *Reporter {
-	return &Reporter{mod: mod, opts: opts, supp: collectSuppressions(mod)}
+	dirs     *directives
+	used     map[*directive]bool
 }
 
 // Reportf records a finding for the current pass at pos unless a valid
-// directive suppresses it.
+// directive suppresses it, in which case the directive is marked used.
 func (r *Reporter) Reportf(pos token.Pos, format string, args ...any) {
 	p := r.mod.Fset.Position(pos)
-	if r.supp.suppressed(r.pass, p) {
+	if ds := r.dirs.suppressing(r.pass, p); len(ds) > 0 {
+		for _, d := range ds {
+			r.used[d] = true
+		}
 		return
 	}
 	r.findings = append(r.findings, Finding{Pass: r.pass, Pos: p, Message: fmt.Sprintf(format, args...)})
@@ -237,10 +382,4 @@ func inScope(rel string, prefixes []string) bool {
 		}
 	}
 	return false
-}
-
-// finish appends the directive findings (malformed suppressions) collected
-// during the run.
-func (r *Reporter) finish() {
-	r.findings = append(r.findings, r.supp.problems...)
 }

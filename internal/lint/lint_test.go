@@ -21,6 +21,33 @@ var fixtures = []string{
 	"floatorder",
 	"droppederr",
 	"suppress",
+	"resetcoverage",
+	"resetnested",
+	"allocfree",
+	"allochot",
+	"wirecov",
+	"wireschema",
+	"ctxflow",
+	"ctxsleep",
+}
+
+// fixturePass names the pass each single-pass fixture exists to trip, so
+// a pass that silently stops firing fails loudly even if the golden is
+// regenerated without looking.
+var fixturePass = map[string]string{
+	"determinism":   "determinism",
+	"keycoverage":   "keycoverage",
+	"syncmisuse":    "syncmisuse",
+	"floatorder":    "floatorder",
+	"droppederr":    "droppederr",
+	"resetcoverage": "resetcoverage",
+	"resetnested":   "resetcoverage",
+	"allocfree":     "allocfree",
+	"allochot":      "allocfree",
+	"wirecov":       "wirecoverage",
+	"wireschema":    "wirecoverage",
+	"ctxflow":       "ctxflow",
+	"ctxsleep":      "ctxflow",
 }
 
 // analyzeFixture runs all passes over one testdata module and renders the
@@ -51,6 +78,18 @@ func TestGolden(t *testing.T) {
 			lines := analyzeFixture(t, name)
 			if len(lines) == 0 {
 				t.Fatalf("fixture %s produced no findings", name)
+			}
+			if pass := fixturePass[name]; pass != "" {
+				found := false
+				for _, l := range lines {
+					if strings.Contains(l, "["+pass+"]") {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("fixture %s produced no [%s] finding:\n%s", name, pass, strings.Join(lines, "\n"))
+				}
 			}
 			got := strings.Join(lines, "\n") + "\n"
 			goldenPath := filepath.Join("testdata", name+".golden")
@@ -147,7 +186,7 @@ func TestParseDirective(t *testing.T) {
 
 // TestSuppressFixture pins the semantics end to end: valid directives
 // remove findings, malformed ones become directive findings, and a wrong
-// pass name does not suppress.
+// pass name both fails to suppress and is flagged as a stale suppression.
 func TestSuppressFixture(t *testing.T) {
 	lines := analyzeFixture(t, "suppress")
 	var directives, floats int
@@ -162,9 +201,18 @@ func TestSuppressFixture(t *testing.T) {
 			t.Errorf("suppressed function leaked a finding: %s", l)
 		}
 	}
-	if directives != 3 {
-		t.Errorf("got %d directive findings, want 3 (empty, unknown pass, missing reason):\n%s",
+	if directives != 4 {
+		t.Errorf("got %d directive findings, want 4 (stale wrong-pass, empty, unknown pass, missing reason):\n%s",
 			directives, strings.Join(lines, "\n"))
+	}
+	stale := false
+	for _, l := range lines {
+		if strings.Contains(l, "suppresses nothing") {
+			stale = true
+		}
+	}
+	if !stale {
+		t.Errorf("wrong-pass directive was not flagged as stale:\n%s", strings.Join(lines, "\n"))
 	}
 	// SumWrongPass and SumMalformed must both still be flagged.
 	if floats != 2 {
@@ -205,6 +253,78 @@ func TestHotPathScope(t *testing.T) {
 		}
 		if !strings.HasPrefix(l, "internal/sim/") {
 			t.Errorf("unexpected finding outside internal/sim: %s", l)
+		}
+	}
+}
+
+// TestJSONRoundTrip pins the -json artifact schema: Encode output decodes
+// back to the same report, findings carry root-relative paths, and an
+// empty run still encodes "findings": [] (never null).
+func TestJSONRoundTrip(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "suppress"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Analyze(root, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) == 0 {
+		t.Fatal("suppress fixture produced no findings to encode")
+	}
+	rep := NewJSONReport(root, nil, findings)
+	if rep.Version != JSONVersion {
+		t.Errorf("version = %d, want %d", rep.Version, JSONVersion)
+	}
+	if len(rep.Passes) != len(PassNames()) {
+		t.Errorf("passes = %v, want the full roster", rep.Passes)
+	}
+	data, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeJSONReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Findings) != len(findings) {
+		t.Fatalf("round trip lost findings: %d != %d", len(back.Findings), len(findings))
+	}
+	for i, jf := range back.Findings {
+		want := findings[i].Relative(root)
+		gotPrefix := jf.File
+		if !strings.HasPrefix(want, gotPrefix+":") {
+			t.Errorf("finding %d: file %q does not prefix rendered %q", i, jf.File, want)
+		}
+		if strings.ContainsRune(jf.File, os.PathSeparator) && os.PathSeparator != '/' {
+			t.Errorf("finding %d: file %q is not slash-separated", i, jf.File)
+		}
+	}
+
+	// Empty reports still carry [] and the roster.
+	empty, err := NewJSONReport(root, []string{"determinism"}, nil).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(empty), `"findings": []`) {
+		t.Errorf("empty report encodes findings as null:\n%s", empty)
+	}
+
+	// Future versions are refused, not misparsed.
+	if _, err := DecodeJSONReport([]byte(`{"version": 99, "passes": [], "findings": []}`)); err == nil {
+		t.Error("DecodeJSONReport accepted an unknown version")
+	}
+}
+
+// TestParallelDeterminism pins that the sharded parallel engine produces
+// identical output across repeated runs over a multi-package fixture.
+func TestParallelDeterminism(t *testing.T) {
+	base := analyzeFixture(t, "droppederr")
+	for i := 0; i < 3; i++ {
+		again := analyzeFixture(t, "droppederr")
+		if strings.Join(again, "\n") != strings.Join(base, "\n") {
+			t.Fatalf("run %d differed:\n%s\n--- vs ---\n%s",
+				i, strings.Join(again, "\n"), strings.Join(base, "\n"))
 		}
 	}
 }

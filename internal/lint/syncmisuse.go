@@ -15,23 +15,21 @@ import (
 //     guarantees 64-bit atomicity at aligned addresses on 32-bit
 //     targets). Fields of type atomic.Int64/Uint64 are exempt: the
 //     runtime aligns them everywhere.
-func runSyncMisuse(mod *Module, r *Reporter) {
-	for _, pkg := range mod.Packages {
-		for _, f := range pkg.Files {
-			ast.Inspect(f, func(n ast.Node) bool {
-				switch n := n.(type) {
-				case *ast.FuncDecl:
-					checkFuncSig(pkg, r, n)
-				case *ast.AssignStmt:
-					checkLockAssign(pkg, r, n)
-				case *ast.RangeStmt:
-					checkLockRange(pkg, r, n)
-				case *ast.CallExpr:
-					checkAtomicAlign(pkg, r, n)
-				}
-				return true
-			})
-		}
+func runSyncMisuse(_ *Analysis, pkg *Package, r *Reporter) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFuncSig(pkg, r, n)
+			case *ast.AssignStmt:
+				checkLockAssign(pkg, r, n)
+			case *ast.RangeStmt:
+				checkLockRange(pkg, r, n)
+			case *ast.CallExpr:
+				checkAtomicAlign(pkg, r, n)
+			}
+			return true
+		})
 	}
 }
 

@@ -1,0 +1,3 @@
+module fixalloc
+
+go 1.22

@@ -1,0 +1,29 @@
+// Package cpu seeds allocfree violations reachable from the implicit
+// steady-state root, (*Core).Run.
+package cpu
+
+import "fmt"
+
+// Core mirrors the real simulator's cycle-loop owner.
+type Core struct {
+	scratch []int
+	last    string
+	n       int
+}
+
+// Run is the allocfree root. The scratch-reuse append is sanctioned; the
+// violations live one call down.
+func (c *Core) Run() {
+	c.scratch = append(c.scratch[:0], c.n)
+	c.step()
+}
+
+// step allocates in four seeded ways.
+func (c *Core) step() {
+	buf := make([]int, 8)
+	out := append(buf, c.n)
+	_ = out
+	c.last = fmt.Sprintf("cycle %d", c.n)
+	hot := []int{1, 2, 3}
+	_ = hot
+}

@@ -1,0 +1,3 @@
+module fixhot
+
+go 1.22

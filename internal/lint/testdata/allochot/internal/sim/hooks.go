@@ -1,0 +1,21 @@
+// Package sim seeds allocfree violations behind a dynamic seam: the hook
+// literal is only reachable because of its //icrvet:hot annotation — no
+// static call path leads to it.
+package sim
+
+// Install returns the per-cycle hook.
+func Install() func(uint64) {
+	//icrvet:hot fixture hook installed behind a dynamic call seam
+	return func(now uint64) {
+		payload := make([]byte, 8)
+		_ = payload
+		record(now)
+	}
+}
+
+// record is reachable from the hot hook through a static call, proving
+// the //icrvet:hot root re-seeds the reachability walk.
+func record(now uint64) {
+	seen := map[uint64]bool{}
+	seen[now] = true
+}

@@ -1,0 +1,3 @@
+module fixctx
+
+go 1.22

@@ -1,0 +1,25 @@
+// Package serve seeds ctxflow's ordering, storage, and root-context
+// violations.
+package serve
+
+import "context"
+
+// Session stores a context, decoupling the work from its canceller.
+type Session struct {
+	ctx context.Context
+	id  int
+}
+
+// ID keeps the fields referenced.
+func (s *Session) ID() int { return s.id }
+
+// Lookup takes its context second instead of first.
+func Lookup(id int, ctx context.Context) int {
+	_ = ctx
+	return id
+}
+
+// Detach conjures a root context outside cmd/.
+func Detach() context.Context {
+	return context.Background()
+}

@@ -1,0 +1,9 @@
+// Command app shows the cmd/ exemption: a root context is legal at the
+// program's entry point.
+package main
+
+import "context"
+
+func main() {
+	_ = context.Background()
+}

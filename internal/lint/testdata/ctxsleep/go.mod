@@ -1,0 +1,3 @@
+module fixsleep
+
+go 1.22

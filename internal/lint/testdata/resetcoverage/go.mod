@@ -1,0 +1,3 @@
+module fixreset
+
+go 1.22

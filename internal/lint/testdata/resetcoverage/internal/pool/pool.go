@@ -1,0 +1,42 @@
+// Package pool seeds resetcoverage violations: a pooled struct whose
+// Reset forgets a field, a pooled type with no Reset method at all, and a
+// pooled non-struct.
+package pool
+
+// Arena is the pooled root. Reset covers buf and clock, gen is declared
+// persistent, but leak is neither.
+//
+//icrvet:pooled the fixture's arena root
+type Arena struct {
+	buf   []byte
+	clock uint64
+	gen   int //icrvet:persistent construction-determined in this fixture
+	leak  map[string]int
+}
+
+// Reset clears the covered fields through a helper but forgets leak.
+func (a *Arena) Reset() {
+	a.buf = a.buf[:0]
+	a.clearClock()
+}
+
+// clearClock proves coverage is gathered transitively through
+// same-package helpers.
+func (a *Arena) clearClock() {
+	a.clock = 0
+}
+
+// NoReset carries every field across runs.
+//
+//icrvet:pooled seeded violation: no Reset method
+type NoReset struct {
+	state int
+}
+
+// State keeps the field referenced.
+func (n *NoReset) State() int { return n.state }
+
+// Handle is pooled but not a struct.
+//
+//icrvet:pooled seeded violation: not a struct
+type Handle int

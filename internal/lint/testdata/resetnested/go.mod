@@ -1,0 +1,3 @@
+module fixnested
+
+go 1.22

@@ -1,0 +1,33 @@
+// Package pool seeds the resetcoverage descent case: the pooled root's
+// own Reset is complete, but a component it owns has an incomplete Reset
+// of its own.
+package pool
+
+// Root owns a resettable component.
+//
+//icrvet:pooled the fixture's fully covered root
+type Root struct {
+	runs int
+	comp *Component
+}
+
+// Reset covers every field Root owns directly.
+func (r *Root) Reset() {
+	r.runs = 0
+	r.comp.Reset()
+}
+
+// Component is reached by descent: it has a Reset method, so its own
+// coverage is checked even though Root already handles the field.
+type Component struct {
+	hits  uint64
+	stale uint64 // Reset forgets this one
+}
+
+// Reset forgets stale.
+func (c *Component) Reset() {
+	c.hits = 0
+}
+
+// Touch keeps stale referenced outside Reset.
+func (c *Component) Touch() { c.stale++ }

@@ -1,0 +1,3 @@
+module fixwire
+
+go 1.22

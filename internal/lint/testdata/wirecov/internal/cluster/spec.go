@@ -1,0 +1,24 @@
+// Package cluster seeds wirecoverage's wire-leg violations: a shadowed
+// field no codec references, and an unencodable type leaking into the
+// JSON-visible surface.
+package cluster
+
+// Inner is the config struct the wire wrapper embeds.
+type Inner struct {
+	Hook  func() `json:"hook"`
+	Value int    `json:"value"`
+}
+
+// wrapper shadows Hook out of the wire format, but no EncodeSpec,
+// DecodeSpec, or KeyFor references Inner.Hook: the knob silently
+// vanishes on the wire.
+type wrapper struct {
+	Inner
+	Hook string `json:"hook"`
+}
+
+// Spec is the wire codec root.
+type Spec struct {
+	W  wrapper
+	Ch chan int
+}

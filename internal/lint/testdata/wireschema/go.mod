@@ -1,0 +1,3 @@
+module fixschema
+
+go 1.22

@@ -1,0 +1,16 @@
+// Package metrics seeds wirecoverage's schema-leg violations: NewCounter
+// and Energy.Leak are absent from the committed schema golden.
+package metrics
+
+// Report is the schema root.
+type Report struct {
+	Runs       int    `json:"runs"`
+	Energy     Energy `json:"energy"`
+	NewCounter int    `json:"new_counter"`
+}
+
+// Energy is nested to exercise schema descent.
+type Energy struct {
+	Total float64 `json:"total"`
+	Leak  float64 `json:"leakage"`
+}

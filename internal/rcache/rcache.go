@@ -41,9 +41,9 @@ type line struct {
 // copies of dL1 blocks; the array is assumed internally protected (it is
 // small enough that ECC on it is cheap, per Kim & Somani).
 type Cache struct {
-	sets      int
-	assoc     int
-	blockSize int
+	sets      int //icrvet:persistent geometry: fixed at construction
+	assoc     int //icrvet:persistent geometry: fixed at construction
+	blockSize int //icrvet:persistent geometry: fixed at construction
 	lines     []line
 	clock     uint64
 	stats     Stats
@@ -97,6 +97,7 @@ func (c *Cache) lookup(blockAddr uint64) *line {
 // data is copied.
 func (c *Cache) Put(blockAddr uint64, data []byte) {
 	if len(data) != c.blockSize {
+		//icrvet:ignore allocfree cold panic path: a size mismatch is a construction bug, never taken in a correct build
 		panic(fmt.Sprintf("rcache: block size mismatch: %d != %d", len(data), c.blockSize))
 	}
 	c.clock++
@@ -129,7 +130,10 @@ func (c *Cache) Put(blockAddr uint64, data []byte) {
 	copy(v.data, data)
 }
 
-// Get probes for a duplicate of a block and returns a copy of its data.
+// Get probes for a duplicate of a block. The returned slice aliases the
+// cache's internal storage: it is valid only until the next Put or Reset
+// and must not be mutated. Probed on every dL1 load under the r-cache
+// schemes, so it must not allocate.
 func (c *Cache) Get(blockAddr uint64) ([]byte, bool) {
 	c.stats.Probes++
 	ln := c.lookup(blockAddr)
@@ -139,9 +143,7 @@ func (c *Cache) Get(blockAddr uint64) ([]byte, bool) {
 	c.stats.ProbeHits++
 	c.clock++
 	ln.lru = c.clock
-	out := make([]byte, c.blockSize)
-	copy(out, ln.data)
-	return out, true
+	return ln.data, true
 }
 
 // Contains reports residency without touching LRU or stats.

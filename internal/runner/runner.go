@@ -216,7 +216,7 @@ func (p *Pending) Source() string {
 // settles the Pending without the simulation ever starting.
 func (r *Runner) Submit(ctx context.Context, m config.Machine, run config.Run) *Pending {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //icrvet:ignore ctxflow nil-ctx compatibility seam: Submit's documented default for non-cancellable callers
 	}
 	p := &Pending{done: make(chan struct{})}
 	r.prog.AddSubmitted(1)

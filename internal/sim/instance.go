@@ -24,10 +24,12 @@ import (
 // seed-dependent); everything here is the expensive arena — cache line
 // arrays with their data/check-bit payloads, the RUU, predictor tables —
 // that used to be reallocated for every task the runner executed.
+//
+//icrvet:pooled the shape-keyed arena handed out by instancePool
 type instance struct {
 	// shape is the pool key ("" = not poolable, e.g. a run carrying a
 	// HintPolicy).
-	shape string
+	shape string //icrvet:persistent the pool key itself: construction-determined, identical for every run sharing the instance
 
 	mem   *cache.Memory
 	l2    *cache.Cache
@@ -36,7 +38,7 @@ type instance struct {
 	dups  *rcache.Cache
 	wbuf  *cache.WriteBuffer
 	dl1   *core.Cache
-	core  *cpu.Core
+	core  *cpu.Core //icrvet:persistent reset separately in simulate: core.Reset needs the per-run cpu.Config and generator
 }
 
 // shapeOf fingerprints everything that determines an instance's
@@ -166,6 +168,7 @@ func (in *instance) simulate(ctx context.Context, m config.Machine, r config.Run
 		injector = fault.NewInjector(r.Fault.Model, r.Fault.Prob, wordsPerRow, r.Fault.Seed)
 		next := injector.NextAfter(0)
 		dl1 := in.dl1
+		//icrvet:hot installed behind Config.EachCycle, which the call graph cannot follow
 		hooks = append(hooks, func(now uint64) {
 			for now >= next {
 				dl1.Inject(injector)
@@ -180,6 +183,7 @@ func (in *instance) simulate(ctx context.Context, m config.Machine, r config.Run
 		}
 		tick := newScrubTicker(r.ScrubInterval)
 		dl1 := in.dl1
+		//icrvet:hot installed behind Config.EachCycle, which the call graph cannot follow
 		hooks = append(hooks, func(now uint64) {
 			if tick.due(now) {
 				dl1.Scrub(now, lines)
@@ -191,6 +195,7 @@ func (in *instance) simulate(ctx context.Context, m config.Machine, r config.Run
 	case 1:
 		cpucfg.EachCycle = hooks[0]
 	default:
+		//icrvet:hot the fan-out hook installed behind Config.EachCycle
 		cpucfg.EachCycle = func(now uint64) {
 			for _, h := range hooks {
 				h(now)

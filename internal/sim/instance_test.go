@@ -247,3 +247,66 @@ func TestSimulateSteadyStateAllocs(t *testing.T) {
 		})
 	}
 }
+
+// TestPoolReuseAcrossNewKnobConfigs pins the hazard resetcoverage exists
+// to prevent: two configs that differ only in a recently added knob
+// (sampling, scrubbing — both deliberately absent from the shape key)
+// share a pool slot, so a Reset that misses the knob's per-run state
+// would leak the first config's behaviour into the second. The A-B-A
+// pattern forces one arena through both configs and compares every
+// report against a never-pooled oracle.
+func TestPoolReuseAcrossNewKnobConfigs(t *testing.T) {
+	m := config.Default()
+	base := config.NewRun("gzip", core.ICR(core.ECCProt, core.LookupParallel, core.ReplLoadsStores))
+	base.Instructions = 120_000
+
+	cases := []struct {
+		name string
+		mut  func(*config.Run)
+	}{
+		{"sample", func(r *config.Run) {
+			r.Sample = config.SampleConfig{Period: 20_000, Detail: 1_000, Warmup: 400}
+		}},
+		{"scrub", func(r *config.Run) {
+			r.ScrubInterval = 5_000
+			r.ScrubLines = 2
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := base, base
+			tc.mut(&b)
+			sa, okA := shapeOf(m, a)
+			sb, okB := shapeOf(m, b)
+			if !okA || !okB || sa != sb {
+				t.Fatalf("configs must share a pool shape for this test to bite: %q vs %q", sa, sb)
+			}
+			wantA := freshReport(t, m, a)
+			wantB := freshReport(t, m, b)
+			steps := []struct {
+				label string
+				run   config.Run
+				want  []byte
+			}{
+				{"A-first", a, wantA},
+				{"B-on-A's-arena", b, wantB},
+				{"A-on-B's-arena", a, wantA},
+			}
+			for _, step := range steps {
+				rep, err := Simulate(m, step.run)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := json.Marshal(rep)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(got) != string(step.want) {
+					t.Fatalf("%s diverged from the fresh-instance oracle:\n got: %s\nwant: %s",
+						step.label, got, step.want)
+				}
+			}
+		})
+	}
+}

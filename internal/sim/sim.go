@@ -23,6 +23,7 @@ import (
 // Simulate runs one benchmark × scheme configuration on the given machine
 // and returns the full report.
 func Simulate(m config.Machine, r config.Run) (*metrics.Report, error) {
+	//icrvet:ignore ctxflow Simulate is the documented non-cancellable entry point; it roots its own context by design
 	return SimulateContext(context.Background(), m, r)
 }
 

@@ -122,6 +122,7 @@ func (r *Reader) Next() (isa.Inst, bool) {
 	}
 	if _, err := io.ReadFull(r.r, r.buf[:]); err != nil {
 		if err != io.EOF {
+			//icrvet:ignore allocfree cold decode-error path: taken at most once per stream, which then terminates
 			r.err = fmt.Errorf("trace: reading record %d: %w", r.read, err)
 		}
 		return isa.Inst{}, false
@@ -138,6 +139,7 @@ func (r *Reader) Next() (isa.Inst, bool) {
 		SrcDist2: binary.LittleEndian.Uint16(b[29:31]),
 	}
 	if !in.Op.Valid() {
+		//icrvet:ignore allocfree cold decode-error path: taken at most once per stream, which then terminates
 		r.err = fmt.Errorf("trace: record %d: invalid op %d", r.read, b[24])
 		return isa.Inst{}, false
 	}

@@ -22,8 +22,22 @@ $GO build ./...
 stage vet
 $GO vet ./...
 
+# icrvet emits its findings twice: human-readable for the log and as a
+# versioned JSON artifact (archived by CI next to the bench baselines).
+# The stage also enforces a wall-clock budget: the analyzer runs on every
+# push, so a regression that drags whole-module type-checking past 30s
+# fails the build rather than slowly taxing everyone.
 stage icrvet
-$GO run ./cmd/icrvet ./...
+ICRVET_OUT="${ICRVET_OUT:-icrvet.json}"
+ICRVET_BUDGET="${ICRVET_BUDGET:-30}"
+icrvet_start=$(date +%s)
+$GO run ./cmd/icrvet -json ./... >"$ICRVET_OUT"
+icrvet_elapsed=$(($(date +%s) - icrvet_start))
+echo "icrvet: clean, report in $ICRVET_OUT (${icrvet_elapsed}s)"
+if [ "$icrvet_elapsed" -gt "$ICRVET_BUDGET" ]; then
+    echo "icrvet: took ${icrvet_elapsed}s, budget is ${ICRVET_BUDGET}s" >&2
+    exit 1
+fi
 
 stage test
 $GO test ./...
