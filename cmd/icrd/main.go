@@ -15,6 +15,14 @@
 //	icrd -addr :8080 -cluster -store /var/cache/icr
 //	icrworker -coordinator http://host:8080   # on each fleet machine
 //
+// A disk-backed icrd also serves its store as a shard at /store/v1/
+// (reads, write-through, and anti-stampede claims), so a fleet of icrd
+// processes can pool their results memcache-style: point front ends at
+// the fleet with -store shards:host1:8080,host2:8080,host3:8080 and keys
+// are consistent-hashed across the shard ring — each result simulated
+// once fleet-wide, hot results replicated for read spreading and
+// survival of a shard loss.
+//
 // Overload is bounded: at most -queue requests are admitted concurrently
 // and the rest get 429 immediately. SIGTERM/SIGINT drains gracefully —
 // fleet-wide in cluster mode: leasing stops, workers finish and upload
@@ -80,13 +88,20 @@ func run(args []string) error {
 		defer coord.Close()
 		exec = coord
 	}
-	eng, st, err := sim.NewRunnerExecutor(nil, exec)
+	eng, backend, err := sim.NewRunnerExecutor(nil, exec)
+	if err != nil {
+		return err
+	}
+	spec, err := cliflag.ParseStore(sim.Store)
 	if err != nil {
 		return err
 	}
 	srv := serve.New(serve.Options{
 		Runner:         eng,
-		Store:          st,
+		Backend:        backend,
+		// A disk-backed icrd doubles as a shard node: other fleet members
+		// read, write, and claim through its /store/v1/ endpoints.
+		ShardAPI:       backend != nil && spec.Kind == "disk",
 		QueueDepth:     *queue,
 		RequestTimeout: *reqTimeout,
 		Cluster:        coord,
@@ -99,8 +114,11 @@ func run(args []string) error {
 	// The actual address on stdout (and nothing else there), so scripts
 	// using -addr localhost:0 can scrape the port.
 	fmt.Printf("listening on %s\n", ln.Addr())
-	if st != nil {
-		fmt.Fprintf(os.Stderr, "icrd: persistent store at %s (%d results warm)\n", sim.StoreDir, st.Len())
+	if backend != nil {
+		fmt.Fprintf(os.Stderr, "icrd: result store %s (%d results warm)\n", sim.Store, backend.Stats().Entries)
+		if spec.Kind == "disk" {
+			fmt.Fprintln(os.Stderr, "icrd: shard API on at /store/v1/")
+		}
 	}
 	if coord != nil {
 		fmt.Fprintf(os.Stderr, "icrd: cluster mode on (lease %s); workers register at /cluster/v1/\n", coord.LeaseTTL())

@@ -66,12 +66,12 @@ func run(args []string) error {
 		*id = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
 
-	eng, st, err := sim.NewRunner(nil)
+	eng, backend, err := sim.NewRunner(nil)
 	if err != nil {
 		return err
 	}
-	if st != nil {
-		fmt.Fprintf(os.Stderr, "icrworker: persistent store at %s (%d results warm)\n", sim.StoreDir, st.Len())
+	if backend != nil {
+		fmt.Fprintf(os.Stderr, "icrworker: result store %s (%d results warm)\n", sim.Store, backend.Stats().Entries)
 	}
 	w, err := cluster.NewWorker(cluster.WorkerOptions{
 		BaseURL:  *coordinator,

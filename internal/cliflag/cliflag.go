@@ -36,9 +36,11 @@ type Sim struct {
 	// Sample is the raw -sample value; SampleConfig parses it
 	// ("" = exact simulation).
 	Sample string
-	// StoreDir, when non-empty, backs the runner's cache with a
-	// persistent result store in that directory (RegisterCache).
-	StoreDir string
+	// Store is the raw -store backend spec; ParseStore parses it:
+	// "disk:PATH" (or a bare path) for the local persistent store,
+	// "shards:HOST1,HOST2,..." for a memcache-style shard fleet, "" for
+	// the in-memory cache only (RegisterCache).
+	Store string
 	// NoCache disables memoization entirely (RegisterCache).
 	NoCache bool
 }
@@ -64,21 +66,105 @@ func (s *Sim) SampleConfig() (config.SampleConfig, error) {
 // RegisterCache installs the cache-control flags (commands that memoize:
 // icrbench, icrd).
 func (s *Sim) RegisterCache(fs *flag.FlagSet) {
-	fs.StringVar(&s.StoreDir, "store", "",
-		"directory for the persistent result store (empty = in-memory cache only)")
+	fs.StringVar(&s.Store, "store", "",
+		`result-store backend: "disk:PATH" or a bare directory path for the `+
+			`local persistent store, "shards:HOST1,HOST2,..." for a shard `+
+			`fleet (empty = in-memory cache only)`)
 	fs.BoolVar(&s.NoCache, "nocache", false,
 		"disable memoization of repeated sweep points")
 }
 
+// StoreSpec is a parsed -store value: which backend kind to build and its
+// address (a directory for disk, a host list for shards).
+type StoreSpec struct {
+	// Kind is "none", "disk", or "shards".
+	Kind string
+	// Path is the store directory (Kind "disk").
+	Path string
+	// Shards are the fleet hosts (Kind "shards"), scheme-optional.
+	Shards []string
+}
+
+// ParseStore parses a -store backend spec:
+//
+//	""                        in-memory cache only
+//	"disk:/data/results"      local persistent store
+//	"/data/results"           same (a bare path is the disk shorthand)
+//	"shards:h1:8080,h2:8080"  memcache-style shard fleet
+//
+// An unknown "scheme:" prefix is an error, not a weird directory name, so
+// a typo like "shard:h1" cannot silently become a local store.
+func ParseStore(spec string) (StoreSpec, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return StoreSpec{Kind: "none"}, nil
+	}
+	switch {
+	case strings.HasPrefix(spec, "disk:"):
+		path := strings.TrimPrefix(spec, "disk:")
+		if path == "" {
+			return StoreSpec{}, fmt.Errorf("-store disk: needs a directory path")
+		}
+		return StoreSpec{Kind: "disk", Path: path}, nil
+	case strings.HasPrefix(spec, "shards:"):
+		var hosts []string
+		for _, h := range strings.Split(strings.TrimPrefix(spec, "shards:"), ",") {
+			if h = strings.TrimSpace(h); h != "" {
+				hosts = append(hosts, h)
+			}
+		}
+		if len(hosts) == 0 {
+			return StoreSpec{}, fmt.Errorf("-store shards: needs at least one host")
+		}
+		return StoreSpec{Kind: "shards", Shards: hosts}, nil
+	}
+	// A bare path is the disk shorthand — but reject unknown scheme-like
+	// prefixes ("shard:h1", "s3:bucket") instead of treating them as odd
+	// directory names. Real paths ("/data", "./x", "results") never match.
+	if i := strings.Index(spec, ":"); i > 0 && !strings.ContainsAny(spec[:i], "/\\.") {
+		return StoreSpec{}, fmt.Errorf("-store %q: unknown backend scheme %q (want disk: or shards:)", spec, spec[:i])
+	}
+	return StoreSpec{Kind: "disk", Path: spec}, nil
+}
+
+// Backend opens the backend a StoreSpec names: nil for "none", the local
+// persistent store for "disk", a Sharded fleet client for "shards".
+func (sp StoreSpec) Backend(prog *metrics.Progress) (store.Backend, error) {
+	switch sp.Kind {
+	case "", "none":
+		return nil, nil
+	case "disk":
+		st, err := store.Open(sp.Path, store.Options{
+			OnEvict: func(n int) { prog.AddEviction(uint64(n)) },
+		})
+		if err != nil {
+			return nil, fmt.Errorf("opening result store: %w", err)
+		}
+		return st, nil
+	case "shards":
+		shards := make([]store.Shard, len(sp.Shards))
+		for i, h := range sp.Shards {
+			shards[i] = store.NewRemote(h, nil)
+		}
+		sh, err := store.NewSharded(shards, store.ShardedOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("building shard fleet: %w", err)
+		}
+		return sh, nil
+	default:
+		return nil, fmt.Errorf("unknown store backend kind %q", sp.Kind)
+	}
+}
+
 // NewRunner builds the command's simulation engine from the flag values:
 // a worker pool of Parallel slots whose cache is an in-memory LRU,
-// layered over a persistent store when -store is set. The returned Store
-// is nil unless one was opened; the caller owns wiring it into shutdown
-// paths (there is nothing to close — writes are atomic per Put).
+// layered over a persistent backend when -store is set (a local disk
+// store or a shard fleet). The returned Backend is nil unless one was
+// built; the caller owns wiring it into shutdown paths (Drain).
 //
 // prog may be nil; the runner then allocates its own counters,
 // reachable via Runner.Progress.
-func (s *Sim) NewRunner(prog *metrics.Progress) (*runner.Runner, *store.Store, error) {
+func (s *Sim) NewRunner(prog *metrics.Progress) (*runner.Runner, store.Backend, error) {
 	return s.NewRunnerExecutor(prog, nil)
 }
 
@@ -86,8 +172,10 @@ func (s *Sim) NewRunner(prog *metrics.Progress) (*runner.Runner, *store.Store, e
 // non-nil, replaces in-process simulation on every cache miss (icrd's
 // cluster coordinator farming runs out to remote workers). The cache
 // stack, worker pool, and ordering guarantees are identical either way —
-// results stay byte-for-byte those of local execution.
-func (s *Sim) NewRunnerExecutor(prog *metrics.Progress, exec runner.Executor) (*runner.Runner, *store.Store, error) {
+// results stay byte-for-byte those of local execution. When the backend
+// is a shard fleet, its claim protocol extends the runner's singleflight
+// fleet-wide.
+func (s *Sim) NewRunnerExecutor(prog *metrics.Progress, exec runner.Executor) (*runner.Runner, store.Backend, error) {
 	if prog == nil {
 		prog = metrics.NewProgress()
 	}
@@ -95,20 +183,31 @@ func (s *Sim) NewRunnerExecutor(prog *metrics.Progress, exec runner.Executor) (*
 	if s.NoCache {
 		cacheSize = -1
 	}
-	var st *store.Store
+	var backend store.Backend
 	var cache runner.Cache
-	if s.StoreDir != "" && !s.NoCache {
-		var err error
-		st, err = store.Open(s.StoreDir, store.Options{
-			OnEvict: func(n int) { prog.AddEviction(uint64(n)) },
-		})
+	var claimer store.Claimer
+	if !s.NoCache {
+		spec, err := ParseStore(s.Store)
 		if err != nil {
-			return nil, nil, fmt.Errorf("opening result store: %w", err)
+			return nil, nil, err
 		}
-		cache = runner.NewTiered(
-			runner.NewMemoryCache(0, prog),
-			runner.NewStoreCache(st),
-		)
+		backend, err = spec.Backend(prog)
+		if err != nil {
+			return nil, nil, err
+		}
+		if backend != nil {
+			tier := runner.SourceDisk
+			if spec.Kind == "shards" {
+				tier = runner.SourceShard
+			}
+			cache = runner.NewTiered(
+				runner.NewMemoryCache(0, prog),
+				runner.NewStoreCache(backend, tier),
+			)
+			if c, ok := backend.(store.Claimer); ok {
+				claimer = c
+			}
+		}
 	}
 	eng := runner.New(runner.Options{
 		Workers:   s.Parallel,
@@ -117,8 +216,9 @@ func (s *Sim) NewRunnerExecutor(prog *metrics.Progress, exec runner.Executor) (*
 		Timeout:   s.Timeout,
 		Progress:  prog,
 		Executor:  exec,
+		Claimer:   claimer,
 	})
-	return eng, st, nil
+	return eng, backend, nil
 }
 
 // Seeds parses a comma-separated seed list ("" = nil).

@@ -3,10 +3,12 @@ package cliflag
 import (
 	"flag"
 	"path/filepath"
+	"reflect"
 	"testing"
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/store"
 )
 
 func parse(t *testing.T, withCache bool, args ...string) Sim {
@@ -28,7 +30,7 @@ func TestRegisterDefaults(t *testing.T) {
 	if s.Instructions != config.DefaultInstructions {
 		t.Errorf("Instructions = %d, want default %d", s.Instructions, config.DefaultInstructions)
 	}
-	if s.Seed != 1 || s.Parallel < 1 || s.Timeout != 0 || s.StoreDir != "" || s.NoCache {
+	if s.Seed != 1 || s.Parallel < 1 || s.Timeout != 0 || s.Store != "" || s.NoCache {
 		t.Errorf("unexpected defaults: %+v", s)
 	}
 }
@@ -38,7 +40,7 @@ func TestRegisterParses(t *testing.T) {
 		"-instructions", "5000", "-seed", "9", "-parallel", "3",
 		"-timeout", "2s", "-store", "/tmp/x", "-nocache")
 	want := Sim{Instructions: 5000, Seed: 9, Parallel: 3,
-		Timeout: 2 * time.Second, StoreDir: "/tmp/x", NoCache: true}
+		Timeout: 2 * time.Second, Store: "/tmp/x", NoCache: true}
 	if s != want {
 		t.Errorf("parsed %+v, want %+v", s, want)
 	}
@@ -76,6 +78,71 @@ func TestNewRunnerWithStore(t *testing.T) {
 	}
 	if st2 != nil {
 		t.Error("-nocache should disable the disk store too")
+	}
+}
+
+// TestParseStore pins the -store grammar every binary shares.
+func TestParseStore(t *testing.T) {
+	for _, tc := range []struct {
+		in      string
+		want    StoreSpec
+		wantErr bool
+	}{
+		{in: "", want: StoreSpec{Kind: "none"}},
+		{in: "  ", want: StoreSpec{Kind: "none"}},
+		{in: "disk:/data/results", want: StoreSpec{Kind: "disk", Path: "/data/results"}},
+		{in: "/data/results", want: StoreSpec{Kind: "disk", Path: "/data/results"}},
+		{in: "./results", want: StoreSpec{Kind: "disk", Path: "./results"}},
+		{in: "results", want: StoreSpec{Kind: "disk", Path: "results"}},
+		{in: "shards:h1:8080", want: StoreSpec{Kind: "shards", Shards: []string{"h1:8080"}}},
+		{
+			in: "shards:h1:8080, h2:8080,http://h3:9000",
+			want: StoreSpec{Kind: "shards",
+				Shards: []string{"h1:8080", "h2:8080", "http://h3:9000"}},
+		},
+		{in: "disk:", wantErr: true},
+		{in: "shards:", wantErr: true},
+		{in: "shards: ,", wantErr: true},
+		{in: "shard:h1:8080", wantErr: true}, // typo'd scheme, not a directory
+		{in: "s3:bucket/results", wantErr: true},
+	} {
+		got, err := ParseStore(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseStore(%q) accepted, want error", tc.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseStore(%q): %v", tc.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("ParseStore(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestNewRunnerShardBackend: a shards: spec builds the fleet client (no
+// network traffic until it is used) and it doubles as the runner's
+// fleet claimer.
+func TestNewRunnerShardBackend(t *testing.T) {
+	s := parse(t, true, "-store", "shards:127.0.0.1:1,127.0.0.1:2")
+	_, backend, err := s.NewRunner(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, ok := backend.(*store.Sharded)
+	if !ok {
+		t.Fatalf("backend is %T, want *store.Sharded", backend)
+	}
+	if _, ok := store.Backend(sh).(store.Claimer); !ok {
+		t.Error("sharded backend does not implement Claimer")
+	}
+	// Duplicate hosts are a config error surfaced at build time.
+	s2 := parse(t, true, "-store", "shards:h1:8080,h1:8080")
+	if _, _, err := s2.NewRunner(nil); err == nil {
+		t.Error("duplicate shard hosts accepted")
 	}
 }
 

@@ -10,7 +10,7 @@ import (
 // cancellable contexts across network and fleet boundaries. A bare Sleep
 // in a ctx-carrying function there stalls shutdown for the full sleep —
 // the SIGTERM drain tests only catch it when the timing happens to align.
-var sleepPaths = []string{"internal/serve", "internal/cluster", "internal/runner"}
+var sleepPaths = []string{"internal/serve", "internal/cluster", "internal/runner", "internal/store"}
 
 // runCtxFlow enforces context.Context plumbing discipline:
 //

@@ -1,0 +1,21 @@
+// Package store seeds the uncancellable-sleep violation in the shard
+// layer: a claim-wait poll that sleeps instead of selecting on the
+// context, so a draining front end stalls for the full backoff.
+package store
+
+import (
+	"context"
+	"time"
+)
+
+// WaitClaim polls a claim but backs off with a sleep cancellation cannot
+// interrupt.
+func WaitClaim(ctx context.Context) error {
+	for i := 0; i < 3; i++ {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return nil
+}

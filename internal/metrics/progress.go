@@ -26,7 +26,10 @@ type Progress struct {
 	failed       atomic.Uint64
 	memoHits     atomic.Uint64
 	diskHits     atomic.Uint64
+	shardHits    atomic.Uint64
 	cacheMisses  atomic.Uint64
+	cacheErrors  atomic.Uint64
+	putErrors    atomic.Uint64
 	evictions    atomic.Uint64
 	remote       atomic.Uint64
 	instructions atomic.Uint64
@@ -85,10 +88,23 @@ func (p *Progress) AddMemoHit(n uint64) { p.memoHits.Add(n) }
 // instead of being executed.
 func (p *Progress) AddDiskHit(n uint64) { p.diskHits.Add(n) }
 
+// AddShardHit records a simulation served by a remote store shard
+// instead of being executed.
+func (p *Progress) AddShardHit(n uint64) { p.shardHits.Add(n) }
+
 // AddCacheMiss records a cacheable simulation that no cache layer held,
 // so it had to execute. Uncacheable runs (opaque inputs, caching
 // disabled) are not counted.
 func (p *Progress) AddCacheMiss(n uint64) { p.cacheMisses.Add(n) }
+
+// AddCacheError records a cache-layer read that failed with a real error
+// (sick disk, unreachable shard) rather than a miss. Such runs degrade to
+// execution; this counter is how the degradation stays visible.
+func (p *Progress) AddCacheError(n uint64) { p.cacheErrors.Add(n) }
+
+// AddPutError records a failed write-back into a cache layer. The run
+// still succeeds — the report is in hand — but the result did not persist.
+func (p *Progress) AddPutError(n uint64) { p.putErrors.Add(n) }
 
 // AddEviction records n entries displaced from a cache layer (memory or
 // disk) to respect its capacity.
@@ -108,7 +124,10 @@ type ProgressSnapshot struct {
 	Failed       uint64
 	MemoHits     uint64
 	DiskHits     uint64
+	ShardHits    uint64
 	CacheMisses  uint64
+	CacheErrors  uint64
+	PutErrors    uint64
 	Evictions    uint64
 	Remote       uint64
 	Instructions uint64
@@ -128,7 +147,10 @@ func (p *Progress) Snapshot() ProgressSnapshot {
 		Failed:       p.failed.Load(),
 		MemoHits:     p.memoHits.Load(),
 		DiskHits:     p.diskHits.Load(),
+		ShardHits:    p.shardHits.Load(),
 		CacheMisses:  p.cacheMisses.Load(),
+		CacheErrors:  p.cacheErrors.Load(),
+		PutErrors:    p.putErrors.Load(),
 		Evictions:    p.evictions.Load(),
 		Remote:       p.remote.Load(),
 		Instructions: p.instructions.Load(),
@@ -136,15 +158,15 @@ func (p *Progress) Snapshot() ProgressSnapshot {
 	}
 }
 
-// Settled returns completed + failed + cache hits (memory and disk): the
-// number of submitted simulations that have reached a final state.
+// Settled returns completed + failed + cache hits (memory, disk, shard):
+// the number of submitted simulations that have reached a final state.
 func (s ProgressSnapshot) Settled() uint64 {
-	return s.Completed + s.Failed + s.MemoHits + s.DiskHits
+	return s.Completed + s.Failed + s.MemoHits + s.DiskHits + s.ShardHits
 }
 
 // CacheHits returns the total runs served without executing a simulation,
-// from either cache layer.
-func (s ProgressSnapshot) CacheHits() uint64 { return s.MemoHits + s.DiskHits }
+// from any cache layer.
+func (s ProgressSnapshot) CacheHits() uint64 { return s.MemoHits + s.DiskHits + s.ShardHits }
 
 // CacheHitRate returns hits over (hits + misses) for cacheable runs, in
 // [0, 1]; 0 when nothing cacheable has settled.

@@ -2,10 +2,13 @@ package runner
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/metrics"
+	"repro/internal/store"
 )
 
 // DefaultCacheSize is the default number of settled reports the in-memory
@@ -20,6 +23,9 @@ const (
 	SourceMemory = "memory"
 	// SourceDisk marks a run served from the persistent disk store.
 	SourceDisk = "disk"
+	// SourceShard marks a run served from a remote store shard (a
+	// store.Remote or store.Sharded backend).
+	SourceShard = "shard"
 	// SourceSimulated marks a run that actually executed in this process.
 	SourceSimulated = "simulated"
 	// SourceRemote marks a run executed by a remote worker through a
@@ -33,15 +39,19 @@ const (
 // runner copies on return, so callers cannot either).
 //
 // Get's tier names the layer that satisfied the lookup (SourceMemory,
-// SourceDisk) so the runner can account hits per layer.
+// SourceDisk, SourceShard) so the runner can account hits per layer. A
+// clean miss is store.ErrMiss; any other error is real trouble (sick
+// disk, unreachable shard) — the runner counts it and degrades to
+// execution rather than failing the run.
 type Cache interface {
-	Get(key Key) (rep *metrics.Report, tier string, ok bool)
-	Put(key Key, rep *metrics.Report)
+	Get(ctx context.Context, key Key) (rep *metrics.Report, tier string, err error)
+	Put(ctx context.Context, key Key, rep *metrics.Report) error
 }
 
 // MemoryCache is the in-memory Cache: a bounded LRU over settled reports.
 // It is what the pre-disk-store memo map became; a Runner builds one by
-// default (Options.CacheSize).
+// default (Options.CacheSize). It never returns an error other than
+// store.ErrMiss.
 type MemoryCache struct {
 	mu      sync.Mutex
 	cap     int
@@ -71,20 +81,20 @@ func NewMemoryCache(capacity int, prog *metrics.Progress) *MemoryCache {
 }
 
 // Get returns the cached report and refreshes its recency.
-func (c *MemoryCache) Get(key Key) (*metrics.Report, string, bool) {
+func (c *MemoryCache) Get(ctx context.Context, key Key) (*metrics.Report, string, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	elem, ok := c.entries[key]
 	if !ok {
-		return nil, "", false
+		return nil, "", store.ErrMiss
 	}
 	c.lru.MoveToFront(elem)
-	return elem.Value.(*memEntry).rep, SourceMemory, true
+	return elem.Value.(*memEntry).rep, SourceMemory, nil
 }
 
 // Put inserts (or refreshes) a report, evicting the least-recently-used
-// entries beyond capacity.
-func (c *MemoryCache) Put(key Key, rep *metrics.Report) {
+// entries beyond capacity. It never fails.
+func (c *MemoryCache) Put(ctx context.Context, key Key, rep *metrics.Report) error {
 	var evicted uint64
 	c.mu.Lock()
 	if elem, ok := c.entries[key]; ok {
@@ -103,6 +113,7 @@ func (c *MemoryCache) Put(key Key, rep *metrics.Report) {
 	if evicted > 0 && c.prog != nil {
 		c.prog.AddEviction(evicted)
 	}
+	return nil
 }
 
 // Len returns the number of resident reports.
@@ -112,50 +123,53 @@ func (c *MemoryCache) Len() int {
 	return len(c.entries)
 }
 
-// ReportStore is the slice of internal/store.Store the runner needs: a
-// string-keyed persistent report store. It is an interface here so the
-// runner does not depend on the disk package (and tests can stub it).
-type ReportStore interface {
-	Get(key string) (*metrics.Report, bool)
-	Put(key string, rep *metrics.Report) error
-}
-
-// StoreCache adapts a ReportStore (the disk layer) to the Cache
-// interface, translating Keys to their hex form. Put failures do not fail
-// the run — the report is still returned to the caller — but they are
-// counted (PutErrors) so the daemon can expose them.
+// StoreCache adapts a store.Backend (the disk store, a remote shard, or
+// the sharded fleet view) to the Cache interface, translating Keys to
+// their hex form. The tier names the layer in Pending.Source and the
+// per-tier hit counters: SourceDisk for a local store, SourceShard for a
+// remote one.
 type StoreCache struct {
-	st        ReportStore
+	st        store.Backend
+	tier      string
 	putErrors atomic.Uint64
 }
 
-// NewStoreCache wraps a persistent store as a runner Cache layer.
-func NewStoreCache(st ReportStore) *StoreCache {
-	return &StoreCache{st: st}
-}
-
-// Get consults the disk store.
-func (c *StoreCache) Get(key Key) (*metrics.Report, string, bool) {
-	rep, ok := c.st.Get(key.String())
-	if !ok {
-		return nil, "", false
+// NewStoreCache wraps a persistent backend as a runner Cache layer.
+// An empty tier defaults to SourceDisk.
+func NewStoreCache(st store.Backend, tier string) *StoreCache {
+	if tier == "" {
+		tier = SourceDisk
 	}
-	return rep, SourceDisk, true
+	return &StoreCache{st: st, tier: tier}
 }
 
-// Put persists the report; failures are counted, not fatal.
-func (c *StoreCache) Put(key Key, rep *metrics.Report) {
-	if err := c.st.Put(key.String(), rep); err != nil {
+// Get consults the backend. Misses and errors pass through untouched; the
+// tier tags hits with this layer's identity.
+func (c *StoreCache) Get(ctx context.Context, key Key) (*metrics.Report, string, error) {
+	rep, err := c.st.Get(ctx, key.String())
+	if err != nil {
+		return nil, "", err
+	}
+	return rep, c.tier, nil
+}
+
+// Put persists the report, counting failures (the runner also counts them
+// and keeps the run alive — the report is already in hand).
+func (c *StoreCache) Put(ctx context.Context, key Key, rep *metrics.Report) error {
+	if err := c.st.Put(ctx, key.String(), rep); err != nil {
 		c.putErrors.Add(1)
+		return err
 	}
+	return nil
 }
 
 // PutErrors returns how many persists have failed since construction.
 func (c *StoreCache) PutErrors() uint64 { return c.putErrors.Load() }
 
-// Tiered layers caches fastest-first (memory, then disk). A hit in a
-// lower layer is promoted into every layer above it, so a disk hit after
-// a restart warms the memory cache. Puts write through to all layers.
+// Tiered layers caches fastest-first (memory, then disk, then shards). A
+// hit in a lower layer is promoted into every layer above it, so a disk
+// hit after a restart warms the memory cache. Puts write through to all
+// layers.
 type Tiered struct {
 	layers []Cache
 }
@@ -172,26 +186,43 @@ func NewTiered(layers ...Cache) *Tiered {
 	return t
 }
 
-// Get consults each layer in order, promoting hits upward.
-func (t *Tiered) Get(key Key) (*metrics.Report, string, bool) {
+// Get consults each layer in order, promoting hits upward. A layer
+// returning a real error (not a miss) does not stop the search — a lower
+// layer may still hold the report; the first such error is returned only
+// when every layer comes up empty, so the caller can distinguish "miss"
+// from "miss, and a layer is sick".
+func (t *Tiered) Get(ctx context.Context, key Key) (*metrics.Report, string, error) {
+	var firstErr error
 	for i, l := range t.layers {
-		rep, tier, ok := l.Get(key)
-		if !ok {
+		rep, tier, err := l.Get(ctx, key)
+		if err != nil {
+			if !errors.Is(err, store.ErrMiss) && firstErr == nil {
+				firstErr = err
+			}
 			continue
 		}
 		for j := 0; j < i; j++ {
-			t.layers[j].Put(key, rep)
+			t.layers[j].Put(ctx, key, rep) //icrvet:ignore droppederr best-effort upward promotion; the hit is already in hand
 		}
-		return rep, tier, true
+		return rep, tier, nil
 	}
-	return nil, "", false
+	if firstErr != nil {
+		return nil, "", firstErr
+	}
+	return nil, "", store.ErrMiss
 }
 
-// Put writes through to every layer.
-func (t *Tiered) Put(key Key, rep *metrics.Report) {
+// Put writes through to every layer. The first failure is returned, but
+// every layer still sees the write — a sick disk must not stop the shard
+// write-through or vice versa.
+func (t *Tiered) Put(ctx context.Context, key Key, rep *metrics.Report) error {
+	var firstErr error
 	for _, l := range t.layers {
-		l.Put(key, rep)
+		if err := l.Put(ctx, key, rep); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
+	return firstErr
 }
 
 // copyReport returns an independent copy of a cached report, so no caller

@@ -9,12 +9,14 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/metrics"
+	"repro/internal/store"
 )
 
-// fakeStore is an in-memory ReportStore standing in for internal/store.
+// fakeStore is an in-memory store.Backend standing in for internal/store.
 type fakeStore struct {
 	mu      sync.Mutex
 	reports map[string]*metrics.Report
+	getErr  error
 	putErr  error
 	gets    int
 	puts    int
@@ -24,19 +26,22 @@ func newFakeStore() *fakeStore {
 	return &fakeStore{reports: make(map[string]*metrics.Report)}
 }
 
-func (s *fakeStore) Get(key string) (*metrics.Report, bool) {
+func (s *fakeStore) Get(ctx context.Context, key string) (*metrics.Report, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.gets++
+	if s.getErr != nil {
+		return nil, s.getErr
+	}
 	rep, ok := s.reports[key]
 	if !ok {
-		return nil, false
+		return nil, store.ErrMiss
 	}
 	cp := *rep
-	return &cp, true
+	return &cp, nil
 }
 
-func (s *fakeStore) Put(key string, rep *metrics.Report) error {
+func (s *fakeStore) Put(ctx context.Context, key string, rep *metrics.Report) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.puts++
@@ -47,6 +52,10 @@ func (s *fakeStore) Put(key string, rep *metrics.Report) error {
 	s.reports[key] = &cp
 	return nil
 }
+
+func (s *fakeStore) Stats() store.Stats { return store.Stats{} }
+
+func (s *fakeStore) Drain() {}
 
 func (s *fakeStore) len() int {
 	s.mu.Lock()
@@ -59,7 +68,7 @@ func tieredOptions(fn SimulateFunc, st *fakeStore) Options {
 	return Options{
 		Workers:  4,
 		Simulate: fn,
-		Cache:    NewTiered(NewMemoryCache(0, nil), NewStoreCache(st)),
+		Cache:    NewTiered(NewMemoryCache(0, nil), NewStoreCache(st, "")),
 	}
 }
 
@@ -122,7 +131,7 @@ func TestStoreCachePersistsAndServes(t *testing.T) {
 func TestStoreCachePutFailureIsNotFatal(t *testing.T) {
 	st := newFakeStore()
 	st.putErr = errors.New("disk full")
-	sc := NewStoreCache(st)
+	sc := NewStoreCache(st, "")
 	fn, _ := countingSim()
 	r := New(Options{
 		Workers:  2,
@@ -175,7 +184,7 @@ func TestDrainRejectsQueuedKeepsRunning(t *testing.T) {
 	r := New(Options{
 		Workers:  1,
 		Simulate: fn,
-		Cache:    NewTiered(NewMemoryCache(0, nil), NewStoreCache(st)),
+		Cache:    NewTiered(NewMemoryCache(0, nil), NewStoreCache(st, "")),
 	})
 	m, run := baseInputs()
 	m2, run2 := baseInputs()
@@ -249,14 +258,59 @@ func TestPendingSourceTiers(t *testing.T) {
 // TestTieredSkipsNilLayers: composing with nil layers (e.g. no -store
 // flag) must behave like the remaining layers alone.
 func TestTieredSkipsNilLayers(t *testing.T) {
+	ctx := context.Background()
 	tiered := NewTiered(nil, NewMemoryCache(4, nil), nil)
 	key := Key{1, 2, 3}
-	tiered.Put(key, &metrics.Report{Cycles: 9})
-	rep, tier, ok := tiered.Get(key)
-	if !ok || rep.Cycles != 9 || tier != SourceMemory {
-		t.Errorf("Get = (%+v, %q, %v), want memory hit", rep, tier, ok)
+	if err := tiered.Put(ctx, key, &metrics.Report{Cycles: 9}); err != nil {
+		t.Fatal(err)
 	}
-	if _, _, ok := tiered.Get(Key{4}); ok {
-		t.Error("hit on an absent key")
+	rep, tier, err := tiered.Get(ctx, key)
+	if err != nil || rep.Cycles != 9 || tier != SourceMemory {
+		t.Errorf("Get = (%+v, %q, %v), want memory hit", rep, tier, err)
+	}
+	if _, _, err := tiered.Get(ctx, Key{4}); !errors.Is(err, store.ErrMiss) {
+		t.Errorf("absent key error = %v, want store.ErrMiss", err)
+	}
+}
+
+// TestTieredSickLayerDegrades: a layer failing with a real error must not
+// hide a hit in a lower layer, and an all-miss lookup surfaces that error
+// instead of a plain miss.
+func TestTieredSickLayerDegrades(t *testing.T) {
+	ctx := context.Background()
+	sick := newFakeStore()
+	sick.getErr = errors.New("input/output error")
+	warm := newFakeStore()
+	key := Key{1, 2, 3}
+	if err := warm.Put(ctx, key.String(), &metrics.Report{Cycles: 9}); err != nil {
+		t.Fatal(err)
+	}
+	tiered := NewTiered(NewStoreCache(sick, ""), NewStoreCache(warm, SourceShard))
+	rep, tier, err := tiered.Get(ctx, key)
+	if err != nil || rep.Cycles != 9 || tier != SourceShard {
+		t.Errorf("Get = (%+v, %q, %v), want shard hit past the sick layer", rep, tier, err)
+	}
+	if _, _, err := tiered.Get(ctx, Key{4}); err == nil || errors.Is(err, store.ErrMiss) {
+		t.Errorf("all-miss with a sick layer = %v, want its error surfaced", err)
+	}
+}
+
+// TestRunnerCacheErrorDegradesToExecution: a sick cache stack must not
+// fail runs — the runner executes and counts the degradation.
+func TestRunnerCacheErrorDegradesToExecution(t *testing.T) {
+	st := newFakeStore()
+	st.getErr = errors.New("input/output error")
+	fn, calls := countingSim()
+	r := New(Options{Workers: 2, Simulate: fn, Cache: NewStoreCache(st, "")})
+	m, run := baseInputs()
+	rep, err := r.Run(context.Background(), m, run)
+	if err != nil || rep == nil {
+		t.Fatalf("run failed because the cache is sick: rep=%v err=%v", rep, err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("executions = %d, want 1", calls.Load())
+	}
+	if snap := r.Progress().Snapshot(); snap.CacheErrors != 1 {
+		t.Errorf("CacheErrors = %d, want 1", snap.CacheErrors)
 	}
 }

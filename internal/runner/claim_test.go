@@ -1,0 +1,135 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/metrics"
+)
+
+// fakeClaimer is an in-process store.Claimer: first claimant per key owns
+// the simulation until the key appears in the shared backend (Put clears
+// the claim, as a real shard does) or release is called.
+type fakeClaimer struct {
+	mu     sync.Mutex
+	st     *fakeStore
+	owners map[string]bool
+
+	granted atomic.Int64
+}
+
+func newFakeClaimer(st *fakeStore) *fakeClaimer {
+	return &fakeClaimer{st: st, owners: make(map[string]bool)}
+}
+
+func (c *fakeClaimer) Claim(ctx context.Context, key string) (bool, func(), error) {
+	for {
+		c.mu.Lock()
+		if _, err := c.st.Get(ctx, key); err == nil {
+			c.mu.Unlock()
+			return false, nil, nil // done: result exists
+		}
+		if !c.owners[key] {
+			c.owners[key] = true
+			c.mu.Unlock()
+			c.granted.Add(1)
+			release := func() {
+				c.mu.Lock()
+				delete(c.owners, key)
+				c.mu.Unlock()
+			}
+			return true, release, nil
+		}
+		c.mu.Unlock()
+		select {
+		case <-time.After(time.Millisecond):
+		case <-ctx.Done():
+			return false, nil, ctx.Err()
+		}
+	}
+}
+
+// TestFleetClaimExactlyOneSimulation: several runners (distinct processes
+// in real life) sharing a store backend and a claimer race on one cold
+// key; exactly one simulation executes fleet-wide, everyone gets the
+// result.
+func TestFleetClaimExactlyOneSimulation(t *testing.T) {
+	st := newFakeStore()
+	claimer := newFakeClaimer(st)
+	var calls atomic.Int64
+	slow := func(ctx context.Context, m config.Machine, r config.Run) (*metrics.Report, error) {
+		calls.Add(1)
+		time.Sleep(20 * time.Millisecond) // hold the claim long enough to race
+		return &metrics.Report{Instructions: r.Instructions, Cycles: 7}, nil
+	}
+	m, run := baseInputs()
+
+	const fleet = 4
+	var wg sync.WaitGroup
+	errs := make([]error, fleet)
+	for i := 0; i < fleet; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Each "process" has its own runner, memory cache, and flight
+			// group; only the shared store and claimer span the fleet.
+			r := New(Options{
+				Workers:  2,
+				Simulate: slow,
+				Cache:    NewStoreCache(st, SourceShard),
+				Claimer:  claimer,
+			})
+			rep, err := r.Run(context.Background(), m, run)
+			if err == nil && rep.Cycles != 7 {
+				err = errors.New("wrong report")
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("fleet member %d: %v", i, err)
+		}
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("%d simulations executed fleet-wide, want exactly 1", got)
+	}
+	if got := claimer.granted.Load(); got != 1 {
+		t.Errorf("%d claims granted, want 1", got)
+	}
+}
+
+// TestClaimReleasedOnFailure: a failed simulation releases the fleet
+// claim so the next submission can retry instead of waiting out a TTL.
+func TestClaimReleasedOnFailure(t *testing.T) {
+	st := newFakeStore()
+	claimer := newFakeClaimer(st)
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	fn := func(ctx context.Context, m config.Machine, r config.Run) (*metrics.Report, error) {
+		if calls.Add(1) == 1 {
+			return nil, boom
+		}
+		return &metrics.Report{Instructions: r.Instructions}, nil
+	}
+	r := New(Options{Workers: 1, Simulate: fn, Cache: NewStoreCache(st, ""), Claimer: claimer})
+	m, run := baseInputs()
+	if _, err := r.Run(context.Background(), m, run); !errors.Is(err, boom) {
+		t.Fatalf("first run err = %v, want boom", err)
+	}
+	claimer.mu.Lock()
+	held := len(claimer.owners)
+	claimer.mu.Unlock()
+	if held != 0 {
+		t.Fatal("failed simulation left its fleet claim held")
+	}
+	if _, err := r.Run(context.Background(), m, run); err != nil {
+		t.Fatalf("retry after released claim: %v", err)
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 // ErrDraining is the settlement error for runs that were still queued
@@ -105,6 +106,13 @@ type Options struct {
 	// coordinator plugs in here to dispatch runs to remote workers. Nil
 	// means in-process execution via Simulate.
 	Executor Executor
+
+	// Claimer, when non-nil, extends the in-process singleflight across a
+	// fleet: before executing a cache miss, the flight owner asks the
+	// Claimer (the sharded store) who should simulate the key. A cold
+	// popular key then triggers exactly one simulation fleet-wide, not one
+	// per front end. Nil keeps coalescing process-local.
+	Claimer store.Claimer
 }
 
 // Runner executes simulations on a bounded worker pool with memoization.
@@ -114,6 +122,7 @@ type Runner struct {
 	slots     chan struct{}
 	cache     Cache
 	flight    *flightGroup
+	claimer   store.Claimer
 	timeout   time.Duration
 	prog      *metrics.Progress
 	executor  Executor
@@ -151,10 +160,15 @@ func New(o Options) *Runner {
 		}
 		executor = simExecutor{fn: simFn}
 	}
+	var claimer store.Claimer
+	if cache != nil {
+		claimer = o.Claimer
+	}
 	return &Runner{
 		slots:    make(chan struct{}, workers),
 		cache:    cache,
 		flight:   flight,
+		claimer:  claimer,
 		timeout:  o.Timeout,
 		prog:     prog,
 		executor: executor,
@@ -307,21 +321,57 @@ func (r *Runner) simulate(ctx context.Context, m config.Machine, run config.Run)
 	for {
 		e, owner := r.flight.claim(key)
 		if owner {
-			if rep, tier, ok := r.cache.Get(key); ok {
-				if tier == SourceDisk {
-					r.prog.AddDiskHit(1)
-				} else {
-					r.prog.AddMemoHit(1)
-				}
+			if rep, tier, err := r.cacheGet(ctx, key); err == nil {
 				r.flight.settle(key, e, rep, nil)
 				// The cache keeps its own copy; hand the caller another
 				// so later hits never observe caller mutations.
 				return copyReport(rep), tier, nil
+			} else if !errors.Is(err, store.ErrMiss) {
+				// A sick layer (disk I/O trouble, dead shard) degrades to
+				// execution — visible in the counter, fatal to nothing.
+				r.prog.AddCacheError(1)
 			}
 			r.prog.AddCacheMiss(1)
+
+			// Fleet-wide anti-stampede: ask the sharded store who should
+			// simulate this key. Only the flight owner gets here, so one
+			// process issues at most one claim per key.
+			var release func()
+			if r.claimer != nil {
+				owned, rel, cerr := r.claimer.Claim(ctx, key.String())
+				switch {
+				case cerr != nil:
+					// Claim errors only surface for caller cancellation
+					// (shard trouble degrades to owned=true inside the
+					// claimer).
+					r.flight.settle(key, e, nil, cerr)
+					return nil, "", cerr
+				case !owned:
+					// Another fleet member simulated it; its result should
+					// now be one Get away.
+					if rep, tier, err := r.cacheGet(ctx, key); err == nil {
+						r.flight.settle(key, e, rep, nil)
+						return copyReport(rep), tier, nil
+					}
+					// Not visible (replica lag, shard loss): simulate
+					// locally — duplicate work, never wrong results.
+				default:
+					release = rel
+				}
+			}
+
 			rep, tier, err := r.exec(ctx, m, run)
 			if err == nil {
-				r.cache.Put(key, rep)
+				if perr := r.cache.Put(ctx, key, rep); perr != nil {
+					r.prog.AddPutError(1)
+					if release != nil {
+						// The Put that would have cleared the fleet claim
+						// never landed; free the waiters explicitly.
+						release()
+					}
+				}
+			} else if release != nil {
+				release()
 			}
 			r.flight.settle(key, e, rep, err)
 			if err != nil {
@@ -346,6 +396,23 @@ func (r *Runner) simulate(ctx context.Context, m config.Machine, run config.Run)
 		// must not poison this caller. The entry was dropped at settle;
 		// loop to claim ownership and retry.
 	}
+}
+
+// cacheGet reads the cache stack and accounts the hit to its tier.
+func (r *Runner) cacheGet(ctx context.Context, key Key) (*metrics.Report, string, error) {
+	rep, tier, err := r.cache.Get(ctx, key)
+	if err != nil {
+		return nil, "", err
+	}
+	switch tier {
+	case SourceDisk:
+		r.prog.AddDiskHit(1)
+	case SourceShard:
+		r.prog.AddShardHit(1)
+	default:
+		r.prog.AddMemoHit(1)
+	}
+	return rep, tier, nil
 }
 
 // exec hands one run to the executor with the per-run timeout applied.

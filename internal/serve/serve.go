@@ -10,6 +10,13 @@
 //	POST /cluster/v1/...   coordinator endpoints for icrworker fleets
 //	                       (register, heartbeat, lease, renew, complete;
 //	                       mounted only when Options.Cluster is set)
+//	GET  /store/v1/{key}   shard read: the stored report or 404
+//	PUT  /store/v1/{key}   shard write-through (also clears the claim)
+//	POST /store/v1/claim/{key}   anti-stampede claim: granted|wait|done
+//	DELETE /store/v1/claim/{key} claim release (simulation failed)
+//	                       (store endpoints mounted only with
+//	                       Options.ShardAPI; see internal/store.Remote for
+//	                       the client half)
 //	GET  /healthz          liveness + draining state
 //	GET  /debug/vars       expvar counters (cache tiers, queue, store)
 //	GET  /debug/pprof/...  standard profiling handlers
@@ -61,15 +68,31 @@ type Options struct {
 	// durable.
 	Runner *runner.Runner
 
-	// Store, when non-nil, contributes its stats to /debug/vars. The
-	// server never touches its contents directly — persistence rides the
+	// Backend, when non-nil, contributes its stats to /debug/vars and —
+	// with ShardAPI set — is what the /store/v1/ endpoints serve. The
+	// simulation path never touches it directly; persistence rides the
 	// runner's cache stack.
-	Store *store.Store
+	Backend store.Backend
+
+	// ShardAPI mounts the shard endpoints (GET/PUT /store/v1/{key},
+	// POST/DELETE /store/v1/claim/{key}) over Backend, making this icrd a
+	// shard node other fleet members can read through. Requires Backend.
+	ShardAPI bool
 
 	// QueueDepth bounds concurrently admitted simulation requests;
 	// request QueueDepth+1 gets 429. <= 0 means 4 × the runner's worker
 	// count.
 	QueueDepth int
+
+	// StoreQueueDepth bounds concurrently admitted /store/v1/ requests.
+	// Store hits are orders of magnitude cheaper than simulations, so the
+	// bound is separate and much deeper. <= 0 means 1024.
+	StoreQueueDepth int
+
+	// ClaimTTL bounds how long a granted claim blocks other claimants
+	// when its holder vanishes without a Put or a release. <= 0 means
+	// store.DefaultClaimTTL.
+	ClaimTTL time.Duration
 
 	// RequestTimeout caps every request's context (0 = no cap). A
 	// request's own timeout_ms can only shorten it further.
@@ -86,15 +109,19 @@ type Options struct {
 // shut down by calling Drain and then http.Server.Shutdown.
 type Server struct {
 	eng        *runner.Runner
-	st         *store.Store
+	backend    store.Backend
+	claims     *store.ClaimTable
 	coord      *cluster.Coordinator
 	admit      chan struct{}
+	storeAdmit chan struct{}
 	reqTimeout time.Duration
 	mux        *http.ServeMux
 
-	inflight atomic.Int64
-	admitted atomic.Uint64
-	rejected atomic.Uint64
+	inflight      atomic.Int64
+	admitted      atomic.Uint64
+	rejected      atomic.Uint64
+	storeInflight atomic.Int64
+	storeRejected atomic.Uint64
 }
 
 // activeServer backs the process-wide expvar page. expvar registration is
@@ -114,16 +141,35 @@ func New(o Options) *Server {
 	if depth <= 0 {
 		depth = 4 * o.Runner.Workers()
 	}
+	storeDepth := o.StoreQueueDepth
+	if storeDepth <= 0 {
+		storeDepth = 1024
+	}
+	claimTTL := o.ClaimTTL
+	if claimTTL <= 0 {
+		claimTTL = store.DefaultClaimTTL
+	}
 	s := &Server{
 		eng:        o.Runner,
-		st:         o.Store,
+		backend:    o.Backend,
 		coord:      o.Cluster,
 		admit:      make(chan struct{}, depth),
+		storeAdmit: make(chan struct{}, storeDepth),
 		reqTimeout: o.RequestTimeout,
 		mux:        http.NewServeMux(),
 	}
 	if s.coord != nil {
 		s.mux.Handle("POST /cluster/v1/", s.coord.Handler())
+	}
+	if o.ShardAPI {
+		if s.backend == nil {
+			panic("serve.New: Options.ShardAPI requires Options.Backend")
+		}
+		s.claims = store.NewClaimTable(claimTTL)
+		s.mux.HandleFunc("GET "+store.StorePathPrefix+"{key}", s.handleStoreGet)
+		s.mux.HandleFunc("PUT "+store.StorePathPrefix+"{key}", s.handleStorePut)
+		s.mux.HandleFunc("POST "+store.ClaimPathPrefix+"{key}", s.handleClaim)
+		s.mux.HandleFunc("DELETE "+store.ClaimPathPrefix+"{key}", s.handleUnclaim)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("POST /v1/runs", s.handleRun)
@@ -160,6 +206,12 @@ func (s *Server) Drain() {
 	if s.coord != nil {
 		s.coord.Drain()
 	}
+	if s.backend != nil {
+		// The disk store's Drain is a no-op by contract (executing
+		// simulations must still persist); remote backends release their
+		// idle connections.
+		s.backend.Drain()
+	}
 }
 
 // stats is the /debug/vars payload: runner progress per cache tier, the
@@ -172,7 +224,10 @@ func (s *Server) stats() map[string]any {
 		"failed":       snap.Failed,
 		"memory_hits":  snap.MemoHits,
 		"disk_hits":    snap.DiskHits,
+		"shard_hits":   snap.ShardHits,
 		"cache_misses": snap.CacheMisses,
+		"cache_errors": snap.CacheErrors,
+		"put_errors":   snap.PutErrors,
 		"evictions":    snap.Evictions,
 		"remote":       snap.Remote,
 		"inflight":     s.inflight.Load(),
@@ -181,8 +236,8 @@ func (s *Server) stats() map[string]any {
 		"queue_depth":  cap(s.admit),
 		"draining":     s.eng.Draining(),
 	}
-	if s.st != nil {
-		st := s.st.Stats()
+	if s.backend != nil {
+		st := s.backend.Stats()
 		out["store"] = map[string]any{
 			"entries":      st.Entries,
 			"bytes":        st.Bytes,
@@ -193,6 +248,20 @@ func (s *Server) stats() map[string]any {
 			"evictions":    st.Evictions,
 			"quarantined":  st.Quarantined,
 			"schema_stale": st.SchemaStale,
+			"read_errors":  st.ReadErrors,
+			"put_errors":   st.PutErrors,
+			"hot_keys":     st.HotKeys,
+			"replica_ops":  st.ReplicaOps,
+		}
+	}
+	if s.claims != nil {
+		out["shard_api"] = map[string]any{
+			"claims_held":    s.claims.Len(),
+			"claims_granted": s.claims.Granted(),
+			"claims_waited":  s.claims.Waited(),
+			"inflight":       s.storeInflight.Load(),
+			"rejected":       s.storeRejected.Load(),
+			"queue_depth":    cap(s.storeAdmit),
 		}
 	}
 	if s.coord != nil {

@@ -153,7 +153,7 @@ func TestRunPersistsAcrossRestart(t *testing.T) {
 		fn, calls := stubSim()
 		eng := runner.New(runner.Options{
 			Simulate: fn,
-			Cache:    runner.NewTiered(runner.NewMemoryCache(0, nil), runner.NewStoreCache(st)),
+			Cache:    runner.NewTiered(runner.NewMemoryCache(0, nil), runner.NewStoreCache(st, "")),
 		})
 		return eng, st, calls
 	}
@@ -389,9 +389,9 @@ func TestStoreStatsInExpvar(t *testing.T) {
 	fn, _ := stubSim()
 	eng := runner.New(runner.Options{
 		Simulate: fn,
-		Cache:    runner.NewTiered(runner.NewMemoryCache(0, nil), runner.NewStoreCache(st)),
+		Cache:    runner.NewTiered(runner.NewMemoryCache(0, nil), runner.NewStoreCache(st, "")),
 	})
-	s, _ := newTestServer(t, Options{Runner: eng, Store: st})
+	s, _ := newTestServer(t, Options{Runner: eng, Backend: st})
 	stats := s.stats()
 	if _, ok := stats["store"]; !ok {
 		t.Errorf("stats missing store section: %v", stats)

@@ -1,0 +1,165 @@
+// shard.go is the server half of the shard protocol: the /store/v1/
+// endpoints a fleet of front ends reads and writes through
+// (internal/store.Remote is the client half, store.Sharded the fleet
+// view). Mounted only with Options.ShardAPI.
+//
+// Admission is separate from the simulation queue: a store hit costs one
+// disk read, not one simulation, so the bound is much deeper
+// (StoreQueueDepth) — a load test replaying a million lookups must not
+// starve, or be starved by, the simulation endpoints. The discipline is
+// the same: queue full → 429 + Retry-After, draining → 503 + Retry-After.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/metrics"
+	"repro/internal/store"
+)
+
+// claimRetryHintMS is the poll interval hint sent with "wait" claim
+// responses. Simulations take tens of milliseconds to minutes; 50ms keeps
+// waiters prompt without hammering the shard.
+const claimRetryHintMS = 50
+
+// tryAdmitStore is tryAdmit for the store endpoints: same discipline,
+// separate (deeper) queue.
+func (s *Server) tryAdmitStore(w http.ResponseWriter) (release func(), ok bool) {
+	if s.eng.Draining() {
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, errors.New("shard draining"))
+		return nil, false
+	}
+	select {
+	case s.storeAdmit <- struct{}{}:
+		s.storeInflight.Add(1)
+		return func() {
+			s.storeInflight.Add(-1)
+			<-s.storeAdmit
+		}, true
+	default:
+		s.storeRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("store queue full (%d in flight); retry later", cap(s.storeAdmit)))
+		return nil, false
+	}
+}
+
+// storeKey validates the {key} path segment once for every handler.
+func storeKey(w http.ResponseWriter, r *http.Request) (string, bool) {
+	key := r.PathValue("key")
+	if !store.ValidKey(key) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid store key %q", key))
+		return "", false
+	}
+	return key, true
+}
+
+// handleStoreGet serves GET /store/v1/{key}: the stored report, or 404
+// for a miss. Real backend trouble (sick disk) is 500 — the client
+// counts it instead of mistaking it for an empty shard.
+func (s *Server) handleStoreGet(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.tryAdmitStore(w)
+	if !ok {
+		return
+	}
+	defer release()
+	key, ok := storeKey(w, r)
+	if !ok {
+		return
+	}
+	rep, err := s.backend.Get(r.Context(), key)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, rep)
+	case errors.Is(err, store.ErrMiss):
+		writeError(w, http.StatusNotFound, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// handleStorePut serves PUT /store/v1/{key}: persist the report and clear
+// any claim on the key — a landed result is the claim protocol's
+// success path, so waiters' next poll answers "done".
+func (s *Server) handleStorePut(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.tryAdmitStore(w)
+	if !ok {
+		return
+	}
+	defer release()
+	key, ok := storeKey(w, r)
+	if !ok {
+		return
+	}
+	var rep metrics.Report
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&rep); err != nil {
+		// Schema mismatches land here too: a shard must never store a
+		// report it would refuse to serve.
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding report: %w", err))
+		return
+	}
+	if err := s.backend.Put(r.Context(), key, &rep); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if s.claims != nil {
+		s.claims.Release(key)
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleClaim serves POST /store/v1/claim/{key}: the fleet-wide
+// anti-stampede election. If the result already exists the answer is
+// "done" (re-Get it); otherwise the first claimant is "granted" and
+// everyone else "wait"s with a poll hint. A granted claim is cleared by
+// the winner's PUT, an explicit DELETE, or the claim TTL (crashed
+// winner).
+func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.tryAdmitStore(w)
+	if !ok {
+		return
+	}
+	defer release()
+	key, ok := storeKey(w, r)
+	if !ok {
+		return
+	}
+	if _, err := s.backend.Get(r.Context(), key); err == nil {
+		writeJSON(w, http.StatusOK, store.ClaimResponse{State: store.ClaimDone})
+		return
+	} else if !errors.Is(err, store.ErrMiss) {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	granted, _ := s.claims.Claim(key)
+	if granted {
+		writeJSON(w, http.StatusOK, store.ClaimResponse{State: store.ClaimGranted})
+		return
+	}
+	writeJSON(w, http.StatusOK, store.ClaimResponse{
+		State:        store.ClaimWait,
+		RetryAfterMS: claimRetryHintMS,
+	})
+}
+
+// handleUnclaim serves DELETE /store/v1/claim/{key}: the winner's
+// simulation failed, free the waiters early.
+func (s *Server) handleUnclaim(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.tryAdmitStore(w)
+	if !ok {
+		return
+	}
+	defer release()
+	key, ok := storeKey(w, r)
+	if !ok {
+		return
+	}
+	s.claims.Release(key)
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/runner"
+	"repro/internal/store"
+)
+
+// newShardServer spins up one icrd shard: a disk store behind the
+// /store/v1/ endpoints.
+func newShardServer(t *testing.T) (*Server, *httptest.Server, *store.Store) {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := stubSim()
+	eng := runner.New(runner.Options{Simulate: fn})
+	s := New(Options{Runner: eng, Backend: st, ShardAPI: true})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, st
+}
+
+func shardKey(n byte) string {
+	return strings.Repeat("0", 63) + string([]byte{'a' + n%6})
+}
+
+func shardReport() *metrics.Report {
+	return &metrics.Report{Benchmark: "vpr", Scheme: "BaseP", Instructions: 1000, Cycles: 1234}
+}
+
+// TestShardAPIRoundTrip drives the full protocol through real HTTP via
+// the store.Remote client: miss, put, hit, claim lifecycle.
+func TestShardAPIRoundTrip(t *testing.T) {
+	_, ts, _ := newShardServer(t)
+	rc := store.NewRemote(ts.URL, nil)
+	ctx := context.Background()
+	key := shardKey(0)
+
+	if _, err := rc.Get(ctx, key); !errors.Is(err, store.ErrMiss) {
+		t.Fatalf("cold Get = %v, want ErrMiss", err)
+	}
+	if err := rc.Put(ctx, key, shardReport()); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := rc.Get(ctx, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cycles != 1234 || rep.Benchmark != "vpr" {
+		t.Errorf("round trip mangled the report: %+v", rep)
+	}
+
+	// Claim lifecycle on a second, cold key.
+	key2 := shardKey(1)
+	cr, err := rc.Claim(ctx, key2)
+	if err != nil || cr.State != store.ClaimGranted {
+		t.Fatalf("first claim = %+v, %v, want granted", cr, err)
+	}
+	cr, err = rc.Claim(ctx, key2)
+	if err != nil || cr.State != store.ClaimWait || cr.RetryAfterMS <= 0 {
+		t.Fatalf("second claim = %+v, %v, want wait with hint", cr, err)
+	}
+	if err := rc.Put(ctx, key2, shardReport()); err != nil {
+		t.Fatal(err)
+	}
+	cr, err = rc.Claim(ctx, key2)
+	if err != nil || cr.State != store.ClaimDone {
+		t.Fatalf("claim after put = %+v, %v, want done", cr, err)
+	}
+}
+
+// TestShardAPIRejectsBadKeysAndBodies: invalid keys 400, schema-invalid
+// reports 400 (a shard never stores what it cannot serve).
+func TestShardAPIRejectsBadKeysAndBodies(t *testing.T) {
+	_, ts, st := newShardServer(t)
+	resp, err := http.Get(ts.URL + store.StorePathPrefix + "not-a-key!")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad key GET = %d, want 400", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodPut,
+		ts.URL+store.StorePathPrefix+shardKey(0), strings.NewReader(`{"schema":99}`))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("stale-schema PUT = %d, want 400", resp.StatusCode)
+	}
+	if st.Len() != 0 {
+		t.Error("rejected PUT reached the store")
+	}
+}
+
+// TestShardAPIDrainDiscipline: a draining shard answers 503 with
+// Retry-After on every store endpoint, and the fleet client degrades
+// (error, claim falls back to local simulation) instead of stalling.
+func TestShardAPIDrainDiscipline(t *testing.T) {
+	s, ts, _ := newShardServer(t)
+	rc := store.NewRemote(ts.URL, nil)
+	ctx := context.Background()
+	s.Drain()
+
+	resp, err := http.Get(ts.URL + store.StorePathPrefix + shardKey(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining GET = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("draining 503 missing Retry-After")
+	}
+	if _, err := rc.Get(ctx, shardKey(0)); err == nil || errors.Is(err, store.ErrMiss) {
+		t.Errorf("client Get against draining shard = %v, want non-miss error", err)
+	}
+
+	// Claim trouble degrades to local simulation at the fleet level.
+	sh, err := store.NewSharded([]store.Shard{rc}, store.ShardedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned, release, err := sh.Claim(ctx, shardKey(0))
+	if err != nil || !owned {
+		t.Fatalf("claim against draining shard: owned=%v err=%v, want local degradation", owned, err)
+	}
+	release()
+}
+
+// TestShardAPIStoreQueueBound: requests beyond StoreQueueDepth get 429 +
+// Retry-After. The handler holds requests via a slow backend.
+func TestShardAPIStoreQueueBound(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	slow := &gatedBackend{Backend: st, gate: gate, entered: entered}
+	fn, _ := stubSim()
+	eng := runner.New(runner.Options{Simulate: fn})
+	s := New(Options{Runner: eng, Backend: slow, ShardAPI: true, StoreQueueDepth: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer close(gate)
+
+	go func() {
+		resp, err := http.Get(ts.URL + store.StorePathPrefix + shardKey(0))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered
+
+	resp, err := http.Get(ts.URL + store.StorePathPrefix + shardKey(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow GET = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 missing Retry-After")
+	}
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Error == "" {
+		t.Error("429 body not a JSON error")
+	}
+}
+
+// gatedBackend blocks every Get until the gate closes (admission tests).
+type gatedBackend struct {
+	store.Backend
+	gate    chan struct{}
+	entered chan struct{}
+}
+
+func (g *gatedBackend) Get(ctx context.Context, key string) (*metrics.Report, error) {
+	g.entered <- struct{}{}
+	<-g.gate
+	return g.Backend.Get(ctx, key)
+}
+
+// TestFleetAntiStampede is the acceptance path: a 3-shard fleet over real
+// HTTP, several front ends (each its own runner, memory cache, and
+// flight group) hammering one cold key concurrently — exactly one
+// simulation executes fleet-wide and every front end returns the result.
+func TestFleetAntiStampede(t *testing.T) {
+	const shards = 3
+	shardList := make([]store.Shard, shards)
+	for i := 0; i < shards; i++ {
+		_, ts, _ := newShardServer(t)
+		shardList[i] = store.NewRemote(ts.URL, nil)
+	}
+
+	var calls atomic.Int64
+	slowSim := func(ctx context.Context, m config.Machine, r config.Run) (*metrics.Report, error) {
+		calls.Add(1)
+		time.Sleep(30 * time.Millisecond) // hold the claim long enough to race
+		return &metrics.Report{Benchmark: r.Benchmark, Scheme: "BaseP",
+			Instructions: r.Instructions, Cycles: 777}, nil
+	}
+
+	const fronts = 4
+	var wg sync.WaitGroup
+	errs := make([]error, fronts)
+	for i := 0; i < fronts; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fleet, err := store.NewSharded(shardList, store.ShardedOptions{})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			eng := runner.New(runner.Options{
+				Workers:  2,
+				Simulate: slowSim,
+				Cache: runner.NewTiered(
+					runner.NewMemoryCache(0, nil),
+					runner.NewStoreCache(fleet, runner.SourceShard),
+				),
+				Claimer: fleet,
+			})
+			run := config.NewRun("vpr", core.BaseP())
+			run.Instructions = 1000
+			rep, err := eng.Run(context.Background(), config.Default(), run)
+			if err == nil && rep.Cycles != 777 {
+				err = fmt.Errorf("front %d got wrong report: %+v", i, rep)
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("front end %d: %v", i, err)
+		}
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("%d simulations executed fleet-wide for one cold key, want exactly 1", got)
+	}
+}

@@ -1,0 +1,55 @@
+package store
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/metrics"
+)
+
+// ErrMiss is the typed miss: the backend holds nothing for the key. Every
+// Backend returns an error wrapping ErrMiss for a clean miss, so callers
+// distinguish "simulate it" from "the backend is sick" with errors.Is
+// instead of a lossy bool.
+var ErrMiss = errors.New("store: miss")
+
+// Backend is the storage seam every result store implements: the local
+// disk store, the HTTP remote-shard client, and the consistent-hashed
+// Sharded fleet view are interchangeable behind it.
+//
+// Contract:
+//
+//   - Get returns the report for key, an error wrapping ErrMiss when the
+//     backend holds nothing, or another error when the backend could not
+//     answer (sick disk, unreachable shard). A non-miss error means the
+//     caller may re-simulate, but the failure must be surfaced and
+//     counted — never folded into a silent miss.
+//   - Put stores the report. Failures do not invalidate a previous entry.
+//   - Implementations are safe for concurrent use and never mutate a
+//     report after Put returns.
+//   - Stats is a point-in-time snapshot of the backend's counters.
+//   - Drain flushes or detaches whatever background machinery the backend
+//     owns. Gets and Puts must keep working during and after Drain: the
+//     repo-wide drain discipline is that executing simulations finish AND
+//     persist.
+type Backend interface {
+	Get(ctx context.Context, key string) (*metrics.Report, error)
+	Put(ctx context.Context, key string, rep *metrics.Report) error
+	Stats() Stats
+	Drain()
+}
+
+// Claimer is the optional fleet-wide anti-stampede seam: a Backend that
+// can coordinate "who simulates this key" across every client of the
+// fleet (the Sharded backend, via the owning shard's claim endpoint).
+//
+// Claim blocks until the caller either owns the simulation for key
+// (owned=true: simulate, Put, and call release once if the Put never
+// happens) or the result was produced by someone else meanwhile
+// (owned=false: re-Get). release is always non-nil when owned and
+// idempotent. An unreachable owner degrades to owned=true with a no-op
+// release: duplicate simulation is wasted work, not wrong results,
+// because keys are content-addressed.
+type Claimer interface {
+	Claim(ctx context.Context, key string) (owned bool, release func(), err error)
+}

@@ -1,0 +1,114 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestTransientReadErrorSurfaced is the sick-disk bugfix: an I/O failure
+// reading an indexed entry must NOT degrade to a silent miss (which would
+// re-simulate everything a sick disk holds) — it surfaces to the caller,
+// counts in Stats.ReadErrors, and keeps the index entry for the next try.
+func TestTransientReadErrorSurfaced(t *testing.T) {
+	dir := t.TempDir()
+	key := keyN(0)
+	s := mustOpen(t, dir, Options{})
+	if err := s.Put(ctx, key, testReport(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Replace the entry file with a directory: open succeeds, read fails
+	// with EISDIR — an I/O error that is neither not-exist nor corruption.
+	path := filepath.Join(dir, key+entrySuffix)
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(path, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err := s.Get(ctx, key)
+	if err == nil {
+		t.Fatal("sick entry served as a hit")
+	}
+	if errors.Is(err, ErrMiss) {
+		t.Fatalf("transient I/O error folded into a miss: %v", err)
+	}
+	st := s.Stats()
+	if st.ReadErrors != 1 {
+		t.Errorf("ReadErrors = %d, want 1", st.ReadErrors)
+	}
+	if st.Misses != 0 {
+		t.Errorf("Misses = %d, want 0 (an I/O error is not a miss)", st.Misses)
+	}
+	if st.Quarantined != 0 {
+		t.Errorf("Quarantined = %d, want 0 (nothing valid to quarantine)", st.Quarantined)
+	}
+	if st.Entries != 1 {
+		t.Errorf("Entries = %d, want 1 (transient failure must keep the entry)", st.Entries)
+	}
+
+	// The disk recovers (entry bytes restored out-of-band by a sibling
+	// store over the same directory): the kept index entry serves again.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	sibling := mustOpen(t, dir, Options{})
+	if err := sibling.Put(ctx, key, testReport(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := getOK(t, s, key); !ok {
+		t.Error("recovered entry not served")
+	}
+}
+
+// TestVanishedFileIsCleanMiss: a file deleted behind the store's back is
+// a plain miss (drop the entry, no quarantine, no error).
+func TestVanishedFileIsCleanMiss(t *testing.T) {
+	dir := t.TempDir()
+	key := keyN(0)
+	s := mustOpen(t, dir, Options{})
+	if err := s.Put(ctx, key, testReport(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, key+entrySuffix)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := getOK(t, s, key); ok {
+		t.Fatal("vanished entry served as a hit")
+	}
+	st := s.Stats()
+	if st.Misses != 1 || st.ReadErrors != 0 || st.Quarantined != 0 || st.Entries != 0 {
+		t.Errorf("stats = %+v, want a clean dropped miss", st)
+	}
+}
+
+// TestGetPutHonourContext: a cancelled context fails fast without
+// touching counters or disk.
+func TestGetPutHonourContext(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	key := keyN(0)
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Get(cctx, key); !errors.Is(err, context.Canceled) {
+		t.Errorf("Get with cancelled ctx = %v, want context.Canceled", err)
+	}
+	if err := s.Put(cctx, key, testReport(1)); !errors.Is(err, context.Canceled) {
+		t.Errorf("Put with cancelled ctx = %v, want context.Canceled", err)
+	}
+	if s.Len() != 0 {
+		t.Error("cancelled Put wrote an entry")
+	}
+}
+
+// TestMissErrorIsTyped: the miss error is errors.Is-able and corrupt or
+// stale entries also read as misses (with their side effects intact).
+func TestMissErrorIsTyped(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	_, err := s.Get(ctx, keyN(3))
+	if !errors.Is(err, ErrMiss) {
+		t.Fatalf("absent key error = %v, want ErrMiss", err)
+	}
+}

@@ -1,0 +1,104 @@
+package store
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultClaimTTL bounds how long a granted simulation claim shields a
+// key from other claimants. A claimant that crashes (or loses its
+// network) simply lets the claim expire, and the next claimant takes
+// over — the fleet can stall on a key for at most one TTL.
+const DefaultClaimTTL = 2 * time.Minute
+
+// ClaimTable is the shard-server side of the fleet-wide anti-stampede
+// protocol: at most one unexpired claim exists per key, so of all the
+// clients that miss on a cold popular key, exactly one simulates it and
+// the rest wait for the result to appear. It is the cross-fleet
+// generalization of the runner's in-process singleflight.
+//
+// The table is in-memory and per-shard: a claim is only meaningful on the
+// key's owning shard, and losing it on restart is safe (duplicate
+// simulation, never wrong results).
+type ClaimTable struct {
+	ttl time.Duration
+	now func() time.Time
+
+	mu     sync.Mutex
+	claims map[string]time.Time // key -> expiry
+	ops    int                  // Claim calls since the last expired-entry sweep
+	stats  struct {
+		granted uint64
+		waited  uint64
+	}
+}
+
+// NewClaimTable returns a table whose claims expire after ttl (<= 0 means
+// DefaultClaimTTL).
+func NewClaimTable(ttl time.Duration) *ClaimTable {
+	return NewClaimTableClock(ttl, time.Now)
+}
+
+// NewClaimTableClock is NewClaimTable with an injectable clock (tests).
+func NewClaimTableClock(ttl time.Duration, now func() time.Time) *ClaimTable {
+	if ttl <= 0 {
+		ttl = DefaultClaimTTL
+	}
+	return &ClaimTable{ttl: ttl, now: now, claims: make(map[string]time.Time)}
+}
+
+// Claim attempts to claim key. It returns granted=true when the caller
+// now holds the claim (no other unexpired claim existed), or
+// granted=false with the time remaining on the current holder's claim.
+func (t *ClaimTable) Claim(key string) (granted bool, remaining time.Duration) {
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ops++
+	if t.ops >= 1024 {
+		t.ops = 0
+		for k, exp := range t.claims {
+			if !exp.After(now) {
+				delete(t.claims, k)
+			}
+		}
+	}
+	if exp, ok := t.claims[key]; ok && exp.After(now) {
+		t.stats.waited++
+		return false, exp.Sub(now)
+	}
+	t.claims[key] = now.Add(t.ttl)
+	t.stats.granted++
+	return true, 0
+}
+
+// Release drops the claim on key, if any. Called when the result lands
+// (Put) or the claimant gives up; releasing an absent or expired claim is
+// a no-op.
+func (t *ClaimTable) Release(key string) {
+	t.mu.Lock()
+	delete(t.claims, key)
+	t.mu.Unlock()
+}
+
+// Len returns the number of claims in the table, counting expired ones
+// not yet swept.
+func (t *ClaimTable) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.claims)
+}
+
+// Granted and Waited report cumulative grant/wait counts.
+func (t *ClaimTable) Granted() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats.granted
+}
+
+// Waited reports how many Claim calls found the key already claimed.
+func (t *ClaimTable) Waited() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats.waited
+}

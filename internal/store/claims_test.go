@@ -1,0 +1,107 @@
+package store
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for claim-expiry tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestClaimTableSingleWinner(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	tab := NewClaimTableClock(time.Minute, clk.now)
+	key := keyN(0)
+
+	granted, _ := tab.Claim(key)
+	if !granted {
+		t.Fatal("first claim not granted")
+	}
+	granted, remaining := tab.Claim(key)
+	if granted {
+		t.Fatal("second claim granted while the first is live")
+	}
+	if remaining <= 0 || remaining > time.Minute {
+		t.Errorf("remaining = %v, want (0, 1m]", remaining)
+	}
+	// A different key is independent.
+	if granted, _ := tab.Claim(keyN(1)); !granted {
+		t.Error("claim on an unrelated key blocked")
+	}
+	if g, w := tab.Granted(), tab.Waited(); g != 2 || w != 1 {
+		t.Errorf("granted=%d waited=%d, want 2 and 1", g, w)
+	}
+}
+
+// TestClaimExpiry: a crashed claimant's claim lapses after the TTL and
+// the next claimant takes over — the fleet stalls for at most one TTL.
+func TestClaimExpiry(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	tab := NewClaimTableClock(time.Minute, clk.now)
+	key := keyN(0)
+	if granted, _ := tab.Claim(key); !granted {
+		t.Fatal("first claim not granted")
+	}
+	clk.advance(59 * time.Second)
+	if granted, _ := tab.Claim(key); granted {
+		t.Fatal("claim lapsed before its TTL")
+	}
+	clk.advance(2 * time.Second)
+	if granted, _ := tab.Claim(key); !granted {
+		t.Fatal("expired claim not retaken")
+	}
+}
+
+// TestClaimRelease: an explicit release (failed simulation) frees the key
+// immediately.
+func TestClaimRelease(t *testing.T) {
+	tab := NewClaimTable(time.Minute)
+	key := keyN(0)
+	if granted, _ := tab.Claim(key); !granted {
+		t.Fatal("first claim not granted")
+	}
+	tab.Release(key)
+	if granted, _ := tab.Claim(key); !granted {
+		t.Fatal("released claim not retaken")
+	}
+	// Releasing an absent claim is a no-op.
+	tab.Release(keyN(1))
+}
+
+// TestClaimSweep: expired entries are swept so the table does not grow
+// with the keyspace.
+func TestClaimSweep(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	tab := NewClaimTableClock(time.Second, clk.now)
+	for i := 0; i < 100; i++ {
+		tab.Claim(syntheticKey(i))
+	}
+	clk.advance(2 * time.Second)
+	// Drive past the sweep threshold.
+	for i := 0; i < 1024; i++ {
+		tab.Claim(syntheticKey(200 + i))
+	}
+	clk.advance(2 * time.Second)
+	for i := 0; i < 1024; i++ {
+		tab.Claim(syntheticKey(2000 + i))
+	}
+	if n := tab.Len(); n > 1100 {
+		t.Errorf("table holds %d entries after sweeps; expired claims not collected", n)
+	}
+}

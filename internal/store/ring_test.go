@@ -1,0 +1,184 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+)
+
+// shardNames is the canonical 3-shard fleet used across the ring tests.
+var shardNames = []string{
+	"http://10.0.0.1:8080",
+	"http://10.0.0.2:8080",
+	"http://10.0.0.3:8080",
+}
+
+// syntheticKey derives a store-shaped key (sha256 hex) from an index, the
+// same way icrload builds its keyspace.
+func syntheticKey(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+// TestRingPlacementGolden pins key→shard placement: the ring is a pure
+// function of (nodes, vnodes, key), and every client in a fleet — and
+// every future build — must agree on it, or the fleet silently loses its
+// cache. If this golden changes, placement changed, and a deployed fleet
+// would re-simulate its whole working set.
+func TestRingPlacementGolden(t *testing.T) {
+	r, err := NewRing(shardNames, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := map[string]string{
+		syntheticKey(0): "http://10.0.0.2:8080",
+		syntheticKey(1): "http://10.0.0.2:8080",
+		syntheticKey(2): "http://10.0.0.3:8080",
+		syntheticKey(3): "http://10.0.0.1:8080",
+		syntheticKey(4): "http://10.0.0.3:8080",
+		syntheticKey(5): "http://10.0.0.3:8080",
+		syntheticKey(6): "http://10.0.0.1:8080",
+		syntheticKey(7): "http://10.0.0.3:8080",
+	}
+	for key, want := range golden {
+		if got := r.Owner(key); got != want {
+			t.Errorf("Owner(%s) = %s, want %s", key[:12], got, want)
+		}
+	}
+}
+
+// TestRingPlacementOrderIndependent: construction order must not affect
+// placement — clients receive the shard list from flags in whatever order
+// the operator typed it.
+func TestRingPlacementOrderIndependent(t *testing.T) {
+	a, err := NewRing(shardNames, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reversed := []string{shardNames[2], shardNames[1], shardNames[0]}
+	b, err := NewRing(reversed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		key := syntheticKey(i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("placement depends on construction order at key %d", i)
+		}
+	}
+}
+
+// TestRingBalance: with default vnodes, no shard of 3 owns a share wildly
+// off 1/3 (the consistent-hash load guarantee the fleet sizing relies
+// on).
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing(shardNames, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 30000
+	counts := map[string]int{}
+	for i := 0; i < n; i++ {
+		counts[r.Owner(syntheticKey(i))]++
+	}
+	for node, c := range counts {
+		share := float64(c) / n
+		if share < 0.20 || share > 0.47 {
+			t.Errorf("node %s owns %.1f%% of keys, want near 33%%", node, share*100)
+		}
+	}
+}
+
+// TestRingRebalanceBound is the consistent-hashing contract: adding or
+// removing one shard moves at most ~1/N of the keyspace (≤ 2/N with
+// vnode variance), never a full reshuffle.
+func TestRingRebalanceBound(t *testing.T) {
+	const n = 20000
+	for _, tc := range []struct {
+		name   string
+		before []string
+		after  []string
+	}{
+		{
+			name:   "add-fourth-shard",
+			before: shardNames,
+			after:  append(append([]string{}, shardNames...), "http://10.0.0.4:8080"),
+		},
+		{
+			name:   "remove-third-shard",
+			before: shardNames,
+			after:  shardNames[:2],
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rb, err := NewRing(tc.before, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ra, err := NewRing(tc.after, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			moved := 0
+			for i := 0; i < n; i++ {
+				key := syntheticKey(i)
+				if rb.Owner(key) != ra.Owner(key) {
+					moved++
+				}
+			}
+			// N is the larger fleet size in both directions.
+			bigger := len(tc.before)
+			if len(tc.after) > bigger {
+				bigger = len(tc.after)
+			}
+			bound := int(2.0 / float64(bigger) * n)
+			if moved > bound {
+				t.Errorf("%d/%d keys moved, bound 2/N = %d", moved, n, bound)
+			}
+			if moved == 0 {
+				t.Error("no keys moved; the ring change was not observed")
+			}
+		})
+	}
+}
+
+// TestRingReplicas: the replica set starts at the owner, holds distinct
+// nodes, and clamps to the fleet size.
+func TestRingReplicas(t *testing.T) {
+	r, err := NewRing(shardNames, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		key := syntheticKey(i)
+		reps := r.Replicas(key, 2)
+		if len(reps) != 2 {
+			t.Fatalf("Replicas(2) returned %d nodes", len(reps))
+		}
+		if reps[0] != r.Owner(key) {
+			t.Errorf("Replicas[0] = %s, Owner = %s", reps[0], r.Owner(key))
+		}
+		if reps[0] == reps[1] {
+			t.Error("duplicate node in replica set")
+		}
+		all := r.Replicas(key, 99)
+		if len(all) != len(shardNames) {
+			t.Errorf("Replicas(99) = %d nodes, want fleet size %d", len(all), len(shardNames))
+		}
+	}
+}
+
+// TestRingRejectsBadConfigs: empty fleets, empty names, duplicates.
+func TestRingRejectsBadConfigs(t *testing.T) {
+	for _, nodes := range [][]string{
+		nil,
+		{},
+		{""},
+		{"a", "a"},
+	} {
+		if _, err := NewRing(nodes, 0); err == nil {
+			t.Errorf("NewRing(%q) accepted a bad config", nodes)
+		}
+	}
+}

@@ -28,11 +28,13 @@ package store
 import (
 	"bytes"
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -76,15 +78,23 @@ type Options struct {
 	OnEvict func(n int)
 }
 
-// Stats are cumulative since Open, plus current occupancy.
+// Stats are cumulative since Open (or backend construction), plus current
+// occupancy. One struct serves every Backend; fields that do not apply to
+// a given implementation stay zero.
 type Stats struct {
-	Hits        uint64 // Get served from disk
+	Hits        uint64 // Get served a report
 	Misses      uint64 // Get found nothing (including invalidated entries)
 	Puts        uint64 // entries written
 	DupPuts     uint64 // identical re-writes skipped (recency refreshed only)
 	Evictions   uint64 // entries removed by the size cap
 	Quarantined uint64 // corrupt files renamed aside
 	SchemaStale uint64 // entries dropped for a format/schema version mismatch
+	ReadErrors  uint64 // Gets that failed transiently (I/O error, unreachable shard) — surfaced, not misses
+	PutErrors   uint64 // Puts that failed (sick disk, unreachable shard)
+	HotKeys     int    // keys currently replicated beyond their owner (Sharded)
+	ReplicaOps  uint64 // reads/writes served by a non-owner replica (Sharded)
+	Claims      uint64 // fleet claims granted (Sharded client / shard server)
+	ClaimWaits  uint64 // claim requests that waited on another claimant (Sharded)
 	Entries     int    // resident entries
 	Bytes       int64  // resident payload bytes
 }
@@ -146,7 +156,7 @@ func Open(dir string, o Options) (*Store, error) {
 			continue
 		}
 		key, ok := strings.CutSuffix(name, entrySuffix)
-		if !ok || !validKey(key) {
+		if !ok || !ValidKey(key) {
 			continue
 		}
 		info, err := de.Info()
@@ -171,8 +181,16 @@ func Open(dir string, o Options) (*Store, error) {
 	return s, nil
 }
 
+// Backend conformance: the disk store is the reference implementation.
+var _ Backend = (*Store)(nil)
+
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
+
+// Drain implements Backend. The disk store has nothing to flush — every
+// Put is already atomic and fsynced — and must keep serving Gets and Puts
+// through a drain so executing simulations can persist.
+func (s *Store) Drain() {}
 
 // Len returns the number of resident entries.
 func (s *Store) Len() int {
@@ -191,38 +209,59 @@ func (s *Store) Stats() Stats {
 	return st
 }
 
-// Get returns the stored report for key, or (nil, false) on a miss. Every
-// failure mode — absent entry, corrupt file, stale format or schema — is
-// a miss; corrupt files are quarantined and stale ones removed, so a bad
-// entry is never consulted twice.
-func (s *Store) Get(key string) (*metrics.Report, bool) {
-	if !validKey(key) {
-		return nil, false
+// Get returns the stored report for key, or an error wrapping ErrMiss on
+// a miss. Invalidated entries are misses that are never consulted twice:
+// corrupt files are quarantined, stale-schema ones removed, and an entry
+// whose file vanished behind the store's back is dropped. A transient I/O
+// failure (a sick disk: EIO, permissions) is NOT a miss — it is surfaced
+// to the caller and counted in Stats.ReadErrors, with the index entry
+// kept, so the caller can tell "re-simulate" from "this store is sick"
+// and the daemon stops silently re-simulating everything.
+func (s *Store) Get(ctx context.Context, key string) (*metrics.Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if !ValidKey(key) {
+		return nil, fmt.Errorf("store: invalid key %q: %w", key, ErrMiss)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, ok := s.index[key]
 	if !ok {
 		s.stats.Misses++
-		return nil, false
+		return nil, ErrMiss
 	}
 	rep, err := s.read(key)
-	if err != nil {
+	switch {
+	case err == nil:
+	case errors.Is(err, errStale):
 		s.dropLocked(e)
-		if errors.Is(err, errStale) {
-			s.stats.SchemaStale++
-			os.Remove(s.path(key)) //icrvet:ignore droppederr stale-schema entry: removal is best-effort, the index entry is already gone
-		} else {
-			s.quarantineLocked(key)
-		}
+		s.stats.SchemaStale++
+		os.Remove(s.path(key)) //icrvet:ignore droppederr stale-schema entry: removal is best-effort, the index entry is already gone
 		s.stats.Misses++
-		return nil, false
+		return nil, fmt.Errorf("%w: %v", ErrMiss, err)
+	case errors.Is(err, errCorrupt):
+		s.dropLocked(e)
+		s.quarantineLocked(key)
+		s.stats.Misses++
+		return nil, fmt.Errorf("%w: %v", ErrMiss, err)
+	case errors.Is(err, fs.ErrNotExist):
+		// The file was deleted externally: a clean miss, nothing to
+		// quarantine.
+		s.dropLocked(e)
+		s.stats.Misses++
+		return nil, ErrMiss
+	default:
+		// Transient I/O failure. Keep the entry — the next Get may
+		// succeed — and surface the error instead of re-simulating.
+		s.stats.ReadErrors++
+		return nil, fmt.Errorf("store: reading %s: %w", key, err)
 	}
 	s.lru.MoveToFront(e.elem)
 	now := time.Now()
 	os.Chtimes(s.path(key), now, now) //icrvet:ignore droppederr recency mtime is a best-effort hint for the next Open
 	s.stats.Hits++
-	return rep, true
+	return rep, nil
 }
 
 // Put stores a report under key, atomically (write temp + rename), then
@@ -235,8 +274,11 @@ func (s *Store) Get(key string) (*metrics.Report, bool) {
 // directory produce byte-identical reports for the same key, and skipping
 // the rewrite avoids both the write amplification and a quarantine window
 // for concurrent readers.
-func (s *Store) Put(key string, rep *metrics.Report) error {
-	if !validKey(key) {
+func (s *Store) Put(ctx context.Context, key string, rep *metrics.Report) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if !ValidKey(key) {
 		return fmt.Errorf("store: invalid key %q", key)
 	}
 	if rep == nil {
@@ -267,6 +309,7 @@ func (s *Store) Put(key string, rep *metrics.Report) error {
 		}
 	}
 	if err := s.writeAtomic(key, buf); err != nil {
+		s.stats.PutErrors++
 		s.mu.Unlock()
 		return err
 	}
@@ -294,14 +337,22 @@ func (s *Store) Put(key string, rep *metrics.Report) error {
 // report schema: invalid, but not corrupt.
 var errStale = errors.New("store: stale format or schema version")
 
-// read loads and validates one entry. Callers hold s.mu.
+// errCorrupt marks an entry whose bytes were read fine but do not
+// validate: bad magic, length mismatch, checksum failure, undecodable
+// payload. Corrupt entries are quarantined; transient I/O errors (which
+// never wrap errCorrupt) are surfaced instead.
+var errCorrupt = errors.New("store: corrupt entry")
+
+// read loads and validates one entry. Callers hold s.mu. A returned error
+// wraps errStale (invalid but clean), errCorrupt (quarantine it), or is a
+// raw I/O error from the filesystem (transient, caller decides).
 func (s *Store) read(key string) (*metrics.Report, error) {
 	data, err := os.ReadFile(s.path(key))
 	if err != nil {
 		return nil, err
 	}
 	if len(data) < headerSize || !bytes.Equal(data[0:4], magic[:]) {
-		return nil, errors.New("store: bad magic or truncated header")
+		return nil, fmt.Errorf("%w: bad magic or truncated header", errCorrupt)
 	}
 	if v := binary.LittleEndian.Uint32(data[4:8]); v != FormatVersion {
 		return nil, fmt.Errorf("%w: container format %d", errStale, v)
@@ -312,18 +363,18 @@ func (s *Store) read(key string) (*metrics.Report, error) {
 	plen := binary.LittleEndian.Uint64(data[12:20])
 	payload := data[headerSize:]
 	if uint64(len(payload)) != plen {
-		return nil, fmt.Errorf("store: payload length %d, header says %d", len(payload), plen)
+		return nil, fmt.Errorf("%w: payload length %d, header says %d", errCorrupt, len(payload), plen)
 	}
 	sum := sha256.Sum256(payload)
 	if !bytes.Equal(sum[:], data[20:20+sha256.Size]) {
-		return nil, errors.New("store: payload checksum mismatch")
+		return nil, fmt.Errorf("%w: payload checksum mismatch", errCorrupt)
 	}
 	var rep metrics.Report
 	if err := json.Unmarshal(payload, &rep); err != nil {
 		if errors.Is(err, metrics.ErrReportSchema) {
 			return nil, fmt.Errorf("%w: %v", errStale, err)
 		}
-		return nil, fmt.Errorf("store: decoding payload: %w", err)
+		return nil, fmt.Errorf("%w: decoding payload: %v", errCorrupt, err)
 	}
 	return &rep, nil
 }
@@ -395,9 +446,10 @@ func (s *Store) path(key string) string {
 	return filepath.Join(s.dir, key+entrySuffix)
 }
 
-// validKey accepts lowercase-hex keys only (runner.Key.String()'s form),
-// which also guarantees the key is a safe file name.
-func validKey(key string) bool {
+// ValidKey accepts lowercase-hex keys only (runner.Key.String()'s form),
+// which also guarantees the key is a safe file name and a safe URL path
+// segment for the shard protocol.
+func ValidKey(key string) bool {
 	if len(key) == 0 || len(key) > 128 {
 		return false
 	}

@@ -1,7 +1,9 @@
 package store
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,6 +12,25 @@ import (
 
 	"repro/internal/metrics"
 )
+
+// ctx is the do-not-care context for store calls in tests.
+var ctx = context.Background()
+
+// getOK adapts the error-returning Get to the hit/miss shape most tests
+// assert on: a clean miss (ErrMiss) is (nil, false) and any other error —
+// which no test here expects — fails the test.
+func getOK(t *testing.T, s Backend, key string) (*metrics.Report, bool) {
+	t.Helper()
+	rep, err := s.Get(ctx, key)
+	if err == nil {
+		return rep, true
+	}
+	if errors.Is(err, ErrMiss) {
+		return nil, false
+	}
+	t.Fatalf("Get(%s): unexpected non-miss error: %v", key, err)
+	return nil, false
+}
 
 func testReport(cycles uint64) *metrics.Report {
 	return &metrics.Report{
@@ -40,17 +61,17 @@ func TestPutGetRoundTrip(t *testing.T) {
 	s := mustOpen(t, t.TempDir(), Options{})
 	key := keyN(0)
 	want := testReport(777)
-	if err := s.Put(key, want); err != nil {
+	if err := s.Put(ctx, key, want); err != nil {
 		t.Fatal(err)
 	}
-	got, ok := s.Get(key)
+	got, ok := getOK(t, s, key)
 	if !ok {
 		t.Fatal("Get missed a just-Put key")
 	}
 	if *got != *want {
 		t.Errorf("round trip changed the report: got %+v want %+v", got, want)
 	}
-	if _, ok := s.Get(keyN(1)); ok {
+	if _, ok := getOK(t, s, keyN(1)); ok {
 		t.Error("Get hit an absent key")
 	}
 	st := s.Stats()
@@ -67,11 +88,11 @@ func TestPersistsAcrossReopen(t *testing.T) {
 	key := keyN(0)
 	want := testReport(42)
 	s1 := mustOpen(t, dir, Options{})
-	if err := s1.Put(key, want); err != nil {
+	if err := s1.Put(ctx, key, want); err != nil {
 		t.Fatal(err)
 	}
 	s2 := mustOpen(t, dir, Options{})
-	got, ok := s2.Get(key)
+	got, ok := getOK(t, s2, key)
 	if !ok {
 		t.Fatal("reopened store missed a persisted key")
 	}
@@ -84,7 +105,7 @@ func TestCorruptEntryQuarantined(t *testing.T) {
 	dir := t.TempDir()
 	key := keyN(0)
 	s := mustOpen(t, dir, Options{})
-	if err := s.Put(key, testReport(1)); err != nil {
+	if err := s.Put(ctx, key, testReport(1)); err != nil {
 		t.Fatal(err)
 	}
 	// Flip one payload byte on disk.
@@ -98,7 +119,7 @@ func TestCorruptEntryQuarantined(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if _, ok := s.Get(key); ok {
+	if _, ok := getOK(t, s, key); ok {
 		t.Fatal("corrupt entry served as a hit")
 	}
 	if _, err := os.Stat(path + quarantineSuffix); err != nil {
@@ -112,7 +133,7 @@ func TestCorruptEntryQuarantined(t *testing.T) {
 	}
 	// A quarantined file is invisible to a reopened store.
 	s2 := mustOpen(t, dir, Options{})
-	if _, ok := s2.Get(key); ok {
+	if _, ok := getOK(t, s2, key); ok {
 		t.Error("reopened store served a quarantined entry")
 	}
 }
@@ -121,14 +142,14 @@ func TestTruncatedEntryIsMiss(t *testing.T) {
 	dir := t.TempDir()
 	key := keyN(0)
 	s := mustOpen(t, dir, Options{})
-	if err := s.Put(key, testReport(1)); err != nil {
+	if err := s.Put(ctx, key, testReport(1)); err != nil {
 		t.Fatal(err)
 	}
 	path := filepath.Join(dir, key+entrySuffix)
 	if err := os.Truncate(path, headerSize-5); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := s.Get(key); ok {
+	if _, ok := getOK(t, s, key); ok {
 		t.Fatal("truncated entry served as a hit")
 	}
 }
@@ -140,7 +161,7 @@ func TestStaleSchemaIsMiss(t *testing.T) {
 	dir := t.TempDir()
 	key := keyN(0)
 	s := mustOpen(t, dir, Options{})
-	if err := s.Put(key, testReport(1)); err != nil {
+	if err := s.Put(ctx, key, testReport(1)); err != nil {
 		t.Fatal(err)
 	}
 	path := filepath.Join(dir, key+entrySuffix)
@@ -152,7 +173,7 @@ func TestStaleSchemaIsMiss(t *testing.T) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := s.Get(key); ok {
+	if _, ok := getOK(t, s, key); ok {
 		t.Fatal("stale-schema entry served as a hit")
 	}
 	if st := s.Stats(); st.SchemaStale != 1 || st.Quarantined != 0 {
@@ -162,10 +183,10 @@ func TestStaleSchemaIsMiss(t *testing.T) {
 		t.Errorf("stale entry not removed: %v", err)
 	}
 	// Re-put under the current schema works again.
-	if err := s.Put(key, testReport(2)); err != nil {
+	if err := s.Put(ctx, key, testReport(2)); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := s.Get(key); !ok {
+	if _, ok := getOK(t, s, key); !ok {
 		t.Error("re-put after stale drop missed")
 	}
 }
@@ -197,11 +218,11 @@ func TestSampledReportRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := mustOpen(t, dir, Options{})
-	if err := s.Put(key, want); err != nil {
+	if err := s.Put(ctx, key, want); err != nil {
 		t.Fatal(err)
 	}
 	for name, st := range map[string]*Store{"same": s, "reopened": mustOpen(t, dir, Options{})} {
-		got, ok := st.Get(key)
+		got, ok := getOK(t, st, key)
 		if !ok {
 			t.Fatalf("%s store missed the sampled entry", name)
 		}
@@ -227,7 +248,7 @@ func TestPreSamplingEntryIsMiss(t *testing.T) {
 	dir := t.TempDir()
 	key := keyN(0)
 	s := mustOpen(t, dir, Options{})
-	if err := s.Put(key, testReport(1)); err != nil {
+	if err := s.Put(ctx, key, testReport(1)); err != nil {
 		t.Fatal(err)
 	}
 	path := filepath.Join(dir, key+entrySuffix)
@@ -239,7 +260,7 @@ func TestPreSamplingEntryIsMiss(t *testing.T) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := s.Get(key); ok {
+	if _, ok := getOK(t, s, key); ok {
 		t.Fatal("pre-sampling entry served as a hit")
 	}
 	if st := s.Stats(); st.SchemaStale != 1 {
@@ -251,7 +272,7 @@ func TestStaleContainerFormatIsMiss(t *testing.T) {
 	dir := t.TempDir()
 	key := keyN(0)
 	s := mustOpen(t, dir, Options{})
-	if err := s.Put(key, testReport(1)); err != nil {
+	if err := s.Put(ctx, key, testReport(1)); err != nil {
 		t.Fatal(err)
 	}
 	path := filepath.Join(dir, key+entrySuffix)
@@ -263,7 +284,7 @@ func TestStaleContainerFormatIsMiss(t *testing.T) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := s.Get(key); ok {
+	if _, ok := getOK(t, s, key); ok {
 		t.Fatal("future-format entry served as a hit")
 	}
 }
@@ -285,24 +306,24 @@ func TestLRUEviction(t *testing.T) {
 	})
 	k0, k1, k2 := keyN(0), keyN(1), keyN(2)
 	for _, k := range []string{k0, k1} {
-		if err := s.Put(k, one); err != nil {
+		if err := s.Put(ctx, k, one); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// Touch k0 so k1 is the LRU victim.
-	if _, ok := s.Get(k0); !ok {
+	if _, ok := getOK(t, s, k0); !ok {
 		t.Fatal("k0 missing before eviction")
 	}
-	if err := s.Put(k2, one); err != nil {
+	if err := s.Put(ctx, k2, one); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := s.Get(k1); ok {
+	if _, ok := getOK(t, s, k1); ok {
 		t.Error("LRU entry survived the cap")
 	}
-	if _, ok := s.Get(k0); !ok {
+	if _, ok := getOK(t, s, k0); !ok {
 		t.Error("recently-used entry was evicted")
 	}
-	if _, ok := s.Get(k2); !ok {
+	if _, ok := getOK(t, s, k2); !ok {
 		t.Error("just-put entry was evicted")
 	}
 	if evicted != 1 {
@@ -323,10 +344,10 @@ func TestEvictionOrderSurvivesReopen(t *testing.T) {
 	}
 	s1 := mustOpen(t, dir, Options{MaxBytes: -1})
 	k0, k1 := keyN(0), keyN(1)
-	if err := s1.Put(k0, one); err != nil {
+	if err := s1.Put(ctx, k0, one); err != nil {
 		t.Fatal(err)
 	}
-	if err := s1.Put(k1, one); err != nil {
+	if err := s1.Put(ctx, k1, one); err != nil {
 		t.Fatal(err)
 	}
 	// Make k0 clearly newer than k1 without relying on Put timing.
@@ -340,13 +361,13 @@ func TestEvictionOrderSurvivesReopen(t *testing.T) {
 	}
 
 	s2 := mustOpen(t, dir, Options{MaxBytes: int64(len(payload))*2 + 10})
-	if err := s2.Put(keyN(2), one); err != nil {
+	if err := s2.Put(ctx, keyN(2), one); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := s2.Get(k1); ok {
+	if _, ok := getOK(t, s2, k1); ok {
 		t.Error("older entry (by mtime) survived; LRU order not rebuilt from mtimes")
 	}
-	if _, ok := s2.Get(k0); !ok {
+	if _, ok := getOK(t, s2, k0); !ok {
 		t.Error("newer entry (by mtime) evicted first")
 	}
 }
@@ -354,10 +375,10 @@ func TestEvictionOrderSurvivesReopen(t *testing.T) {
 func TestInvalidKeysRejected(t *testing.T) {
 	s := mustOpen(t, t.TempDir(), Options{})
 	for _, bad := range []string{"", "UPPER", "with/slash", "..", "z-not-hex", strings.Repeat("a", 200)} {
-		if err := s.Put(bad, testReport(1)); err == nil {
+		if err := s.Put(ctx, bad, testReport(1)); err == nil {
 			t.Errorf("Put accepted invalid key %q", bad)
 		}
-		if _, ok := s.Get(bad); ok {
+		if _, ok := getOK(t, s, bad); ok {
 			t.Errorf("Get hit invalid key %q", bad)
 		}
 	}
@@ -378,13 +399,13 @@ func TestTempFilesCleanedAtOpen(t *testing.T) {
 func TestPutOverwriteRefreshesEntry(t *testing.T) {
 	s := mustOpen(t, t.TempDir(), Options{})
 	key := keyN(0)
-	if err := s.Put(key, testReport(1)); err != nil {
+	if err := s.Put(ctx, key, testReport(1)); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put(key, testReport(2)); err != nil {
+	if err := s.Put(ctx, key, testReport(2)); err != nil {
 		t.Fatal(err)
 	}
-	got, ok := s.Get(key)
+	got, ok := getOK(t, s, key)
 	if !ok || got.Cycles != 2 {
 		t.Errorf("overwrite not visible: ok=%v rep=%+v", ok, got)
 	}
@@ -401,7 +422,7 @@ func TestPutIdenticalBytesSkipsRewrite(t *testing.T) {
 	dir := t.TempDir()
 	s := mustOpen(t, dir, Options{})
 	key := keyN(0)
-	if err := s.Put(key, testReport(7)); err != nil {
+	if err := s.Put(ctx, key, testReport(7)); err != nil {
 		t.Fatal(err)
 	}
 	path := filepath.Join(dir, key+entrySuffix)
@@ -414,7 +435,7 @@ func TestPutIdenticalBytesSkipsRewrite(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if err := s.Put(key, testReport(7)); err != nil {
+	if err := s.Put(ctx, key, testReport(7)); err != nil {
 		t.Fatal(err)
 	}
 	after, err := os.ReadFile(path)
@@ -439,15 +460,15 @@ func TestPutIdenticalBytesSkipsRewrite(t *testing.T) {
 	if info2.ModTime().Before(info.ModTime()) {
 		t.Error("duplicate put moved the mtime backwards")
 	}
-	if got, ok := s.Get(key); !ok || got.Cycles != 7 {
+	if got, ok := getOK(t, s, key); !ok || got.Cycles != 7 {
 		t.Errorf("entry unreadable after duplicate put: ok=%v rep=%+v", ok, got)
 	}
 
 	// A different report for the same key still overwrites.
-	if err := s.Put(key, testReport(8)); err != nil {
+	if err := s.Put(ctx, key, testReport(8)); err != nil {
 		t.Fatal(err)
 	}
-	if got, ok := s.Get(key); !ok || got.Cycles != 8 {
+	if got, ok := getOK(t, s, key); !ok || got.Cycles != 8 {
 		t.Errorf("changed payload not written: ok=%v rep=%+v", ok, got)
 	}
 	if st := s.Stats(); st.Puts != 2 || st.DupPuts != 1 {

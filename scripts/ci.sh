@@ -1,7 +1,7 @@
 #!/bin/sh
 # ci.sh — the full tier-1 verification pipeline in one command:
 #
-#   build -> vet -> icrvet -> test -> bench -> race -> smoke
+#   build -> vet -> icrvet -> test -> bench -> race -> smoke -> shards -> cluster
 #
 # Each stage is announced and the script stops at the first failure, so CI
 # logs read top-to-bottom. Everything is standard-library Go: no network
@@ -139,6 +139,122 @@ src=$(smoke_post)
 smoke_stop
 trap - EXIT INT TERM
 smoke_cleanup
+
+# End-to-end shard-fleet test: the same figure sweep run against a local
+# disk store and then through a front end whose -store is a 3-shard icrd
+# fleet — with one shard SIGKILLed mid-sweep — must produce byte-identical
+# JSON: content addressing means a dead shard can only cost duplicate
+# work, never wrong results. Before the sweep, a 10k-request icrload smoke
+# exercises the raw /store/v1/ path against the healthy fleet and its
+# artifact must pass -check, as must the committed LOAD_*.json baseline.
+stage shards
+SH_DIR=$(mktemp -d)
+SH_S1_PID=
+SH_S2_PID=
+SH_S3_PID=
+SH_FRONT_PID=
+shards_cleanup() {
+    for p in "$SH_S1_PID" "$SH_S2_PID" "$SH_S3_PID" "$SH_FRONT_PID"; do
+        [ -n "$p" ] && kill -9 "$p" 2>/dev/null
+    done
+    rm -rf "$SH_DIR"
+}
+trap shards_cleanup EXIT INT TERM
+
+shfail() {
+    echo "shards: $*" >&2
+    for f in s1.err s2.err s3.err front.err; do
+        echo "--- $f ---" >&2
+        cat "$SH_DIR/$f" >&2 2>/dev/null
+    done
+    exit 1
+}
+
+# Start an icrd (name, then flags), scrape its address into SH_ADDR and
+# its pid into SH_PID.
+shards_start_icrd() {
+    sh_name=$1
+    shift
+    : >"$SH_DIR/$sh_name.out"
+    "$SH_DIR/icrd" -addr localhost:0 -parallel 4 "$@" \
+        >"$SH_DIR/$sh_name.out" 2>"$SH_DIR/$sh_name.err" &
+    SH_PID=$!
+    i=0
+    while ! grep -q '^listening on ' "$SH_DIR/$sh_name.out" 2>/dev/null; do
+        i=$((i + 1))
+        [ "$i" -gt 100 ] && shfail "$sh_name did not start"
+        kill -0 "$SH_PID" 2>/dev/null || shfail "$sh_name exited early"
+        sleep 0.1
+    done
+    SH_ADDR=$(sed -n 's/^listening on //p' "$SH_DIR/$sh_name.out")
+}
+
+$GO build -o "$SH_DIR/icrd" ./cmd/icrd
+$GO build -o "$SH_DIR/icrload" ./cmd/icrload
+
+SH_FIG='fig2'
+SH_BODY='{"instructions":2000000,"seed":1}'
+
+# Single-node baseline on a local disk store.
+shards_start_icrd base -store "disk:$SH_DIR/base"
+SH_FRONT_PID=$SH_PID
+curl -sS -X POST -d "$SH_BODY" "http://$SH_ADDR/v1/figures/$SH_FIG" \
+    >"$SH_DIR/single.json" || shfail "single-node figure failed"
+kill -TERM "$SH_FRONT_PID"
+wait "$SH_FRONT_PID" || shfail "baseline icrd drain exited non-zero"
+SH_FRONT_PID=
+
+# The 3-shard fleet.
+shards_start_icrd s1 -store "disk:$SH_DIR/s1"
+SH_S1_PID=$SH_PID
+SH_S1_ADDR=$SH_ADDR
+shards_start_icrd s2 -store "disk:$SH_DIR/s2"
+SH_S2_PID=$SH_PID
+SH_S2_ADDR=$SH_ADDR
+shards_start_icrd s3 -store "disk:$SH_DIR/s3"
+SH_S3_PID=$SH_PID
+SH_S3_ADDR=$SH_ADDR
+SH_RING="shards:$SH_S1_ADDR,$SH_S2_ADDR,$SH_S3_ADDR"
+
+# 10k-request icrload smoke against the healthy fleet, schema-checked.
+"$SH_DIR/icrload" -store "$SH_RING" -clients 50 -requests 10000 -keys 256 \
+    -out "$SH_DIR/load.json" 2>>"$SH_DIR/front.err" \
+    || shfail "icrload smoke failed"
+"$SH_DIR/icrload" -check "$SH_DIR/load.json" || shfail "icrload smoke artifact failed -check"
+LOAD_BASE=$(ls LOAD_*.json 2>/dev/null | sort | tail -1)
+if [ -n "$LOAD_BASE" ]; then
+    "$SH_DIR/icrload" -check "$LOAD_BASE" || shfail "committed $LOAD_BASE failed -check"
+else
+    echo "shards: no committed LOAD_*.json baseline to validate" >&2
+    exit 1
+fi
+
+# The same sweep through a front end backed by the fleet, with one shard
+# SIGKILLed mid-sweep.
+shards_start_icrd front -store "$SH_RING"
+SH_FRONT_PID=$SH_PID
+curl -sS -X POST -d "$SH_BODY" "http://$SH_ADDR/v1/figures/$SH_FIG" \
+    >"$SH_DIR/fleet.json" &
+SH_CURL_PID=$!
+sleep 1
+kill -9 "$SH_S2_PID" 2>/dev/null || shfail "shard s2 was not running mid-sweep"
+SH_S2_PID=
+wait "$SH_CURL_PID" || shfail "fleet figure request failed"
+
+grep -q '"error"' "$SH_DIR/fleet.json" && shfail "fleet sweep errored: $(cat "$SH_DIR/fleet.json")"
+cmp -s "$SH_DIR/single.json" "$SH_DIR/fleet.json" \
+    || shfail "fleet figure JSON differs from single-node run"
+
+# Drain the front and the surviving shards cleanly.
+for p in "$SH_FRONT_PID" "$SH_S1_PID" "$SH_S3_PID"; do
+    kill -TERM "$p"
+    wait "$p" || shfail "drain exited non-zero (pid $p)"
+done
+SH_FRONT_PID=
+SH_S1_PID=
+SH_S3_PID=
+trap - EXIT INT TERM
+shards_cleanup
 
 # End-to-end cluster test: the same figure sweep run single-node and then
 # through a coordinator with two workers — one of which is SIGKILLed
