@@ -183,6 +183,10 @@ func BenchmarkPrefetchAblation(b *testing.B) {
 	runFigure(b, "prefetch", geomeanOfSeries(1), "basep-prefetch-norm-cycles")
 }
 
+func BenchmarkAdaptiveShootout(b *testing.B) {
+	runFigure(b, "adaptive", meanOfSeries(10), "adapt-decay-score")
+}
+
 // ---------------------------------------------------------------------------
 // Micro-benchmarks
 // ---------------------------------------------------------------------------

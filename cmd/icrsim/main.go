@@ -79,6 +79,9 @@ func run(ctx context.Context, args []string) error {
 	if r.Sample, err = sf.SampleConfig(); err != nil {
 		return err
 	}
+	if r.Adapt, err = sf.AdaptConfig(); err != nil {
+		return err
+	}
 	r.WriteThrough = *writeThrough
 	r.Repl.DecayWindow = *window
 	r.Repl.Replicas = *replicas

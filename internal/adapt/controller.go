@@ -1,0 +1,393 @@
+package adapt
+
+import (
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Ladder geometry. Level 0 pauses replication entirely; levelStart is the
+// conservative rung every run begins on; levelMax spends everything the
+// config allows (replica quota at MaxReplicas, window at MinWindow,
+// dead-first victims, parallel lookup).
+const (
+	levelStart = 1
+	levelMax   = 4
+)
+
+// Self-evaluation constants: a committed move (either direction) whose
+// next epoch scores worse than the commit epoch by more than revertMargin
+// is undone, and re-trying that rung is suppressed for revertHold epochs
+// so the controller does not bang against a losing move while the regime
+// that rejected it persists. Only the rejected rung is embargoed — see
+// heldBack.
+const (
+	revertMargin = 1.12
+	revertHold   = 16
+)
+
+// replEnergyWeight scales the objective's install-churn term. A replica
+// install costs about one L1 line write — the same order as a demand
+// access — so successes-per-access approximates the epoch's replication
+// energy overhead fraction; the weight discounts it because an install
+// that protects a dirty line buys vulnerability down even when the
+// objective's census term cannot see it yet.
+const replEnergyWeight = 0.5
+
+// ppEnergyWeight charges the parallel-lookup rung for its probe cost: PP
+// probes the replica sets alongside the home set on every load, roughly
+// one extra array read per read, so the charge is reads-per-access scaled
+// by this weight. The event counters cannot see this cost (it is energy
+// and port pressure, not misses), so the controller prices it the way a
+// real power-budgeted controller would — from the mechanism's known
+// per-event cost.
+const ppEnergyWeight = 0.5
+
+// trajectoryCap bounds the recorded move list so the controller's state
+// is a fixed-size array (pool-friendly, allocation-free). Moves past the
+// cap still retune the cache and still count in MovesUp/MovesDown; only
+// the per-move record is dropped.
+const trajectoryCap = 64
+
+// move is one committed ladder move, recorded for telemetry.
+type move struct {
+	epoch uint64
+	level int8
+}
+
+// Controller is the ICR-ADAPT feedback loop. It lives on the pooled sim
+// instance next to the cache it drives: Attach binds it to a cache and
+// applies the starting rung, the per-cycle epoch hook calls Epoch at each
+// boundary, and Stats renders telemetry after the run. All mutable state
+// sits here (predictors are stateless), so Reset restores the zero run
+// state exactly.
+//
+//icrvet:pooled pooled with the sim instance (internal/sim)
+type Controller struct {
+	cfg  Config    //icrvet:persistent construction input; normalized, never mutated
+	pred Predictor //icrvet:persistent stateless predictor selected from cfg at construction
+
+	// cache is the attached cache; nil until Attach.
+	cache *core.Cache
+
+	// prev/prevCycle snapshot the counter state at the last epoch
+	// boundary; obs is the scratch observation handed to the predictor.
+	prev      core.Stats
+	prevCycle uint64
+	obs       EpochObs
+
+	// level is the current ladder rung; streak is the signed run of
+	// agreeing votes feeding the hysteresis rule.
+	level  int
+	streak int
+
+	epochs    uint64
+	movesUp   int
+	movesDown int
+
+	// pendingEval marks that the epoch just starting is the first after a
+	// committed move; lastObjective is the objective at commit time, the
+	// baseline the next epoch is judged against; lastMove is the direction
+	// of that move. After a revert, hold/holdDir/holdEdge suppress
+	// re-trying the move that just failed: for hold epochs, moves in
+	// direction holdDir that would reach holdEdge again are blocked (moves
+	// elsewhere on the ladder stay free).
+	pendingEval   bool
+	lastObjective float64
+	lastMove      int
+	hold          int
+	holdDir       int
+	holdEdge      int
+	predHits      int
+	predMisses    int
+
+	nmoves int
+	moves  [trajectoryCap]move
+}
+
+// NewController builds a controller for an enabled config. It panics on a
+// disabled config: callers gate construction on Config.Enabled, so
+// reaching here without a predictor is a programming error, not input.
+func NewController(cfg Config) *Controller {
+	cfg = cfg.Normalized()
+	if !cfg.Enabled() {
+		panic("adapt: NewController with disabled config")
+	}
+	c := &Controller{cfg: cfg, pred: predictorFor(cfg.Predictor)}
+	c.Reset()
+	return c
+}
+
+// Reset restores the pre-Attach zero state; cfg and pred persist.
+func (c *Controller) Reset() {
+	c.cache = nil
+	c.prev = core.Stats{}
+	c.prevCycle = 0
+	c.obs = EpochObs{}
+	c.level = levelStart
+	c.streak = 0
+	c.epochs = 0
+	c.movesUp = 0
+	c.movesDown = 0
+	c.pendingEval = false
+	c.lastObjective = 0
+	c.lastMove = 0
+	c.hold = 0
+	c.holdDir = 0
+	c.holdEdge = 0
+	c.predHits = 0
+	c.predMisses = 0
+	c.nmoves = 0
+	c.moves = [trajectoryCap]move{}
+}
+
+// Attach binds the controller to a cache and applies the starting rung.
+// The cache must be freshly reset (counters at zero): the first epoch's
+// deltas are measured against the zero state.
+func (c *Controller) Attach(cache *core.Cache) {
+	c.cache = cache
+	cache.Retune(c.tuneFor(c.level))
+}
+
+// EpochCycles returns the observation-epoch length in cycles.
+func (c *Controller) EpochCycles() uint64 { return c.cfg.Epoch }
+
+// Epoch closes the observation epoch ending at cycle now: delta the
+// cache's counters against the last boundary, census the array, score the
+// previous move if one is pending, take the predictor's vote through the
+// hysteresis rule, and retune the cache if a move commits. Allocation-free
+// and deterministic; called from the simulator's hot loop.
+func (c *Controller) Epoch(now uint64) {
+	cache := c.cache
+	if cache == nil || now <= c.prevCycle {
+		return
+	}
+	s := cache.Stats()
+	o := &c.obs
+	o.Cycles = now - c.prevCycle
+	o.Reads = s.Reads - c.prev.Reads
+	o.ReadHits = s.ReadHits - c.prev.ReadHits
+	o.ReadMisses = s.ReadMisses - c.prev.ReadMisses
+	o.Writes = s.Writes - c.prev.Writes
+	o.WriteMisses = s.WriteMisses - c.prev.WriteMisses
+	o.ReplAttempts = s.ReplAttempts - c.prev.ReplAttempts
+	o.ReplSuccesses = s.ReplSuccesses - c.prev.ReplSuccesses
+	o.ReadHitsWithReplica = s.ReadHitsWithReplica - c.prev.ReadHitsWithReplica
+	cache.SurveyLiveness(now, &o.Survey)
+	c.epochs++
+
+	j := c.objective(o, cache.LineCount())
+	if c.pendingEval {
+		c.pendingEval = false
+		if j < c.lastObjective {
+			c.predHits++
+		} else {
+			c.predMisses++
+			// A clearly worse objective right after a move means the
+			// regime does not reward it — an escalation that burns port
+			// slots or churns installs, or a retreat that strips
+			// protection the workload still wanted. Undo the move and
+			// block re-trying that rung long enough for the regime to
+			// change; the rest of the ladder stays reachable.
+			undo := -c.lastMove
+			if j > c.lastObjective*revertMargin &&
+				((undo < 0 && c.level > 0) || (undo > 0 && c.level < levelMax)) {
+				c.holdDir = c.lastMove
+				c.holdEdge = c.level
+				c.hold = revertHold
+				c.commit(undo, j)
+				c.pendingEval = false // the revert itself is not re-scored
+			}
+		}
+	}
+	if c.hold > 0 {
+		c.hold--
+	}
+
+	switch v := c.pred.Vote(o); {
+	case v > 0:
+		if c.streak < 0 {
+			c.streak = 0
+		}
+		c.streak++
+	case v < 0:
+		if c.streak > 0 {
+			c.streak = 0
+		}
+		c.streak--
+	default: // hold: streaks decay toward zero
+		if c.streak > 0 {
+			c.streak--
+		} else if c.streak < 0 {
+			c.streak++
+		}
+	}
+
+	if c.streak >= c.cfg.Hysteresis && c.level < levelMax && !c.heldBack(+1) {
+		c.commit(+1, j)
+	} else if c.streak <= -c.cfg.Hysteresis && c.level > 0 && !c.heldBack(-1) {
+		if c.level > 2 || backOffWorthy(o) {
+			c.commit(-1, j)
+		}
+	}
+	// Clamp the streak at the hysteresis threshold: at a ladder endpoint
+	// there is no rung left to commit, and an unbounded streak would make
+	// the controller deaf to a regime flip for as many epochs as the old
+	// regime lasted.
+	if c.streak > c.cfg.Hysteresis {
+		c.streak = c.cfg.Hysteresis
+	} else if c.streak < -c.cfg.Hysteresis {
+		c.streak = -c.cfg.Hysteresis
+	}
+
+	c.prev = s
+	c.prevCycle = now
+}
+
+// heldBack reports whether a move in direction dir would re-try the rung
+// a recent revert just rejected. Only that rung is embargoed: after a
+// failed escalation to level 3, the controller may still climb 0 -> 2 the
+// moment the regime asks for protection; after a failed retreat to level
+// 0, it may still shed the expensive rungs down to level 1.
+func (c *Controller) heldBack(dir int) bool {
+	if c.hold <= 0 || dir != c.holdDir {
+		return false
+	}
+	if dir > 0 {
+		return c.level+1 >= c.holdEdge
+	}
+	return c.level-1 <= c.holdEdge
+}
+
+// backOffWorthy gates descents from the cheap rungs (2 -> 1 and 1 -> 0).
+// An adverse miss rate alone does not justify backing off there: those
+// rungs never displace live primaries (dead-only victims, or dead-first
+// whose fallback displaces only replicas), and in streaming regimes dead
+// blocks are so plentiful that replication keeps protecting dirty lines
+// essentially for free — the misses the predictor is reacting to are the
+// workload's, not replication's. Backing further off pays in exactly two
+// regimes, both visible in the epoch's own counters:
+//
+//   - futile: attempts keep failing because the working set leaves no
+//     dead real estate, so the install effort buys nothing; or
+//   - crowded: the census finds far more resident replicas than dead
+//     primaries, meaning the working set wants the whole array and every
+//     replica is squatting capacity the demand stream will reclaim as a
+//     miss.
+//
+// The expensive rungs (3+: shrunken window, parallel lookup) descend on
+// miss pressure alone.
+func backOffWorthy(o *EpochObs) bool {
+	if o.ReplAttempts == 0 || o.ReplSuccesses*16 < o.ReplAttempts {
+		return true
+	}
+	return o.Survey.DeadPrimaries*2 < o.Survey.Replicas
+}
+
+// commit moves one rung in direction dir, retunes the cache, and arms the
+// next epoch's objective evaluation.
+func (c *Controller) commit(dir int, j float64) {
+	c.level += dir
+	c.cache.Retune(c.tuneFor(c.level))
+	if dir > 0 {
+		c.movesUp++
+	} else {
+		c.movesDown++
+	}
+	c.streak = 0
+	c.pendingEval = true
+	c.lastObjective = j
+	c.lastMove = dir
+	if c.nmoves < trajectoryCap {
+		c.moves[c.nmoves] = move{epoch: c.epochs, level: int8(c.level)}
+		c.nmoves++
+	}
+}
+
+// objective is the scalar the controller tries to shrink: the fraction of
+// the array currently vulnerable (dirty, parity-only), plus the epoch miss
+// rate, plus a latency term (cycles per demand access, scaled into the
+// same range), plus the install-churn and parallel-probe energy proxies.
+// Replication lowers the
+// first and — when replicas displace live blocks, parallel lookup burns
+// port slots, or a zero window churns installs — raises the rest, so the
+// sum scores the vulnerability/performance/power trade the paper sweeps.
+// Float math here is a fixed expression over integer counters:
+// deterministic on every platform Go targets.
+func (c *Controller) objective(o *EpochObs, lines int) float64 {
+	vuln := 0.0
+	if lines > 0 {
+		vuln = float64(o.Survey.Vulnerable) / float64(lines)
+	}
+	lat, churn, probe := 0.0, 0.0, 0.0
+	if a := o.accesses(); a > 0 {
+		lat = float64(o.Cycles) / float64(a) / 16
+		churn = replEnergyWeight * float64(o.ReplSuccesses) / float64(a)
+		if c.tuneFor(c.level).Lookup == core.LookupParallel {
+			probe = ppEnergyWeight * float64(o.Reads) / float64(a)
+		}
+	}
+	return vuln + o.missRate() + lat + churn + probe
+}
+
+// tuneFor maps a ladder rung to concrete knob settings, ordered by the
+// marginal cost of each escalation:
+//
+//	0 — pause: no new replicas (resident ones stay).
+//	1 — conservative start: 1 replica, dead-only victims, MaxWindow, PS.
+//	    Never displaces anything; protects only when dead space exists.
+//	2 — dead-first victims: installs succeed even in a live set, at the
+//	    cost of displacing the LRU line there.
+//	3 — shrink the window to MinWindow: far more lines decay dead, so
+//	    more replication real estate, but replicas churn faster.
+//	4 — everything: MaxReplicas, dead-first, MinWindow, parallel lookup.
+func (c *Controller) tuneFor(level int) core.TuneState {
+	t := core.TuneState{
+		Replicas:    1,
+		Victim:      core.DeadOnly,
+		Lookup:      core.LookupSerial,
+		DecayWindow: c.cfg.MaxWindow,
+	}
+	switch {
+	case level <= 0:
+		t.Replicas = 0
+	case level == 1:
+	case level == 2:
+		t.Victim = core.DeadFirst
+	case level == 3:
+		t.Victim = core.DeadFirst
+		t.DecayWindow = c.cfg.MinWindow
+	default: // level 4
+		t.Replicas = c.cfg.MaxReplicas
+		t.Victim = core.DeadFirst
+		t.DecayWindow = c.cfg.MinWindow
+		t.Lookup = core.LookupParallel
+	}
+	return t
+}
+
+// Stats renders the controller's run telemetry. Called once after the
+// run, off the hot path (it allocates the trajectory slice).
+func (c *Controller) Stats() *metrics.AdaptiveStats {
+	final := c.tuneFor(c.level)
+	st := &metrics.AdaptiveStats{
+		Predictor:        c.cfg.Predictor.String(),
+		EpochCycles:      c.cfg.Epoch,
+		Epochs:           c.epochs,
+		MovesUp:          c.movesUp,
+		MovesDown:        c.movesDown,
+		PredHits:         c.predHits,
+		PredMisses:       c.predMisses,
+		FinalLevel:       c.level,
+		FinalReplicas:    final.Replicas,
+		FinalDecayWindow: final.DecayWindow,
+		FinalVictim:      final.Victim.String(),
+		FinalLookup:      final.Lookup.String(),
+	}
+	if c.nmoves > 0 {
+		st.Trajectory = make([]metrics.AdaptiveMove, c.nmoves)
+		for i := 0; i < c.nmoves; i++ {
+			st.Trajectory[i] = metrics.AdaptiveMove{Epoch: c.moves[i].epoch, Level: int(c.moves[i].level)}
+		}
+	}
+	return st
+}

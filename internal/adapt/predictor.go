@@ -1,0 +1,138 @@
+package adapt
+
+import "repro/internal/core"
+
+// EpochObs is one observation epoch's aggregate view of the cache: the
+// deltas of the event counters over the epoch plus a liveness census of
+// the array taken at the epoch boundary. Predictors see nothing else, so
+// their votes are a pure function of architectural state — the
+// determinism contract.
+type EpochObs struct {
+	// Cycles is the epoch length actually observed (the last epoch of a
+	// run may be short).
+	Cycles uint64
+
+	// Demand-access deltas.
+	Reads, ReadHits, ReadMisses uint64
+	Writes, WriteMisses         uint64
+
+	// Replication deltas.
+	ReplAttempts, ReplSuccesses uint64
+	ReadHitsWithReplica         uint64
+
+	// Survey is the array census at the epoch boundary.
+	Survey core.LivenessSurvey
+}
+
+// accesses returns the epoch's demand accesses.
+func (o *EpochObs) accesses() uint64 { return o.Reads + o.Writes }
+
+// missRate returns the epoch's demand miss rate.
+func (o *EpochObs) missRate() float64 {
+	a := o.accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(o.ReadMisses+o.WriteMisses) / float64(a)
+}
+
+// Vote is a predictor's per-epoch verdict on replication aggressiveness.
+type Vote int8
+
+// Votes.
+const (
+	// VoteLess asks for one rung less aggressive replication.
+	VoteLess Vote = -1
+	// VoteHold keeps the current rung (streaks decay toward zero).
+	VoteHold Vote = 0
+	// VoteMore asks for one rung more aggressive replication.
+	VoteMore Vote = 1
+)
+
+// Predictor maps an epoch observation to a vote. Implementations must be
+// stateless (all controller state lives in Controller, where Reset can
+// see it) and deterministic.
+type Predictor interface {
+	// Name is the short predictor name used in scheme labels ("decay",
+	// "ehc").
+	Name() string
+	// Vote inspects one epoch and votes on the aggressiveness ladder.
+	Vote(o *EpochObs) Vote
+}
+
+// Decision thresholds. Epoch miss rates above missHigh mark an adverse
+// regime (streaming or pointer chasing over a working set the cache
+// cannot hold): dead-block prediction is unreliable there and replicas
+// only displace soon-needed blocks. Rates below missLow mark a
+// cache-resident regime where replicas are cheap to keep. The EHC bounds
+// are expected hits per fill (hit deltas over fill deltas): blocks
+// averaging fewer than ehcLow hits per residency die too fast for a
+// replica to pay for itself; blocks above ehcHigh are long-lived hot data
+// worth protecting aggressively.
+const (
+	missHigh = 0.08
+	missLow  = 0.06
+	ehcHigh  = 14.0
+	ehcLow   = 8.0
+)
+
+// decayPredictor is the paper-mechanism view: the decay counters supply
+// dead lines (replication real estate) and the vulnerability bits supply
+// demand (dirty data protected only by parity). Replicate harder while
+// vulnerable data exists and misses are cheap; back off the moment the
+// miss rate says the working set no longer fits.
+type decayPredictor struct{}
+
+func (decayPredictor) Name() string { return "decay" }
+
+func (decayPredictor) Vote(o *EpochObs) Vote {
+	if o.accesses() == 0 {
+		return VoteHold
+	}
+	mr := o.missRate()
+	if mr > missHigh {
+		return VoteLess
+	}
+	if o.Survey.Vulnerable > 0 && mr < missLow {
+		return VoteMore
+	}
+	return VoteHold
+}
+
+// ehcPredictor is the expected-hit-count view (after the EHC dead-block
+// predictor line of work): estimate how many more hits a resident block
+// can expect from the epoch's aggregate reuse-per-fill ratio, and spend
+// replication effort only on regimes whose blocks live long enough to
+// amortize it.
+type ehcPredictor struct{}
+
+func (ehcPredictor) Name() string { return "ehc" }
+
+func (ehcPredictor) Vote(o *EpochObs) Vote {
+	if o.accesses() == 0 {
+		return VoteHold
+	}
+	fills := o.ReadMisses + o.WriteMisses
+	if fills == 0 {
+		// Fully cache-resident epoch: infinite expected hits.
+		return VoteMore
+	}
+	ehc := float64(o.ReadHits) / float64(fills)
+	switch {
+	case ehc >= ehcHigh:
+		return VoteMore
+	case ehc <= ehcLow:
+		return VoteLess
+	default:
+		return VoteHold
+	}
+}
+
+// predictorFor returns the predictor implementation for a kind; the
+// controller's constructor has already rejected PredictorNone.
+func predictorFor(k PredictorKind) Predictor {
+	if k == PredictorEHC {
+		return ehcPredictor{}
+	}
+	return decayPredictor{}
+}

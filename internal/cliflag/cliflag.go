@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/config"
 	"repro/internal/metrics"
 	"repro/internal/runner"
@@ -36,6 +37,9 @@ type Sim struct {
 	// Sample is the raw -sample value; SampleConfig parses it
 	// ("" = exact simulation).
 	Sample string
+	// Adapt is the raw -adapt value; AdaptConfig parses it
+	// ("" = static replication).
+	Adapt string
 	// Store is the raw -store backend spec; ParseStore parses it:
 	// "disk:PATH" (or a bare path) for the local persistent store,
 	// "shards:HOST1,HOST2,..." for a memcache-style shard fleet, "" for
@@ -56,11 +60,20 @@ func (s *Sim) Register(fs *flag.FlagSet) {
 	fs.StringVar(&s.Sample, "sample", "",
 		`SMARTS-style sampled simulation: "on" for the default geometry, or `+
 			`"period=N[,detail=N][,warmup=N][,conf=90|95|99]" (empty = exact)`)
+	fs.StringVar(&s.Adapt, "adapt", "",
+		`ICR-ADAPT runtime replication controller: "decay", "ehc", or `+
+			`"predictor=decay|ehc[,epoch=N][,hysteresis=N][,maxreplicas=N]`+
+			`[,minwindow=N][,maxwindow=N]" (empty = static replication)`)
 }
 
 // SampleConfig parses the -sample flag value (config.ParseSample syntax).
 func (s *Sim) SampleConfig() (config.SampleConfig, error) {
 	return config.ParseSample(s.Sample)
+}
+
+// AdaptConfig parses the -adapt flag value (adapt.Parse syntax).
+func (s *Sim) AdaptConfig() (adapt.Config, error) {
+	return adapt.Parse(s.Adapt)
 }
 
 // RegisterCache installs the cache-control flags (commands that memoize:

@@ -6,6 +6,7 @@ package config
 import (
 	"fmt"
 
+	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/energy"
@@ -112,6 +113,13 @@ type Run struct {
 	// functional warming, and timing is extrapolated with confidence
 	// intervals (metrics.SamplingStats). Zero value = exact simulation.
 	Sample SampleConfig
+
+	// Adapt, when enabled (a predictor is selected), attaches the
+	// ICR-ADAPT runtime controller: replication knobs are retuned online
+	// from epoch observations (internal/adapt) and the run reports under
+	// the ICR-ADAPT-* scheme family with an metrics.AdaptiveStats block.
+	// Zero value = static run.
+	Adapt adapt.Config
 }
 
 // SampleConfig parameterizes SMARTS-style sampled simulation. The run is

@@ -57,10 +57,17 @@ type Cache struct {
 	sets       int    //icrvet:persistent geometry: derived from cfg at construction
 	offsetBits uint   //icrvet:persistent geometry: derived from cfg at construction
 	indexMask  uint64 //icrvet:persistent geometry: derived from cfg at construction
-	lines      []line
-	clock      uint64 // LRU clock
-	tickPeriod uint64 //icrvet:persistent decay tick length in cycles (0 => window 0), derived from cfg.Repl at construction
-	stats      Stats
+	lines []line
+	clock uint64 // LRU clock
+
+	// Runtime-tunable knobs (see tune.go): initialized from cfg by
+	// initTune at New and Reset, changed only through Retune. Every hot-
+	// path read of a tunable knob goes through these, never through cfg,
+	// so a retuned cache and a freshly built one execute identical code.
+	cur        TuneState
+	tickPeriod uint64 // decay tick length in cycles derived from cur.DecayWindow (0 => window 0)
+
+	stats Stats
 	storeSeq   uint64 // deterministic store-value generator state
 	lastWord   int    // word index of the most recent access (fault targeting)
 
@@ -112,23 +119,16 @@ func New(cfg Config) *Cache {
 	for 1<<offsetBits < cfg.BlockSize {
 		offsetBits++
 	}
-	tickPeriod := uint64(0)
-	if cfg.Repl.DecayWindow > 0 {
-		tickPeriod = cfg.Repl.DecayWindow / 4
-		if tickPeriod == 0 {
-			tickPeriod = 1
-		}
-	}
 	c := &Cache{
 		cfg:          cfg,
 		sets:         sets,
 		offsetBits:   offsetBits,
 		indexMask:    uint64(sets) - 1,
 		lines:        make([]line, sets*cfg.Assoc),
-		tickPeriod:   tickPeriod,
 		lastWord:     -1,
 		wordsPerLine: cfg.BlockSize / 8,
 	}
+	c.initTune()
 	parityLen := ecc.ParityBytesPerLine(cfg.BlockSize)
 	eccLen := 0
 	if cfg.Scheme.Protection == ECCProt {
@@ -602,6 +602,7 @@ func (c *Cache) Reset() {
 		*l = line{data: data, parity: parity, eccb: eccb, idx: i}
 	}
 	c.clock = 0
+	c.initTune()
 	c.stats = Stats{}
 	c.storeSeq = 0
 	c.lastWord = -1

@@ -71,7 +71,7 @@ func (p *RangePolicy) Hint(addr uint64) Hint {
 // consulting the software hint policy (nil means replicate-all).
 func (c *Cache) replicaQuota(blockAddr uint64) int {
 	if c.cfg.Hints == nil {
-		return c.cfg.Repl.Replicas
+		return c.cur.Replicas
 	}
 	h := c.cfg.Hints.Hint(blockAddr << c.offsetBits)
 	if !h.Replicate {
@@ -80,5 +80,5 @@ func (c *Cache) replicaQuota(blockAddr uint64) int {
 	if h.Replicas > 0 {
 		return h.Replicas
 	}
-	return c.cfg.Repl.Replicas
+	return c.cur.Replicas
 }

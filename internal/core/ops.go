@@ -49,7 +49,7 @@ func (c *Cache) Load(now uint64, addr uint64) uint64 {
 		lat += c.verifyLoad(now, ln, replicas, dup, addr)
 		c.touch(ln, now)
 		for _, rep := range replicas {
-			if c.cfg.Scheme.Lookup == LookupParallel {
+			if c.cur.Lookup == LookupParallel {
 				// The parallel scheme reads the replica array too.
 				if c.cfg.Meter != nil {
 					c.cfg.Meter.AddL1Read(1)
@@ -287,7 +287,7 @@ func (c *Cache) loadHitLatency(replicated bool) uint64 {
 			return c.cfg.HitLatency + c.cfg.ECCCheckLatency
 		}
 		return c.cfg.HitLatency
-	case s.Lookup == LookupParallel:
+	case c.cur.Lookup == LookupParallel:
 		if replicated || s.Protection == ECCProt {
 			return c.cfg.HitLatency + 1
 		}
@@ -384,7 +384,7 @@ func (c *Cache) replicaVictim(set int, primary *line, now uint64) *line {
 	if invalid != nil {
 		return invalid
 	}
-	switch c.cfg.Repl.Victim {
+	switch c.cur.Victim {
 	case DeadOnly:
 		return c.evictReplicaSite(deadLine, now)
 	case DeadFirst:

@@ -33,7 +33,7 @@ func (c *Cache) verifyLoad(now uint64, ln *line, replicas []*line, dup []byte, a
 			c.cfg.Meter.AddECC(1)
 		} else {
 			c.cfg.Meter.AddParity(1)
-			if c.cfg.Scheme.Lookup == LookupParallel && len(replicas) > 0 {
+			if c.cur.Lookup == LookupParallel && len(replicas) > 0 {
 				// Parallel compare verifies the replica copy too.
 				c.cfg.Meter.AddParity(1)
 			}
@@ -48,7 +48,7 @@ func (c *Cache) verifyLoad(now uint64, ln *line, replicas []*line, dup []byte, a
 	if ecc.CheckParityLineRange(ln.data, ln.parity, word, 8) == ecc.OK {
 		// With a parallel lookup an error confined to the *replica* is
 		// also caught (and discarded) now; serial lookups never see it.
-		if c.cfg.Scheme.Lookup == LookupParallel {
+		if c.cur.Lookup == LookupParallel {
 			for _, rep := range replicas {
 				if ecc.CheckParityLineRange(rep.data, rep.parity, word, 8) != ecc.OK {
 					c.stats.ErrorsDetected++
@@ -63,7 +63,7 @@ func (c *Cache) verifyLoad(now uint64, ln *line, replicas []*line, dup []byte, a
 	// Primary word is corrupted.
 	c.stats.ErrorsDetected++
 	for _, rep := range replicas {
-		if c.cfg.Meter != nil && c.cfg.Scheme.Lookup == LookupSerial {
+		if c.cfg.Meter != nil && c.cur.Lookup == LookupSerial {
 			c.cfg.Meter.AddL1Read(1) // serial schemes read the replica only now
 			c.cfg.Meter.AddParity(1)
 		}

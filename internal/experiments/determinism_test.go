@@ -13,9 +13,11 @@ import (
 
 // determinismDrivers are the figure drivers the parallel-vs-serial
 // equivalence is asserted over: a plain per-benchmark sweep (fig1), a
-// multi-configuration performance comparison (fig10), and a fault-injection
-// probability sweep built from single submissions (fig14). Between them
-// they cover every submission pattern the drivers use.
+// multi-configuration performance comparison (fig10), a fault-injection
+// probability sweep built from single submissions (fig14), and the
+// adaptive shootout (runs whose knobs retune mid-flight under the
+// ICR-ADAPT controller). Between them they cover every submission pattern
+// the drivers use.
 var determinismDrivers = []struct {
 	name   string
 	driver driver
@@ -23,6 +25,7 @@ var determinismDrivers = []struct {
 	{"fig1", fig1},
 	{"fig10", fig10},
 	{"fig14", fig14},
+	{"adaptive", adaptiveShootout},
 }
 
 // serialOracle reproduces the pre-runner code path: every simulation is a

@@ -307,6 +307,7 @@ var registry = []registration{
 	{"mttf", mttf},
 	{"decaypred", decayPredictors},
 	{"prefetch", prefetch},
+	{"adaptive", adaptiveShootout},
 }
 
 // IDs returns the registered experiment ids in sorted order.

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"math"
 	"strings"
 	"testing"
 )
@@ -16,6 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
 		"fig16", "fig17", "faultmodels", "sensitivity", "victims", "swhints",
 		"rcache", "scrub", "vulnerability", "mttf", "decaypred", "prefetch",
+		"adaptive",
 	}
 	have := map[string]bool{}
 	for _, id := range ids {
@@ -240,6 +242,50 @@ func TestFig17Shapes(t *testing.T) {
 	cG := res.Series[2].Values[len(res.Series[2].Values)-1]
 	if cG < bG*0.99 {
 		t.Errorf("ratio at 10:30 (%f) should not be below 15:30 (%f)", cG, bG)
+	}
+}
+
+// TestAdaptiveBeatsBestStaticOnDrift pins this repo's headline adaptive
+// claim at the committed budget (the EXPERIMENTS.md record): on the drift
+// phase-shifting workload, the decay-driven ICR-ADAPT controller undercuts
+// every static scheme — including both baselines — on the swept
+// vulnerability + cycle-overhead + energy-overhead score. Drift's one-way
+// regime flip (cache-resident mix to streaming) is exactly the case a
+// static configuration cannot straddle: the relaxed static point keeps
+// paying false-dead displacements in the streaming half, while the
+// controller retreats to the conservative window and keeps the replication
+// benefit without the churn.
+func TestAdaptiveBeatsBestStaticOnDrift(t *testing.T) {
+	res, err := adaptiveShootout(context.Background(), Options{Instructions: 480_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	di := -1
+	for i, tick := range res.XTicks {
+		if tick == "drift" {
+			di = i
+		}
+	}
+	if di < 0 {
+		t.Fatalf("drift missing from ticks %v", res.XTicks)
+	}
+	bestStatic, bestName := math.Inf(1), ""
+	adaptive := math.Inf(1)
+	for _, s := range res.Series {
+		v := s.Values[di]
+		if strings.HasPrefix(s.Label, "ICR-ADAPT-") {
+			if s.Label == "ICR-ADAPT-decay" {
+				adaptive = v
+			}
+			continue
+		}
+		if v < bestStatic {
+			bestStatic, bestName = v, s.Label
+		}
+	}
+	if adaptive >= bestStatic {
+		t.Errorf("ICR-ADAPT-decay drift score %.4f does not beat best static %s %.4f",
+			adaptive, bestName, bestStatic)
 	}
 }
 

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"context"
+
+	"repro/internal/adapt"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/runner"
+	"repro/internal/workload"
+)
+
+// adaptiveRepl is the replication envelope ICR-ADAPT runs start from: two
+// power-2 distance attempts so the controller's top rung can actually
+// place a second replica, the conservative decay window, and the dead-only
+// victim policy. The controller retunes every knob except Distances at
+// runtime.
+func adaptiveRepl(sets int) core.ReplConfig {
+	return core.ReplConfig{
+		Distances:   core.Power2Distances(sets, 2),
+		Replicas:    1,
+		Victim:      core.DeadOnly,
+		DecayWindow: adapt.DefaultMaxWindow,
+	}
+}
+
+// adaptiveScore is the swept reliability-cost scalar: the vulnerable
+// fraction of line-cycles plus the cycle and energy overheads relative to
+// the unprotected BaseP run of the same workload. Lower is better. The
+// three terms are the axes the paper itself trades (§5: vulnerability,
+// performance, power): BaseP scores its full vulnerability at zero
+// overhead, BaseECC its full latency cost at zero vulnerability, always-on
+// replication its full install-energy cost — and a phase-aware policy
+// should undercut every static point by spending protection only where a
+// regime rewards it.
+func adaptiveScore(r *metrics.Report, base *metrics.Report, lines int) float64 {
+	score := r.VulnerabilityPerLine(lines)
+	if base.Cycles > 0 {
+		score += float64(r.Cycles)/float64(base.Cycles) - 1
+	}
+	if be := base.TotalEnergy(); be > 0 {
+		score += r.TotalEnergy()/be - 1
+	}
+	return score
+}
+
+// adaptiveConfigs returns the two shipped ICR-ADAPT controller variants.
+func adaptiveConfigs() []adapt.Config {
+	return []adapt.Config{
+		{Predictor: adapt.PredictorDecay},
+		{Predictor: adapt.PredictorEHC},
+	}
+}
+
+// adaptiveShootout — driver "adaptive": every §3.2 static scheme against
+// the ICR-ADAPT controllers on the phase-shifting workloads (the locality
+// regime flips mid-run, so any fixed replication setting is wrong in at
+// least one phase). Static ICR schemes run the §5.4 relaxed replication
+// setup; adaptive runs start from the conservative rung of the same
+// envelope and retune per epoch.
+func adaptiveShootout(ctx context.Context, o Options) (*Result, error) {
+	m := o.machine()
+	sets := m.DL1Sets()
+	lines := sets * m.DL1Assoc
+	phases := workload.PhaseProfiles()
+	statics := core.AllSchemes()
+
+	ticks := make([]string, len(phases))
+	for i, p := range phases {
+		ticks[i] = p.Name
+	}
+
+	type entry struct {
+		label    string
+		pendings []*runner.Pending
+	}
+	var entries []entry
+	submitPhases := func(label string, scheme core.Scheme, mutate func(*config.Run)) {
+		ps := make([]*runner.Pending, len(phases))
+		for i, p := range phases {
+			ps[i] = submitOne(ctx, o, p.Name, scheme, mutate)
+		}
+		entries = append(entries, entry{label, ps})
+	}
+	for _, s := range statics {
+		s := s
+		submitPhases(s.Name(), s, func(r *config.Run) {
+			if s.HasReplication() {
+				r.Repl = relaxedRepl(sets)
+			}
+		})
+	}
+	for _, ac := range adaptiveConfigs() {
+		ac := ac
+		submitPhases(ac.SchemeName(), icrPS(core.ReplStores), func(r *config.Run) {
+			r.Repl = adaptiveRepl(sets)
+			r.Adapt = ac
+		})
+	}
+
+	// BaseP is entries[0]: its per-workload cycle counts anchor the
+	// overhead term of every score.
+	base, err := collect(entries[0].pendings)
+	if err != nil {
+		return nil, err
+	}
+	result := &Result{
+		ID:     "adaptive",
+		Title:  "Adaptive vs static replication on phase-shifting workloads",
+		XLabel: "workload",
+		XTicks: ticks,
+		Notes:  "score = vulnerable line-cycle fraction + cycle overhead + energy overhead vs BaseP; lower is better",
+	}
+	for i, e := range entries {
+		reports := base
+		if i > 0 {
+			if reports, err = collect(e.pendings); err != nil {
+				return nil, err
+			}
+		}
+		vals := make([]float64, len(reports))
+		for j, r := range reports {
+			vals[j] = adaptiveScore(r, base[j], lines)
+		}
+		result.Series = append(result.Series, Series{Label: e.label, Values: vals})
+		result.Reports = append(result.Reports, reports...)
+	}
+	return result, nil
+}

@@ -160,7 +160,7 @@ func DefaultHotPaths() []string {
 		"internal/metrics",
 		"internal/branch", "internal/ecc", "internal/rcache",
 		"internal/fault", "internal/isa", "internal/config",
-		"internal/cluster",
+		"internal/cluster", "internal/adapt",
 	}
 }
 
@@ -175,7 +175,7 @@ func DefaultHotPaths() []string {
 func DefaultErrPaths() []string {
 	return []string{
 		"cmd", "internal/runner", "internal/store", "internal/serve",
-		"internal/cluster",
+		"internal/cluster", "internal/adapt",
 		"internal/branch", "internal/ecc", "internal/rcache",
 		"internal/fault", "internal/isa", "internal/config",
 	}

@@ -19,17 +19,26 @@ import (
 //	    byte-identical to what version-1 writers produced — and decoders
 //	    accept both, so only payloads that actually carry sampling data
 //	    are tagged with the new version.
+//	3 — adds the optional Adaptive block (AdaptiveStats) for runs driven
+//	    by the ICR-ADAPT runtime controller. As with version 2, the new
+//	    version tags only payloads that actually carry the block: static
+//	    runs keep marshalling as version 1 (or 2 when sampled), byte-
+//	    identical to what older writers produced.
 //
 // Bump it whenever the set of Report fields changes (added, removed, or
 // renamed): decoders reject unknown versions, which turns a stale disk
 // entry into a cache miss instead of a silently wrong report. The golden
 // test in json_test.go fails on any field change that is not accompanied
 // by a bump.
-const ReportSchemaVersion = 2
+const ReportSchemaVersion = 3
 
 // exactReportSchema is the wire version emitted for reports without
-// sampling data; see the version history above.
+// sampling or adaptive data; see the version history above.
 const exactReportSchema = 1
+
+// sampledReportSchema is the wire version emitted for sampled reports
+// without adaptive data.
+const sampledReportSchema = 2
 
 // ErrReportSchema is returned (wrapped) by Report.UnmarshalJSON when the
 // payload's schema version is not one this decoder understands, or when a
@@ -47,25 +56,35 @@ type reportWire struct {
 	reportAlias
 }
 
-// MarshalJSON encodes the report with its schema version as a leading
-// "schema" field: exactReportSchema when Sampling is nil (byte-identical
-// to the version-1 encoding), ReportSchemaVersion otherwise. The encoding
-// is stable: field order follows the struct definition and float64 values
-// round-trip exactly (encoding/json emits the shortest representation
-// that parses back to the same bits), so a report stored and reloaded is
-// byte-identical when re-marshalled.
-func (r Report) MarshalJSON() ([]byte, error) {
-	v := exactReportSchema
-	if r.Sampling != nil {
-		v = ReportSchemaVersion
+// wireVersion returns the schema version a report marshals under: the
+// lowest version whose field set covers the optional blocks the report
+// actually carries, so payloads older readers could parse keep the
+// encoding those readers produced.
+func (r *Report) wireVersion() int {
+	switch {
+	case r.Adaptive != nil:
+		return ReportSchemaVersion
+	case r.Sampling != nil:
+		return sampledReportSchema
+	default:
+		return exactReportSchema
 	}
-	return json.Marshal(reportWire{Schema: v, reportAlias: reportAlias(r)})
 }
 
-// UnmarshalJSON decodes a report, accepting both current wire versions and
-// rejecting anything else with an error wrapping ErrReportSchema. A
-// payload claiming version 1 but carrying sampling fields is malformed and
-// rejected the same way.
+// MarshalJSON encodes the report with its schema version as a leading
+// "schema" field (see wireVersion). The encoding is stable: field order
+// follows the struct definition and float64 values round-trip exactly
+// (encoding/json emits the shortest representation that parses back to
+// the same bits), so a report stored and reloaded is byte-identical when
+// re-marshalled.
+func (r Report) MarshalJSON() ([]byte, error) {
+	return json.Marshal(reportWire{Schema: r.wireVersion(), reportAlias: reportAlias(r)})
+}
+
+// UnmarshalJSON decodes a report, accepting every current wire version
+// and rejecting anything else with an error wrapping ErrReportSchema. A
+// payload claiming a version too low for the optional blocks it carries
+// is malformed and rejected the same way.
 func (r *Report) UnmarshalJSON(data []byte) error {
 	var w reportWire
 	w.Schema = -1
@@ -77,9 +96,17 @@ func (r *Report) UnmarshalJSON(data []byte) error {
 		if w.Sampling != nil {
 			return fmt.Errorf("%w: version %d payload carries sampling fields", ErrReportSchema, w.Schema)
 		}
+		if w.Adaptive != nil {
+			return fmt.Errorf("%w: version %d payload carries adaptive fields", ErrReportSchema, w.Schema)
+		}
+	case sampledReportSchema:
+		if w.Adaptive != nil {
+			return fmt.Errorf("%w: version %d payload carries adaptive fields", ErrReportSchema, w.Schema)
+		}
 	case ReportSchemaVersion:
 	default:
-		return fmt.Errorf("%w: got %d, want %d or %d", ErrReportSchema, w.Schema, exactReportSchema, ReportSchemaVersion)
+		return fmt.Errorf("%w: got %d, want %d, %d, or %d", ErrReportSchema, w.Schema,
+			exactReportSchema, sampledReportSchema, ReportSchemaVersion)
 	}
 	*r = Report(w.reportAlias)
 	return nil

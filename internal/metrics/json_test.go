@@ -35,9 +35,10 @@ func fillDistinct(v reflect.Value, base int) {
 			f.SetInt(int64(base + i + 1))
 		case reflect.Float64:
 			f.SetFloat(float64(base+i) + 0.125)
-		case reflect.Pointer:
-			// Handled by the caller (goldenReport): the only pointer field
-			// is Sampling, which is nil for exact reports.
+		case reflect.Pointer, reflect.Slice:
+			// Handled by the caller (goldenReport): the pointer fields are
+			// the optional Sampling/Adaptive blocks and the only slice is
+			// AdaptiveStats.Trajectory.
 		default:
 			panic("fillDistinct: unhandled field kind " + f.Kind().String())
 		}
@@ -47,8 +48,9 @@ func fillDistinct(v reflect.Value, base int) {
 // goldenReport populates every field with a distinct value so the golden
 // encoding exercises the full schema (reflection above verifies no field
 // was missed). sampled attaches a fully populated SamplingStats block;
-// exact reports leave it nil.
-func goldenReport(sampled bool) Report {
+// adaptive attaches a fully populated AdaptiveStats block with a
+// two-entry trajectory; exact reports leave both nil.
+func goldenReport(sampled, adaptive bool) Report {
 	var r Report
 	fillDistinct(reflect.ValueOf(&r).Elem(), 0)
 	if sampled {
@@ -56,29 +58,38 @@ func goldenReport(sampled bool) Report {
 		fillDistinct(reflect.ValueOf(&s).Elem(), 100)
 		r.Sampling = &s
 	}
+	if adaptive {
+		var a AdaptiveStats
+		fillDistinct(reflect.ValueOf(&a).Elem(), 200)
+		a.Trajectory = []AdaptiveMove{{Epoch: 301, Level: 302}, {Epoch: 303, Level: 304}}
+		r.Adaptive = &a
+	}
 	return r
 }
 
-// TestReportJSONGolden pins the exact wire encoding of Report in both
-// schema variants: an exact run (Sampling nil) must stay byte-identical to
-// the version-1 encoding, and a sampled run pins the version-2 encoding
-// with the Sampling block. If this fails because Report's fields changed,
-// bump ReportSchemaVersion and regenerate the golden files with:
+// TestReportJSONGolden pins the exact wire encoding of Report in every
+// schema variant: an exact run (no optional blocks) must stay
+// byte-identical to the version-1 encoding, a sampled run pins the
+// version-2 encoding with the Sampling block, and an adaptive run pins the
+// version-3 encoding carrying both optional blocks. If this fails because
+// Report's fields changed, bump ReportSchemaVersion and regenerate the
+// golden files with:
 //
 //	go test ./internal/metrics -run TestReportJSONGolden -update
 func TestReportJSONGolden(t *testing.T) {
 	cases := []struct {
-		name    string
-		file    string
-		sampled bool
-		schema  int
+		name              string
+		file              string
+		sampled, adaptive bool
+		schema            int
 	}{
-		{"exact", "report_schema.json", false, exactReportSchema},
-		{"sampled", "report_schema_sampled.json", true, ReportSchemaVersion},
+		{"exact", "report_schema.json", false, false, exactReportSchema},
+		{"sampled", "report_schema_sampled.json", true, false, sampledReportSchema},
+		{"adaptive", "report_schema_adaptive.json", true, true, ReportSchemaVersion},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			r := goldenReport(tc.sampled)
+			r := goldenReport(tc.sampled, tc.adaptive)
 			got, err := json.Marshal(r)
 			if err != nil {
 				t.Fatal(err)
@@ -109,12 +120,13 @@ func TestReportJSONGolden(t *testing.T) {
 }
 
 // TestReportSchemaFingerprint is the schema-bump tripwire: it pins the
-// full (name, type) list of Report's fields (and SamplingStats', which is
-// part of the wire format) for the current ReportSchemaVersion. Adding,
-// removing, renaming, or retyping a field without bumping the version
-// fails here even if the golden files are regenerated.
+// full (name, type) list of Report's fields (and those of SamplingStats,
+// AdaptiveStats, and AdaptiveMove, which are part of the wire format) for
+// the current ReportSchemaVersion. Adding, removing, renaming, or retyping
+// a field without bumping the version fails here even if the golden files
+// are regenerated.
 func TestReportSchemaFingerprint(t *testing.T) {
-	const pinnedVersion = 2
+	const pinnedVersion = 3
 	pinnedFields := []string{
 		"Benchmark string", "Scheme string",
 		"Instructions uint64", "Cycles uint64",
@@ -138,6 +150,7 @@ func TestReportSchemaFingerprint(t *testing.T) {
 		"EnergyL1 float64", "EnergyL2 float64",
 		"EnergyChecks float64", "EnergyRCache float64",
 		"Sampling *metrics.SamplingStats",
+		"Adaptive *metrics.AdaptiveStats",
 	}
 	pinnedSamplingFields := []string{
 		"Period uint64", "Detail uint64", "Warmup uint64",
@@ -148,6 +161,17 @@ func TestReportSchemaFingerprint(t *testing.T) {
 		"IPCMean float64", "IPCHalfCI float64",
 		"MissRateMean float64", "MissRateHalfCI float64",
 	}
+	pinnedAdaptiveFields := []string{
+		"Predictor string",
+		"EpochCycles uint64", "Epochs uint64",
+		"MovesUp int", "MovesDown int",
+		"PredHits int", "PredMisses int",
+		"FinalLevel int", "FinalReplicas int",
+		"FinalDecayWindow uint64",
+		"FinalVictim string", "FinalLookup string",
+		"Trajectory []metrics.AdaptiveMove",
+	}
+	pinnedMoveFields := []string{"Epoch uint64", "Level int"}
 	if ReportSchemaVersion != pinnedVersion {
 		t.Fatalf("ReportSchemaVersion = %d but the fingerprint test still pins version %d: "+
 			"update pinnedVersion and the pinned field lists to match the new schema",
@@ -161,21 +185,24 @@ func TestReportSchemaFingerprint(t *testing.T) {
 		}
 		return out
 	}
-	if got := fieldList(reflect.TypeOf(Report{})); !reflect.DeepEqual(got, pinnedFields) {
-		t.Errorf("Report fields changed without bumping ReportSchemaVersion.\n got: %v\nwant: %v\n"+
-			"Bump metrics.ReportSchemaVersion, then update the pinned lists and the golden files.",
-			got, pinnedFields)
+	check := func(tp reflect.Type, pinned []string) {
+		if got := fieldList(tp); !reflect.DeepEqual(got, pinned) {
+			t.Errorf("%s fields changed without bumping ReportSchemaVersion.\n got: %v\nwant: %v\n"+
+				"Bump metrics.ReportSchemaVersion, then update the pinned lists and the golden files.",
+				tp.Name(), got, pinned)
+		}
 	}
-	if got := fieldList(reflect.TypeOf(SamplingStats{})); !reflect.DeepEqual(got, pinnedSamplingFields) {
-		t.Errorf("SamplingStats fields changed without bumping ReportSchemaVersion.\n got: %v\nwant: %v\n"+
-			"Bump metrics.ReportSchemaVersion, then update the pinned lists and the golden files.",
-			got, pinnedSamplingFields)
-	}
+	check(reflect.TypeOf(Report{}), pinnedFields)
+	check(reflect.TypeOf(SamplingStats{}), pinnedSamplingFields)
+	check(reflect.TypeOf(AdaptiveStats{}), pinnedAdaptiveFields)
+	check(reflect.TypeOf(AdaptiveMove{}), pinnedMoveFields)
 }
 
 func TestReportJSONRoundTrip(t *testing.T) {
-	for _, sampled := range []bool{false, true} {
-		r := goldenReport(sampled)
+	for _, tc := range []struct{ sampled, adaptive bool }{
+		{false, false}, {true, false}, {false, true}, {true, true},
+	} {
+		r := goldenReport(tc.sampled, tc.adaptive)
 		data, err := json.Marshal(&r)
 		if err != nil {
 			t.Fatal(err)
@@ -185,7 +212,7 @@ func TestReportJSONRoundTrip(t *testing.T) {
 			t.Fatal(err)
 		}
 		if !reflect.DeepEqual(back, r) {
-			t.Errorf("sampled=%v: round trip changed the report:\n got %+v\nwant %+v", sampled, back, r)
+			t.Errorf("%+v: round trip changed the report:\n got %+v\nwant %+v", tc, back, r)
 		}
 		// Re-marshalling the decoded report is byte-identical: the durability
 		// guarantee the disk store relies on.
@@ -194,13 +221,13 @@ func TestReportJSONRoundTrip(t *testing.T) {
 			t.Fatal(err)
 		}
 		if !bytes.Equal(data, again) {
-			t.Errorf("sampled=%v: re-marshal not byte-identical:\n first %s\nsecond %s", sampled, data, again)
+			t.Errorf("%+v: re-marshal not byte-identical:\n first %s\nsecond %s", tc, data, again)
 		}
 	}
 }
 
 func TestReportJSONSchemaMismatch(t *testing.T) {
-	r := goldenReport(true)
+	r := goldenReport(true, true)
 	data, err := json.Marshal(r)
 	if err != nil {
 		t.Fatal(err)
@@ -218,19 +245,35 @@ func TestReportJSONSchemaMismatch(t *testing.T) {
 	}
 }
 
-// TestExactSchemaRejectsSamplingBlock pins the invariant behind the dual
-// schema: a version-1 document must not carry a Sampling block.
-func TestExactSchemaRejectsSamplingBlock(t *testing.T) {
-	r := goldenReport(true)
-	data, err := json.Marshal(r)
-	if err != nil {
-		t.Fatal(err)
+// TestLowSchemaRejectsOptionalBlocks pins the invariant behind the tiered
+// schema: a payload may not declare a version too low for the optional
+// blocks it carries — a version-1 document must carry neither Sampling nor
+// Adaptive, and a version-2 document must not carry Adaptive.
+func TestLowSchemaRejectsOptionalBlocks(t *testing.T) {
+	cases := []struct {
+		name              string
+		sampled, adaptive bool
+		from, to          int
+	}{
+		{"sampling-as-v1", true, false, sampledReportSchema, exactReportSchema},
+		{"adaptive-as-v1", false, true, ReportSchemaVersion, exactReportSchema},
+		{"adaptive-as-v2", false, true, ReportSchemaVersion, sampledReportSchema},
 	}
-	bad := bytes.Replace(data,
-		[]byte(fmt.Sprintf(`"schema":%d`, ReportSchemaVersion)),
-		[]byte(fmt.Sprintf(`"schema":%d`, exactReportSchema)), 1)
-	var back Report
-	if err := json.Unmarshal(bad, &back); !errors.Is(err, ErrReportSchema) {
-		t.Errorf("schema-1-with-sampling decode err = %v, want ErrReportSchema", err)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := goldenReport(tc.sampled, tc.adaptive)
+			data, err := json.Marshal(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bad := bytes.Replace(data,
+				[]byte(fmt.Sprintf(`"schema":%d`, tc.from)),
+				[]byte(fmt.Sprintf(`"schema":%d`, tc.to)), 1)
+			var back Report
+			if err := json.Unmarshal(bad, &back); !errors.Is(err, ErrReportSchema) {
+				t.Errorf("schema-%d payload declared as %d: decode err = %v, want ErrReportSchema",
+					tc.from, tc.to, err)
+			}
+		})
 	}
 }

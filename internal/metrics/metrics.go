@@ -90,6 +90,64 @@ type Report struct {
 	// estimated. Exact runs leave it nil, and their wire encoding is
 	// unchanged (see ReportSchemaVersion).
 	Sampling *SamplingStats `json:",omitempty"`
+
+	// Adaptive is non-nil iff the run used the ICR-ADAPT runtime
+	// replication controller (internal/adapt): it records the epoch
+	// geometry, every committed knob move, and the predictor's measured
+	// accuracy. Static-scheme runs leave it nil and keep their earlier
+	// wire encoding (see ReportSchemaVersion).
+	Adaptive *AdaptiveStats `json:",omitempty"`
+}
+
+// AdaptiveStats records what the ICR-ADAPT runtime controller did over a
+// run: how many observation epochs it saw, which knob moves it committed
+// (the trajectory, capped at the controller's bound), where the knobs
+// ended up, and how often an epoch following a committed move improved
+// the controller's objective (the predictor-accuracy estimate).
+type AdaptiveStats struct {
+	// Predictor is the driving predictor's name ("decay" or "ehc").
+	Predictor string
+	// EpochCycles is the observation-epoch length in cycles.
+	EpochCycles uint64
+	// Epochs is the number of completed observation epochs.
+	Epochs uint64
+
+	// MovesUp/MovesDown count committed ladder moves toward more / less
+	// aggressive replication.
+	MovesUp   int
+	MovesDown int
+	// PredHits/PredMisses: epochs immediately after a committed move in
+	// which the objective improved / did not improve.
+	PredHits   int
+	PredMisses int
+
+	// Final knob state when the run ended.
+	FinalLevel       int
+	FinalReplicas    int
+	FinalDecayWindow uint64
+	FinalVictim      string
+	FinalLookup      string
+
+	// Trajectory lists the committed moves in order (bounded; the counts
+	// above keep accumulating after the bound is hit).
+	Trajectory []AdaptiveMove `json:",omitempty"`
+}
+
+// AdaptiveMove is one committed knob move: after epoch Epoch the
+// controller switched the cache to ladder level Level.
+type AdaptiveMove struct {
+	Epoch uint64
+	Level int
+}
+
+// Accuracy returns PredHits / (PredHits + PredMisses), or 0 when no move
+// was ever evaluated.
+func (a *AdaptiveStats) Accuracy() float64 {
+	n := a.PredHits + a.PredMisses
+	if n == 0 {
+		return 0
+	}
+	return float64(a.PredHits) / float64(n)
 }
 
 // SamplingStats records how a sampled run measured and extrapolated its
@@ -241,6 +299,13 @@ func (r *Report) String() string {
 			s.Windows, s.Period, s.Detail, s.Warmup, s.IPCMean, s.IPCHalfCI, s.Confidence)
 		fmt.Fprintf(&b, "  instr by mode     warmed=%d warmup=%d measured=%d\n",
 			s.WarmedInstructions, s.WarmupDiscarded, s.MeasuredInstructions)
+	}
+	if a := r.Adaptive; a != nil {
+		fmt.Fprintf(&b, "  adaptive          %12d epochs (%d cycles each, predictor %s)\n",
+			a.Epochs, a.EpochCycles, a.Predictor)
+		fmt.Fprintf(&b, "  controller        up=%d down=%d accuracy=%.2f final: L%d r=%d w=%d %s %s\n",
+			a.MovesUp, a.MovesDown, a.Accuracy(),
+			a.FinalLevel, a.FinalReplicas, a.FinalDecayWindow, a.FinalVictim, a.FinalLookup)
 	}
 	return b.String()
 }

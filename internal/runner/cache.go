@@ -227,9 +227,9 @@ func (t *Tiered) Put(ctx context.Context, key Key, rep *metrics.Report) error {
 
 // copyReport returns an independent copy of a cached report, so no caller
 // can mutate the cached value another caller sees. metrics.Report is a
-// flat value struct except for the optional Sampling block, which is
-// itself flat, so one struct copy per level is a deep copy; the
-// compile-time-adjacent test in memo_test.go guards that assumption
+// flat value struct except for the optional Sampling and Adaptive blocks
+// (and the latter's Trajectory slice), which are deep-copied explicitly;
+// the compile-time-adjacent test in memo_test.go guards that assumption
 // against future reference-typed fields.
 func copyReport(r *metrics.Report) *metrics.Report {
 	if r == nil {
@@ -239,6 +239,13 @@ func copyReport(r *metrics.Report) *metrics.Report {
 	if r.Sampling != nil {
 		s := *r.Sampling
 		cp.Sampling = &s
+	}
+	if r.Adaptive != nil {
+		a := *r.Adaptive
+		if a.Trajectory != nil {
+			a.Trajectory = append([]metrics.AdaptiveMove(nil), a.Trajectory...)
+		}
+		cp.Adaptive = &a
 	}
 	return &cp
 }

@@ -80,6 +80,9 @@ func KeyFor(m config.Machine, r config.Run) (Key, bool) {
 	h.ints(r.DupCacheKB, r.ScrubLines)
 	h.u64s(r.ScrubInterval)
 	h.bool(r.Prefetch)
+	h.section("run.adapt")
+	h.ints(int(r.Adapt.Predictor), r.Adapt.Hysteresis, r.Adapt.MaxReplicas)
+	h.u64s(r.Adapt.Epoch, r.Adapt.MinWindow, r.Adapt.MaxWindow)
 
 	return h.sum(), true
 }

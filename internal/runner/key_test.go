@@ -47,7 +47,7 @@ func TestKeyForDeterministic(t *testing.T) {
 // format change has to be deliberate (update the constant when it is).
 func TestKeyForGolden(t *testing.T) {
 	m, r := baseInputs()
-	const want = "8a9150bdf69f4c8927b977830a7a38409a793429fc476d718a84f25bf2341089"
+	const want = "88b90ec0011897dcdeabd02a02ac7c687445b63b54bad69e0bcdddc2f03722aa"
 	if got := mustKey(t, m, r).String(); got != want {
 		t.Errorf("golden key changed:\n got %s\nwant %s\n(update the constant only for a deliberate serialization change)", got, want)
 	}

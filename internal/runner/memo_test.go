@@ -151,12 +151,17 @@ func TestMemoCopyOnReturn(t *testing.T) {
 }
 
 // TestReportIsFlatValueStruct guards the assumption copyReport rests on:
-// metrics.Report is a flat value struct apart from the pointer fields
-// copyReport explicitly deep-copies (Sampling). Any other reference-typed
-// field (pointer, slice, map) would alias cached state and must come with
-// its own deep-copy step here and in copyReport.
+// metrics.Report is a flat value struct apart from the reference-typed
+// fields copyReport explicitly deep-copies (Sampling, Adaptive, and
+// Adaptive's Trajectory slice). Any other reference-typed field (pointer,
+// slice, map) would alias cached state and must come with its own
+// deep-copy step here and in copyReport.
 func TestReportIsFlatValueStruct(t *testing.T) {
-	deepCopied := map[string]bool{"Report.Sampling": true}
+	deepCopied := map[string]bool{
+		"Report.Sampling":              true,
+		"Report.Adaptive":              true,
+		"Report.Adaptive.*.Trajectory": true,
+	}
 	var check func(tp reflect.Type, path string)
 	check = func(tp reflect.Type, path string) {
 		switch tp.Kind() {
@@ -166,7 +171,13 @@ func TestReportIsFlatValueStruct(t *testing.T) {
 				return
 			}
 			t.Errorf("%s is reference-typed (%s): copyReport's struct copy is no longer a deep copy", path, tp.Kind())
-		case reflect.Slice, reflect.Map, reflect.Chan, reflect.Func, reflect.Interface:
+		case reflect.Slice:
+			if deepCopied[path] {
+				check(tp.Elem(), path+"[]")
+				return
+			}
+			t.Errorf("%s is reference-typed (%s): copyReport's struct copy is no longer a deep copy", path, tp.Kind())
+		case reflect.Map, reflect.Chan, reflect.Func, reflect.Interface:
 			t.Errorf("%s is reference-typed (%s): copyReport's struct copy is no longer a deep copy", path, tp.Kind())
 		case reflect.Struct:
 			for i := 0; i < tp.NumField(); i++ {
@@ -192,6 +203,24 @@ func TestCopyReportDeepCopiesSampling(t *testing.T) {
 	cp.Sampling.IPCMean = 9
 	if orig.Sampling.IPCMean != 1.5 {
 		t.Error("mutating the copy's Sampling reached the cached report")
+	}
+}
+
+// TestCopyReportDeepCopiesAdaptive pins the same invariant for the
+// adaptive block, including its trajectory slice.
+func TestCopyReportDeepCopiesAdaptive(t *testing.T) {
+	orig := &metrics.Report{Adaptive: &metrics.AdaptiveStats{
+		Epochs:     4,
+		Trajectory: []metrics.AdaptiveMove{{Epoch: 1, Level: 2}},
+	}}
+	cp := copyReport(orig)
+	if cp.Adaptive == orig.Adaptive {
+		t.Fatal("copyReport aliased the Adaptive block")
+	}
+	cp.Adaptive.Epochs = 99
+	cp.Adaptive.Trajectory[0].Level = 0
+	if orig.Adaptive.Epochs != 4 || orig.Adaptive.Trajectory[0].Level != 2 {
+		t.Error("mutating the copy's Adaptive reached the cached report")
 	}
 }
 

@@ -51,6 +51,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/cluster"
 	"repro/internal/config"
 	"repro/internal/core"
@@ -290,6 +291,11 @@ type RunRequest struct {
 	// value uses the -sample flag syntax (config.ParseSample): "on", or
 	// "period=N[,detail=N][,warmup=N][,conf=95]".
 	Sample string `json:"sample,omitempty"`
+	// Adapt attaches the ICR-ADAPT runtime replication controller; the
+	// value uses the -adapt flag syntax (adapt.Parse): "decay", "ehc", or
+	// "predictor=decay|ehc[,epoch=N][,hysteresis=N][,maxreplicas=N]
+	// [,minwindow=N][,maxwindow=N]".
+	Adapt string `json:"adapt,omitempty"`
 	// TimeoutMS bounds this request (further capped by the server's
 	// RequestTimeout).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -467,6 +473,9 @@ func buildRun(req RunRequest) (config.Run, error) {
 	run.Repl.LeaveReplicas = req.LeaveReplicas
 	run.WriteThrough = req.WriteThrough
 	if run.Sample, err = config.ParseSample(req.Sample); err != nil {
+		return config.Run{}, err
+	}
+	if run.Adapt, err = adapt.Parse(req.Adapt); err != nil {
 		return config.Run{}, err
 	}
 	if req.FaultProb > 0 {

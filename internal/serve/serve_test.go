@@ -320,6 +320,8 @@ func TestBadRequests(t *testing.T) {
 		{"unknown scheme", `{"benchmark":"vpr","scheme":"NotAScheme"}`},
 		{"unknown victim", `{"benchmark":"vpr","scheme":"BaseP","victim":"bogus"}`},
 		{"unknown fault model", `{"benchmark":"vpr","scheme":"BaseP","fault_prob":0.1,"fault_model":"bogus"}`},
+		{"bad adapt spec", `{"benchmark":"vpr","scheme":"ICR-P-PS(S)","adapt":"bogus"}`},
+		{"adapt without predictor", `{"benchmark":"vpr","scheme":"ICR-P-PS(S)","adapt":"epoch=5000"}`},
 		{"unknown field", `{"benchmark":"vpr","scheme":"BaseP","bogus_field":1}`},
 		{"malformed json", `{"benchmark":`},
 	}

@@ -3,6 +3,7 @@ package sim
 import (
 	"testing"
 
+	"repro/internal/adapt"
 	"repro/internal/config"
 	"repro/internal/core"
 )
@@ -47,6 +48,35 @@ func BenchmarkSimulateICRPPSS(b *testing.B) {
 
 func BenchmarkSimulateICRECCPPLS(b *testing.B) {
 	benchSimulate(b, core.ICR(core.ECCProt, core.LookupParallel, core.ReplLoadsStores))
+}
+
+// BenchmarkSimulateICRAdaptDecay prices the runtime controller: the same
+// ICR run as BenchmarkSimulateICRPPSS plus the per-epoch census and
+// retuning on the flux phase-shifting workload. The epoch hook must stay
+// allocation-free, so allocs/op here pins the whole adaptive overhead.
+func BenchmarkSimulateICRAdaptDecay(b *testing.B) {
+	r := config.NewRun("flux", core.ICR(core.ParityProt, core.LookupSerial, core.ReplStores))
+	r.Instructions = benchInstrs
+	m := config.Default()
+	sets := m.DL1Sets()
+	r.Repl = core.ReplConfig{
+		Distances:   core.Power2Distances(sets, 2),
+		Replicas:    1,
+		Victim:      core.DeadOnly,
+		DecayWindow: adapt.DefaultMaxWindow,
+	}
+	r.Adapt = adapt.Config{Predictor: adapt.PredictorDecay}
+	if _, err := Simulate(m, r); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(m, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(benchInstrs)*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
 }
 
 // sampledBenchInstrs matches the committed validation table: at the

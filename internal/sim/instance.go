@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/adapt"
 	"repro/internal/cache"
 	"repro/internal/config"
 	"repro/internal/core"
@@ -38,7 +39,8 @@ type instance struct {
 	dups  *rcache.Cache
 	wbuf  *cache.WriteBuffer
 	dl1   *core.Cache
-	core  *cpu.Core //icrvet:persistent reset separately in simulate: core.Reset needs the per-run cpu.Config and generator
+	ctrl  *adapt.Controller // ICR-ADAPT runtime controller; nil for static shapes
+	core  *cpu.Core         //icrvet:persistent reset separately in simulate: core.Reset needs the per-run cpu.Config and generator
 }
 
 // shapeOf fingerprints everything that determines an instance's
@@ -55,10 +57,10 @@ func shapeOf(m config.Machine, r config.Run) (string, bool) {
 	if r.Hints != nil {
 		return "", false
 	}
-	// Scheme and Repl are fingerprinted wholesale (%+v covers every field,
-	// including the slice of distances) so a new knob on either struct can
-	// never silently collide two different constructions.
-	return fmt.Sprintf("%d/%d/%d/%d|%d/%d/%d/%d|%d/%d/%d/%d|%d|%+v|%+v|%t/%d|%d|%t",
+	// Scheme, Repl, and Adapt are fingerprinted wholesale (%+v covers
+	// every field, including the slice of distances) so a new knob on any
+	// of them can never silently collide two different constructions.
+	return fmt.Sprintf("%d/%d/%d/%d|%d/%d/%d/%d|%d/%d/%d/%d|%d|%+v|%+v|%t/%d|%d|%t|%+v",
 		m.IL1Size, m.IL1Assoc, m.IL1Block, m.IL1Latency,
 		m.DL1Size, m.DL1Assoc, m.DL1Block, m.DL1Latency,
 		m.L2Size, m.L2Assoc, m.L2Block, m.L2Latency,
@@ -67,6 +69,7 @@ func shapeOf(m config.Machine, r config.Run) (string, bool) {
 		r.WriteThrough, r.WriteBufferEntries,
 		r.DupCacheKB,
 		r.Prefetch,
+		r.Adapt,
 	), true
 }
 
@@ -125,6 +128,11 @@ func newInstance(m config.Machine, r config.Run) *instance {
 	}
 	dl1 := core.New(dl1cfg)
 
+	var ctrl *adapt.Controller
+	if r.Adapt.Enabled() {
+		ctrl = adapt.NewController(r.Adapt)
+	}
+
 	return &instance{
 		shape: shape,
 		mem:   mem,
@@ -134,6 +142,7 @@ func newInstance(m config.Machine, r config.Run) *instance {
 		dups:  dups,
 		wbuf:  wbuf,
 		dl1:   dl1,
+		ctrl:  ctrl,
 		core:  cpu.New(m.CPU, nil, il1, dl1),
 	}
 }
@@ -152,6 +161,9 @@ func (in *instance) reset(r config.Run) {
 	}
 	if in.wbuf != nil {
 		in.wbuf.Reset()
+	}
+	if in.ctrl != nil {
+		in.ctrl.Reset()
 	}
 }
 
@@ -187,6 +199,17 @@ func (in *instance) simulate(ctx context.Context, m config.Machine, r config.Run
 		hooks = append(hooks, func(now uint64) {
 			if tick.due(now) {
 				dl1.Scrub(now, lines)
+			}
+		})
+	}
+	if in.ctrl != nil {
+		in.ctrl.Attach(in.dl1)
+		epoch := newScrubTicker(in.ctrl.EpochCycles())
+		ctrl := in.ctrl
+		//icrvet:hot installed behind Config.EachCycle, which the call graph cannot follow
+		hooks = append(hooks, func(now uint64) {
+			if epoch.due(now) {
+				ctrl.Epoch(now)
 			}
 		})
 	}
@@ -243,6 +266,12 @@ func (in *instance) simulate(ctx context.Context, m config.Machine, r config.Run
 	rep.ScrubErrors = scrub.Errors
 	rep.ScrubRepaired = scrub.Repaired
 	rep.ScrubLost = scrub.Lost
+	if in.ctrl != nil {
+		// Adaptive runs report under the ICR-ADAPT-* family: the static
+		// scheme name would misattribute results whose knobs moved mid-run.
+		rep.Scheme = r.Adapt.SchemeName()
+		rep.Adaptive = in.ctrl.Stats()
+	}
 	return rep, nil
 }
 

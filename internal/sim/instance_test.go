@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"testing"
 
+	"repro/internal/adapt"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/energy"
@@ -64,6 +65,20 @@ func identityMatrix() []config.Run {
 	r = config.NewRun("gzip", core.ICR(core.ECCProt, core.LookupParallel, core.ReplLoadsStores))
 	r.Repl = repl
 	r.Sample = config.SampleConfig{Period: 20_000, Detail: 1_000, Warmup: 400}
+	runs = append(runs, r)
+
+	// An ICR-ADAPT run on a phase-shifting workload: the controller's own
+	// state (ladder level, streaks, hold embargo, trajectory) must reset
+	// with the arena, and its epoch-by-epoch retuning must replay
+	// identically on a pooled instance.
+	r = config.NewRun("flux", core.ICR(core.ParityProt, core.LookupSerial, core.ReplStores))
+	r.Repl = core.ReplConfig{
+		Distances:   core.Power2Distances(sets, 2),
+		Replicas:    1,
+		Victim:      core.DeadOnly,
+		DecayWindow: adapt.DefaultMaxWindow,
+	}
+	r.Adapt = adapt.Config{Predictor: adapt.PredictorDecay}
 	runs = append(runs, r)
 
 	for i := range runs {
@@ -152,6 +167,7 @@ func TestShapeOf(t *testing.T) {
 		func(m *config.Machine, r *config.Run) { r.Repl.DecayWindow = 4096 },
 		func(m *config.Machine, r *config.Run) { r.Repl.LeaveReplicas = true },
 		func(m *config.Machine, r *config.Run) { r.Repl.Decay = core.Adaptive },
+		func(m *config.Machine, r *config.Run) { r.Adapt = adapt.Config{Predictor: adapt.PredictorDecay} },
 		func(m *config.Machine, r *config.Run) { r.WriteThrough = true },
 		func(m *config.Machine, r *config.Run) { r.DupCacheKB = 8 },
 		func(m *config.Machine, r *config.Run) { r.Prefetch = true },

@@ -51,6 +51,12 @@ func SimulateContext(ctx context.Context, m config.Machine, r config.Run) (*metr
 	if err != nil {
 		return nil, err
 	}
+	if r.Adapt.Enabled() && !r.Scheme.HasReplication() {
+		return nil, fmt.Errorf("sim: adaptive controller requires a replicating scheme, got %s", r.Scheme.Name())
+	}
+	// Canonicalize before shapeOf so equal-after-defaulting configs share
+	// a pool shape.
+	r.Adapt = r.Adapt.Normalized()
 	if r.Instructions == 0 {
 		r.Instructions = config.DefaultInstructions
 	}

@@ -268,6 +268,84 @@ func TestPreSamplingEntryIsMiss(t *testing.T) {
 	}
 }
 
+// adaptiveReport is testReport plus the schema-3 Adaptive block an
+// ICR-ADAPT run attaches.
+func adaptiveReport(cycles uint64) *metrics.Report {
+	r := testReport(cycles)
+	r.Adaptive = &metrics.AdaptiveStats{
+		Predictor: "decay", EpochCycles: 20_000, Epochs: 48,
+		MovesUp: 3, MovesDown: 2, PredHits: 4, PredMisses: 1,
+		FinalLevel: 2, FinalReplicas: 1, FinalDecayWindow: 0,
+		FinalVictim: "dead-only", FinalLookup: "PS",
+		Trajectory: []metrics.AdaptiveMove{{Epoch: 5, Level: 2}, {Epoch: 11, Level: 3}},
+	}
+	return r
+}
+
+// TestAdaptiveReportRoundTrip: a schema-3 report (Adaptive block attached)
+// survives Put/Get — including across a reopen — with a byte-identical
+// payload.
+func TestAdaptiveReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	key := keyN(0)
+	want := adaptiveReport(1234)
+	wantJSON, err := want.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mustOpen(t, dir, Options{})
+	if err := s.Put(ctx, key, want); err != nil {
+		t.Fatal(err)
+	}
+	for name, st := range map[string]*Store{"same": s, "reopened": mustOpen(t, dir, Options{})} {
+		got, ok := getOK(t, st, key)
+		if !ok {
+			t.Fatalf("%s store missed the adaptive entry", name)
+		}
+		if got.Adaptive == nil {
+			t.Fatalf("%s store dropped the Adaptive block", name)
+		}
+		gotJSON, err := got.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(gotJSON) != string(wantJSON) {
+			t.Errorf("%s store round trip not byte-identical:\n got: %s\nwant: %s", name, gotJSON, wantJSON)
+		}
+	}
+}
+
+// TestPreAdaptiveEntryIsMiss pins the migration story for the adaptive
+// schema bump: an entry written under report schema 2 (the pre-adaptive
+// store format) degrades to a SchemaStale miss and is deleted, never
+// served.
+func TestPreAdaptiveEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	key := keyN(0)
+	s := mustOpen(t, dir, Options{})
+	if err := s.Put(ctx, key, sampledReport(1)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key+entrySuffix)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(data[8:12], 2) // pre-adaptive schema
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := getOK(t, s, key); ok {
+		t.Fatal("pre-adaptive entry served as a hit")
+	}
+	if st := s.Stats(); st.SchemaStale != 1 || st.Quarantined != 0 {
+		t.Errorf("stats = %+v, want 1 schema-stale, 0 quarantined", st)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("pre-adaptive entry not removed: %v", err)
+	}
+}
+
 func TestStaleContainerFormatIsMiss(t *testing.T) {
 	dir := t.TempDir()
 	key := keyN(0)

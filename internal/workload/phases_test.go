@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestPhaseProfilesValidate(t *testing.T) {
+	for _, p := range PhaseProfiles() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if len(p.Phases) == 0 {
+			t.Errorf("%s: phase profile has no phases", p.Name)
+		}
+		if _, err := ByName(p.Name); err != nil {
+			t.Errorf("ByName(%q): %v", p.Name, err)
+		}
+	}
+	// Phase workloads must not leak into the paper's eight-benchmark set
+	// (that would change every existing sweep and golden).
+	for _, p := range Profiles() {
+		if len(p.Phases) > 0 {
+			t.Errorf("%s: paper benchmark carries phases", p.Name)
+		}
+	}
+}
+
+// TestPhaseStreamDeterminism pins the determinism contract the adaptive
+// experiments rest on: the same (profile, seed) pair yields a
+// byte-identical instruction stream — including the jittered phase
+// boundaries — and a different seed diverges.
+func TestPhaseStreamDeterminism(t *testing.T) {
+	const n = 300_000 // long enough to cross Flux's jittered boundary twice
+	for _, p := range PhaseProfiles() {
+		collect := func(seed int64) []isa.Inst {
+			g := MustNew(p, seed)
+			out := make([]isa.Inst, 0, n)
+			for i := 0; i < n; i++ {
+				in, ok := g.Next()
+				if !ok {
+					t.Fatalf("%s: stream ended early", p.Name)
+				}
+				out = append(out, in)
+			}
+			return out
+		}
+		a, b := collect(7), collect(7)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: instruction %d differs under the same seed: %+v vs %+v",
+					p.Name, i, a[i], b[i])
+			}
+		}
+		c := collect(8)
+		diverged := false
+		for i := range a {
+			if c[i] != a[i] {
+				diverged = true
+				break
+			}
+		}
+		if !diverged {
+			t.Errorf("%s: different seeds should produce different streams", p.Name)
+		}
+	}
+}
+
+// regionShare returns the fraction of the next n instructions' memory
+// accesses that land in region ri of the profile's layout.
+func regionShare(t *testing.T, g *Generator, layout []RegionRange, ri int, n int) float64 {
+	t.Helper()
+	var mem, hit int
+	for i := 0; i < n; i++ {
+		in, ok := g.Next()
+		if !ok {
+			t.Fatal("stream ended early")
+		}
+		if !in.Op.IsMem() {
+			continue
+		}
+		mem++
+		if in.Addr >= layout[ri].Start && in.Addr < layout[ri].End {
+			hit++
+		}
+	}
+	if mem == 0 {
+		t.Fatal("no memory accesses observed")
+	}
+	return float64(hit) / float64(mem)
+}
+
+// TestPhaseShiftRedirectsAccesses drives Flux across its first boundary
+// and checks the shift actually moves the access mix: the streaming region
+// is barely touched in the hot phase and dominant in the adverse phase.
+func TestPhaseShiftRedirectsAccesses(t *testing.T) {
+	p := Flux()
+	layout := Layout(p)
+	const stream = 2 // region index of the 192KB Stream region
+	g := MustNew(p, 3)
+
+	hotShare := regionShare(t, g, layout, stream, 100_000)
+	if hotShare > 0.10 {
+		t.Errorf("hot phase sends %.1f%% of accesses to the stream region, want <10%%", 100*hotShare)
+	}
+	// Skip past the (jittered) boundary, then sample well inside phase B.
+	for g.Count() < 180_000 {
+		if _, ok := g.Next(); !ok {
+			t.Fatal("stream ended early")
+		}
+	}
+	advShare := regionShare(t, g, layout, stream, 50_000)
+	if advShare < 0.40 {
+		t.Errorf("adverse phase sends %.1f%% of accesses to the stream region, want >40%%", 100*advShare)
+	}
+}
+
+// TestPhasesApplyDuringWarming checks NextWarm shifts phases too: a
+// sampled adaptive run warms through phase boundaries, so the warmed
+// address stream must track the same schedule.
+func TestPhasesApplyDuringWarming(t *testing.T) {
+	p := Drift()
+	layout := Layout(p)
+	const stream = 1 // region index of the 256KB Stream region
+	g := MustNew(p, 3)
+	var mem, hit int
+	for g.Count() < 500_000 {
+		in, ok := g.NextWarm()
+		if !ok {
+			t.Fatal("stream ended early")
+		}
+		if g.Count() > 450_000 && in.Op.IsMem() { // well past the one-shot shift
+			mem++
+			if in.Addr >= layout[stream].Start && in.Addr < layout[stream].End {
+				hit++
+			}
+		}
+	}
+	if share := float64(hit) / float64(mem); share < 0.40 {
+		t.Errorf("post-shift warming sends %.1f%% of accesses to the stream region, want >40%%", 100*share)
+	}
+}

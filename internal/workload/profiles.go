@@ -181,11 +181,86 @@ func Bzip2() Profile {
 	}
 }
 
+// Flux is a phase-shifting workload: each ~240K-instruction period spends
+// its first two thirds in a cache-resident hot regime (60% of memory work
+// in a hot 6KB Zipf set — dead lines abound, replication is nearly free
+// and the store-heavy hot set needs it) and its last third in a mixed
+// adverse regime: the hot slots stream through a 192KB buffer while the
+// warm slots sweep a 10KB array line by line. The warm sweep is the trap
+// for any fixed decay window: its lines are re-touched every ~2-3K cycles,
+// so a relaxed (~1000-cycle) window keeps declaring them dead between
+// touches and a dead-first replicator keeps displacing them — every
+// displacement buys a writeback, a refetch, and a miss — while a
+// conservative (~4000-cycle) window never does. The hot regime pulls the
+// other way: a conservative dead-only policy finds too little dead space
+// to protect the store-heavy hot set. The boundary is jittered so phase
+// flips never align with observation epochs or sampling windows. No single
+// static ICR configuration suits both regimes, which is what the
+// ICR-ADAPT controller exploits.
+func Flux() Profile {
+	return Profile{
+		Name:     "flux",
+		LoadFrac: 0.27, StoreFrac: 0.12,
+		FPFrac: 0.05, MulFrac: 0.04, DivFrac: 0.005,
+		CodeBlocks: 128, MeanBlockLen: 6, Funcs: 5,
+		LoopFrac: 0.26, LoopMean: 9,
+		CondBias: []float64{0.95, 0.05, 0.9},
+		Regions: []RegionSpec{
+			{Kind: Hot, Weight: 0.43, Size: 6 * KB, ZipfS: 1.6},
+			{Kind: Strided, Weight: 0.18, Size: 6 * KB, Stride: 64},
+			{Kind: Stream, Weight: 0.03, Size: 192 * KB},
+			{Kind: Stack, Weight: 0.34, Size: 2 * KB},
+			{Kind: Spill, Weight: 0.01, Size: 16 * KB},
+		},
+		DepGeomP: 0.46, LoadUseProb: 0.90,
+		Phases: []PhaseSpec{
+			{Start: 0, Map: []int{0, 0, 2, 3, 4}},
+			{Start: 160_000, Jitter: 8_000, Map: []int{2, 1, 2, 3, 4}},
+		},
+		PhasePeriod: 240_000,
+	}
+}
+
+// Drift is a one-shot phase shift: a hot-set regime for the first ~400K
+// instructions, after which the hot-bound slots permanently stream over a
+// 256KB buffer (a program moving from a compute phase into an output
+// phase). Unlike Flux there is no recovery: a controller that ramped up
+// must detect the regime change and back off once.
+func Drift() Profile {
+	return Profile{
+		Name:     "drift",
+		LoadFrac: 0.25, StoreFrac: 0.13,
+		FPFrac: 0.0, MulFrac: 0.04, DivFrac: 0.004,
+		CodeBlocks: 112, MeanBlockLen: 7, Funcs: 4,
+		LoopFrac: 0.30, LoopMean: 12,
+		CondBias: []float64{0.96, 0.04, 0.9},
+		Regions: []RegionSpec{
+			{Kind: Hot, Weight: 0.55, Size: 7 * KB, ZipfS: 1.6, SetSpread: 28},
+			{Kind: Stream, Weight: 0.07, Size: 256 * KB},
+			{Kind: Stack, Weight: 0.33, Size: 2 * KB},
+			{Kind: Spill, Weight: 0.05, Size: 24 * KB},
+		},
+		DepGeomP: 0.46, LoadUseProb: 0.90,
+		Phases: []PhaseSpec{
+			{Start: 0, Map: []int{0, 1, 2, 3}},
+			{Start: 400_000, Jitter: 20_000, Map: []int{1, 0, 2, 3}},
+		},
+	}
+}
+
 // Profiles returns the eight benchmark profiles in a stable order.
 func Profiles() []Profile {
 	return []Profile{
 		Gzip(), Vpr(), Gcc(), Mcf(), Parser(), Mesa(), Vortex(), Bzip2(),
 	}
+}
+
+// PhaseProfiles returns the phase-shifting workloads in a stable order.
+// They are deliberately not part of Profiles: the paper's eight-benchmark
+// sweeps (and their goldens) stay exactly as they were, and phase
+// workloads are opted into by name.
+func PhaseProfiles() []Profile {
+	return []Profile{Flux(), Drift()}
 }
 
 // Names returns the benchmark names in the Profiles order.
@@ -198,9 +273,15 @@ func Names() []string {
 	return out
 }
 
-// ByName resolves a profile by benchmark name.
+// ByName resolves a profile by benchmark name, checking the eight paper
+// benchmarks first and then the phase-shifting workloads.
 func ByName(name string) (Profile, error) {
 	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	for _, p := range PhaseProfiles() {
 		if p.Name == name {
 			return p, nil
 		}

@@ -54,6 +54,36 @@ type Profile struct {
 	// exposes load-hit latency — the effect behind the paper's
 	// BaseP-vs-BaseECC gap. Defaults to 0.55 when zero.
 	LoadUseProb float64
+
+	// Phases, when non-empty, makes the workload shift locality regime
+	// mid-run: at each phase's start (in dynamic instructions) the static
+	// code's region bindings are remapped through the phase's Map. Static
+	// code is built once — a slot bound to region i at build time accesses
+	// region Map[i] while the phase is active — so a shift instantly
+	// redirects the whole access mix without perturbing code layout,
+	// control flow, or any other RNG draw. Profiles without phases draw
+	// nothing extra: their streams are byte-identical to pre-phase builds.
+	Phases []PhaseSpec
+
+	// PhasePeriod, when > 0, repeats the phase schedule cyclically every
+	// PhasePeriod instructions. 0 runs the schedule once; the last phase
+	// then persists to the end of the run.
+	PhasePeriod uint64
+}
+
+// PhaseSpec is one locality regime in a phase schedule.
+type PhaseSpec struct {
+	// Start is the dynamic instruction count (within the period, when
+	// PhasePeriod > 0) at which the phase begins.
+	Start uint64
+	// Jitter widens the start by a seeded draw in [0, Jitter), so phase
+	// boundaries do not align with observation or sampling windows. The
+	// draw happens once at generator construction.
+	Jitter uint64
+	// Map remaps static region bindings for the duration of the phase: a
+	// slot bound to region i accesses region Map[i]. Must have exactly one
+	// entry per profile region.
+	Map []int
 }
 
 // Validate reports configuration errors.
@@ -69,6 +99,23 @@ func (p *Profile) Validate() error {
 		return fmt.Errorf("workload %s: no data regions", p.Name)
 	case p.DepGeomP <= 0 || p.DepGeomP >= 1:
 		return fmt.Errorf("workload %s: DepGeomP out of range", p.Name)
+	}
+	for i, ph := range p.Phases {
+		if len(ph.Map) != len(p.Regions) {
+			return fmt.Errorf("workload %s: phase %d maps %d regions, profile has %d",
+				p.Name, i, len(ph.Map), len(p.Regions))
+		}
+		for _, to := range ph.Map {
+			if to < 0 || to >= len(p.Regions) {
+				return fmt.Errorf("workload %s: phase %d maps to region %d (out of range)", p.Name, i, to)
+			}
+		}
+		if i > 0 && ph.Start <= p.Phases[i-1].Start {
+			return fmt.Errorf("workload %s: phase starts must be strictly increasing", p.Name)
+		}
+		if p.PhasePeriod > 0 && ph.Start+ph.Jitter >= p.PhasePeriod {
+			return fmt.Errorf("workload %s: phase %d start+jitter reaches past the period", p.Name, i)
+		}
 	}
 	return nil
 }
@@ -118,6 +165,16 @@ type Generator struct {
 	loopLeft   map[int]int
 	sinceLoad  int    // body instructions since the last load (0 = load itself)
 	lastLoadAt uint64 // dynamic index of the most recent load
+
+	// Phase state (see Profile.Phases). phaseStarts holds each phase's
+	// jittered start offset; regionMap is the active remap (nil =
+	// identity); nextPhaseAt is the absolute instruction count of the next
+	// shift (^0 when the schedule is exhausted).
+	phaseStarts []uint64
+	phaseIdx    int
+	cycleBase   uint64
+	regionMap   []int
+	nextPhaseAt uint64
 }
 
 type frameState struct {
@@ -148,7 +205,55 @@ func New(p Profile, seed int64) (*Generator, error) {
 	}
 	g.layoutRegions()
 	g.buildCode()
+	g.initPhases()
 	return g, nil
+}
+
+// initPhases draws each phase's jittered start and arms the first shift.
+// Profiles without phases make zero RNG draws here, keeping their streams
+// byte-identical to builds that predate phase support.
+func (g *Generator) initPhases() {
+	g.nextPhaseAt = ^uint64(0)
+	phases := g.profile.Phases
+	if len(phases) == 0 {
+		return
+	}
+	g.phaseStarts = make([]uint64, len(phases))
+	for i, ph := range phases {
+		start := ph.Start
+		if ph.Jitter > 0 {
+			start += uint64(g.rng.Int63n(int64(ph.Jitter)))
+		}
+		g.phaseStarts[i] = start
+	}
+	g.nextPhaseAt = g.phaseStarts[0]
+}
+
+// phaseCheck applies any phase shift due at the current instruction count.
+// The common case (no phases, or between shifts) is one comparison.
+func (g *Generator) phaseCheck() {
+	for g.count >= g.nextPhaseAt {
+		g.regionMap = g.profile.Phases[g.phaseIdx].Map
+		g.phaseIdx++
+		switch {
+		case g.phaseIdx < len(g.phaseStarts):
+			g.nextPhaseAt = g.cycleBase + g.phaseStarts[g.phaseIdx]
+		case g.profile.PhasePeriod > 0:
+			g.cycleBase += g.profile.PhasePeriod
+			g.phaseIdx = 0
+			g.nextPhaseAt = g.cycleBase + g.phaseStarts[0]
+		default:
+			g.nextPhaseAt = ^uint64(0)
+		}
+	}
+}
+
+// regionOf resolves a static region binding through the active phase map.
+func (g *Generator) regionOf(idx int) *region {
+	if g.regionMap != nil {
+		idx = g.regionMap[idx]
+	}
+	return g.regions[idx]
 }
 
 // MustNew is New for static profiles known to be valid.
@@ -345,6 +450,7 @@ func (g *Generator) Next() (isa.Inst, bool) {
 	if len(g.stack) == 0 {
 		g.stack = append(g.stack, frameState{fn: 0})
 	}
+	g.phaseCheck()
 	for {
 		top := &g.stack[len(g.stack)-1]
 		f := &g.funcs[top.fn]
@@ -409,7 +515,7 @@ func (g *Generator) emitBody(blk *block, idx int) isa.Inst {
 		g.sinceLoad++
 	}
 	if si.op.IsMem() {
-		r := g.regions[si.region]
+		r := g.regionOf(si.region)
 		in.Addr = r.next(g.rng, si.op == isa.OpStore)
 		in.Size = 8
 		if si.op == isa.OpLoad {
@@ -523,6 +629,7 @@ func (g *Generator) NextWarm() (isa.Inst, bool) {
 	if len(g.stack) == 0 {
 		g.stack = append(g.stack, frameState{fn: 0})
 	}
+	g.phaseCheck()
 	for {
 		top := &g.stack[len(g.stack)-1]
 		f := &g.funcs[top.fn]
@@ -545,7 +652,7 @@ func (g *Generator) NextWarm() (isa.Inst, bool) {
 				g.sinceLoad++
 			}
 			if si.op.IsMem() {
-				r := g.regions[si.region]
+				r := g.regionOf(si.region)
 				in.Addr = r.next(g.rng, si.op == isa.OpStore)
 				in.Size = 8
 				if si.op == isa.OpLoad {

@@ -1,7 +1,7 @@
 #!/bin/sh
 # ci.sh — the full tier-1 verification pipeline in one command:
 #
-#   build -> vet -> icrvet -> test -> bench -> race -> smoke -> shards -> cluster
+#   build -> vet -> icrvet -> test -> bench -> race -> smoke -> shards -> adaptive -> cluster
 #
 # Each stage is announced and the script stops at the first failure, so CI
 # logs read top-to-bottom. Everything is standard-library Go: no network
@@ -255,6 +255,96 @@ SH_S1_PID=
 SH_S3_PID=
 trap - EXIT INT TERM
 shards_cleanup
+
+# End-to-end adaptive determinism test: the ICR-ADAPT shootout (runs whose
+# replication knobs retune mid-flight) at a small budget, run single-node
+# against a local disk store and then through a front end backed by a
+# 3-shard fleet, must produce byte-identical JSON. Controller state lives
+# entirely inside each simulation, so distribution, memoization, and shard
+# placement must be invisible in the results.
+stage adaptive
+AD_DIR=$(mktemp -d)
+AD_S1_PID=
+AD_S2_PID=
+AD_S3_PID=
+AD_FRONT_PID=
+adaptive_cleanup() {
+    for p in "$AD_S1_PID" "$AD_S2_PID" "$AD_S3_PID" "$AD_FRONT_PID"; do
+        [ -n "$p" ] && kill -9 "$p" 2>/dev/null
+    done
+    rm -rf "$AD_DIR"
+}
+trap adaptive_cleanup EXIT INT TERM
+
+adfail() {
+    echo "adaptive: $*" >&2
+    for f in s1.err s2.err s3.err front.err; do
+        echo "--- $f ---" >&2
+        cat "$AD_DIR/$f" >&2 2>/dev/null
+    done
+    exit 1
+}
+
+adaptive_start_icrd() {
+    ad_name=$1
+    shift
+    : >"$AD_DIR/$ad_name.out"
+    "$AD_DIR/icrd" -addr localhost:0 -parallel 4 "$@" \
+        >"$AD_DIR/$ad_name.out" 2>"$AD_DIR/$ad_name.err" &
+    AD_PID=$!
+    i=0
+    while ! grep -q '^listening on ' "$AD_DIR/$ad_name.out" 2>/dev/null; do
+        i=$((i + 1))
+        [ "$i" -gt 100 ] && adfail "$ad_name did not start"
+        kill -0 "$AD_PID" 2>/dev/null || adfail "$ad_name exited early"
+        sleep 0.1
+    done
+    AD_ADDR=$(sed -n 's/^listening on //p' "$AD_DIR/$ad_name.out")
+}
+
+$GO build -o "$AD_DIR/icrd" ./cmd/icrd
+
+# 200k instructions crosses flux's first (jittered) phase boundary, so the
+# sweep exercises mid-run retuning, not just the start rung.
+AD_BODY='{"instructions":200000,"seed":1}'
+
+adaptive_start_icrd base -store "disk:$AD_DIR/base"
+AD_FRONT_PID=$AD_PID
+curl -sS -X POST -d "$AD_BODY" "http://$AD_ADDR/v1/figures/adaptive" \
+    >"$AD_DIR/single.json" || adfail "single-node adaptive figure failed"
+kill -TERM "$AD_FRONT_PID"
+wait "$AD_FRONT_PID" || adfail "baseline icrd drain exited non-zero"
+AD_FRONT_PID=
+
+adaptive_start_icrd s1 -store "disk:$AD_DIR/s1"
+AD_S1_PID=$AD_PID
+AD_S1_ADDR=$AD_ADDR
+adaptive_start_icrd s2 -store "disk:$AD_DIR/s2"
+AD_S2_PID=$AD_PID
+AD_S2_ADDR=$AD_ADDR
+adaptive_start_icrd s3 -store "disk:$AD_DIR/s3"
+AD_S3_PID=$AD_PID
+AD_S3_ADDR=$AD_ADDR
+
+adaptive_start_icrd front -store "shards:$AD_S1_ADDR,$AD_S2_ADDR,$AD_S3_ADDR"
+AD_FRONT_PID=$AD_PID
+curl -sS -X POST -d "$AD_BODY" "http://$AD_ADDR/v1/figures/adaptive" \
+    >"$AD_DIR/fleet.json" || adfail "fleet adaptive figure failed"
+
+grep -q '"error"' "$AD_DIR/fleet.json" && adfail "fleet sweep errored: $(cat "$AD_DIR/fleet.json")"
+cmp -s "$AD_DIR/single.json" "$AD_DIR/fleet.json" \
+    || adfail "adaptive fleet JSON differs from single-node run"
+
+for p in "$AD_FRONT_PID" "$AD_S1_PID" "$AD_S2_PID" "$AD_S3_PID"; do
+    kill -TERM "$p"
+    wait "$p" || adfail "drain exited non-zero (pid $p)"
+done
+AD_FRONT_PID=
+AD_S1_PID=
+AD_S2_PID=
+AD_S3_PID=
+trap - EXIT INT TERM
+adaptive_cleanup
 
 # End-to-end cluster test: the same figure sweep run single-node and then
 # through a coordinator with two workers — one of which is SIGKILLed
