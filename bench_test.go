@@ -187,6 +187,10 @@ func BenchmarkAdaptiveShootout(b *testing.B) {
 	runFigure(b, "adaptive", meanOfSeries(10), "adapt-decay-score")
 }
 
+func BenchmarkTwoTierShootout(b *testing.B) {
+	runFigure(b, "twotier", meanOfSeries(2), "icr-l1-twotier-score")
+}
+
 // ---------------------------------------------------------------------------
 // Micro-benchmarks
 // ---------------------------------------------------------------------------

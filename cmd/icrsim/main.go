@@ -82,6 +82,9 @@ func run(ctx context.Context, args []string) error {
 	if r.Adapt, err = sf.AdaptConfig(); err != nil {
 		return err
 	}
+	if r.TwoTier, err = sf.TwoTierConfig(); err != nil {
+		return err
+	}
 	r.WriteThrough = *writeThrough
 	r.Repl.DecayWindow = *window
 	r.Repl.Replicas = *replicas

@@ -257,9 +257,19 @@ func (c *Cache) accessWriteThrough(now uint64, addr, ba uint64) uint64 {
 	return c.cfg.HitLatency + c.cfg.Next.Access(now+c.cfg.HitLatency, addr, Write)
 }
 
-// allocate installs blockAddr, evicting the LRU way. Dirty victims are
-// written back to the next level (counted, but not charged to the demand
-// miss latency: write-backs are buffered in real hardware).
+// allocate installs blockAddr, evicting the LRU way.
+//
+// Buffered-writeback contract: a dirty victim is forwarded to the next
+// level as a Write at the demand miss's timestamp, so the victim (a) is
+// counted in the next level's write statistics, (b) occupies the next
+// level's port (PortOccupancy) and thereby delays later demand traffic,
+// and (c) updates no content (block bytes are held architecturally by
+// Memory, which data-carrying levels update before their eviction reaches
+// this path). The returned latency is deliberately discarded: write-backs
+// ride a dedicated eviction buffer in real hardware, so their latency is
+// never charged to the demand miss that displaced them — only the port
+// pressure they create is modeled. This contract is pinned by
+// TestDirtyEvictionBufferedWritebackContract.
 func (c *Cache) allocate(now uint64, blockAddr uint64, dirty bool) {
 	base := c.setIndex(blockAddr) * c.cfg.Assoc
 	victim := base
@@ -421,7 +431,9 @@ type Memory struct {
 	Latency   uint64 //icrvet:persistent construction parameter, identical for every run sharing the pool shape
 	BlockSize int
 	blocks    map[uint64][]byte
-	accesses  uint64
+	reads     uint64
+	writes    uint64
+	fetches   uint64
 	scratch   []byte //icrvet:persistent PeekBlock's synthesis buffer for never-written blocks, fully overwritten before each use
 }
 
@@ -435,14 +447,35 @@ func NewMemory(latency uint64, blockSize int) *Memory {
 	return &Memory{Latency: latency, BlockSize: blockSize, blocks: make(map[uint64][]byte)}
 }
 
-// Access implements Level.
-func (m *Memory) Access(_ uint64, _ uint64, _ Kind) uint64 {
-	m.accesses++
+// Access implements Level. Reads, writes, and instruction fetches are
+// counted separately so memory-tier traffic can be priced per direction
+// (DRAM/CXL write energy differs from read energy); the latency model is
+// direction-independent.
+func (m *Memory) Access(_ uint64, _ uint64, kind Kind) uint64 {
+	switch kind {
+	case Write:
+		m.writes++
+	case Fetch:
+		m.fetches++
+	default:
+		m.reads++
+	}
 	return m.Latency
 }
 
-// Accesses returns how many requests reached memory.
-func (m *Memory) Accesses() uint64 { return m.accesses }
+// Accesses returns how many requests reached memory, of all kinds.
+func (m *Memory) Accesses() uint64 { return m.reads + m.writes + m.fetches }
+
+// Reads returns how many data reads (and unclassified requests) reached
+// memory.
+func (m *Memory) Reads() uint64 { return m.reads }
+
+// Writes returns how many writes (write-backs and buffered write-throughs)
+// reached memory.
+func (m *Memory) Writes() uint64 { return m.writes }
+
+// Fetches returns how many instruction fetches reached memory.
+func (m *Memory) Fetches() uint64 { return m.fetches }
 
 // splitmix64 is a tiny, high-quality mixing function used to synthesize
 // deterministic block contents.
@@ -557,5 +590,7 @@ func (m *Memory) Reset() {
 	for addr, b := range m.blocks {
 		m.synthesize(b, addr)
 	}
-	m.accesses = 0
+	m.reads = 0
+	m.writes = 0
+	m.fetches = 0
 }

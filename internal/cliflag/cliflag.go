@@ -40,6 +40,9 @@ type Sim struct {
 	// Adapt is the raw -adapt value; AdaptConfig parses it
 	// ("" = static replication).
 	Adapt string
+	// TwoTier is the raw -twotier value; TwoTierConfig parses it
+	// ("" = plain timing L2).
+	TwoTier string
 	// Store is the raw -store backend spec; ParseStore parses it:
 	// "disk:PATH" (or a bare path) for the local persistent store,
 	// "shards:HOST1,HOST2,..." for a memcache-style shard fleet, "" for
@@ -64,6 +67,10 @@ func (s *Sim) Register(fs *flag.FlagSet) {
 		`ICR-ADAPT runtime replication controller: "decay", "ehc", or `+
 			`"predictor=decay|ehc[,epoch=N][,hysteresis=N][,maxreplicas=N]`+
 			`[,minwindow=N][,maxwindow=N]" (empty = static replication)`)
+	fs.StringVar(&s.TwoTier, "twotier", "",
+		`second-tier protection: "parity", "ecc", "icr", "icr-ecc", or `+
+			`"protect=P|ECC[,replicate=BOOL][,victim=NAME][,decay=N][,cross=BOOL]`+
+			`[,latency=N][,fault=MODEL][,prob=F][,faultseed=N]" (empty = plain timing L2)`)
 }
 
 // SampleConfig parses the -sample flag value (config.ParseSample syntax).
@@ -74,6 +81,12 @@ func (s *Sim) SampleConfig() (config.SampleConfig, error) {
 // AdaptConfig parses the -adapt flag value (adapt.Parse syntax).
 func (s *Sim) AdaptConfig() (adapt.Config, error) {
 	return adapt.Parse(s.Adapt)
+}
+
+// TwoTierConfig parses the -twotier flag value (config.ParseTwoTier
+// syntax).
+func (s *Sim) TwoTierConfig() (config.TwoTier, error) {
+	return config.ParseTwoTier(s.TwoTier)
 }
 
 // RegisterCache installs the cache-control flags (commands that memoize:

@@ -120,6 +120,14 @@ type Run struct {
 	// the ICR-ADAPT-* scheme family with an metrics.AdaptiveStats block.
 	// Zero value = static run.
 	Adapt adapt.Config
+
+	// TwoTier, when enabled (a tier protection is selected), protects the
+	// second tier of the hierarchy — the unified L2, or a remote tier
+	// when ExtraLatency is set — with its own parity/ECC, decay-based
+	// in-tier replication, fault injection, and optional cross-tier
+	// replica placement against the L1. Zero value = plain timing L2,
+	// byte-identical to the single-tier simulator.
+	TwoTier TwoTier
 }
 
 // SampleConfig parameterizes SMARTS-style sampled simulation. The run is

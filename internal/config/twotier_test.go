@@ -1,0 +1,96 @@
+package config
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+)
+
+func TestParseTwoTier(t *testing.T) {
+	cases := []struct {
+		spec string
+		want TwoTier
+	}{
+		{"", TwoTier{}},
+		{"off", TwoTier{}},
+		{"parity", TwoTier{Protect: core.ParityProt}},
+		{"ecc", TwoTier{Protect: core.ECCProt}},
+		{"icr", TwoTier{Protect: core.ParityProt, Replicate: true, Victim: core.DeadOnly}},
+		{"icr-ecc", TwoTier{Protect: core.ECCProt, Replicate: true, Victim: core.DeadOnly}},
+		{
+			"protect=P,replicate=true,victim=dead-first,decay=1000,cross=true,latency=40",
+			TwoTier{
+				Protect: core.ParityProt, Replicate: true, Victim: core.DeadFirst,
+				DecayWindow: 1000, CrossTier: true, ExtraLatency: 40,
+			},
+		},
+		// Injection by probability alone gets the default model — the CLI
+		// contract the L1's -fault-prob/-fault-model pair has always had.
+		{
+			"protect=ecc,prob=1e-3,faultseed=3",
+			TwoTier{
+				Protect: core.ECCProt,
+				Fault:   FaultConfig{Model: fault.Random, Prob: 1e-3, Seed: 3},
+			},
+		},
+	}
+	for _, tc := range cases {
+		got, err := ParseTwoTier(tc.spec)
+		if err != nil {
+			t.Errorf("ParseTwoTier(%q): %v", tc.spec, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseTwoTier(%q) = %+v, want %+v", tc.spec, got, tc.want)
+		}
+	}
+}
+
+func TestParseTwoTierRejects(t *testing.T) {
+	for _, spec := range []string{
+		"bogus",                  // not a shortcut, not key=value
+		"protect=quantum",        // unknown protection
+		"replicate=true",         // replication without a detector
+		"protect=P,cross=true",   // cross-tier without replication
+		"prob=1e-3",              // injection into a disabled tier
+		"protect=P,window=1000",  // unknown key (it is "decay")
+		"protect=P,decay=plenty", // bad integer
+		"protect=P,fault=gamma",  // unknown injection model
+	} {
+		if _, err := ParseTwoTier(spec); err == nil {
+			t.Errorf("ParseTwoTier(%q) accepted", spec)
+		}
+	}
+}
+
+func TestTwoTierNames(t *testing.T) {
+	cases := []struct {
+		tt   TwoTier
+		want string
+	}{
+		{TwoTier{}, "off"},
+		{TwoTier{Protect: core.ParityProt}, "P"},
+		{TwoTier{Protect: core.ECCProt}, "ECC"},
+		{TwoTier{Protect: core.ParityProt, Replicate: true}, "ICR-P"},
+		{TwoTier{Protect: core.ECCProt, Replicate: true, CrossTier: true}, "ICR-ECC+x"},
+	}
+	for _, tc := range cases {
+		if got := tc.tt.Name(); got != tc.want {
+			t.Errorf("Name(%+v) = %q, want %q", tc.tt, got, tc.want)
+		}
+	}
+}
+
+func TestTwoTierNormalizedCollapsesDisabled(t *testing.T) {
+	tt := TwoTier{Victim: core.DeadFirst, DecayWindow: 500}
+	if got := tt.Normalized(); got != (TwoTier{}) {
+		t.Errorf("disabled tier normalized to %+v, want zero value", got)
+	}
+	// Injection settings without a probability are inert state the pool
+	// shape must not see.
+	tt = TwoTier{Protect: core.ParityProt, Fault: FaultConfig{Model: fault.Direct, Seed: 9}}
+	if got := tt.Normalized().Fault; got != (FaultConfig{}) {
+		t.Errorf("prob-0 injection normalized to %+v, want zero value", got)
+	}
+}

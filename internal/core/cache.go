@@ -15,7 +15,11 @@ import (
 type line struct {
 	valid   bool
 	replica bool
-	dirty   bool
+	// guest marks a replica hosted on behalf of the far tier (two-tier
+	// ICR): only guest lines serve cross-tier repairs or are dropped by
+	// the far tier's DropReplica.
+	guest bool
+	dirty bool
 	// blockAddr is the full block address (addr >> offsetBits). Replicas
 	// store the address of the block they mirror; because a replica may
 	// live in a set the address does not map to, lookups must match the
@@ -57,8 +61,8 @@ type Cache struct {
 	sets       int    //icrvet:persistent geometry: derived from cfg at construction
 	offsetBits uint   //icrvet:persistent geometry: derived from cfg at construction
 	indexMask  uint64 //icrvet:persistent geometry: derived from cfg at construction
-	lines []line
-	clock uint64 // LRU clock
+	lines      []line
+	clock      uint64 // LRU clock
 
 	// Runtime-tunable knobs (see tune.go): initialized from cfg by
 	// initTune at New and Reset, changed only through Retune. Every hot-
@@ -67,9 +71,9 @@ type Cache struct {
 	cur        TuneState
 	tickPeriod uint64 // decay tick length in cycles derived from cur.DecayWindow (0 => window 0)
 
-	stats Stats
-	storeSeq   uint64 // deterministic store-value generator state
-	lastWord   int    // word index of the most recent access (fault targeting)
+	stats    Stats
+	storeSeq uint64 // deterministic store-value generator state
+	lastWord int    // word index of the most recent access (fault targeting)
 
 	wordsPerLine int //icrvet:persistent geometry: derived from cfg at construction
 
@@ -87,6 +91,12 @@ type Cache struct {
 
 	scrubPos int
 	scrub    ScrubStats
+
+	// Cross-tier replication state (see crosstier.go). crossBuf is the
+	// 8-byte landing zone for far-tier repair words, embedded so the
+	// recovery path stays allocation-free.
+	cross    CrossStats
+	crossBuf [8]byte
 }
 
 // New builds an ICR cache. It panics on invalid geometry (programming
@@ -355,6 +365,7 @@ func (c *Cache) recodeWord(ln *line, off int) {
 func (c *Cache) fill(ln *line, blockAddr uint64, asReplica bool, now uint64) {
 	ln.valid = true
 	ln.replica = asReplica
+	ln.guest = false
 	ln.dirty = false
 	ln.prefetched = false
 	ln.blockAddr = blockAddr
@@ -610,4 +621,6 @@ func (c *Cache) Reset() {
 	c.usedSets = c.usedSets[:0]
 	c.scrubPos = 0
 	c.scrub = ScrubStats{}
+	c.cross = CrossStats{}
+	c.crossBuf = [8]byte{}
 }

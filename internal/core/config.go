@@ -158,6 +158,35 @@ type Config struct {
 	// parity error with no in-cache replica is repaired from it. This is
 	// the baseline ICR is positioned against.
 	Duplicates DuplicateStore
+
+	// CrossTier, if non-nil, is another protected tier willing to host
+	// replicas of this cache's blocks in its own dead space (two-tier
+	// ICR). Replication shortfalls are offered to it, the recovery ladder
+	// consults it after in-cache replicas and duplicates but before
+	// ECC/refetch, and stores drop its stale copies. Nil (the default)
+	// changes nothing.
+	CrossTier ReplicaSink
+}
+
+// ReplicaSink is a protected tier that can host replicas of another
+// tier's blocks in space it considers dead. Both the ICR L1 (Cache) and
+// the protected second tier (internal/tier) implement it, so replicas can
+// flow in either direction. Implementations must be allocation-free on
+// every method: all three sit on the simulated access path.
+type ReplicaSink interface {
+	// OfferReplica proposes hosting a copy of a block. The sink copies
+	// data (one full line) if it accepts and reports whether it did;
+	// declining is always legal (no dead space, block already resident).
+	OfferReplica(now uint64, blockAddr uint64, data []byte) bool
+	// RepairWord attempts to supply the aligned 64-bit word at byte
+	// offset off of a hosted replica, copying 8 bytes into dst. It
+	// returns the repair latency in cycles (the cost of reaching this
+	// tier, not an L1 probe) and whether an intact replica was found.
+	// Corrupt replicas are dropped, not returned.
+	RepairWord(now uint64, blockAddr uint64, off int, dst []byte) (latency uint64, ok bool)
+	// DropReplica invalidates any hosted replica of the block (called
+	// when the owning tier rewrites it, making remote copies stale).
+	DropReplica(blockAddr uint64)
 }
 
 // DuplicateStore is a separate structure holding protected copies of dL1

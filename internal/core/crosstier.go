@@ -1,0 +1,166 @@
+package core
+
+import "repro/internal/ecc"
+
+// Cross-tier replication (two-tier ICR). The ICR L1 participates in both
+// directions: as a *client* it offers replication shortfalls to
+// cfg.CrossTier and consults it during load recovery, and as a *host* it
+// implements ReplicaSink itself, letting a protected second tier park
+// copies of its own blocks in dead L1 space. Hosted lines are ordinary
+// replica lines with the guest bit set: every existing invariant —
+// "replicas only under a replicating scheme", victim-policy behavior,
+// write-path replica refresh — applies to them unchanged, but only guest
+// lines serve cross-tier repairs or are dropped by the far tier (the
+// cache's own replicas mirror its own primaries, which the far tier has
+// no authority over).
+
+// CrossStats counts cross-tier replication events, kept apart from Stats
+// so the single-tier counters (pinned by the equivalence goldens) are
+// untouched when cross-tier mode is off.
+type CrossStats struct {
+	// Client side: this cache pushing its blocks to the far tier.
+	Offers   uint64 // replication shortfalls offered to the far tier
+	Accepted uint64 // offers the far tier accepted
+	Repairs  uint64 // recovery-ladder consultations of the far tier
+	Repaired uint64 // consultations that supplied an intact word
+	Drops    uint64 // drop notifications sent to the far tier on store
+
+	// Host side: this cache hosting the far tier's blocks.
+	HostOffers  uint64 // offers received
+	HostedLines uint64 // offers accepted and installed
+	HostRepairs uint64 // repair words served to the far tier
+	HostCorrupt uint64 // hosted copies found corrupt and dropped
+	HostDrops   uint64 // hosted copies invalidated by DropReplica
+}
+
+// Add accumulates another CrossStats into s.
+func (s *CrossStats) Add(o CrossStats) {
+	s.Offers += o.Offers
+	s.Accepted += o.Accepted
+	s.Repairs += o.Repairs
+	s.Repaired += o.Repaired
+	s.Drops += o.Drops
+	s.HostOffers += o.HostOffers
+	s.HostedLines += o.HostedLines
+	s.HostRepairs += o.HostRepairs
+	s.HostCorrupt += o.HostCorrupt
+	s.HostDrops += o.HostDrops
+}
+
+// CrossTierStats returns a snapshot of the cache's cross-tier counters.
+func (c *Cache) CrossTierStats() CrossStats { return c.cross }
+
+var _ ReplicaSink = (*Cache)(nil)
+
+// OfferReplica implements ReplicaSink: the far tier proposes parking a
+// copy of one of its blocks here. The offer is accepted only when it can
+// be hosted as a legal replica line — the scheme must replicate (a
+// non-replicating scheme may hold no replica lines), the geometry must
+// match, and the block's home set must have an invalid or dead
+// non-replica way. Live primaries and existing replicas are never
+// displaced for a guest.
+func (c *Cache) OfferReplica(now uint64, blockAddr uint64, data []byte) bool {
+	c.cross.HostOffers++
+	if !c.cfg.Scheme.HasReplication() || len(data) != c.cfg.BlockSize {
+		return false
+	}
+	if c.lookupPrimary(blockAddr) != nil || c.hasReplica(blockAddr) {
+		// Already covered here: the resident copy is at least as fresh.
+		return false
+	}
+	v := c.hostVictim(c.homeSet(blockAddr), now)
+	if v == nil {
+		return false
+	}
+	v.valid = true
+	v.replica = true
+	v.guest = true
+	v.dirty = false
+	v.prefetched = false
+	v.blockAddr = blockAddr
+	copy(v.data, data)
+	c.recode(v)
+	c.touch(v, now)
+	if c.cfg.Meter != nil {
+		c.cfg.Meter.AddL1Write(1)
+		c.cfg.Meter.AddParity(1)
+	}
+	c.cross.HostedLines++
+	return true
+}
+
+// hostVictim picks a way in the given set for a guest replica: an invalid
+// way first, else the LRU dead non-replica line (which is evicted through
+// the normal dead-eviction path, write-back included). It deliberately
+// does not share replicaVictim, which dereferences a primary line this
+// path does not have.
+func (c *Cache) hostVictim(set int, now uint64) *line {
+	base := set * c.cfg.Assoc
+	var deadLine *line
+	for w := 0; w < c.cfg.Assoc; w++ {
+		ln := &c.lines[base+w]
+		if !ln.valid {
+			return ln
+		}
+		if ln.replica {
+			continue
+		}
+		if c.dead(ln, now) && (deadLine == nil || ln.lru < deadLine.lru) {
+			deadLine = ln
+		}
+	}
+	return c.evictReplicaSite(deadLine, now)
+}
+
+// RepairWord implements ReplicaSink: supply the aligned 64-bit word at
+// byte offset off of a hosted (guest) copy of blockAddr, if an intact one
+// exists. Guests live in the block's home set, and the scan is inline and
+// scratch-free — the far tier calls this from the middle of its own
+// recovery, which may itself be nested inside an L1 access that still
+// holds a findReplicas result. A corrupt guest found on the way is
+// dropped. The latency is the cost of reaching this array from the far
+// tier: a hit plus one transfer cycle.
+func (c *Cache) RepairWord(_ uint64, blockAddr uint64, off int, dst []byte) (uint64, bool) {
+	if off < 0 || off+8 > c.cfg.BlockSize || len(dst) < 8 {
+		return 0, false
+	}
+	word := off &^ 7
+	base := c.homeSet(blockAddr) * c.cfg.Assoc
+	for w := 0; w < c.cfg.Assoc; w++ {
+		ln := &c.lines[base+w]
+		if !ln.valid || !ln.guest || ln.blockAddr != blockAddr {
+			continue
+		}
+		if ecc.CheckParityLineRange(ln.data, ln.parity, word, 8) != ecc.OK {
+			ln.valid = false
+			c.cross.HostCorrupt++
+			continue
+		}
+		copy(dst[:8], ln.data[word:word+8])
+		if c.cfg.Meter != nil {
+			c.cfg.Meter.AddL1Read(1)
+			c.cfg.Meter.AddParity(1)
+		}
+		c.cross.HostRepairs++
+		return c.cfg.HitLatency + 1, true
+	}
+	return 0, false
+}
+
+// DropReplica implements ReplicaSink: the far tier rewrote the block, so
+// any guest copy parked here is stale and must not serve future repairs.
+// The scan is inline for the same reentrancy reason as RepairWord — the
+// far tier's write path runs inside this cache's own eviction handling.
+func (c *Cache) DropReplica(blockAddr uint64) {
+	if !c.cfg.Scheme.HasReplication() {
+		return
+	}
+	base := c.homeSet(blockAddr) * c.cfg.Assoc
+	for w := 0; w < c.cfg.Assoc; w++ {
+		ln := &c.lines[base+w]
+		if ln.valid && ln.guest && ln.blockAddr == blockAddr {
+			ln.valid = false
+			c.cross.HostDrops++
+		}
+	}
+}

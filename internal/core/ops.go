@@ -143,6 +143,13 @@ func (c *Cache) Store(now uint64, addr uint64) uint64 {
 	c.touch(ln, now)
 	c.depositDuplicate(ln)
 
+	// Two-tier ICR: a copy parked in the far tier no longer matches the
+	// just-written block and must not serve future repairs.
+	if c.cfg.CrossTier != nil {
+		c.cfg.CrossTier.DropReplica(ba)
+		c.cross.Drops++
+	}
+
 	if c.cfg.Scheme.HasReplication() {
 		// Both S and LS replicate at writes (§3.1 mechanism (ii)); any
 		// existing replicas are updated in place. Every write counts as a
@@ -347,6 +354,16 @@ func (c *Cache) replicate(primary *line, now uint64) int {
 		created++
 	}
 	c.usedSets = used
+	// Two-tier ICR: a shortfall is offered to the far tier, which may
+	// park a copy in its own dead space. Cross-tier copies are counted
+	// apart from ReplSuccesses — they protect the block but are not
+	// in-cache replicas.
+	if created < want && c.cfg.CrossTier != nil {
+		c.cross.Offers++
+		if c.cfg.CrossTier.OfferReplica(now, ba, primary.data) {
+			c.cross.Accepted++
+		}
+	}
 	return created
 }
 
@@ -433,6 +450,7 @@ func (c *Cache) evictReplicaSite(v *line, now uint64) *line {
 func (c *Cache) installReplica(v *line, primary *line, now uint64) {
 	v.valid = true
 	v.replica = true
+	v.guest = false
 	v.dirty = false
 	v.blockAddr = primary.blockAddr
 	copy(v.data, primary.data)

@@ -37,6 +37,19 @@ func (p Protection) String() string {
 	}
 }
 
+// ParseProtection is the inverse of Protection.String — the shared parser
+// behind per-tier protection knobs ("P"/"parity" and "ECC"/"ecc").
+func ParseProtection(s string) (Protection, error) {
+	switch s {
+	case "P", "p", "parity":
+		return ParityProt, nil
+	case "ECC", "ecc":
+		return ECCProt, nil
+	default:
+		return 0, fmt.Errorf("unknown protection %q (have parity, ecc)", s)
+	}
+}
+
 // ReplTrigger selects when replicas are created (§3.1 "When do we
 // replicate?").
 type ReplTrigger uint8

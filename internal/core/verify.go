@@ -88,6 +88,19 @@ func (c *Cache) verifyLoad(now uint64, ln *line, replicas []*line, dup []byte, a
 		return 1
 	}
 
+	// Two-tier ICR: a copy parked in the far tier repairs the word at
+	// that tier's access cost — reaching the far array is a remote
+	// access, not an L1 probe — before falling back to ECC or refetch.
+	if c.cfg.CrossTier != nil {
+		c.cross.Repairs++
+		if lat, ok := c.cfg.CrossTier.RepairWord(now, ln.blockAddr, word, c.crossBuf[:]); ok {
+			copy(ln.data[word:word+8], c.crossBuf[:])
+			c.recodeWord(ln, word)
+			c.cross.Repaired++
+			return lat
+		}
+	}
+
 	// No intact replica: default to the unreplicated actions (§3.2).
 	if c.cfg.Scheme.Protection == ECCProt {
 		// Replicated line in an ICR-ECC scheme whose replicas all failed:

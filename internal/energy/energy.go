@@ -33,6 +33,12 @@ type Params struct {
 	// duplication cache (the Kim & Somani r-cache baseline), a small
 	// (~2KB) array.
 	RCacheRead, RCacheWrite float64
+
+	// MemRead and MemWrite price one memory-tier (DRAM/remote/CXL)
+	// access per direction. The defaults are zero — the paper's energy
+	// study stops at the L2 — so schema-1/2 reports are unchanged; the
+	// two-tier experiments opt in via WithMemoryCosts.
+	MemRead, MemWrite float64
 }
 
 // DefaultParams returns CACTI-3-class energies for the paper's cache
@@ -59,6 +65,15 @@ func (p Params) WithCheckCosts(parityFrac, eccFrac float64) Params {
 	return p
 }
 
+// WithMemoryCosts returns a copy of p with the memory-tier per-access
+// energies replaced. Used by the two-tier experiments, which care about
+// traffic that escapes the protected hierarchy.
+func (p Params) WithMemoryCosts(memRead, memWrite float64) Params {
+	p.MemRead = memRead
+	p.MemWrite = memWrite
+	return p
+}
+
 // Counts tallies energy-relevant events.
 type Counts struct {
 	L1Reads      uint64
@@ -74,6 +89,8 @@ type Counts struct {
 	// RCacheReads and RCacheWrites count duplication-cache probes and
 	// deposits.
 	RCacheReads, RCacheWrites uint64
+	// MemReads and MemWrites count memory-tier accesses per direction.
+	MemReads, MemWrites uint64
 }
 
 // Add accumulates another Counts into c.
@@ -87,6 +104,8 @@ func (c *Counts) Add(o Counts) {
 	c.ECCOps += o.ECCOps
 	c.RCacheReads += o.RCacheReads
 	c.RCacheWrites += o.RCacheWrites
+	c.MemReads += o.MemReads
+	c.MemWrites += o.MemWrites
 }
 
 // Meter accumulates events and evaluates them against a Params table.
@@ -134,6 +153,13 @@ func (m *Meter) AddRCacheRead(n uint64) { m.counts.RCacheReads += n }
 // AddRCacheWrite records n duplication-cache deposits.
 func (m *Meter) AddRCacheWrite(n uint64) { m.counts.RCacheWrites += n }
 
+// AddMemRead records n memory-tier reads (demand fills and fetches).
+func (m *Meter) AddMemRead(n uint64) { m.counts.MemReads += n }
+
+// AddMemWrite records n memory-tier writes (write-backs and buffered
+// write-throughs).
+func (m *Meter) AddMemWrite(n uint64) { m.counts.MemWrites += n }
+
 // RCacheEnergy returns the duplication-cache energy in nJ.
 func (m *Meter) RCacheEnergy() float64 {
 	return float64(m.counts.RCacheReads)*m.params.RCacheRead +
@@ -159,10 +185,17 @@ func (m *Meter) CheckEnergy() float64 {
 		float64(m.counts.ECCOps)*m.params.ECCFrac*unit
 }
 
-// Total returns the total dynamic energy (L1 + L2 + checks + r-cache)
-// in nJ.
+// MemEnergy returns the memory-tier energy in nJ (zero under the default
+// parameters, which price only the on-chip hierarchy).
+func (m *Meter) MemEnergy() float64 {
+	return float64(m.counts.MemReads)*m.params.MemRead +
+		float64(m.counts.MemWrites)*m.params.MemWrite
+}
+
+// Total returns the total dynamic energy (L1 + L2 + checks + r-cache +
+// memory tier) in nJ.
 func (m *Meter) Total() float64 {
-	return m.L1Energy() + m.L2Energy() + m.CheckEnergy() + m.RCacheEnergy()
+	return m.L1Energy() + m.L2Energy() + m.CheckEnergy() + m.RCacheEnergy() + m.MemEnergy()
 }
 
 // Reset zeroes the accumulated counts and installs new parameters, making

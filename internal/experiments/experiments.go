@@ -308,6 +308,7 @@ var registry = []registration{
 	{"decaypred", decayPredictors},
 	{"prefetch", prefetch},
 	{"adaptive", adaptiveShootout},
+	{"twotier", twoTierShootout},
 }
 
 // IDs returns the registered experiment ids in sorted order.

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"context"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Memory-tier per-access energies for the two-tier sweep (nJ, DRAM
+// interface class for the paper's 0.18um generation). The defaults are
+// zero — the paper's energy study stops at the L2 — so only this driver
+// prices the traffic that escapes the protected hierarchy.
+const (
+	twoTierMemRead  = 18.0
+	twoTierMemWrite = 19.5
+)
+
+// twoTierPoints returns the swept tier configurations, least to most
+// protected: an unprotected timing L2, parity detection, SEC-DED ECC,
+// in-tier ICR replication over parity, and ICR with cross-tier replica
+// placement against the L1.
+func twoTierPoints() []config.TwoTier {
+	fc := config.FaultConfig{Model: fault.Random, Prob: 1e-3, Seed: 11}
+	return []config.TwoTier{
+		{},
+		{Protect: core.ParityProt, Fault: fc},
+		{Protect: core.ECCProt, Fault: fc},
+		{Protect: core.ParityProt, Replicate: true, Victim: core.DeadFirst, DecayWindow: 1000, Fault: fc},
+		{Protect: core.ParityProt, Replicate: true, Victim: core.DeadFirst, DecayWindow: 1000, CrossTier: true, Fault: fc},
+	}
+}
+
+// twoTierScore folds the three axes the sweep trades into one scalar,
+// lower is better: the L1 vulnerability and cycle/energy overheads of
+// adaptiveScore, plus the tier hazard — the fraction of detected tier
+// errors the configuration failed to recover (unrecoverable-dirty loads
+// plus silently corrupt write-backs over injected errors). An unprotected
+// tier detects nothing at all, so its hazard is 1 by definition.
+func twoTierScore(r *metrics.Report, base *metrics.Report, lines int) float64 {
+	score := adaptiveScore(r, base, lines)
+	hazard := 1.0
+	if tt := r.TwoTier; tt != nil && tt.Tier != "off" {
+		hazard = 0
+		if tt.ErrorsInjected > 0 {
+			hazard = float64(tt.UnrecoverableDirty+tt.SilentWritebacks) / float64(tt.ErrorsInjected)
+		}
+	}
+	return score + hazard
+}
+
+// twoTierShootout — driver "twotier": per-tier protection choices (none,
+// parity, ECC, in-tier ICR, ICR with cross-tier placement) against three
+// L1 schemes, with transient errors injected at both tiers and the
+// memory-tier traffic priced. Each cell is the geometric mean across the
+// benchmarks of the combined reliability + performance + energy score,
+// anchored to the (BaseP, unprotected-tier) run of the same workload.
+func twoTierShootout(ctx context.Context, o Options) (*Result, error) {
+	m := o.machine()
+	sets := m.DL1Sets()
+	lines := sets * m.DL1Assoc
+	benches := workload.Names()
+	points := twoTierPoints()
+	l1Fault := config.FaultConfig{Model: fault.Random, Prob: 1e-3, Seed: 7}
+
+	l1Schemes := []core.Scheme{core.BaseP(), core.BaseECC(false), icrPS(core.ReplStores)}
+
+	ticks := make([]string, len(points))
+	for i, tt := range points {
+		ticks[i] = tt.Name()
+	}
+
+	submitPoint := func(scheme core.Scheme, tt config.TwoTier) []*runner.Pending {
+		ps := make([]*runner.Pending, len(benches))
+		for i, bench := range benches {
+			ps[i] = submitOne(ctx, o, bench, scheme, func(r *config.Run) {
+				if scheme.HasReplication() {
+					r.Repl = relaxedRepl(sets)
+				}
+				r.Fault = l1Fault
+				r.TwoTier = tt
+				r.Energy = r.Energy.WithMemoryCosts(twoTierMemRead, twoTierMemWrite)
+			})
+		}
+		return ps
+	}
+
+	// Submit everything before collecting anything, so the whole grid
+	// shares the worker pool. entries[scheme][point] = per-benchmark runs.
+	entries := make([][][]*runner.Pending, len(l1Schemes))
+	for si, scheme := range l1Schemes {
+		entries[si] = make([][]*runner.Pending, len(points))
+		for pi, tt := range points {
+			entries[si][pi] = submitPoint(scheme, tt)
+		}
+	}
+
+	// The anchor: BaseP over the unprotected tier, same workload and
+	// injection, memory traffic priced the same way.
+	base, err := collect(entries[0][0])
+	if err != nil {
+		return nil, err
+	}
+
+	result := &Result{
+		ID:     "twotier",
+		Title:  "Per-tier protection: L1 scheme x L2/remote tier scheme",
+		XLabel: "tier protection",
+		XTicks: ticks,
+		Notes: "geomean across benchmarks of (vulnerable line-cycle fraction + cycle overhead + " +
+			"energy overhead + unrecovered tier-error fraction) vs BaseP over an unprotected tier; lower is better",
+	}
+	for si, scheme := range l1Schemes {
+		vals := make([]float64, len(points))
+		for pi := range points {
+			reports := base
+			if si != 0 || pi != 0 {
+				if reports, err = collect(entries[si][pi]); err != nil {
+					return nil, err
+				}
+			}
+			scores := make([]float64, len(reports))
+			for j, r := range reports {
+				scores[j] = twoTierScore(r, base[j], lines)
+			}
+			vals[pi] = sim.GeoMean(scores)
+			result.Reports = append(result.Reports, reports...)
+		}
+		result.Series = append(result.Series, Series{Label: scheme.Name(), Values: vals})
+	}
+	return result, nil
+}

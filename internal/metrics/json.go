@@ -24,21 +24,29 @@ import (
 //	    version tags only payloads that actually carry the block: static
 //	    runs keep marshalling as version 1 (or 2 when sampled), byte-
 //	    identical to what older writers produced.
+//	4 — adds the optional TwoTier block (TwoTierStats) for runs with a
+//	    protected second tier or memory-tier energy pricing. Same gating
+//	    as before: only payloads carrying the block are tagged with the
+//	    new version.
 //
 // Bump it whenever the set of Report fields changes (added, removed, or
 // renamed): decoders reject unknown versions, which turns a stale disk
 // entry into a cache miss instead of a silently wrong report. The golden
 // test in json_test.go fails on any field change that is not accompanied
 // by a bump.
-const ReportSchemaVersion = 3
+const ReportSchemaVersion = 4
 
 // exactReportSchema is the wire version emitted for reports without
-// sampling or adaptive data; see the version history above.
+// sampling, adaptive, or two-tier data; see the version history above.
 const exactReportSchema = 1
 
 // sampledReportSchema is the wire version emitted for sampled reports
-// without adaptive data.
+// without adaptive or two-tier data.
 const sampledReportSchema = 2
+
+// adaptiveReportSchema is the wire version emitted for adaptive reports
+// without two-tier data.
+const adaptiveReportSchema = 3
 
 // ErrReportSchema is returned (wrapped) by Report.UnmarshalJSON when the
 // payload's schema version is not one this decoder understands, or when a
@@ -62,8 +70,10 @@ type reportWire struct {
 // encoding those readers produced.
 func (r *Report) wireVersion() int {
 	switch {
-	case r.Adaptive != nil:
+	case r.TwoTier != nil:
 		return ReportSchemaVersion
+	case r.Adaptive != nil:
+		return adaptiveReportSchema
 	case r.Sampling != nil:
 		return sampledReportSchema
 	default:
@@ -99,14 +109,24 @@ func (r *Report) UnmarshalJSON(data []byte) error {
 		if w.Adaptive != nil {
 			return fmt.Errorf("%w: version %d payload carries adaptive fields", ErrReportSchema, w.Schema)
 		}
+		if w.TwoTier != nil {
+			return fmt.Errorf("%w: version %d payload carries two-tier fields", ErrReportSchema, w.Schema)
+		}
 	case sampledReportSchema:
 		if w.Adaptive != nil {
 			return fmt.Errorf("%w: version %d payload carries adaptive fields", ErrReportSchema, w.Schema)
 		}
+		if w.TwoTier != nil {
+			return fmt.Errorf("%w: version %d payload carries two-tier fields", ErrReportSchema, w.Schema)
+		}
+	case adaptiveReportSchema:
+		if w.TwoTier != nil {
+			return fmt.Errorf("%w: version %d payload carries two-tier fields", ErrReportSchema, w.Schema)
+		}
 	case ReportSchemaVersion:
 	default:
-		return fmt.Errorf("%w: got %d, want %d, %d, or %d", ErrReportSchema, w.Schema,
-			exactReportSchema, sampledReportSchema, ReportSchemaVersion)
+		return fmt.Errorf("%w: got %d, want %d, %d, %d, or %d", ErrReportSchema, w.Schema,
+			exactReportSchema, sampledReportSchema, adaptiveReportSchema, ReportSchemaVersion)
 	}
 	*r = Report(w.reportAlias)
 	return nil

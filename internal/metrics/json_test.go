@@ -37,8 +37,8 @@ func fillDistinct(v reflect.Value, base int) {
 			f.SetFloat(float64(base+i) + 0.125)
 		case reflect.Pointer, reflect.Slice:
 			// Handled by the caller (goldenReport): the pointer fields are
-			// the optional Sampling/Adaptive blocks and the only slice is
-			// AdaptiveStats.Trajectory.
+			// the optional Sampling/Adaptive/TwoTier blocks and the only
+			// slice is AdaptiveStats.Trajectory.
 		default:
 			panic("fillDistinct: unhandled field kind " + f.Kind().String())
 		}
@@ -49,8 +49,9 @@ func fillDistinct(v reflect.Value, base int) {
 // encoding exercises the full schema (reflection above verifies no field
 // was missed). sampled attaches a fully populated SamplingStats block;
 // adaptive attaches a fully populated AdaptiveStats block with a
-// two-entry trajectory; exact reports leave both nil.
-func goldenReport(sampled, adaptive bool) Report {
+// two-entry trajectory; twotier attaches a fully populated TwoTierStats
+// block; exact reports leave all three nil.
+func goldenReport(sampled, adaptive, twotier bool) Report {
 	var r Report
 	fillDistinct(reflect.ValueOf(&r).Elem(), 0)
 	if sampled {
@@ -64,32 +65,39 @@ func goldenReport(sampled, adaptive bool) Report {
 		a.Trajectory = []AdaptiveMove{{Epoch: 301, Level: 302}, {Epoch: 303, Level: 304}}
 		r.Adaptive = &a
 	}
+	if twotier {
+		var tt TwoTierStats
+		fillDistinct(reflect.ValueOf(&tt).Elem(), 400)
+		r.TwoTier = &tt
+	}
 	return r
 }
 
 // TestReportJSONGolden pins the exact wire encoding of Report in every
 // schema variant: an exact run (no optional blocks) must stay
 // byte-identical to the version-1 encoding, a sampled run pins the
-// version-2 encoding with the Sampling block, and an adaptive run pins the
-// version-3 encoding carrying both optional blocks. If this fails because
-// Report's fields changed, bump ReportSchemaVersion and regenerate the
-// golden files with:
+// version-2 encoding with the Sampling block, an adaptive run pins the
+// version-3 encoding with the Adaptive block, and a two-tier run pins the
+// version-4 encoding carrying all three optional blocks. If this fails
+// because Report's fields changed, bump ReportSchemaVersion and
+// regenerate the golden files with:
 //
 //	go test ./internal/metrics -run TestReportJSONGolden -update
 func TestReportJSONGolden(t *testing.T) {
 	cases := []struct {
-		name              string
-		file              string
-		sampled, adaptive bool
-		schema            int
+		name                       string
+		file                       string
+		sampled, adaptive, twotier bool
+		schema                     int
 	}{
-		{"exact", "report_schema.json", false, false, exactReportSchema},
-		{"sampled", "report_schema_sampled.json", true, false, sampledReportSchema},
-		{"adaptive", "report_schema_adaptive.json", true, true, ReportSchemaVersion},
+		{"exact", "report_schema.json", false, false, false, exactReportSchema},
+		{"sampled", "report_schema_sampled.json", true, false, false, sampledReportSchema},
+		{"adaptive", "report_schema_adaptive.json", true, true, false, adaptiveReportSchema},
+		{"twotier", "report_schema_twotier.json", true, true, true, ReportSchemaVersion},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			r := goldenReport(tc.sampled, tc.adaptive)
+			r := goldenReport(tc.sampled, tc.adaptive, tc.twotier)
 			got, err := json.Marshal(r)
 			if err != nil {
 				t.Fatal(err)
@@ -126,7 +134,7 @@ func TestReportJSONGolden(t *testing.T) {
 // a field without bumping the version fails here even if the golden files
 // are regenerated.
 func TestReportSchemaFingerprint(t *testing.T) {
-	const pinnedVersion = 3
+	const pinnedVersion = 4
 	pinnedFields := []string{
 		"Benchmark string", "Scheme string",
 		"Instructions uint64", "Cycles uint64",
@@ -151,6 +159,7 @@ func TestReportSchemaFingerprint(t *testing.T) {
 		"EnergyChecks float64", "EnergyRCache float64",
 		"Sampling *metrics.SamplingStats",
 		"Adaptive *metrics.AdaptiveStats",
+		"TwoTier *metrics.TwoTierStats",
 	}
 	pinnedSamplingFields := []string{
 		"Period uint64", "Detail uint64", "Warmup uint64",
@@ -172,6 +181,21 @@ func TestReportSchemaFingerprint(t *testing.T) {
 		"Trajectory []metrics.AdaptiveMove",
 	}
 	pinnedMoveFields := []string{"Epoch uint64", "Level int"}
+	pinnedTwoTierFields := []string{
+		"Tier string",
+		"ExtraLatency uint64",
+		"MemReads uint64", "MemWrites uint64",
+		"EnergyMem float64",
+		"ReplAttempts uint64", "ReplSuccesses uint64",
+		"ReplicaEvictions uint64", "DeadEvictions uint64",
+		"ErrorsInjected uint64", "ErrorsDetected uint64",
+		"RecoveredByReplica uint64", "RecoveredByECC uint64",
+		"RecoveredByCross uint64", "RecoveredByMem uint64",
+		"UnrecoverableDirty uint64", "SilentWritebacks uint64",
+		"CrossOffers uint64", "CrossAccepted uint64",
+		"CrossRepairs uint64", "CrossRepaired uint64",
+		"L1CrossRepaired uint64",
+	}
 	if ReportSchemaVersion != pinnedVersion {
 		t.Fatalf("ReportSchemaVersion = %d but the fingerprint test still pins version %d: "+
 			"update pinnedVersion and the pinned field lists to match the new schema",
@@ -196,13 +220,15 @@ func TestReportSchemaFingerprint(t *testing.T) {
 	check(reflect.TypeOf(SamplingStats{}), pinnedSamplingFields)
 	check(reflect.TypeOf(AdaptiveStats{}), pinnedAdaptiveFields)
 	check(reflect.TypeOf(AdaptiveMove{}), pinnedMoveFields)
+	check(reflect.TypeOf(TwoTierStats{}), pinnedTwoTierFields)
 }
 
 func TestReportJSONRoundTrip(t *testing.T) {
-	for _, tc := range []struct{ sampled, adaptive bool }{
-		{false, false}, {true, false}, {false, true}, {true, true},
+	for _, tc := range []struct{ sampled, adaptive, twotier bool }{
+		{false, false, false}, {true, false, false}, {false, true, false},
+		{true, true, false}, {false, false, true}, {true, true, true},
 	} {
-		r := goldenReport(tc.sampled, tc.adaptive)
+		r := goldenReport(tc.sampled, tc.adaptive, tc.twotier)
 		data, err := json.Marshal(&r)
 		if err != nil {
 			t.Fatal(err)
@@ -227,7 +253,7 @@ func TestReportJSONRoundTrip(t *testing.T) {
 }
 
 func TestReportJSONSchemaMismatch(t *testing.T) {
-	r := goldenReport(true, true)
+	r := goldenReport(true, true, true)
 	data, err := json.Marshal(r)
 	if err != nil {
 		t.Fatal(err)
@@ -247,21 +273,25 @@ func TestReportJSONSchemaMismatch(t *testing.T) {
 
 // TestLowSchemaRejectsOptionalBlocks pins the invariant behind the tiered
 // schema: a payload may not declare a version too low for the optional
-// blocks it carries — a version-1 document must carry neither Sampling nor
-// Adaptive, and a version-2 document must not carry Adaptive.
+// blocks it carries — a version-1 document must carry none of the
+// optional blocks, a version-2 document must not carry Adaptive or
+// TwoTier, and a version-3 document must not carry TwoTier.
 func TestLowSchemaRejectsOptionalBlocks(t *testing.T) {
 	cases := []struct {
-		name              string
-		sampled, adaptive bool
-		from, to          int
+		name                       string
+		sampled, adaptive, twotier bool
+		from, to                   int
 	}{
-		{"sampling-as-v1", true, false, sampledReportSchema, exactReportSchema},
-		{"adaptive-as-v1", false, true, ReportSchemaVersion, exactReportSchema},
-		{"adaptive-as-v2", false, true, ReportSchemaVersion, sampledReportSchema},
+		{"sampling-as-v1", true, false, false, sampledReportSchema, exactReportSchema},
+		{"adaptive-as-v1", false, true, false, adaptiveReportSchema, exactReportSchema},
+		{"adaptive-as-v2", false, true, false, adaptiveReportSchema, sampledReportSchema},
+		{"twotier-as-v1", false, false, true, ReportSchemaVersion, exactReportSchema},
+		{"twotier-as-v2", false, false, true, ReportSchemaVersion, sampledReportSchema},
+		{"twotier-as-v3", false, false, true, ReportSchemaVersion, adaptiveReportSchema},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			r := goldenReport(tc.sampled, tc.adaptive)
+			r := goldenReport(tc.sampled, tc.adaptive, tc.twotier)
 			data, err := json.Marshal(r)
 			if err != nil {
 				t.Fatal(err)

@@ -97,6 +97,55 @@ type Report struct {
 	// accuracy. Static-scheme runs leave it nil and keep their earlier
 	// wire encoding (see ReportSchemaVersion).
 	Adaptive *AdaptiveStats `json:",omitempty"`
+
+	// TwoTier is non-nil iff the run protected the second tier
+	// (config.TwoTier) or priced memory-tier energy: it records the
+	// tier's reliability ladder, cross-tier replica traffic, and the
+	// per-direction memory counters. Single-tier runs leave it nil and
+	// keep their earlier wire encoding (see ReportSchemaVersion).
+	TwoTier *TwoTierStats `json:",omitempty"`
+}
+
+// TwoTierStats records what the protected second tier did over a run,
+// plus the per-direction memory-tier split (which exists only at this
+// schema version; MemAccesses above stays the total for all versions).
+type TwoTierStats struct {
+	// Tier is the tier configuration label (config.TwoTier.Name), e.g.
+	// "off", "P", "ECC", "ICR-P+x".
+	Tier string
+	// ExtraLatency is the remote-reach cycles added to every tier access.
+	ExtraLatency uint64
+
+	// Memory-tier traffic split by direction, and its energy (nJ).
+	MemReads  uint64
+	MemWrites uint64
+	EnergyMem float64
+
+	// In-tier replication.
+	ReplAttempts     uint64
+	ReplSuccesses    uint64
+	ReplicaEvictions uint64
+	DeadEvictions    uint64
+
+	// Tier error behaviour (the tier's own injector and recovery ladder).
+	ErrorsInjected     uint64
+	ErrorsDetected     uint64
+	RecoveredByReplica uint64
+	RecoveredByECC     uint64
+	RecoveredByCross   uint64 // tier lines repaired from copies parked in the L1
+	RecoveredByMem     uint64 // clean tier lines refetched from memory
+	UnrecoverableDirty uint64
+	SilentWritebacks   uint64
+
+	// Cross-tier replica traffic, summed over both directions (L1→tier
+	// and tier→L1 client-side views).
+	CrossOffers   uint64
+	CrossAccepted uint64
+	CrossRepairs  uint64
+	CrossRepaired uint64
+	// L1CrossRepaired counts L1 loads repaired from a copy parked in the
+	// tier — the remote-repair path the latency model prices.
+	L1CrossRepaired uint64
 }
 
 // AdaptiveStats records what the ICR-ADAPT runtime controller did over a
@@ -247,9 +296,15 @@ func (r *Report) MispredictRate() float64 {
 	return float64(r.Mispredicts) / float64(r.Branches)
 }
 
-// TotalEnergy returns the L1+L2+check+r-cache dynamic energy in nJ.
+// TotalEnergy returns the L1+L2+check+r-cache dynamic energy in nJ, plus
+// the memory-tier energy when the run priced it (the optional TwoTier
+// block; zero-cost otherwise, so single-tier totals are unchanged).
 func (r *Report) TotalEnergy() float64 {
-	return r.EnergyL1 + r.EnergyL2 + r.EnergyChecks + r.EnergyRCache
+	t := r.EnergyL1 + r.EnergyL2 + r.EnergyChecks + r.EnergyRCache
+	if r.TwoTier != nil {
+		t += r.TwoTier.EnergyMem
+	}
+	return t
 }
 
 // VulnerabilityPerLine returns the average fraction of time a cache line
@@ -306,6 +361,21 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, "  controller        up=%d down=%d accuracy=%.2f final: L%d r=%d w=%d %s %s\n",
 			a.MovesUp, a.MovesDown, a.Accuracy(),
 			a.FinalLevel, a.FinalReplicas, a.FinalDecayWindow, a.FinalVictim, a.FinalLookup)
+	}
+	if t := r.TwoTier; t != nil {
+		fmt.Fprintf(&b, "  two-tier          %12s  (extra latency %d)\n", t.Tier, t.ExtraLatency)
+		fmt.Fprintf(&b, "  mem traffic       reads=%d writes=%d energy=%.1f\n", t.MemReads, t.MemWrites, t.EnergyMem)
+		if t.ReplAttempts > 0 || t.ErrorsInjected > 0 {
+			fmt.Fprintf(&b, "  tier repl         %12d/%d  (evict replica=%d dead=%d)\n",
+				t.ReplSuccesses, t.ReplAttempts, t.ReplicaEvictions, t.DeadEvictions)
+			fmt.Fprintf(&b, "  tier errors       injected=%d detected=%d replica=%d ecc=%d cross=%d mem=%d lost=%d silent=%d\n",
+				t.ErrorsInjected, t.ErrorsDetected, t.RecoveredByReplica, t.RecoveredByECC,
+				t.RecoveredByCross, t.RecoveredByMem, t.UnrecoverableDirty, t.SilentWritebacks)
+		}
+		if t.CrossOffers > 0 || t.CrossRepairs > 0 {
+			fmt.Fprintf(&b, "  cross-tier        offers=%d accepted=%d repairs=%d repaired=%d l1-repaired=%d\n",
+				t.CrossOffers, t.CrossAccepted, t.CrossRepairs, t.CrossRepaired, t.L1CrossRepaired)
+		}
 	}
 	return b.String()
 }

@@ -227,10 +227,10 @@ func (t *Tiered) Put(ctx context.Context, key Key, rep *metrics.Report) error {
 
 // copyReport returns an independent copy of a cached report, so no caller
 // can mutate the cached value another caller sees. metrics.Report is a
-// flat value struct except for the optional Sampling and Adaptive blocks
-// (and the latter's Trajectory slice), which are deep-copied explicitly;
-// the compile-time-adjacent test in memo_test.go guards that assumption
-// against future reference-typed fields.
+// flat value struct except for the optional Sampling, Adaptive, and
+// TwoTier blocks (and Adaptive's Trajectory slice), which are deep-copied
+// explicitly; the compile-time-adjacent test in memo_test.go guards that
+// assumption against future reference-typed fields.
 func copyReport(r *metrics.Report) *metrics.Report {
 	if r == nil {
 		return nil
@@ -246,6 +246,10 @@ func copyReport(r *metrics.Report) *metrics.Report {
 			a.Trajectory = append([]metrics.AdaptiveMove(nil), a.Trajectory...)
 		}
 		cp.Adaptive = &a
+	}
+	if r.TwoTier != nil {
+		tt := *r.TwoTier
+		cp.TwoTier = &tt
 	}
 	return &cp
 }

@@ -71,6 +71,7 @@ func KeyFor(m config.Machine, r config.Run) (Key, bool) {
 	h.section("run.energy")
 	h.f64s(r.Energy.L1Read, r.Energy.L1Write, r.Energy.L1WordWrite,
 		r.Energy.L2Read, r.Energy.L2Write,
+		r.Energy.MemRead, r.Energy.MemWrite,
 		r.Energy.ParityFrac, r.Energy.ECCFrac,
 		r.Energy.RCacheRead, r.Energy.RCacheWrite)
 	h.section("run.extensions")
@@ -83,6 +84,14 @@ func KeyFor(m config.Machine, r config.Run) (Key, bool) {
 	h.section("run.adapt")
 	h.ints(int(r.Adapt.Predictor), r.Adapt.Hysteresis, r.Adapt.MaxReplicas)
 	h.u64s(r.Adapt.Epoch, r.Adapt.MinWindow, r.Adapt.MaxWindow)
+	h.section("run.twotier")
+	h.ints(int(r.TwoTier.Protect), int(r.TwoTier.Victim))
+	h.bool(r.TwoTier.Replicate)
+	h.bool(r.TwoTier.CrossTier)
+	h.u64s(r.TwoTier.DecayWindow, r.TwoTier.ExtraLatency)
+	h.ints(int(r.TwoTier.Fault.Model))
+	h.f64(r.TwoTier.Fault.Prob)
+	h.i64(r.TwoTier.Fault.Seed)
 
 	return h.sum(), true
 }

@@ -47,7 +47,7 @@ func TestKeyForDeterministic(t *testing.T) {
 // format change has to be deliberate (update the constant when it is).
 func TestKeyForGolden(t *testing.T) {
 	m, r := baseInputs()
-	const want = "88b90ec0011897dcdeabd02a02ac7c687445b63b54bad69e0bcdddc2f03722aa"
+	const want = "b7cf86bb16f7149d2f6c24ccd9bb8aea8c3f696e37a365f0c81ef8df70080cc0"
 	if got := mustKey(t, m, r).String(); got != want {
 		t.Errorf("golden key changed:\n got %s\nwant %s\n(update the constant only for a deliberate serialization change)", got, want)
 	}

@@ -161,6 +161,7 @@ func TestReportIsFlatValueStruct(t *testing.T) {
 		"Report.Sampling":              true,
 		"Report.Adaptive":              true,
 		"Report.Adaptive.*.Trajectory": true,
+		"Report.TwoTier":               true,
 	}
 	var check func(tp reflect.Type, path string)
 	check = func(tp reflect.Type, path string) {
@@ -221,6 +222,20 @@ func TestCopyReportDeepCopiesAdaptive(t *testing.T) {
 	cp.Adaptive.Trajectory[0].Level = 0
 	if orig.Adaptive.Epochs != 4 || orig.Adaptive.Trajectory[0].Level != 2 {
 		t.Error("mutating the copy's Adaptive reached the cached report")
+	}
+}
+
+// TestCopyReportDeepCopiesTwoTier pins the same invariant for the
+// two-tier block.
+func TestCopyReportDeepCopiesTwoTier(t *testing.T) {
+	orig := &metrics.Report{TwoTier: &metrics.TwoTierStats{Tier: "ICR-P+x", ReplAttempts: 7}}
+	cp := copyReport(orig)
+	if cp.TwoTier == orig.TwoTier {
+		t.Fatal("copyReport aliased the TwoTier block")
+	}
+	cp.TwoTier.ReplAttempts = 99
+	if orig.TwoTier.ReplAttempts != 7 {
+		t.Error("mutating the copy's TwoTier reached the cached report")
 	}
 }
 

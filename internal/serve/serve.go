@@ -296,6 +296,12 @@ type RunRequest struct {
 	// "predictor=decay|ehc[,epoch=N][,hysteresis=N][,maxreplicas=N]
 	// [,minwindow=N][,maxwindow=N]".
 	Adapt string `json:"adapt,omitempty"`
+	// TwoTier protects the second tier of the hierarchy; the value uses
+	// the -twotier flag syntax (config.ParseTwoTier): "parity", "ecc",
+	// "icr", "icr-ecc", or "protect=P|ECC[,replicate=BOOL][,victim=NAME]
+	// [,decay=N][,cross=BOOL][,latency=N][,fault=MODEL][,prob=F]
+	// [,faultseed=N]".
+	TwoTier string `json:"twotier,omitempty"`
 	// TimeoutMS bounds this request (further capped by the server's
 	// RequestTimeout).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -476,6 +482,9 @@ func buildRun(req RunRequest) (config.Run, error) {
 		return config.Run{}, err
 	}
 	if run.Adapt, err = adapt.Parse(req.Adapt); err != nil {
+		return config.Run{}, err
+	}
+	if run.TwoTier, err = config.ParseTwoTier(req.TwoTier); err != nil {
 		return config.Run{}, err
 	}
 	if req.FaultProb > 0 {

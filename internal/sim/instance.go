@@ -16,6 +16,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/rcache"
+	"repro/internal/tier"
 	"repro/internal/workload"
 )
 
@@ -33,7 +34,8 @@ type instance struct {
 	shape string //icrvet:persistent the pool key itself: construction-determined, identical for every run sharing the instance
 
 	mem   *cache.Memory
-	l2    *cache.Cache
+	l2    *cache.Cache    // plain timing L2; nil when the run protects the tier
+	tier  *tier.Protected // protected second tier; nil for single-tier shapes
 	il1   *cache.Cache
 	meter *energy.Meter
 	dups  *rcache.Cache
@@ -57,10 +59,15 @@ func shapeOf(m config.Machine, r config.Run) (string, bool) {
 	if r.Hints != nil {
 		return "", false
 	}
-	// Scheme, Repl, and Adapt are fingerprinted wholesale (%+v covers
-	// every field, including the slice of distances) so a new knob on any
-	// of them can never silently collide two different constructions.
-	return fmt.Sprintf("%d/%d/%d/%d|%d/%d/%d/%d|%d/%d/%d/%d|%d|%+v|%+v|%t/%d|%d|%t|%+v",
+	// Scheme, Repl, Adapt, and TwoTier are fingerprinted wholesale (%+v
+	// covers every field, including the slice of distances) so a new knob
+	// on any of them can never silently collide two different
+	// constructions. The tier's fault config is zeroed first: the tier
+	// injector is per-run, exactly like the L1's, so differently-seeded
+	// injection runs still share an arena.
+	tt := r.TwoTier
+	tt.Fault = config.FaultConfig{}
+	return fmt.Sprintf("%d/%d/%d/%d|%d/%d/%d/%d|%d/%d/%d/%d|%d|%+v|%+v|%t/%d|%d|%t|%+v|%+v",
 		m.IL1Size, m.IL1Assoc, m.IL1Block, m.IL1Latency,
 		m.DL1Size, m.DL1Assoc, m.DL1Block, m.DL1Latency,
 		m.L2Size, m.L2Assoc, m.L2Block, m.L2Latency,
@@ -70,6 +77,7 @@ func shapeOf(m config.Machine, r config.Run) (string, bool) {
 		r.DupCacheKB,
 		r.Prefetch,
 		r.Adapt,
+		tt,
 	), true
 }
 
@@ -82,22 +90,48 @@ func newInstance(m config.Machine, r config.Run) *instance {
 	}
 
 	// Memory hierarchy, bottom up. The L2 is unified: both L1s miss into
-	// it, as in Table 1.
+	// it, as in Table 1. When the run protects the second tier, a
+	// tier.Protected replaces the plain timing L2 at the same position in
+	// the hierarchy — same geometry, same hit latency, same single-banked
+	// port — and carries its own parity/ECC, decay replication, and
+	// cross-tier hooks.
 	mem := cache.NewMemory(m.MemLatency, m.DL1Block)
-	l2 := cache.New(cache.Config{
-		Name: "l2", Size: m.L2Size, Assoc: m.L2Assoc, BlockSize: m.L2Block,
-		HitLatency: m.L2Latency, Policy: cache.WriteBack, Next: mem,
-		// The L2 is single-banked: each access (demand fill, write-back,
-		// or write-buffer drain) occupies it for a few cycles, so heavy
-		// write-through traffic delays demand misses (§5.8).
-		PortOccupancy: 4,
-	})
+	meter := energy.NewMeter(r.Energy)
+	var l2 *cache.Cache
+	var prot *tier.Protected
+	var l2level cache.Level
+	if r.TwoTier.Enabled() {
+		prot = tier.New(tier.Config{
+			Size: m.L2Size, Assoc: m.L2Assoc, BlockSize: m.L2Block,
+			HitLatency:   m.L2Latency,
+			ExtraLatency: r.TwoTier.ExtraLatency,
+			// Single-banked like the plain L2 (§5.8).
+			PortOccupancy: 4,
+			Protect:       r.TwoTier.Protect,
+			Replicate:     r.TwoTier.Replicate,
+			Victim:        r.TwoTier.Victim,
+			DecayWindow:   r.TwoTier.DecayWindow,
+			Next:          mem,
+			Mem:           mem,
+			Meter:         meter,
+		})
+		l2level = prot
+	} else {
+		l2 = cache.New(cache.Config{
+			Name: "l2", Size: m.L2Size, Assoc: m.L2Assoc, BlockSize: m.L2Block,
+			HitLatency: m.L2Latency, Policy: cache.WriteBack, Next: mem,
+			// The L2 is single-banked: each access (demand fill, write-back,
+			// or write-buffer drain) occupies it for a few cycles, so heavy
+			// write-through traffic delays demand misses (§5.8).
+			PortOccupancy: 4,
+		})
+		l2level = l2
+	}
 	il1 := cache.New(cache.Config{
 		Name: "il1", Size: m.IL1Size, Assoc: m.IL1Assoc, BlockSize: m.IL1Block,
-		HitLatency: m.IL1Latency, Policy: cache.WriteBack, Next: l2,
+		HitLatency: m.IL1Latency, Policy: cache.WriteBack, Next: l2level,
 	})
 
-	meter := energy.NewMeter(r.Energy)
 	var dups *rcache.Cache
 	if r.DupCacheKB > 0 {
 		dups = rcache.New(r.DupCacheKB<<10, 4, m.DL1Block)
@@ -107,10 +141,13 @@ func newInstance(m config.Machine, r config.Run) *instance {
 		HitLatency: m.DL1Latency,
 		Scheme:     r.Scheme,
 		Repl:       r.Repl,
-		Next:       l2,
+		Next:       l2level,
 		Mem:        mem,
 		Meter:      meter,
 		Hints:      r.Hints,
+	}
+	if prot != nil && r.TwoTier.CrossTier {
+		dl1cfg.CrossTier = prot
 	}
 	dl1cfg.PrefetchIntoDead = r.Prefetch
 	if dups != nil {
@@ -123,10 +160,15 @@ func newInstance(m config.Machine, r config.Run) *instance {
 		if entries <= 0 {
 			entries = 8
 		}
-		wbuf = cache.NewWriteBuffer(entries, m.L2Latency, l2)
+		wbuf = cache.NewWriteBuffer(entries, m.L2Latency, l2level)
 		dl1cfg.WriteBuf = wbuf
 	}
 	dl1 := core.New(dl1cfg)
+	if prot != nil && r.TwoTier.CrossTier {
+		// Both directions: the dl1 spills replicas into the tier (wired
+		// above) and the tier parks shortfall replicas in the dl1.
+		prot.SetCross(dl1)
+	}
 
 	var ctrl *adapt.Controller
 	if r.Adapt.Enabled() {
@@ -137,6 +179,7 @@ func newInstance(m config.Machine, r config.Run) *instance {
 		shape: shape,
 		mem:   mem,
 		l2:    l2,
+		tier:  prot,
 		il1:   il1,
 		meter: meter,
 		dups:  dups,
@@ -152,7 +195,11 @@ func newInstance(m config.Machine, r config.Run) *instance {
 // clears), so the pooled and unpooled paths execute identical code.
 func (in *instance) reset(r config.Run) {
 	in.mem.Reset()
-	in.l2.Reset()
+	if in.tier != nil {
+		in.tier.Reset()
+	} else {
+		in.l2.Reset()
+	}
 	in.il1.Reset()
 	in.dl1.Reset()
 	in.meter.Reset(r.Energy)
@@ -185,6 +232,22 @@ func (in *instance) simulate(ctx context.Context, m config.Machine, r config.Run
 			for now >= next {
 				dl1.Inject(injector)
 				next = injector.NextAfter(now)
+			}
+		})
+	}
+	var tierInjector *fault.Injector
+	if in.tier != nil && r.TwoTier.Fault.Prob > 0 {
+		f := r.TwoTier.Fault
+		wordsPerRow := m.L2Assoc * m.L2Block / 8
+		tierInjector = fault.NewInjector(f.Model, f.Prob, wordsPerRow, f.Seed)
+		tnext := tierInjector.NextAfter(0)
+		prot := in.tier
+		inj := tierInjector
+		//icrvet:hot installed behind Config.EachCycle, which the call graph cannot follow
+		hooks = append(hooks, func(now uint64) {
+			for now >= tnext {
+				prot.Inject(inj)
+				tnext = inj.NextAfter(now)
 			}
 		})
 	}
@@ -253,7 +316,18 @@ func (in *instance) simulate(ctx context.Context, m config.Machine, r config.Run
 	}
 	in.dl1.FinishVulnerability(cstats.Cycles)
 
-	rep := assemble(r, cstats, in.dl1.Stats(), in.il1.Stats(), in.l2.Stats(), in.mem, in.meter, injector)
+	lsStats := func() cache.Stats {
+		if in.tier != nil {
+			// The tier's demand-stream counters have cache.Stats shape, so
+			// L2 accounting and energy pricing are tier-agnostic.
+			return in.tier.CacheStats()
+		}
+		return in.l2.Stats()
+	}()
+	rep := assemble(r, cstats, in.dl1.Stats(), in.il1.Stats(), lsStats, in.mem, in.meter, injector)
+	if tt := twoTierBlock(r, in, tierInjector); tt != nil {
+		rep.TwoTier = tt
+	}
 	if sampling != nil {
 		// Timing is the one estimated quantity: every event counter in the
 		// report is cumulative over the full stream (warming performs all
@@ -273,6 +347,51 @@ func (in *instance) simulate(ctx context.Context, m config.Machine, r config.Run
 		rep.Adaptive = in.ctrl.Stats()
 	}
 	return rep, nil
+}
+
+// twoTierBlock builds the optional Report.TwoTier block. It is non-nil —
+// and the report therefore marshals under schema version 4 — only when
+// the run actually engages the two-tier machinery: a protected tier, or
+// non-zero memory-tier energy pricing. Plain single-tier runs return nil
+// so their wire encoding stays byte-identical to older writers (the
+// equivalence goldens pin this).
+func twoTierBlock(r config.Run, in *instance, tierInjector *fault.Injector) *metrics.TwoTierStats {
+	if !r.TwoTier.Enabled() && r.Energy.MemRead == 0 && r.Energy.MemWrite == 0 {
+		return nil
+	}
+	tt := &metrics.TwoTierStats{
+		Tier:         r.TwoTier.Name(),
+		ExtraLatency: r.TwoTier.ExtraLatency,
+		MemReads:     in.mem.Reads() + in.mem.Fetches(),
+		MemWrites:    in.mem.Writes(),
+		EnergyMem:    in.meter.MemEnergy(),
+	}
+	l1cross := in.dl1.CrossTierStats()
+	tt.L1CrossRepaired = l1cross.Repaired
+	if in.tier != nil {
+		ts := in.tier.TierStats()
+		tt.ReplAttempts = ts.ReplAttempts
+		tt.ReplSuccesses = ts.ReplSuccesses
+		tt.ReplicaEvictions = ts.ReplicaEvictions
+		tt.DeadEvictions = ts.DeadEvictions
+		tt.ErrorsDetected = ts.ErrorsDetected
+		tt.RecoveredByReplica = ts.RecoveredByReplica
+		tt.RecoveredByECC = ts.RecoveredByECC
+		tt.RecoveredByCross = ts.RecoveredByCross
+		tt.RecoveredByMem = ts.RecoveredByMem
+		tt.UnrecoverableDirty = ts.UnrecoverableDirty
+		tt.SilentWritebacks = ts.SilentWritebacks
+		// Each direction's client-side view: the dl1 offering into the
+		// tier, and the tier parking shortfall replicas in the dl1.
+		tt.CrossOffers = l1cross.Offers + ts.Cross.Offers
+		tt.CrossAccepted = l1cross.Accepted + ts.Cross.Accepted
+		tt.CrossRepairs = l1cross.Repairs + ts.Cross.Repairs
+		tt.CrossRepaired = l1cross.Repaired + ts.Cross.Repaired
+	}
+	if tierInjector != nil {
+		tt.ErrorsInjected = tierInjector.Injected()
+	}
+	return tt
 }
 
 // instancePool keeps idle instances for reuse, newest first per shape.

@@ -81,6 +81,25 @@ func identityMatrix() []config.Run {
 	r.Adapt = adapt.Config{Predictor: adapt.PredictorDecay}
 	runs = append(runs, r)
 
+	// Two-tier runs: a protected tier under a replicating L1 with
+	// cross-tier placement both ways and faults injected at both tiers,
+	// and a plain ECC tier under a base L1. The tier's arena (lines,
+	// parity, ECC bytes, guest state) must reset with the instance, and
+	// the tier fault injector is per-run state the shape key must ignore.
+	r = config.NewRun("gzip", core.ICR(core.ParityProt, core.LookupSerial, core.ReplStores))
+	r.Repl = repl
+	r.Fault = config.FaultConfig{Model: fault.Random, Prob: 1e-3, Seed: 7}
+	r.TwoTier = config.TwoTier{
+		Protect: core.ParityProt, Replicate: true, Victim: core.DeadFirst,
+		DecayWindow: 1000, CrossTier: true,
+		Fault: config.FaultConfig{Model: fault.Random, Prob: 1e-3, Seed: 13},
+	}
+	runs = append(runs, r)
+
+	r = config.NewRun("vpr", core.BaseECC(false))
+	r.TwoTier = config.TwoTier{Protect: core.ECCProt, ExtraLatency: 20}
+	runs = append(runs, r)
+
 	for i := range runs {
 		runs[i].Instructions = 120_000
 	}
@@ -171,6 +190,13 @@ func TestShapeOf(t *testing.T) {
 		func(m *config.Machine, r *config.Run) { r.WriteThrough = true },
 		func(m *config.Machine, r *config.Run) { r.DupCacheKB = 8 },
 		func(m *config.Machine, r *config.Run) { r.Prefetch = true },
+		func(m *config.Machine, r *config.Run) { r.TwoTier = config.TwoTier{Protect: core.ParityProt} },
+		func(m *config.Machine, r *config.Run) {
+			r.TwoTier = config.TwoTier{Protect: core.ParityProt, Replicate: true, CrossTier: true}
+		},
+		func(m *config.Machine, r *config.Run) {
+			r.TwoTier = config.TwoTier{Protect: core.ECCProt, ExtraLatency: 20}
+		},
 	}
 	for i, mut := range mutants {
 		mm, rr := m, base
@@ -188,6 +214,9 @@ func TestShapeOf(t *testing.T) {
 		func(r *config.Run) { r.Fault = config.FaultConfig{Model: fault.Direct, Prob: 0.5, Seed: 3} },
 		func(r *config.Run) { r.ScrubInterval = 100 },
 		func(r *config.Run) { r.Sample = config.SampleConfig{Period: 1000} },
+		// Tier fault injection is per-run state: differently-seeded
+		// injection runs must share one arena.
+		func(r *config.Run) { r.TwoTier.Fault = config.FaultConfig{Model: fault.Direct, Prob: 0.5, Seed: 3} },
 	}
 	for i, mut := range same {
 		rr := base

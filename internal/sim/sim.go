@@ -54,9 +54,13 @@ func SimulateContext(ctx context.Context, m config.Machine, r config.Run) (*metr
 	if r.Adapt.Enabled() && !r.Scheme.HasReplication() {
 		return nil, fmt.Errorf("sim: adaptive controller requires a replicating scheme, got %s", r.Scheme.Name())
 	}
+	if err := r.TwoTier.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
 	// Canonicalize before shapeOf so equal-after-defaulting configs share
 	// a pool shape.
 	r.Adapt = r.Adapt.Normalized()
+	r.TwoTier = r.TwoTier.Normalized()
 	if r.Instructions == 0 {
 		r.Instructions = config.DefaultInstructions
 	}
@@ -87,9 +91,13 @@ func assemble(
 	meter *energy.Meter,
 	injector *fault.Injector,
 ) *metrics.Report {
-	// Price the L2 traffic now that the run is complete.
+	// Price the L2 and memory traffic now that the run is complete.
+	// (Memory costs default to zero, so single-tier reports are
+	// numerically unchanged.)
 	meter.AddL2Read(ls.Reads + ls.Fetches)
 	meter.AddL2Write(ls.Writes)
+	meter.AddMemRead(mem.Reads() + mem.Fetches())
+	meter.AddMemWrite(mem.Writes())
 
 	rep := &metrics.Report{
 		Benchmark:    r.Benchmark,

@@ -14,9 +14,9 @@
 #      internal/core BenchmarkCoreAccess, internal/cpu BenchmarkCPURun,
 #      plus the root-package micro benches) at BENCHTIME (default 1s);
 #   2. the root-package figure benchmarks (BenchmarkFig*, plus the
-#      adaptive shootout) at one iteration each — every figure driver is a
-#      full sweep, so a single iteration is already a meaningful (and
-#      expensive) sample.
+#      adaptive and two-tier shootouts) at one iteration each — every
+#      figure driver is a full sweep, so a single iteration is already a
+#      meaningful (and expensive) sample.
 set -eu
 
 GO="${GO:-go}"
@@ -47,7 +47,7 @@ $GO test -run=NONE -bench='BenchmarkSECDED|BenchmarkParity|BenchmarkICRCache|Ben
     -benchmem -benchtime="$BENCHTIME" . | tee -a "$RAW"
 
 echo "==> figure benchmarks (benchtime=1x)"
-$GO test -run=NONE -bench='BenchmarkFig|BenchmarkAdaptiveShootout' -benchmem -benchtime=1x . | tee -a "$RAW"
+$GO test -run=NONE -bench='BenchmarkFig|BenchmarkAdaptiveShootout|BenchmarkTwoTierShootout' -benchmem -benchtime=1x . | tee -a "$RAW"
 
 if [ -n "$BASELINE" ]; then
     $GO run ./cmd/benchjson -baseline "$BASELINE" -o "$OUT" <"$RAW"

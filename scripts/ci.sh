@@ -1,7 +1,7 @@
 #!/bin/sh
 # ci.sh — the full tier-1 verification pipeline in one command:
 #
-#   build -> vet -> icrvet -> test -> bench -> race -> smoke -> shards -> adaptive -> cluster
+#   build -> vet -> icrvet -> test -> bench -> race -> smoke -> shards -> adaptive -> twotier -> cluster
 #
 # Each stage is announced and the script stops at the first failure, so CI
 # logs read top-to-bottom. Everything is standard-library Go: no network
@@ -345,6 +345,96 @@ AD_S2_PID=
 AD_S3_PID=
 trap - EXIT INT TERM
 adaptive_cleanup
+
+# End-to-end two-tier determinism test: the twotier shootout (faults
+# injected at both tiers, cross-tier replica traffic, memory-tier energy
+# pricing) at a small budget, run single-node against a local disk store
+# and then through a front end backed by a 3-shard fleet, must produce
+# byte-identical JSON. The protected tier lives entirely inside each
+# simulation, so sharding and memoization must be invisible in the
+# results — including the schema-4 TwoTier report blocks round-tripping
+# through the store and the wire codec.
+stage twotier
+TT_DIR=$(mktemp -d)
+TT_S1_PID=
+TT_S2_PID=
+TT_S3_PID=
+TT_FRONT_PID=
+twotier_cleanup() {
+    for p in "$TT_S1_PID" "$TT_S2_PID" "$TT_S3_PID" "$TT_FRONT_PID"; do
+        [ -n "$p" ] && kill -9 "$p" 2>/dev/null
+    done
+    rm -rf "$TT_DIR"
+}
+trap twotier_cleanup EXIT INT TERM
+
+ttfail() {
+    echo "twotier: $*" >&2
+    for f in s1.err s2.err s3.err front.err; do
+        echo "--- $f ---" >&2
+        cat "$TT_DIR/$f" >&2 2>/dev/null
+    done
+    exit 1
+}
+
+twotier_start_icrd() {
+    tt_name=$1
+    shift
+    : >"$TT_DIR/$tt_name.out"
+    "$TT_DIR/icrd" -addr localhost:0 -parallel 4 "$@" \
+        >"$TT_DIR/$tt_name.out" 2>"$TT_DIR/$tt_name.err" &
+    TT_PID=$!
+    i=0
+    while ! grep -q '^listening on ' "$TT_DIR/$tt_name.out" 2>/dev/null; do
+        i=$((i + 1))
+        [ "$i" -gt 100 ] && ttfail "$tt_name did not start"
+        kill -0 "$TT_PID" 2>/dev/null || ttfail "$tt_name exited early"
+        sleep 0.1
+    done
+    TT_ADDR=$(sed -n 's/^listening on //p' "$TT_DIR/$tt_name.out")
+}
+
+$GO build -o "$TT_DIR/icrd" ./cmd/icrd
+
+TT_BODY='{"instructions":100000,"seed":1}'
+
+twotier_start_icrd base -store "disk:$TT_DIR/base"
+TT_FRONT_PID=$TT_PID
+curl -sS -X POST -d "$TT_BODY" "http://$TT_ADDR/v1/figures/twotier" \
+    >"$TT_DIR/single.json" || ttfail "single-node twotier figure failed"
+kill -TERM "$TT_FRONT_PID"
+wait "$TT_FRONT_PID" || ttfail "baseline icrd drain exited non-zero"
+TT_FRONT_PID=
+
+twotier_start_icrd s1 -store "disk:$TT_DIR/s1"
+TT_S1_PID=$TT_PID
+TT_S1_ADDR=$TT_ADDR
+twotier_start_icrd s2 -store "disk:$TT_DIR/s2"
+TT_S2_PID=$TT_PID
+TT_S2_ADDR=$TT_ADDR
+twotier_start_icrd s3 -store "disk:$TT_DIR/s3"
+TT_S3_PID=$TT_PID
+TT_S3_ADDR=$TT_ADDR
+
+twotier_start_icrd front -store "shards:$TT_S1_ADDR,$TT_S2_ADDR,$TT_S3_ADDR"
+TT_FRONT_PID=$TT_PID
+curl -sS -X POST -d "$TT_BODY" "http://$TT_ADDR/v1/figures/twotier" \
+    >"$TT_DIR/fleet.json" || ttfail "fleet twotier figure failed"
+
+grep -q '"error"' "$TT_DIR/fleet.json" && ttfail "fleet sweep errored: $(cat "$TT_DIR/fleet.json")"
+cmp -s "$TT_DIR/single.json" "$TT_DIR/fleet.json" \
+    || ttfail "twotier fleet JSON differs from single-node run"
+
+for p in "$TT_FRONT_PID" "$TT_S1_PID" "$TT_S2_PID" "$TT_S3_PID"; do
+    kill -TERM "$p"
+    wait "$p" || ttfail "drain exited non-zero (pid $p)"
+done
+TT_FRONT_PID=
+TT_S1_PID=
+TT_S2_PID=
+TT_S3_PID=
+trap - EXIT INT TERM
+twotier_cleanup
 
 # End-to-end cluster test: the same figure sweep run single-node and then
 # through a coordinator with two workers — one of which is SIGKILLed
